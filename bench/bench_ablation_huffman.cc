@@ -1,0 +1,92 @@
+// Ablation (DESIGN.md): balanced vs Huffman-shaped wavelet tree for the
+// relation label string S. Theorem 2's space bound is nH + o(n log sigma_l)
+// with H the zero-order entropy of S — achieved by the Huffman shape. On
+// Zipf-skewed labels the shape both shrinks the bitmaps towards nH0 and
+// shortens the expected root-to-leaf path below log sigma.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "gen/text_gen.h"
+#include "seq/huffman_wavelet_tree.h"
+#include "seq/wavelet_tree.h"
+#include "suffix/entropy.h"
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+constexpr uint64_t kN = 1 << 20;
+constexpr uint32_t kSigma = 1024;
+
+const std::vector<uint32_t>& GetZipfData() {
+  static std::vector<uint32_t> data = [] {
+    Rng rng(51);
+    auto t = ZipfText(rng, kN, kSigma, 1.1);
+    return std::vector<uint32_t>(t.begin(), t.end());
+  }();
+  return data;
+}
+
+template <typename WT>
+const WT& GetTree() {
+  static std::unique_ptr<WT> wt =
+      std::make_unique<WT>(GetZipfData(), kSigma + kMinSymbol);
+  return *wt;
+}
+
+template <typename WT>
+void RunAccess(benchmark::State& state) {
+  const WT& wt = GetTree<WT>();
+  Rng rng(52);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wt.Access(rng.Below(kN)));
+  }
+  state.counters["bytes"] = static_cast<double>(wt.SpaceBytes());
+}
+void BM_Ablation_Access_Balanced(benchmark::State& state) {
+  RunAccess<WaveletTree>(state);
+}
+void BM_Ablation_Access_Huffman(benchmark::State& state) {
+  RunAccess<HuffmanWaveletTree>(state);
+}
+BENCHMARK(BM_Ablation_Access_Balanced);
+BENCHMARK(BM_Ablation_Access_Huffman);
+
+template <typename WT>
+void RunRank(benchmark::State& state) {
+  const WT& wt = GetTree<WT>();
+  const auto& data = GetZipfData();
+  Rng rng(53);
+  for (auto _ : state) {
+    // Rank of a symbol drawn from the data distribution (skewed, so Huffman
+    // paths are short in expectation).
+    uint64_t i = rng.Below(kN);
+    benchmark::DoNotOptimize(wt.Rank(data[i], i));
+  }
+}
+void BM_Ablation_Rank_Balanced(benchmark::State& state) {
+  RunRank<WaveletTree>(state);
+}
+void BM_Ablation_Rank_Huffman(benchmark::State& state) {
+  RunRank<HuffmanWaveletTree>(state);
+}
+BENCHMARK(BM_Ablation_Rank_Balanced);
+BENCHMARK(BM_Ablation_Rank_Huffman);
+
+void BM_Ablation_SpaceVsEntropy(benchmark::State& state) {
+  const auto& balanced = GetTree<WaveletTree>();
+  const auto& huffman = GetTree<HuffmanWaveletTree>();
+  for (auto _ : state) benchmark::DoNotOptimize(huffman.size());
+  std::vector<Symbol> as_text(GetZipfData().begin(), GetZipfData().end());
+  state.counters["H0_bits"] = EntropyH0(as_text);
+  state.counters["huffman_bits_per_sym"] = huffman.BitsPerSymbol();
+  state.counters["balanced_bytes"] = static_cast<double>(balanced.SpaceBytes());
+  state.counters["huffman_bytes"] = static_cast<double>(huffman.SpaceBytes());
+}
+BENCHMARK(BM_Ablation_SpaceVsEntropy);
+
+}  // namespace
+}  // namespace dyndex
+
+BENCHMARK_MAIN();

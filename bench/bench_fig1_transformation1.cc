@@ -1,0 +1,105 @@
+// Figure 1 (E5): Transformation 1's sub-collection organization.
+//
+// The figure shows C0 (uncompressed, fully dynamic) feeding geometrically
+// growing static sub-collections C1..Cr. We measure the organization
+// empirically: amortized insertion cost per symbol as the collection grows,
+// the number of occupied levels, and the fraction of data left uncompressed
+// in C0 (the paper bounds it by O(1/log^2 n)).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/dynamic_collection.h"
+#include "gen/text_gen.h"
+#include "text/fm_index.h"
+
+namespace dyndex {
+namespace {
+
+void BM_Fig1_InsertStream(benchmark::State& state) {
+  uint64_t target = static_cast<uint64_t>(state.range(0));
+  uint64_t inserted = 0;
+  uint32_t levels = 0;
+  double c0_fraction = 0;
+  for (auto _ : state) {
+    DynamicCollectionT1<FmIndex> coll;
+    Rng rng(11);
+    inserted = 0;
+    while (inserted < target) {
+      auto doc = MarkovText(rng, 256, 16);
+      inserted += doc.size();
+      coll.Insert(std::move(doc));
+    }
+    levels = coll.num_levels();
+    c0_fraction = static_cast<double>(coll.c0_symbols()) /
+                  static_cast<double>(coll.live_symbols());
+    benchmark::DoNotOptimize(levels);
+  }
+  state.counters["ns_per_symbol"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * inserted),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.counters["levels"] = levels;
+  state.counters["c0_fraction"] = c0_fraction;
+}
+BENCHMARK(BM_Fig1_InsertStream)
+    ->Arg(1 << 14)
+    ->Arg(1 << 16)
+    ->Arg(1 << 18)
+    ->Unit(benchmark::kMillisecond);
+
+// Transformation 3 ablation (Appendix A.4): the doubling schedule trades a
+// log log n query factor for cheaper amortized insertion.
+void BM_Fig1_InsertStream_T3(benchmark::State& state) {
+  uint64_t target = static_cast<uint64_t>(state.range(0));
+  uint64_t inserted = 0;
+  uint32_t levels = 0;
+  for (auto _ : state) {
+    DynamicCollectionT3<FmIndex> coll;
+    Rng rng(11);
+    inserted = 0;
+    while (inserted < target) {
+      auto doc = MarkovText(rng, 256, 16);
+      inserted += doc.size();
+      coll.Insert(std::move(doc));
+    }
+    levels = coll.num_levels();
+    benchmark::DoNotOptimize(levels);
+  }
+  state.counters["ns_per_symbol"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * inserted),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.counters["levels"] = levels;
+}
+BENCHMARK(BM_Fig1_InsertStream_T3)
+    ->Arg(1 << 14)
+    ->Arg(1 << 16)
+    ->Arg(1 << 18)
+    ->Unit(benchmark::kMillisecond);
+
+// Level occupancy snapshot after a long stream: the geometric size ladder.
+void BM_Fig1_LevelLadder(benchmark::State& state) {
+  static std::unique_ptr<DynamicCollectionT1<FmIndex>> coll = [] {
+    auto c = std::make_unique<DynamicCollectionT1<FmIndex>>();
+    Rng rng(12);
+    for (uint64_t total = 0; total < (1 << 18);) {
+      auto doc = MarkovText(rng, 256, 16);
+      total += doc.size();
+      c->Insert(std::move(doc));
+    }
+    return c;
+  }();
+  for (auto _ : state) benchmark::DoNotOptimize(coll->LevelSizes());
+  auto sizes = coll->LevelSizes();
+  for (uint32_t i = 0; i < sizes.size(); ++i) {
+    state.counters["level" + std::to_string(i + 1) + "_syms"] =
+        static_cast<double>(sizes[i]);
+    state.counters["level" + std::to_string(i + 1) + "_cap"] =
+        static_cast<double>(coll->MaxSizeOfLevel(i + 1));
+  }
+  state.counters["c0_syms"] = static_cast<double>(coll->c0_symbols());
+}
+BENCHMARK(BM_Fig1_LevelLadder);
+
+}  // namespace
+}  // namespace dyndex
+
+BENCHMARK_MAIN();

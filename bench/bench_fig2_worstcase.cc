@@ -1,0 +1,127 @@
+// Figure 2 (E6): Transformation 2's collection layout (C_j / L_j / Temp_j /
+// tops) exists to smooth worst-case update latency.
+//
+// We measure per-insert latency distributions over an identical stream:
+//  * Transformation 1: amortized — occasional full-merge spikes,
+//  * Transformation 2 synchronous: same spikes, bounded duplication,
+//  * Transformation 2 threaded: merges run on a builder thread, so the
+//    worst observed insert latency collapses by orders of magnitude.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "core/dynamic_collection.h"
+#include "core/transformation2.h"
+#include "gen/text_gen.h"
+#include "text/fm_index.h"
+
+namespace dyndex {
+namespace {
+
+struct LatencyStats {
+  double mean_us = 0, p99_us = 0, max_us = 0;
+};
+
+template <typename MakeColl>
+LatencyStats MeasureInsertLatency(MakeColl make, uint64_t target) {
+  auto coll = make();
+  Rng rng(13);
+  std::vector<double> lat_us;
+  uint64_t total = 0;
+  while (total < target) {
+    auto doc = MarkovText(rng, 256, 16);
+    total += doc.size();
+    auto t0 = std::chrono::steady_clock::now();
+    coll->Insert(std::move(doc));
+    auto t1 = std::chrono::steady_clock::now();
+    lat_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  std::sort(lat_us.begin(), lat_us.end());
+  LatencyStats s;
+  for (double v : lat_us) s.mean_us += v;
+  s.mean_us /= static_cast<double>(lat_us.size());
+  s.p99_us = lat_us[lat_us.size() * 99 / 100];
+  s.max_us = lat_us.back();
+  return s;
+}
+
+void ReportLatency(benchmark::State& state, const LatencyStats& s) {
+  state.counters["mean_us"] = s.mean_us;
+  state.counters["p99_us"] = s.p99_us;
+  state.counters["max_us"] = s.max_us;
+}
+
+void BM_Fig2_InsertLatency_T1(benchmark::State& state) {
+  LatencyStats s;
+  for (auto _ : state) {
+    s = MeasureInsertLatency(
+        [] { return std::make_unique<DynamicCollectionT1<FmIndex>>(); },
+        1 << 17);
+  }
+  ReportLatency(state, s);
+}
+void BM_Fig2_InsertLatency_T2Sync(benchmark::State& state) {
+  LatencyStats s;
+  for (auto _ : state) {
+    s = MeasureInsertLatency(
+        [] {
+          T2Options opt;
+          opt.mode = RebuildMode::kSynchronous;
+          return std::make_unique<DynamicCollectionT2<FmIndex>>(opt);
+        },
+        1 << 17);
+  }
+  ReportLatency(state, s);
+}
+void BM_Fig2_InsertLatency_T2Threaded(benchmark::State& state) {
+  LatencyStats s;
+  for (auto _ : state) {
+    s = MeasureInsertLatency(
+        [] {
+          T2Options opt;
+          opt.mode = RebuildMode::kThreaded;
+          return std::make_unique<DynamicCollectionT2<FmIndex>>(opt);
+        },
+        1 << 17);
+  }
+  ReportLatency(state, s);
+}
+BENCHMARK(BM_Fig2_InsertLatency_T1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_Fig2_InsertLatency_T2Sync)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_Fig2_InsertLatency_T2Threaded)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// Space duplication during locked rebuilds: T2 keeps old copies alive while
+// new ones build; the paper bounds the duplicated fraction by O(1/tau).
+void BM_Fig2_SpaceDuringRebuilds(benchmark::State& state) {
+  T2Options opt;
+  opt.mode = RebuildMode::kThreaded;
+  DynamicCollectionT2<FmIndex> coll(opt);
+  Rng rng(14);
+  uint64_t peak = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      coll.Insert(MarkovText(rng, 256, 16));
+      peak = std::max(peak, coll.Space().total());
+    }
+  }
+  coll.ForceAllPending();
+  double n = static_cast<double>(coll.live_symbols());
+  state.counters["peak_bytes_per_sym"] = static_cast<double>(peak) / n;
+  state.counters["settled_bytes_per_sym"] =
+      static_cast<double>(coll.Space().total()) / n;
+}
+BENCHMARK(BM_Fig2_SpaceDuringRebuilds)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dyndex
+
+BENCHMARK_MAIN();

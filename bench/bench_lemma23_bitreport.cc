@@ -1,0 +1,110 @@
+// Lemmas 2-3 (E11): live-row reporters.
+//
+// Lemma 2: O(n)-bit layout, report(s,e) in O(k), zero in O(log^eps n).
+// Lemma 3: O((n/tau) log tau)-bit layout with the same operations.
+// We compare both layouts against a naive full-scan and record the space gap
+// at Lemma 3's intended operating point (dead fraction <= 1/tau).
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bits/live_row_reporter.h"
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+constexpr uint64_t kBits = 1 << 22;
+
+template <typename T>
+T* GetReporter(int dead_percent) {
+  static std::map<int, std::unique_ptr<T>> cache;
+  auto it = cache.find(dead_percent);
+  if (it != cache.end()) return it->second.get();
+  auto r = std::make_unique<T>(kBits, /*with_counting=*/true);
+  Rng rng(41 + dead_percent);
+  uint64_t dead = kBits * static_cast<uint64_t>(dead_percent) / 100;
+  for (uint64_t i = 0; i < dead; ++i) r->Kill(rng.Below(kBits));
+  T* raw = r.get();
+  cache[dead_percent] = std::move(r);
+  return raw;
+}
+
+template <typename T>
+void RunReport(benchmark::State& state) {
+  int dead_percent = static_cast<int>(state.range(0));
+  T* r = GetReporter<T>(dead_percent);
+  Rng rng(42);
+  uint64_t reported = 0;
+  const uint64_t span = 4096;
+  for (auto _ : state) {
+    uint64_t s = rng.Below(kBits - span);
+    r->ForEachLive(s, s + span, [&](uint64_t) { ++reported; });
+  }
+  state.counters["live_per_query"] =
+      static_cast<double>(reported) / static_cast<double>(state.iterations());
+  state.counters["bytes"] = static_cast<double>(r->SpaceBytes());
+}
+void BM_Lemma2_Report_Plain(benchmark::State& state) {
+  RunReport<LiveBitsPlain>(state);
+}
+void BM_Lemma3_Report_Sparse(benchmark::State& state) {
+  RunReport<LiveBitsSparse>(state);
+}
+BENCHMARK(BM_Lemma2_Report_Plain)->Arg(1)->Arg(10)->Arg(50);
+BENCHMARK(BM_Lemma3_Report_Sparse)->Arg(1)->Arg(10)->Arg(50);
+
+template <typename T>
+void RunCount(benchmark::State& state) {
+  T* r = GetReporter<T>(static_cast<int>(state.range(0)));
+  Rng rng(43);
+  const uint64_t span = 1 << 16;
+  for (auto _ : state) {
+    uint64_t s = rng.Below(kBits - span);
+    benchmark::DoNotOptimize(r->CountLive(s, s + span));
+  }
+}
+void BM_Lemma2_Count_Plain(benchmark::State& state) {
+  RunCount<LiveBitsPlain>(state);
+}
+void BM_Lemma3_Count_Sparse(benchmark::State& state) {
+  RunCount<LiveBitsSparse>(state);
+}
+BENCHMARK(BM_Lemma2_Count_Plain)->Arg(1)->Arg(10);
+BENCHMARK(BM_Lemma3_Count_Sparse)->Arg(1)->Arg(10);
+
+// zero(i): the update side of the lemmas.
+template <typename T>
+void RunKill(benchmark::State& state) {
+  T r(kBits, true);
+  Rng rng(44);
+  for (auto _ : state) {
+    r.Kill(rng.Below(kBits));
+  }
+}
+void BM_Lemma2_Kill_Plain(benchmark::State& state) {
+  RunKill<LiveBitsPlain>(state);
+}
+void BM_Lemma3_Kill_Sparse(benchmark::State& state) {
+  RunKill<LiveBitsSparse>(state);
+}
+BENCHMARK(BM_Lemma2_Kill_Plain);
+BENCHMARK(BM_Lemma3_Kill_Sparse);
+
+// Space at Lemma 3's operating point: few dead rows.
+void BM_Lemma23_SpaceAtLowDeadFraction(benchmark::State& state) {
+  auto* plain = GetReporter<LiveBitsPlain>(1);
+  auto* sparse = GetReporter<LiveBitsSparse>(1);
+  for (auto _ : state) benchmark::DoNotOptimize(plain->dead_count());
+  state.counters["plain_bits_per_row"] =
+      static_cast<double>(plain->SpaceBytes()) * 8 / kBits;
+  state.counters["sparse_bits_per_row"] =
+      static_cast<double>(sparse->SpaceBytes()) * 8 / kBits;
+}
+BENCHMARK(BM_Lemma23_SpaceAtLowDeadFraction);
+
+}  // namespace
+}  // namespace dyndex
+
+BENCHMARK_MAIN();

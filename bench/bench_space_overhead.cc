@@ -1,0 +1,69 @@
+// E12: space accounting (Sections 2, 3, A.5).
+//
+// The paper's dynamization overhead on top of the static index is
+// O(n (log sigma + log tau)/tau + n w(n)) bits. We sweep tau and report
+// measured bytes/symbol next to the corpus's H0/Hk entropy bounds, and the
+// overhead of the dynamic structure relative to a one-shot static build of
+// the same data.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/dynamic_collection.h"
+#include "suffix/entropy.h"
+#include "text/fm_index.h"
+
+namespace dyndex {
+namespace {
+
+using bench::Corpus;
+using bench::GetCorpus;
+
+constexpr uint64_t kSymbols = 1 << 18;
+constexpr uint32_t kSigma = 64;
+
+void BM_Space_TauSweep(benchmark::State& state) {
+  uint32_t tau = static_cast<uint32_t>(state.range(0));
+  DynamicCollectionOptions opt;
+  opt.tau = tau;
+  DynamicCollectionT1<FmIndex> coll(opt);
+  const Corpus& c = GetCorpus(kSymbols, kSigma);
+  std::vector<DocId> ids;
+  for (const auto& d : c.docs) ids.push_back(coll.Insert(d));
+  // Delete just under the purge threshold so dead rows are resident — the
+  // worst case for the tau space term.
+  uint64_t deleted = 0;
+  for (size_t i = 0; i < ids.size() && (deleted + 1) * tau < kSymbols;
+       i += 2) {
+    deleted += coll.DocLenOf(ids[i]);
+    coll.Erase(ids[i]);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(coll.live_symbols());
+  double n = static_cast<double>(coll.live_symbols());
+  SpaceBreakdown sp = coll.Space();
+  state.counters["bytes_per_sym"] = sp.total() / n;
+  state.counters["reporter_bytes_per_sym"] = sp.reporters / n;
+  state.counters["dead_fraction"] =
+      static_cast<double>(deleted) / static_cast<double>(kSymbols);
+}
+BENCHMARK(BM_Space_TauSweep)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+// Static one-shot build of the same corpus: the floor the dynamic structure
+// is compared against, plus the entropy reference points.
+void BM_Space_StaticFloorAndEntropy(benchmark::State& state) {
+  const Corpus& c = GetCorpus(kSymbols, kSigma);
+  FmIndex idx = FmIndex::Build(ConcatText(c.documents), {});
+  for (auto _ : state) benchmark::DoNotOptimize(idx.TextSize());
+  std::vector<Symbol> flat;
+  for (const auto& d : c.docs) flat.insert(flat.end(), d.begin(), d.end());
+  double n = static_cast<double>(flat.size());
+  state.counters["static_bytes_per_sym"] = idx.SpaceBytes() / n;
+  state.counters["H0_bits_per_sym"] = EntropyH0(flat);
+  state.counters["H2_bits_per_sym"] = EntropyHk(flat, 2);
+  state.counters["log_sigma_bits"] = static_cast<double>(BitWidth(kSigma - 1));
+}
+BENCHMARK(BM_Space_StaticFloorAndEntropy)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dyndex
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Table 1 (E1): static compressed index trade-offs.
+//
+// Paper claim: a static index answers range-finding in time depending only on
+// |P| (times a log-sigma factor for the wavelet-tree variant), locates each
+// occurrence in O(s) and extracts length-l substrings in O(s + l), where s is
+// the SA sample rate — the space/time knob. We reproduce the shape: trange
+// linear in |P|, tlocate linear in s, textract affine in s and l.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "text/fm_index.h"
+
+namespace dyndex {
+namespace {
+
+using bench::Corpus;
+using bench::GetCorpus;
+using bench::MakePatterns;
+
+const FmIndex& GetIndex(uint32_t sigma, uint32_t sample_rate) {
+  static std::map<std::pair<uint32_t, uint32_t>, std::unique_ptr<FmIndex>>
+      cache;
+  auto key = std::make_pair(sigma, sample_rate);
+  auto it = cache.find(key);
+  if (it != cache.end()) return *it->second;
+  const Corpus& c = GetCorpus(1 << 20, sigma);
+  FmIndex::Options opt;
+  opt.sample_rate = sample_rate;
+  auto idx = std::make_unique<FmIndex>(FmIndex::Build(ConcatText(c.documents),
+                                                      opt));
+  const FmIndex& ref = *idx;
+  cache[key] = std::move(idx);
+  return ref;
+}
+
+// trange vs |P| and sigma: per-pattern-symbol cost should be flat in |P|.
+void BM_Table1_RangeFind(benchmark::State& state) {
+  uint32_t sigma = static_cast<uint32_t>(state.range(0));
+  uint64_t plen = static_cast<uint64_t>(state.range(1));
+  const FmIndex& idx = GetIndex(sigma, 32);
+  auto patterns = MakePatterns(GetCorpus(1 << 20, sigma), plen, 64);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.Find(patterns[i++ % patterns.size()]));
+  }
+  state.counters["ns_per_pattern_char"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * plen),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_Table1_RangeFind)
+    ->ArgsProduct({{4, 64, 4096}, {4, 8, 16, 32, 64}});
+
+// tlocate vs s: per-occurrence time should grow ~linearly with s.
+void BM_Table1_LocatePerOcc(benchmark::State& state) {
+  uint32_t s = static_cast<uint32_t>(state.range(0));
+  const FmIndex& idx = GetIndex(64, s);
+  auto patterns = MakePatterns(GetCorpus(1 << 20, 64), 8, 32);
+  uint64_t located = 0;
+  size_t i = 0;
+  for (auto _ : state) {
+    RowRange r = idx.Find(patterns[i++ % patterns.size()]);
+    uint64_t limit = r.begin + std::min<uint64_t>(r.size(), 64);
+    for (uint64_t row = r.begin; row < limit; ++row) {
+      benchmark::DoNotOptimize(idx.Locate(row));
+      ++located;
+    }
+  }
+  state.counters["occ_located"] = benchmark::Counter(
+      static_cast<double>(located), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Table1_LocatePerOcc)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// textract vs s and l.
+void BM_Table1_Extract(benchmark::State& state) {
+  uint32_t s = static_cast<uint32_t>(state.range(0));
+  uint64_t len = static_cast<uint64_t>(state.range(1));
+  const FmIndex& idx = GetIndex(64, s);
+  Rng rng(4);
+  std::vector<Symbol> out;
+  for (auto _ : state) {
+    uint64_t pos = rng.Below(idx.TextSize() - len);
+    out.clear();
+    idx.Extract(pos, len, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["ns_per_char"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * len),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_Table1_Extract)->ArgsProduct({{4, 64, 256}, {16, 256}});
+
+// Space vs s: the O(n log n / s) sampling term.
+void BM_Table1_SpacePerSymbol(benchmark::State& state) {
+  uint32_t s = static_cast<uint32_t>(state.range(0));
+  const FmIndex& idx = GetIndex(64, s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.SpaceBytes());
+  }
+  state.counters["bytes_per_symbol"] =
+      static_cast<double>(idx.SpaceBytes()) /
+      static_cast<double>(idx.TextSize());
+}
+BENCHMARK(BM_Table1_SpacePerSymbol)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace dyndex
+
+BENCHMARK_MAIN();

@@ -1,0 +1,165 @@
+// Table 2 (E2): dynamic document collections — the paper's headline result.
+//
+// Comparison under identical corpora:
+//  * ours (Transformation 1 and 2 over a static FM-index): queries carry no
+//    dynamic-rank factor; updates pay the rebuild factor,
+//  * the dynamic-wavelet-tree FM-index ([30]/[35] rows): every search and
+//    update step pays a dynamic rank/select (the Fredman-Saks bottleneck),
+//  * the uncompressed suffix tree ([9]-style O(n log n) bits): fast but big.
+//
+// Expected shape: our Count/Find within a small factor of the static index
+// and several times faster than the baseline; baseline updates and ours in
+// the same ballpark; suffix tree fastest but an order of magnitude larger.
+#include <benchmark/benchmark.h>
+
+#include "baseline/dynamic_fm_index.h"
+#include "baseline/suffix_tree_index.h"
+#include "bench/bench_util.h"
+#include "core/dynamic_collection.h"
+#include "core/transformation2.h"
+#include "text/fm_index.h"
+
+namespace dyndex {
+namespace {
+
+using bench::Corpus;
+using bench::GetCorpus;
+using bench::MakePatterns;
+
+constexpr uint64_t kSymbols = 1 << 18;
+constexpr uint32_t kSigma = 64;
+
+template <typename Coll>
+Coll* GetFilled() {
+  static std::unique_ptr<Coll> cached = [] {
+    auto coll = std::make_unique<Coll>();
+    const Corpus& c = GetCorpus(kSymbols, kSigma);
+    for (const auto& d : c.docs) coll->Insert(d);
+    return coll;
+  }();
+  return cached.get();
+}
+
+DynamicFmIndex* GetBaseline() {
+  static std::unique_ptr<DynamicFmIndex> cached = [] {
+    DynamicFmIndex::Options opt;
+    opt.max_docs = 4096;
+    opt.max_symbol = kMinSymbol + kSigma;
+    auto idx = std::make_unique<DynamicFmIndex>(opt);
+    const Corpus& c = GetCorpus(kSymbols, kSigma);
+    for (const auto& d : c.docs) idx->Insert(d);
+    return idx;
+  }();
+  return cached.get();
+}
+
+template <typename Coll>
+void RunCount(benchmark::State& state, Coll* coll) {
+  auto patterns = MakePatterns(GetCorpus(kSymbols, kSigma),
+                               static_cast<uint64_t>(state.range(0)), 64);
+  size_t i = 0;
+  uint64_t matched = 0;
+  for (auto _ : state) {
+    matched += coll->Count(patterns[i++ % patterns.size()]);
+  }
+  state.counters["matches_per_query"] =
+      static_cast<double>(matched) / static_cast<double>(state.iterations());
+}
+
+void BM_Table2_Count_OursT1(benchmark::State& state) {
+  RunCount(state, GetFilled<DynamicCollectionT1<FmIndex>>());
+}
+void BM_Table2_Count_OursT2(benchmark::State& state) {
+  RunCount(state, GetFilled<DynamicCollectionT2<FmIndex>>());
+}
+void BM_Table2_Count_BaselineDynFm(benchmark::State& state) {
+  RunCount(state, GetBaseline());
+}
+void BM_Table2_Count_SuffixTree(benchmark::State& state) {
+  RunCount(state, GetFilled<SuffixTreeIndex>());
+}
+BENCHMARK(BM_Table2_Count_OursT1)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_Table2_Count_OursT2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_Table2_Count_BaselineDynFm)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_Table2_Count_SuffixTree)->Arg(4)->Arg(8)->Arg(16);
+
+template <typename Coll>
+void RunFind(benchmark::State& state, Coll* coll) {
+  auto patterns = MakePatterns(GetCorpus(kSymbols, kSigma), 10, 64);
+  size_t i = 0;
+  uint64_t occ = 0;
+  for (auto _ : state) {
+    auto v = coll->Find(patterns[i++ % patterns.size()]);
+    occ += v.size();
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.counters["occ_per_query"] =
+      static_cast<double>(occ) / static_cast<double>(state.iterations());
+}
+
+void BM_Table2_Find_OursT1(benchmark::State& state) {
+  RunFind(state, GetFilled<DynamicCollectionT1<FmIndex>>());
+}
+void BM_Table2_Find_OursT2(benchmark::State& state) {
+  RunFind(state, GetFilled<DynamicCollectionT2<FmIndex>>());
+}
+void BM_Table2_Find_BaselineDynFm(benchmark::State& state) {
+  RunFind(state, GetBaseline());
+}
+void BM_Table2_Find_SuffixTree(benchmark::State& state) {
+  RunFind(state, GetFilled<SuffixTreeIndex>());
+}
+BENCHMARK(BM_Table2_Find_OursT1);
+BENCHMARK(BM_Table2_Find_OursT2);
+BENCHMARK(BM_Table2_Find_BaselineDynFm);
+BENCHMARK(BM_Table2_Find_SuffixTree);
+
+// Update cost: insert + erase one document, reported per symbol.
+template <typename Coll>
+void RunChurn(benchmark::State& state, Coll* coll) {
+  Rng rng(5);
+  const uint64_t len = 512;
+  for (auto _ : state) {
+    auto doc = UniformText(rng, len, kSigma);
+    DocId id = coll->Insert(doc);
+    coll->Erase(id);
+  }
+  state.counters["ns_per_symbol"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 2 * len),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_Table2_Churn_OursT1(benchmark::State& state) {
+  RunChurn(state, GetFilled<DynamicCollectionT1<FmIndex>>());
+}
+void BM_Table2_Churn_OursT2(benchmark::State& state) {
+  RunChurn(state, GetFilled<DynamicCollectionT2<FmIndex>>());
+}
+void BM_Table2_Churn_BaselineDynFm(benchmark::State& state) {
+  RunChurn(state, GetBaseline());
+}
+void BM_Table2_Churn_SuffixTree(benchmark::State& state) {
+  RunChurn(state, GetFilled<SuffixTreeIndex>());
+}
+BENCHMARK(BM_Table2_Churn_OursT1);
+BENCHMARK(BM_Table2_Churn_OursT2);
+BENCHMARK(BM_Table2_Churn_BaselineDynFm);
+BENCHMARK(BM_Table2_Churn_SuffixTree);
+
+// Space column of Table 2.
+void BM_Table2_Space(benchmark::State& state) {
+  auto* t1 = GetFilled<DynamicCollectionT1<FmIndex>>();
+  auto* st = GetFilled<SuffixTreeIndex>();
+  auto* base = GetBaseline();
+  for (auto _ : state) benchmark::DoNotOptimize(t1->live_symbols());
+  double n = static_cast<double>(t1->live_symbols());
+  state.counters["ours_bytes_per_sym"] = t1->Space().total() / n;
+  state.counters["baseline_bytes_per_sym"] = base->SpaceBytes() / n;
+  state.counters["suffixtree_bytes_per_sym"] = st->SpaceBytes() / n;
+}
+BENCHMARK(BM_Table2_Space);
+
+}  // namespace
+}  // namespace dyndex
+
+BENCHMARK_MAIN();

@@ -1,0 +1,140 @@
+// Table 3 (E3): the O(n log sigma)-bit regime — trange = o(|P|).
+//
+// Paper claim (Grossi-Vitter row): with word-packed text, range-finding costs
+// O(|P|/log_sigma n + log^eps n), i.e. *sublinear in |P|* — the first
+// compressed dynamic structure with that property — while the FM-index
+// backward search is Theta(|P|) rank operations. Locate is O(log^eps n)
+// (here O(1): direct SA lookup) vs O(s) LF-steps; extraction reads packed
+// words vs LF-decoding.
+//
+// Expected shape: per-pattern-char cost of the packed index falls sharply as
+// |P| grows while the FM-index stays flat; crossover at small |P|.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/dynamic_collection.h"
+#include "text/fm_index.h"
+#include "text/packed_sa_index.h"
+
+namespace dyndex {
+namespace {
+
+using bench::Corpus;
+using bench::GetCorpus;
+using bench::MakePatterns;
+
+constexpr uint64_t kSymbols = 1 << 20;
+constexpr uint32_t kSigma = 4;  // log sigma << word size: packing pays off
+
+template <typename I>
+const I& GetStatic() {
+  static std::unique_ptr<I> cached = [] {
+    const Corpus& c = GetCorpus(kSymbols, kSigma, /*doc_len=*/4096);
+    return std::make_unique<I>(
+        I::Build(ConcatText(c.documents), typename I::Options()));
+  }();
+  return *cached;
+}
+
+template <typename I>
+void RunRangeFind(benchmark::State& state) {
+  uint64_t plen = static_cast<uint64_t>(state.range(0));
+  const I& idx = GetStatic<I>();
+  auto patterns =
+      MakePatterns(GetCorpus(kSymbols, kSigma, 4096), plen, 64);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.Find(patterns[i++ % patterns.size()]));
+  }
+  state.counters["ns_per_pattern_char"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * plen),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_Table3_RangeFind_Fm(benchmark::State& state) {
+  RunRangeFind<FmIndex>(state);
+}
+void BM_Table3_RangeFind_PackedSa(benchmark::State& state) {
+  RunRangeFind<PackedSaIndex>(state);
+}
+BENCHMARK(BM_Table3_RangeFind_Fm)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+BENCHMARK(BM_Table3_RangeFind_PackedSa)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+template <typename I>
+void RunLocate(benchmark::State& state) {
+  const I& idx = GetStatic<I>();
+  auto patterns = MakePatterns(GetCorpus(kSymbols, kSigma, 4096), 12, 32);
+  size_t i = 0;
+  for (auto _ : state) {
+    RowRange r = idx.Find(patterns[i++ % patterns.size()]);
+    uint64_t limit = r.begin + std::min<uint64_t>(r.size(), 32);
+    for (uint64_t row = r.begin; row < limit; ++row) {
+      benchmark::DoNotOptimize(idx.Locate(row));
+    }
+  }
+}
+void BM_Table3_Locate_Fm(benchmark::State& state) { RunLocate<FmIndex>(state); }
+void BM_Table3_Locate_PackedSa(benchmark::State& state) {
+  RunLocate<PackedSaIndex>(state);
+}
+BENCHMARK(BM_Table3_Locate_Fm);
+BENCHMARK(BM_Table3_Locate_PackedSa);
+
+template <typename I>
+void RunExtract(benchmark::State& state) {
+  const I& idx = GetStatic<I>();
+  Rng rng(6);
+  std::vector<Symbol> out;
+  const uint64_t len = 1024;
+  for (auto _ : state) {
+    out.clear();
+    idx.Extract(rng.Below(idx.TextSize() - len), len, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["ns_per_char"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * len),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+void BM_Table3_Extract_Fm(benchmark::State& state) {
+  RunExtract<FmIndex>(state);
+}
+void BM_Table3_Extract_PackedSa(benchmark::State& state) {
+  RunExtract<PackedSaIndex>(state);
+}
+BENCHMARK(BM_Table3_Extract_Fm);
+BENCHMARK(BM_Table3_Extract_PackedSa);
+
+// The dynamized variant: the framework is index-generic, so the packed index
+// inherits dynamism unchanged (the paper's Table 3 "Our" rows).
+void BM_Table3_DynamicCount_PackedSa(benchmark::State& state) {
+  static std::unique_ptr<DynamicCollectionT1<PackedSaIndex>> coll = [] {
+    auto c = std::make_unique<DynamicCollectionT1<PackedSaIndex>>();
+    for (const auto& d : GetCorpus(kSymbols / 4, kSigma, 4096).docs) {
+      c->Insert(d);
+    }
+    return c;
+  }();
+  auto patterns = MakePatterns(GetCorpus(kSymbols / 4, kSigma, 4096), 64, 64);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coll->Count(patterns[i++ % patterns.size()]));
+  }
+}
+BENCHMARK(BM_Table3_DynamicCount_PackedSa);
+
+// Space: the substitution's honest cost (n log n + n log sigma bits vs the
+// paper's O(n log sigma)) — recorded for EXPERIMENTS.md.
+void BM_Table3_Space(benchmark::State& state) {
+  const auto& fm = GetStatic<FmIndex>();
+  const auto& sa = GetStatic<PackedSaIndex>();
+  for (auto _ : state) benchmark::DoNotOptimize(fm.TextSize());
+  double n = static_cast<double>(fm.TextSize());
+  state.counters["fm_bytes_per_sym"] = fm.SpaceBytes() / n;
+  state.counters["packed_bytes_per_sym"] = sa.SpaceBytes() / n;
+}
+BENCHMARK(BM_Table3_Space);
+
+}  // namespace
+}  // namespace dyndex
+
+BENCHMARK_MAIN();

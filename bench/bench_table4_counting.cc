@@ -1,0 +1,113 @@
+// Table 4 (E4) + Theorem 1 (E8): counting queries.
+//
+// Paper claim: augmenting each sub-collection's dead-row vector with a
+// dynamic rank structure supports counting in trange + O(log n) per
+// sub-collection, much cheaper than enumerating occurrences; the price is an
+// O(log n / log log n) additive term per update symbol.
+//
+// Expected shape: augmented counting beats enumeration by a factor that grows
+// with the number of matches; counting-enabled updates are measurably (but
+// modestly) slower.
+#include <benchmark/benchmark.h>
+
+#include "baseline/dynamic_fm_index.h"
+#include "bench/bench_util.h"
+#include "core/dynamic_collection.h"
+#include "text/fm_index.h"
+
+namespace dyndex {
+namespace {
+
+using bench::Corpus;
+using bench::GetCorpus;
+using bench::MakePatterns;
+
+constexpr uint64_t kSymbols = 1 << 18;
+constexpr uint32_t kSigma = 16;
+
+DynamicCollectionT1<FmIndex>* GetColl(bool counting) {
+  static std::unique_ptr<DynamicCollectionT1<FmIndex>> with = nullptr;
+  static std::unique_ptr<DynamicCollectionT1<FmIndex>> without = nullptr;
+  auto& slot = counting ? with : without;
+  if (slot == nullptr) {
+    DynamicCollectionOptions opt;
+    opt.counting = counting;
+    slot = std::make_unique<DynamicCollectionT1<FmIndex>>(opt);
+    // Insert then delete a slice so the dead-row structures are non-trivial.
+    const Corpus& c = GetCorpus(kSymbols, kSigma);
+    std::vector<DocId> ids;
+    for (const auto& d : c.docs) ids.push_back(slot->Insert(d));
+    for (size_t i = 0; i < ids.size(); i += 10) slot->Erase(ids[i]);
+  }
+  return slot.get();
+}
+
+void RunCount(benchmark::State& state, bool counting, uint64_t plen) {
+  auto* coll = GetColl(counting);
+  auto patterns = MakePatterns(GetCorpus(kSymbols, kSigma), plen, 64);
+  size_t i = 0;
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    matches += coll->Count(patterns[i++ % patterns.size()]);
+  }
+  state.counters["matches_per_query"] =
+      static_cast<double>(matches) / static_cast<double>(state.iterations());
+}
+
+// Short patterns = many matches: this is where Theorem 1 pays.
+void BM_Table4_Count_Augmented(benchmark::State& state) {
+  RunCount(state, true, static_cast<uint64_t>(state.range(0)));
+}
+void BM_Table4_Count_Enumerating(benchmark::State& state) {
+  RunCount(state, false, static_cast<uint64_t>(state.range(0)));
+}
+BENCHMARK(BM_Table4_Count_Augmented)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_Table4_Count_Enumerating)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+// Baseline comparator: backward search on the dynamic wavelet tree counts in
+// O(|P| log n log sigma) regardless of the number of matches.
+void BM_Table4_Count_BaselineDynFm(benchmark::State& state) {
+  static std::unique_ptr<DynamicFmIndex> idx = [] {
+    DynamicFmIndex::Options opt;
+    opt.max_docs = 4096;
+    opt.max_symbol = kMinSymbol + kSigma;
+    auto p = std::make_unique<DynamicFmIndex>(opt);
+    for (const auto& d : GetCorpus(kSymbols, kSigma).docs) p->Insert(d);
+    return p;
+  }();
+  auto patterns = MakePatterns(GetCorpus(kSymbols, kSigma),
+                               static_cast<uint64_t>(state.range(0)), 64);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx->Count(patterns[i++ % patterns.size()]));
+  }
+}
+BENCHMARK(BM_Table4_Count_BaselineDynFm)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+// The update-cost price of counting support (Theorem 1's last column).
+void RunChurn(benchmark::State& state, bool counting) {
+  auto* coll = GetColl(counting);
+  Rng rng(7);
+  const uint64_t len = 512;
+  for (auto _ : state) {
+    auto doc = UniformText(rng, len, kSigma);
+    DocId id = coll->Insert(doc);
+    coll->Erase(id);
+  }
+  state.counters["ns_per_symbol"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 2 * len),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+void BM_Table4_Churn_WithCounting(benchmark::State& state) {
+  RunChurn(state, true);
+}
+void BM_Table4_Churn_WithoutCounting(benchmark::State& state) {
+  RunChurn(state, false);
+}
+BENCHMARK(BM_Table4_Churn_WithCounting);
+BENCHMARK(BM_Table4_Churn_WithoutCounting);
+
+}  // namespace
+}  // namespace dyndex
+
+BENCHMARK_MAIN();

@@ -1,0 +1,156 @@
+// Theorem 2 (E9): dynamic binary relations.
+//
+// Ours (framework over static wavelet-tree relations) vs the baseline of
+// Navarro-Nekrich [35] (dynamic wavelet tree + dynamic bit vector, paying
+// dynamic rank/select per reported datum).
+//
+// Expected shape: reporting and adjacency faster in ours (static rank/select
+// per datum, times the O(log log n) sub-collection fan-out); counting O(log n)
+// in both; updates amortized polylog in ours vs log-per-step in the baseline.
+#include <benchmark/benchmark.h>
+
+#include "gen/relation_gen.h"
+#include "relation/baseline_relation.h"
+#include "relation/dynamic_relation.h"
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+constexpr uint32_t kObjects = 4096;
+constexpr uint32_t kLabels = 2048;
+constexpr uint64_t kPairs = 1 << 17;
+
+DynamicRelation* GetOurs() {
+  static std::unique_ptr<DynamicRelation> rel = [] {
+    auto r = std::make_unique<DynamicRelation>();
+    Rng rng(21);
+    for (auto [o, a] : GenPairs(rng, kPairs, kObjects, kLabels, 0.8)) {
+      r->AddPair(o, a);
+    }
+    return r;
+  }();
+  return rel.get();
+}
+
+BaselineRelation* GetBase() {
+  static std::unique_ptr<BaselineRelation> rel = [] {
+    auto r = std::make_unique<BaselineRelation>(kObjects, kLabels);
+    Rng rng(21);
+    for (auto [o, a] : GenPairs(rng, kPairs, kObjects, kLabels, 0.8)) {
+      r->AddPair(o, a);
+    }
+    return r;
+  }();
+  return rel.get();
+}
+
+template <typename R>
+void RunLabelsOfObject(benchmark::State& state, R* rel) {
+  Rng rng(22);
+  uint64_t reported = 0;
+  for (auto _ : state) {
+    uint32_t o = static_cast<uint32_t>(rng.Below(kObjects));
+    rel->ForEachLabelOfObject(o, [&](uint32_t) { ++reported; });
+  }
+  state.counters["reported_per_query"] =
+      static_cast<double>(reported) / static_cast<double>(state.iterations());
+}
+void BM_Thm2_LabelsOfObject_Ours(benchmark::State& state) {
+  RunLabelsOfObject(state, GetOurs());
+}
+void BM_Thm2_LabelsOfObject_Baseline(benchmark::State& state) {
+  RunLabelsOfObject(state, GetBase());
+}
+BENCHMARK(BM_Thm2_LabelsOfObject_Ours);
+BENCHMARK(BM_Thm2_LabelsOfObject_Baseline);
+
+template <typename R>
+void RunObjectsOfLabel(benchmark::State& state, R* rel) {
+  Rng rng(23);
+  uint64_t reported = 0;
+  for (auto _ : state) {
+    uint32_t a = static_cast<uint32_t>(rng.Below(kLabels));
+    rel->ForEachObjectOfLabel(a, [&](uint32_t) { ++reported; });
+  }
+  state.counters["reported_per_query"] =
+      static_cast<double>(reported) / static_cast<double>(state.iterations());
+}
+void BM_Thm2_ObjectsOfLabel_Ours(benchmark::State& state) {
+  RunObjectsOfLabel(state, GetOurs());
+}
+void BM_Thm2_ObjectsOfLabel_Baseline(benchmark::State& state) {
+  RunObjectsOfLabel(state, GetBase());
+}
+BENCHMARK(BM_Thm2_ObjectsOfLabel_Ours);
+BENCHMARK(BM_Thm2_ObjectsOfLabel_Baseline);
+
+template <typename R>
+void RunAdjacency(benchmark::State& state, R* rel) {
+  Rng rng(24);
+  for (auto _ : state) {
+    uint32_t o = static_cast<uint32_t>(rng.Below(kObjects));
+    uint32_t a = static_cast<uint32_t>(rng.Below(kLabels));
+    benchmark::DoNotOptimize(rel->Related(o, a));
+  }
+}
+void BM_Thm2_Adjacency_Ours(benchmark::State& state) {
+  RunAdjacency(state, GetOurs());
+}
+void BM_Thm2_Adjacency_Baseline(benchmark::State& state) {
+  RunAdjacency(state, GetBase());
+}
+BENCHMARK(BM_Thm2_Adjacency_Ours);
+BENCHMARK(BM_Thm2_Adjacency_Baseline);
+
+template <typename R>
+void RunCounts(benchmark::State& state, R* rel) {
+  Rng rng(25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rel->CountLabelsOf(static_cast<uint32_t>(rng.Below(kObjects))));
+    benchmark::DoNotOptimize(
+        rel->CountObjectsOf(static_cast<uint32_t>(rng.Below(kLabels))));
+  }
+}
+void BM_Thm2_Counts_Ours(benchmark::State& state) {
+  RunCounts(state, GetOurs());
+}
+void BM_Thm2_Counts_Baseline(benchmark::State& state) {
+  RunCounts(state, GetBase());
+}
+BENCHMARK(BM_Thm2_Counts_Ours);
+BENCHMARK(BM_Thm2_Counts_Baseline);
+
+template <typename R>
+void RunUpdateChurn(benchmark::State& state, R* rel) {
+  Rng rng(26);
+  for (auto _ : state) {
+    uint32_t o = static_cast<uint32_t>(rng.Below(kObjects));
+    uint32_t a = static_cast<uint32_t>(rng.Below(kLabels));
+    if (rel->AddPair(o, a)) rel->RemovePair(o, a);
+  }
+}
+void BM_Thm2_Update_Ours(benchmark::State& state) {
+  RunUpdateChurn(state, GetOurs());
+}
+void BM_Thm2_Update_Baseline(benchmark::State& state) {
+  RunUpdateChurn(state, GetBase());
+}
+BENCHMARK(BM_Thm2_Update_Ours);
+BENCHMARK(BM_Thm2_Update_Baseline);
+
+void BM_Thm2_Space(benchmark::State& state) {
+  auto* ours = GetOurs();
+  auto* base = GetBase();
+  for (auto _ : state) benchmark::DoNotOptimize(ours->num_pairs());
+  double n = static_cast<double>(ours->num_pairs());
+  state.counters["ours_bytes_per_pair"] = ours->SpaceBytes() / n;
+  state.counters["baseline_bytes_per_pair"] = base->SpaceBytes() / n;
+}
+BENCHMARK(BM_Thm2_Space);
+
+}  // namespace
+}  // namespace dyndex
+
+BENCHMARK_MAIN();

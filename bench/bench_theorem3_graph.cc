@@ -1,0 +1,100 @@
+// Theorem 3 (E10): dynamic directed graphs as binary relations.
+//
+// Power-law digraph; neighbor enumeration, reverse neighbors, adjacency,
+// degree counting, and edge churn on the compressed dynamic graph.
+#include <benchmark/benchmark.h>
+
+#include "gen/relation_gen.h"
+#include "relation/dynamic_graph.h"
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+constexpr uint32_t kNodes = 4096;
+constexpr uint64_t kEdges = 1 << 17;
+
+DynamicGraph* GetGraph() {
+  static std::unique_ptr<DynamicGraph> g = [] {
+    auto graph = std::make_unique<DynamicGraph>();
+    Rng rng(31);
+    for (auto [u, v] : GenEdges(rng, kEdges, kNodes, /*zipf=*/0.8)) {
+      graph->AddEdge(u, v);
+    }
+    return graph;
+  }();
+  return g.get();
+}
+
+void BM_Thm3_OutNeighbors(benchmark::State& state) {
+  auto* g = GetGraph();
+  Rng rng(32);
+  uint64_t reported = 0;
+  for (auto _ : state) {
+    uint32_t u = static_cast<uint32_t>(rng.Below(kNodes));
+    g->ForEachOutNeighbor(u, [&](uint32_t) { ++reported; });
+  }
+  state.counters["neighbors_per_query"] =
+      static_cast<double>(reported) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_Thm3_OutNeighbors);
+
+void BM_Thm3_InNeighbors(benchmark::State& state) {
+  auto* g = GetGraph();
+  Rng rng(33);
+  uint64_t reported = 0;
+  for (auto _ : state) {
+    uint32_t v = static_cast<uint32_t>(rng.Below(kNodes));
+    g->ForEachInNeighbor(v, [&](uint32_t) { ++reported; });
+  }
+  state.counters["neighbors_per_query"] =
+      static_cast<double>(reported) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_Thm3_InNeighbors);
+
+void BM_Thm3_Adjacency(benchmark::State& state) {
+  auto* g = GetGraph();
+  Rng rng(34);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        g->HasEdge(static_cast<uint32_t>(rng.Below(kNodes)),
+                   static_cast<uint32_t>(rng.Below(kNodes))));
+  }
+}
+BENCHMARK(BM_Thm3_Adjacency);
+
+void BM_Thm3_Degrees(benchmark::State& state) {
+  auto* g = GetGraph();
+  Rng rng(35);
+  for (auto _ : state) {
+    uint32_t u = static_cast<uint32_t>(rng.Below(kNodes));
+    benchmark::DoNotOptimize(g->OutDegree(u));
+    benchmark::DoNotOptimize(g->InDegree(u));
+  }
+}
+BENCHMARK(BM_Thm3_Degrees);
+
+void BM_Thm3_EdgeChurn(benchmark::State& state) {
+  auto* g = GetGraph();
+  Rng rng(36);
+  for (auto _ : state) {
+    uint32_t u = static_cast<uint32_t>(rng.Below(kNodes));
+    uint32_t v = static_cast<uint32_t>(rng.Below(kNodes));
+    if (g->AddEdge(u, v)) g->RemoveEdge(u, v);
+  }
+}
+BENCHMARK(BM_Thm3_EdgeChurn);
+
+void BM_Thm3_Space(benchmark::State& state) {
+  auto* g = GetGraph();
+  for (auto _ : state) benchmark::DoNotOptimize(g->num_edges());
+  state.counters["bytes_per_edge"] =
+      static_cast<double>(g->SpaceBytes()) /
+      static_cast<double>(g->num_edges());
+}
+BENCHMARK(BM_Thm3_Space);
+
+}  // namespace
+}  // namespace dyndex
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Shared fixtures for the paper-reproduction benchmarks: cached corpora and
+// prebuilt structures so google-benchmark iterations measure queries, not
+// construction.
+#ifndef DYNDEX_BENCH_BENCH_UTIL_H_
+#define DYNDEX_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "gen/text_gen.h"
+#include "text/concat_text.h"
+#include "util/rng.h"
+
+namespace dyndex {
+namespace bench {
+
+/// A reusable corpus: documents + patterns sampled from them.
+struct Corpus {
+  std::vector<std::vector<Symbol>> docs;
+  std::vector<Document> documents;  // with ids 0..n-1
+  uint64_t total_symbols = 0;
+  uint32_t sigma = 0;
+};
+
+/// Builds (and caches) a corpus of ~`total` symbols over alphabet `sigma`,
+/// Markov-generated so higher-order entropy is below log(sigma).
+inline const Corpus& GetCorpus(uint64_t total, uint32_t sigma,
+                               uint64_t doc_len = 512) {
+  static std::map<std::tuple<uint64_t, uint32_t, uint64_t>,
+                  std::unique_ptr<Corpus>>
+      cache;
+  auto key = std::make_tuple(total, sigma, doc_len);
+  auto it = cache.find(key);
+  if (it != cache.end()) return *it->second;
+  auto corpus = std::make_unique<Corpus>();
+  corpus->sigma = sigma;
+  Rng rng(total * 1315423911u + sigma);
+  while (corpus->total_symbols < total) {
+    uint64_t len = rng.Range(doc_len / 2, doc_len + doc_len / 2);
+    corpus->docs.push_back(MarkovText(rng, len, sigma, /*branch=*/4));
+    corpus->total_symbols += len;
+  }
+  for (uint32_t i = 0; i < corpus->docs.size(); ++i) {
+    corpus->documents.push_back({i, corpus->docs[i]});
+  }
+  const Corpus& ref = *corpus;
+  cache[key] = std::move(corpus);
+  return ref;
+}
+
+/// Patterns of length `len` sampled from the corpus (guaranteed hits).
+inline std::vector<std::vector<Symbol>> MakePatterns(const Corpus& corpus,
+                                                     uint64_t len,
+                                                     uint32_t count,
+                                                     uint64_t seed = 99) {
+  Rng rng(seed);
+  std::vector<std::vector<Symbol>> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    out.push_back(SamplePattern(rng, corpus.docs, len, corpus.sigma));
+  }
+  return out;
+}
+
+}  // namespace bench
+}  // namespace dyndex
+
+#endif  // DYNDEX_BENCH_BENCH_UTIL_H_

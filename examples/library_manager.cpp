@@ -1,0 +1,65 @@
+// The library management problem (the paper's name for dynamic indexing):
+// maintain a changing corpus of documents under insertions and deletions with
+// worst-case-smoothed updates (Transformation 2, threaded background
+// rebuilds), and compare its space against the uncompressed suffix-tree
+// solution on the same corpus.
+#include <cstdio>
+#include <vector>
+
+#include "baseline/suffix_tree_index.h"
+#include "core/transformation2.h"
+#include "gen/text_gen.h"
+#include "text/fm_index.h"
+#include "util/rng.h"
+
+using namespace dyndex;
+
+int main() {
+  T2Options opt;
+  opt.mode = RebuildMode::kThreaded;  // real background rebuilds
+  DynamicCollectionT2<FmIndex> library(opt);
+  SuffixTreeIndex uncompressed;  // the O(n log n)-bit comparator
+
+  Rng rng(7);
+  std::vector<DocId> shelf_t2, shelf_st;
+
+  // Acquire 600 "books" (synthetic, sigma=64 Zipf text), retiring old ones.
+  for (int i = 0; i < 600; ++i) {
+    auto book = ZipfText(rng, rng.Range(500, 2000), 64);
+    shelf_t2.push_back(library.Insert(book));
+    shelf_st.push_back(uncompressed.Insert(book));
+    if (shelf_t2.size() > 400) {
+      // Retire the oldest volume from both.
+      library.Erase(shelf_t2.front());
+      uncompressed.Erase(shelf_st.front());
+      shelf_t2.erase(shelf_t2.begin());
+      shelf_st.erase(shelf_st.begin());
+    }
+  }
+  library.ForceAllPending();
+
+  std::printf("library: %llu docs, %llu symbols\n",
+              static_cast<unsigned long long>(library.num_docs()),
+              static_cast<unsigned long long>(library.live_symbols()));
+
+  // Agreement check between the two indexes on random queries.
+  uint64_t disagreements = 0;
+  for (int q = 0; q < 100; ++q) {
+    auto p = UniformText(rng, 3, 64);
+    if (library.Count(p) != uncompressed.Count(p)) ++disagreements;
+  }
+  std::printf("query agreement with uncompressed index: %llu/100 disagree\n",
+              static_cast<unsigned long long>(disagreements));
+
+  SpaceBreakdown sp = library.Space();
+  double n = static_cast<double>(library.live_symbols());
+  std::printf("compressed  : %.2f bytes/symbol "
+              "(indexes %.2f, reporters %.2f, C0 %.2f, bookkeeping %.2f)\n",
+              sp.total() / n, sp.static_indexes / n, sp.reporters / n,
+              sp.uncompressed / n, sp.bookkeeping / n);
+  std::printf("suffix tree : %.2f bytes/symbol\n",
+              uncompressed.SpaceBytes() / n);
+  std::printf("tops=%u pending=%u tau=%u\n", library.num_tops(),
+              library.num_pending(), library.tau());
+  return 0;
+}

@@ -1,0 +1,122 @@
+// RDF triple store over dynamic binary relations (Section 5 / Theorem 2).
+//
+// The paper: "the set of subject-predicate-object RDF triples can be
+// represented as a graph or as two binary relations... given x, enumerate all
+// the triples in which x occurs as a subject; given x and p, enumerate all
+// triples in which x occurs as a subject and p occurs as a predicate."
+//
+// We store one DynamicRelation per predicate dimension:
+//   subjects  : subject  -> triple-id
+//   predicates: predicate-> triple-id
+//   objects   : object   -> triple-id
+// and answer both query shapes with relation primitives.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relation/dynamic_relation.h"
+
+using namespace dyndex;
+
+namespace {
+
+struct Triple {
+  uint32_t subject, predicate, object;
+};
+
+class TripleStore {
+ public:
+  uint32_t Add(uint32_t s, uint32_t p, uint32_t o) {
+    uint32_t id = next_id_++;
+    triples_[id] = {s, p, o};
+    by_subject_.AddPair(s, id);
+    by_predicate_.AddPair(p, id);
+    by_object_.AddPair(o, id);
+    return id;
+  }
+
+  void Remove(uint32_t id) {
+    const Triple& t = triples_.at(id);
+    by_subject_.RemovePair(t.subject, id);
+    by_predicate_.RemovePair(t.predicate, id);
+    by_object_.RemovePair(t.object, id);
+    triples_.erase(id);
+  }
+
+  /// All triples with subject s.
+  std::vector<Triple> BySubject(uint32_t s) const {
+    std::vector<Triple> out;
+    by_subject_.ForEachLabelOfObject(
+        s, [&](uint32_t id) { out.push_back(triples_.at(id)); });
+    return out;
+  }
+
+  /// All triples with subject s AND predicate p (intersection of the two
+  /// relations, iterating the smaller side and probing the other).
+  std::vector<Triple> BySubjectPredicate(uint32_t s, uint32_t p) const {
+    std::vector<Triple> out;
+    if (by_subject_.CountLabelsOf(s) <= by_predicate_.CountLabelsOf(p)) {
+      by_subject_.ForEachLabelOfObject(s, [&](uint32_t id) {
+        if (by_predicate_.Related(p, id)) out.push_back(triples_.at(id));
+      });
+    } else {
+      by_predicate_.ForEachLabelOfObject(p, [&](uint32_t id) {
+        if (by_subject_.Related(s, id)) out.push_back(triples_.at(id));
+      });
+    }
+    return out;
+  }
+
+  uint64_t CountBySubject(uint32_t s) const {
+    return by_subject_.CountLabelsOf(s);
+  }
+
+  uint64_t size() const { return triples_.size(); }
+
+ private:
+  DynamicRelation by_subject_, by_predicate_, by_object_;
+  std::unordered_map<uint32_t, Triple> triples_;
+  uint32_t next_id_ = 0;
+};
+
+// Tiny vocabulary for a readable demo.
+const char* kEntities[] = {"alice", "bob", "carol", "paperX", "paperY",
+                           "waterloo", "kansas"};
+const char* kPredicates[] = {"knows", "authored", "cites", "affiliatedWith"};
+
+}  // namespace
+
+int main() {
+  TripleStore store;
+  // (subject, predicate, object) indices into the vocab arrays.
+  uint32_t t0 = store.Add(0, 0, 1);  // alice knows bob
+  store.Add(0, 1, 3);                // alice authored paperX
+  store.Add(1, 1, 4);                // bob authored paperY
+  store.Add(3, 2, 4);                // paperX cites paperY
+  store.Add(0, 3, 5);                // alice affiliatedWith waterloo
+  store.Add(1, 3, 6);                // bob affiliatedWith kansas
+  store.Add(0, 0, 2);                // alice knows carol
+
+  std::printf("store holds %llu triples\n",
+              static_cast<unsigned long long>(store.size()));
+
+  std::printf("triples with subject 'alice' (%llu):\n",
+              static_cast<unsigned long long>(store.CountBySubject(0)));
+  for (const Triple& t : store.BySubject(0)) {
+    std::printf("  alice %s %s\n", kPredicates[t.predicate],
+                kEntities[t.object]);
+  }
+
+  std::printf("alice + knows:\n");
+  for (const Triple& t : store.BySubjectPredicate(0, 0)) {
+    std::printf("  alice knows %s\n", kEntities[t.object]);
+  }
+
+  store.Remove(t0);  // retract "alice knows bob"
+  std::printf("after retraction, alice + knows:\n");
+  for (const Triple& t : store.BySubjectPredicate(0, 0)) {
+    std::printf("  alice knows %s\n", kEntities[t.object]);
+  }
+  return 0;
+}

@@ -1,0 +1,154 @@
+#include "baseline/dynamic_fm_index.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace dyndex {
+
+DynamicFmIndex::DynamicFmIndex(const Options& opt)
+    : opt_(opt),
+      bwt_(opt.max_docs + (opt.max_symbol - kMinSymbol)),
+      counts_(opt.max_docs + (opt.max_symbol - kMinSymbol)) {
+  DYNDEX_CHECK(opt.max_docs >= 1);
+  DYNDEX_CHECK(opt.max_symbol > kMinSymbol);
+  if (opt_.sample_rate == 0) opt_.sample_rate = 1;
+  free_seps_.reserve(opt.max_docs);
+  for (uint32_t s = opt.max_docs; s-- > 0;) free_seps_.push_back(s);
+}
+
+void DynamicFmIndex::InsertRow(uint64_t row, uint32_t bwt_sym, DocId doc,
+                               uint64_t offset) {
+  bwt_.Insert(row, bwt_sym);
+  counts_.Add(bwt_sym, 1);
+  bool sample = offset % opt_.sample_rate == 0;
+  sampled_.Insert(row, sample);
+  if (sample) {
+    uint64_t k = sampled_.Rank1(row);
+    samples_.insert(samples_.begin() + static_cast<int64_t>(k),
+                    {doc, offset});
+  }
+}
+
+void DynamicFmIndex::EraseRow(uint64_t row, uint32_t bwt_sym) {
+  counts_.Add(bwt_sym, -1);
+  if (sampled_.Get(row)) {
+    uint64_t k = sampled_.Rank1(row);
+    samples_.erase(samples_.begin() + static_cast<int64_t>(k));
+  }
+  sampled_.Erase(row);
+  bwt_.Erase(row);
+}
+
+DocId DynamicFmIndex::Insert(const std::vector<Symbol>& symbols) {
+  DYNDEX_CHECK(!symbols.empty());
+  DYNDEX_CHECK(!free_seps_.empty());  // max_docs exhausted otherwise
+  for (Symbol s : symbols) {
+    DYNDEX_CHECK(s >= kMinSymbol && s < opt_.max_symbol);
+  }
+  DocId id = next_id_++;
+  uint32_t sep = free_seps_.back();
+  free_seps_.pop_back();
+  uint64_t m = symbols.size();
+  docs_[id] = {sep, m};
+  live_symbols_ += m;
+
+  // Row of the suffix "$_d": all rows starting with a smaller symbol.
+  uint64_t row = static_cast<uint64_t>(counts_.PrefixSum(sep));
+  uint32_t ch = m > 0 ? Internal(symbols[m - 1]) : sep;
+  InsertRow(row, ch, id, m);
+  uint32_t prev = ch;
+  for (uint64_t i = m; i-- > 0;) {
+    // Row of S_i = LF of the row of S_{i+1}; the char written at the previous
+    // row is exactly T[i] (= prev). The +1 accounts for the already-inserted
+    // "$_d"-starting row whose BWT counterpart (the final sep write) is still
+    // pending: first-symbol counts run one separator ahead of counts_.
+    uint64_t next_row = LfStep(prev, row) + 1;
+    uint32_t c = i > 0 ? Internal(symbols[i - 1]) : sep;
+    InsertRow(next_row, c, id, i);
+    prev = c;
+    row = next_row;
+  }
+  return id;
+}
+
+bool DynamicFmIndex::Erase(DocId id) {
+  auto it = docs_.find(id);
+  if (it == docs_.end()) return false;
+  uint32_t sep = it->second.sep;
+  live_symbols_ -= it->second.len;
+  // Walk the complete structure first, collecting the rows of all |T|+1
+  // suffixes of the document; then delete them in descending row order so
+  // earlier deletions never shift later targets. This avoids the off-by-one
+  // bookkeeping of interleaved LF-steps and deletions.
+  std::vector<uint64_t> rows;
+  rows.reserve(it->second.len + 1);
+  uint64_t row = static_cast<uint64_t>(counts_.PrefixSum(sep));
+  while (true) {
+    rows.push_back(row);
+    uint32_t c = bwt_.Access(row);
+    if (c == sep) break;
+    row = LfStep(c, row);
+  }
+  std::sort(rows.begin(), rows.end(), std::greater<uint64_t>());
+  for (uint64_t r : rows) {
+    uint32_t c = bwt_.Access(r);
+    EraseRow(r, c);
+  }
+  free_seps_.push_back(sep);
+  docs_.erase(it);
+  return true;
+}
+
+bool DynamicFmIndex::BackwardSearch(const std::vector<Symbol>& pattern,
+                                    uint64_t* lo, uint64_t* hi) const {
+  DYNDEX_CHECK(!pattern.empty());
+  uint64_t a = 0, b = bwt_.size();
+  for (uint64_t k = pattern.size(); k-- > 0;) {
+    Symbol s = pattern[k];
+    if (s < kMinSymbol || s >= opt_.max_symbol) return false;
+    uint32_t c = Internal(s);
+    a = LfStep(c, a);
+    b = LfStep(c, b);
+    if (a >= b) return false;
+  }
+  *lo = a;
+  *hi = b;
+  return true;
+}
+
+uint64_t DynamicFmIndex::Count(const std::vector<Symbol>& pattern) const {
+  uint64_t lo, hi;
+  if (!BackwardSearch(pattern, &lo, &hi)) return 0;
+  return hi - lo;
+}
+
+std::vector<Occurrence> DynamicFmIndex::Find(
+    const std::vector<Symbol>& pattern) const {
+  std::vector<Occurrence> out;
+  uint64_t lo, hi;
+  if (!BackwardSearch(pattern, &lo, &hi)) return out;
+  out.reserve(hi - lo);
+  for (uint64_t r = lo; r < hi; ++r) {
+    uint64_t row = r;
+    uint64_t steps = 0;
+    while (!sampled_.Get(row)) {
+      uint32_t c = bwt_.Access(row);
+      row = LfStep(c, row);
+      ++steps;
+    }
+    const Sample& s = samples_[sampled_.Rank1(row)];
+    out.push_back({s.doc, s.offset + steps});
+  }
+  return out;
+}
+
+uint64_t DynamicFmIndex::SpaceBytes() const {
+  return bwt_.SpaceBytes() + counts_.SpaceBytes() + sampled_.SpaceBytes() +
+         samples_.capacity() * sizeof(Sample) + docs_.size() * 32 +
+         free_seps_.capacity() * sizeof(uint32_t);
+}
+
+}  // namespace dyndex

@@ -1,0 +1,104 @@
+// Baseline: dynamic FM-index over a dynamic wavelet tree.
+//
+// This is the approach of Chan-Hon-Lam-Sadakane [10,9] / Makinen-Navarro
+// [30,31] / Navarro-Nekrich [35] that the paper's framework is designed to
+// beat: the BWT of the whole collection is maintained in a *dynamic* sequence,
+// so every backward-search step, locate step and update step pays a dynamic
+// rank/select (Theta(log n) here; Theta(log n / log log n) at the
+// Fredman-Saks optimum) — the bottleneck the paper circumvents.
+//
+// Documents carry distinct separator symbols (drawn from a reusable pool of
+// `max_docs` values below the text alphabet), which makes suffix order total
+// and keeps the insertion/deletion walks exact:
+//   Insert: |T|+1 dynamic-WT insertions, O(|T| log sigma log n)
+//   Erase : |T|+1 LF-steps + deletions, same cost
+//   Count : O(|P| log sigma log n)
+//   Locate: O(s log sigma log n) per occurrence (sampled companion array)
+#ifndef DYNDEX_BASELINE_DYNAMIC_FM_INDEX_H_
+#define DYNDEX_BASELINE_DYNAMIC_FM_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/occurrence.h"
+#include "dynbits/dynamic_bit_vector.h"
+#include "seq/dynamic_wavelet_tree.h"
+#include "text/concat_text.h"
+#include "util/fenwick.h"
+
+namespace dyndex {
+
+/// Fully-dynamic compressed collection index built on dynamic rank/select.
+class DynamicFmIndex {
+ public:
+  struct Options {
+    /// Maximum number of simultaneously stored documents (separator pool).
+    uint32_t max_docs = 4096;
+    /// Exclusive upper bound on user symbol values (>= kMinSymbol).
+    uint32_t max_symbol = 258;
+    /// SA sample rate for locate.
+    uint32_t sample_rate = 32;
+  };
+
+  DynamicFmIndex() : DynamicFmIndex(Options()) {}
+  explicit DynamicFmIndex(const Options& opt);
+
+  /// Inserts a document, returns its stable handle.
+  DocId Insert(const std::vector<Symbol>& symbols);
+
+  /// Removes a document. Returns false for unknown handles.
+  bool Erase(DocId id);
+
+  /// Number of occurrences of `pattern` across all documents.
+  uint64_t Count(const std::vector<Symbol>& pattern) const;
+
+  /// All occurrences (doc, offset).
+  std::vector<Occurrence> Find(const std::vector<Symbol>& pattern) const;
+
+  bool Contains(DocId id) const { return docs_.find(id) != docs_.end(); }
+  uint64_t num_docs() const { return docs_.size(); }
+  /// Total stored symbols (including one separator per document).
+  uint64_t size() const { return bwt_.size(); }
+  uint64_t live_symbols() const { return live_symbols_; }
+
+  uint64_t SpaceBytes() const;
+
+ private:
+  struct DocInfo {
+    uint32_t sep = 0;
+    uint64_t len = 0;
+  };
+  struct Sample {
+    DocId doc = kInvalidDocId;
+    uint64_t offset = 0;
+  };
+
+  Options opt_;
+  DynamicWaveletTree bwt_;
+  Fenwick counts_;  // symbol counts -> dynamic C array
+  DynamicBitVector sampled_;
+  std::vector<Sample> samples_;  // aligned with 1-bits of sampled_
+  std::unordered_map<DocId, DocInfo> docs_;
+  std::vector<uint32_t> free_seps_;
+  DocId next_id_ = 0;
+  uint64_t live_symbols_ = 0;
+
+  uint32_t Internal(Symbol s) const { return s - kMinSymbol + opt_.max_docs; }
+
+  /// C(c) + rank_c(row) on the current structure.
+  uint64_t LfStep(uint32_t c, uint64_t row) const {
+    return static_cast<uint64_t>(counts_.PrefixSum(c)) + bwt_.Rank(c, row);
+  }
+
+  void InsertRow(uint64_t row, uint32_t bwt_sym, DocId doc, uint64_t offset);
+  void EraseRow(uint64_t row, uint32_t bwt_sym);
+
+  /// Backward search; returns {lo, hi} or {0,0} when empty.
+  bool BackwardSearch(const std::vector<Symbol>& pattern, uint64_t* lo,
+                      uint64_t* hi) const;
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_BASELINE_DYNAMIC_FM_INDEX_H_

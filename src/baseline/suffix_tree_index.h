@@ -1,0 +1,58 @@
+// Baseline: the O(n log n)-bit uncompressed dynamic index (the classic
+// suffix-tree solution sketched in the paper's introduction and used as the
+// constant-alphabet row [9] of Table 2). Fast queries and updates, but ~an
+// order of magnitude more space than the compressed structures.
+#ifndef DYNDEX_BASELINE_SUFFIX_TREE_INDEX_H_
+#define DYNDEX_BASELINE_SUFFIX_TREE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/occurrence.h"
+#include "gst/suffix_tree.h"
+#include "text/concat_text.h"
+
+namespace dyndex {
+
+/// Thin collection adapter over SuffixTreeCollection with the same update /
+/// query surface as the compressed dynamic collections.
+class SuffixTreeIndex {
+ public:
+  DocId Insert(std::vector<Symbol> symbols) {
+    DocId id = next_id_++;
+    tree_.Insert(id, std::move(symbols));
+    return id;
+  }
+
+  bool Erase(DocId id) { return tree_.Erase(id); }
+  bool Contains(DocId id) const { return tree_.Contains(id); }
+
+  std::vector<Occurrence> Find(const std::vector<Symbol>& pattern) const {
+    std::vector<Occurrence> out;
+    tree_.ForEachOccurrence(
+        pattern, [&](DocId d, uint64_t off) { out.push_back({d, off}); });
+    return out;
+  }
+
+  uint64_t Count(const std::vector<Symbol>& pattern) const {
+    return tree_.Count(pattern);
+  }
+
+  std::vector<Symbol> Extract(DocId id, uint64_t from, uint64_t len) const {
+    std::vector<Symbol> out;
+    tree_.Extract(id, from, len, &out);
+    return out;
+  }
+
+  uint64_t num_docs() const { return tree_.num_live_docs(); }
+  uint64_t live_symbols() const { return tree_.live_symbols(); }
+  uint64_t SpaceBytes() const { return tree_.SpaceBytes(); }
+
+ private:
+  SuffixTreeCollection tree_;
+  DocId next_id_ = 0;
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_BASELINE_SUFFIX_TREE_INDEX_H_

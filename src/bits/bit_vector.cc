@@ -1,0 +1,33 @@
+#include "bits/bit_vector.h"
+
+namespace dyndex {
+
+void BitVector::Reset(uint64_t size, bool fill) {
+  size_ = size;
+  words_.assign(CeilDiv(size, 64) + 1, fill ? ~0ull : 0ull);
+  if (fill) {
+    // Clear bits beyond `size` so CountOnes and word-level scans stay exact.
+    uint64_t last_bits = size & 63;
+    uint64_t full_words = size >> 6;
+    if (last_bits != 0) words_[full_words] = LowMask(static_cast<uint32_t>(last_bits));
+    for (uint64_t w = full_words + (last_bits ? 1 : 0); w < words_.size(); ++w) {
+      words_[w] = 0;
+    }
+  }
+}
+
+void BitVector::PushBack(bool value) {
+  if (CeilDiv(size_ + 1, 64) + 1 > words_.size()) {
+    words_.resize(words_.size() + words_.size() / 2 + 2, 0);
+  }
+  ++size_;
+  Set(size_ - 1, value);
+}
+
+uint64_t BitVector::CountOnes() const {
+  uint64_t total = 0;
+  for (uint64_t w : words_) total += Popcount(w);
+  return total;
+}
+
+}  // namespace dyndex

@@ -1,0 +1,63 @@
+// Plain uncompressed bit vector with word-level access. The raw storage layer
+// under RankSelect, the wavelet tree, and the Lemma-2 live-row reporter.
+#ifndef DYNDEX_BITS_BIT_VECTOR_H_
+#define DYNDEX_BITS_BIT_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace dyndex {
+
+/// Fixed-length mutable bit vector. Bits are numbered 0..size-1, LSB-first
+/// within each 64-bit word.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// Creates `size` bits, all equal to `fill`.
+  explicit BitVector(uint64_t size, bool fill = false) { Reset(size, fill); }
+
+  void Reset(uint64_t size, bool fill = false);
+
+  uint64_t size() const { return size_; }
+
+  bool Get(uint64_t i) const {
+    DYNDEX_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Set(uint64_t i, bool value) {
+    DYNDEX_DCHECK(i < size_);
+    uint64_t mask = 1ull << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  /// Appends a bit (amortized O(1)).
+  void PushBack(bool value);
+
+  /// Number of 64-bit words backing the vector.
+  uint64_t num_words() const { return words_.size(); }
+
+  uint64_t word(uint64_t w) const { return words_[w]; }
+  uint64_t& mutable_word(uint64_t w) { return words_[w]; }
+
+  /// Total number of 1-bits (O(n/64) scan).
+  uint64_t CountOnes() const;
+
+  uint64_t SpaceBytes() const { return words_.capacity() * sizeof(uint64_t); }
+
+ private:
+  std::vector<uint64_t> words_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_BITS_BIT_VECTOR_H_

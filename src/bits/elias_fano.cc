@@ -1,0 +1,70 @@
+#include "bits/elias_fano.h"
+
+#include "util/check.h"
+
+namespace dyndex {
+
+EliasFano::EliasFano(const std::vector<uint64_t>& values, uint64_t universe) {
+  size_ = values.size();
+  universe_ = universe;
+  if (size_ == 0) {
+    high_.Build(BitVector(1));
+    return;
+  }
+  // Choose low bits ~ log2(universe / m).
+  low_bits_ = universe > size_
+                  ? static_cast<uint32_t>(FloorLog2(universe / size_))
+                  : 0;
+  low_.Reset(size_, low_bits_);
+  BitVector high(size_ + (universe >> low_bits_) + 2);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < size_; ++i) {
+    uint64_t v = values[i];
+    DYNDEX_CHECK(v >= prev && v < universe);
+    prev = v;
+    if (low_bits_ > 0) low_.Set(i, v & LowMask(low_bits_));
+    high.Set((v >> low_bits_) + i, true);
+  }
+  high_.Build(std::move(high));
+}
+
+uint64_t EliasFano::Get(uint64_t i) const {
+  DYNDEX_DCHECK(i < size_);
+  uint64_t hi = high_.Select1(i) - i;
+  uint64_t lo = low_bits_ > 0 ? low_.Get(i) : 0;
+  return (hi << low_bits_) | lo;
+}
+
+uint64_t EliasFano::RankLess(uint64_t x) const {
+  if (size_ == 0) return 0;
+  uint64_t hx = x >> low_bits_;
+  // Values with high part < hx all precede; scan bucket hx.
+  uint64_t start;  // index of first value with high part >= hx
+  if (hx == 0) {
+    start = 0;
+  } else {
+    uint64_t max_h = high_.zeros();
+    if (hx > max_h) return size_;
+    // After the (hx-1)-th zero there have been Select0(hx-1)-(hx-1)+... ones.
+    uint64_t pos = high_.Select0(hx - 1);
+    start = pos - (hx - 1);  // number of ones before that zero
+  }
+  uint64_t i = start;
+  while (i < size_ && Get(i) < x && (Get(i) >> low_bits_) == hx) ++i;
+  // Values in bucket hx are consecutive; anything after bucket hx is >= x only
+  // if its high part > hx, which also means >= x when (x's low part covered).
+  if (i < size_ && Get(i) < x) {
+    // Can only happen if bucket hx ended and later buckets still hold values
+    // < x, which contradicts monotonicity; guard anyway.
+    while (i < size_ && Get(i) < x) ++i;
+  }
+  return i;
+}
+
+uint64_t EliasFano::PredecessorIndex(uint64_t x) const {
+  uint64_t r = RankLess(x + 1);
+  DYNDEX_CHECK(r > 0);
+  return r - 1;
+}
+
+}  // namespace dyndex

@@ -1,0 +1,48 @@
+// Elias-Fano encoding of a monotone sequence. Used for document-boundary maps
+// (global text position -> document) and other sparse monotone dictionaries.
+#ifndef DYNDEX_BITS_ELIAS_FANO_H_
+#define DYNDEX_BITS_ELIAS_FANO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/rank_select.h"
+#include "util/int_vector.h"
+
+namespace dyndex {
+
+/// Compressed store of a non-decreasing sequence v_0 <= v_1 <= ... < universe,
+/// in ~ m(2 + log(universe/m)) bits, with O(1) access and O(log)-ish
+/// predecessor search.
+class EliasFano {
+ public:
+  EliasFano() = default;
+
+  /// Builds from a non-decreasing vector of values < universe.
+  EliasFano(const std::vector<uint64_t>& values, uint64_t universe);
+
+  uint64_t size() const { return size_; }
+  uint64_t universe() const { return universe_; }
+
+  /// Returns v_i.
+  uint64_t Get(uint64_t i) const;
+
+  /// Number of stored values strictly less than x.
+  uint64_t RankLess(uint64_t x) const;
+
+  /// Index of the largest value <= x. Requires at least one value <= x.
+  uint64_t PredecessorIndex(uint64_t x) const;
+
+  uint64_t SpaceBytes() const { return high_.SpaceBytes() + low_.SpaceBytes(); }
+
+ private:
+  RankSelect high_;  // unary-coded high parts: value i at Select1(i) - i
+  IntVector low_;
+  uint64_t size_ = 0;
+  uint64_t universe_ = 0;
+  uint32_t low_bits_ = 0;
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_BITS_ELIAS_FANO_H_

@@ -1,0 +1,102 @@
+#include "bits/live_row_reporter.h"
+
+#include "util/check.h"
+
+namespace dyndex {
+
+namespace {
+
+uint64_t CountLiveGeneric(uint64_t s, uint64_t e, uint64_t size,
+                          const Fenwick& fenwick,
+                          uint64_t (*dead_prefix)(const void*, uint64_t, uint32_t),
+                          const void* self) {
+  DYNDEX_CHECK(s <= e && e <= size);
+  if (s == e) return 0;
+  // dead(0, x) = fenwick over full blocks + in-block word scan.
+  auto dead_before = [&](uint64_t x) -> uint64_t {
+    uint64_t block = x / kLiveCountBlock;
+    uint64_t d = static_cast<uint64_t>(fenwick.PrefixSum(block));
+    uint64_t bit = block * kLiveCountBlock;
+    for (uint64_t w = bit >> 6; w * 64 < x; ++w) {
+      uint64_t remaining = x - w * 64;
+      uint32_t bits = remaining >= 64 ? 64 : static_cast<uint32_t>(remaining);
+      d += dead_prefix(self, w, bits);
+    }
+    return d;
+  };
+  uint64_t dead = dead_before(e) - dead_before(s);
+  return (e - s) - dead;
+}
+
+}  // namespace
+
+void LiveBitsPlain::Reset(uint64_t n, bool with_counting) {
+  size_ = n;
+  dead_ = 0;
+  counting_ = with_counting;
+  bits_.Reset(n, /*fill=*/true);
+  uint64_t nwords = CeilDiv(n == 0 ? 1 : n, 64);
+  nonempty_.Reset(nwords);
+  for (uint64_t w = 0; w < nwords; ++w) {
+    if (bits_.word(w) != 0) nonempty_.Mark(w);
+  }
+  if (with_counting) {
+    dead_fenwick_.Reset(CeilDiv(n == 0 ? 1 : n, kLiveCountBlock));
+  } else {
+    dead_fenwick_.Reset(0);
+  }
+}
+
+void LiveBitsPlain::Kill(uint64_t i) {
+  DYNDEX_CHECK(i < size_);
+  if (!bits_.Get(i)) return;
+  bits_.Set(i, false);
+  ++dead_;
+  uint64_t w = i >> 6;
+  if (bits_.word(w) == 0) nonempty_.Unmark(w);
+  if (counting_) dead_fenwick_.Add(i / kLiveCountBlock, 1);
+}
+
+uint64_t LiveBitsPlain::CountLive(uint64_t s, uint64_t e) const {
+  DYNDEX_CHECK(counting_);
+  return CountLiveGeneric(
+      s, e, size_, dead_fenwick_,
+      [](const void* self, uint64_t word, uint32_t bits) {
+        return static_cast<const LiveBitsPlain*>(self)->DeadInWordPrefix(word, bits);
+      },
+      this);
+}
+
+void LiveBitsSparse::Reset(uint64_t n, bool with_counting) {
+  size_ = n;
+  dead_ = 0;
+  counting_ = with_counting;
+  dead_words_.clear();
+  if (with_counting) {
+    dead_fenwick_.Reset(CeilDiv(n == 0 ? 1 : n, kLiveCountBlock));
+  } else {
+    dead_fenwick_.Reset(0);
+  }
+}
+
+void LiveBitsSparse::Kill(uint64_t i) {
+  DYNDEX_CHECK(i < size_);
+  uint64_t& mask = dead_words_[i >> 6];
+  uint64_t bit = 1ull << (i & 63);
+  if (mask & bit) return;
+  mask |= bit;
+  ++dead_;
+  if (counting_) dead_fenwick_.Add(i / kLiveCountBlock, 1);
+}
+
+uint64_t LiveBitsSparse::CountLive(uint64_t s, uint64_t e) const {
+  DYNDEX_CHECK(counting_);
+  return CountLiveGeneric(
+      s, e, size_, dead_fenwick_,
+      [](const void* self, uint64_t word, uint32_t bits) {
+        return static_cast<const LiveBitsSparse*>(self)->DeadInWordPrefix(word, bits);
+      },
+      this);
+}
+
+}  // namespace dyndex

@@ -1,0 +1,182 @@
+// Live-row reporters: the data structure V of the paper (Lemmas 2 and 3).
+//
+// A bit vector B of length n starts as all ones ("all suffix-array rows
+// live"). Rows die one at a time (zero(i)); queries enumerate all live rows in
+// a range in O(1) per reported row. Two layouts are provided:
+//
+//  * LiveBitsPlain  -- Lemma 2: stores B itself (n bits) plus a MarkTree over
+//    non-empty words (the substitute for the dynamic range-reporting structure
+//    of [33]).
+//  * LiveBitsSparse -- Lemma 3: stores only the dead positions, grouped per
+//    64-bit word in a hash map, so space is proportional to the number of dead
+//    rows (O((n/tau) log tau) bits in the paper's accounting) instead of n.
+//
+// Both layouts optionally carry a Fenwick tree over per-block dead counts,
+// which implements the counting augmentation of Theorem 1 (the substitute for
+// the dynamic rank structures of [37]/[20]): CountLive(s, e) in O(log n).
+#ifndef DYNDEX_BITS_LIVE_ROW_REPORTER_H_
+#define DYNDEX_BITS_LIVE_ROW_REPORTER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bits/bit_vector.h"
+#include "bits/mark_tree.h"
+#include "util/fenwick.h"
+
+namespace dyndex {
+
+/// Block size (in bits) of the counting Fenwick tree.
+inline constexpr uint64_t kLiveCountBlock = 512;
+
+/// Lemma 2 layout: n bits + mark tree over non-empty words.
+class LiveBitsPlain {
+ public:
+  LiveBitsPlain() = default;
+  explicit LiveBitsPlain(uint64_t n, bool with_counting = false) {
+    Reset(n, with_counting);
+  }
+
+  /// All rows live again.
+  void Reset(uint64_t n, bool with_counting = false);
+
+  uint64_t size() const { return size_; }
+  uint64_t dead_count() const { return dead_; }
+
+  /// Marks row i dead. No-op if already dead.
+  void Kill(uint64_t i);
+
+  bool IsLive(uint64_t i) const {
+    DYNDEX_DCHECK(i < size_);
+    return bits_.Get(i);
+  }
+
+  /// Calls fn(row) for each live row in [s, e), increasing order.
+  template <typename Fn>
+  void ForEachLive(uint64_t s, uint64_t e, Fn fn) const {
+    if (s >= e) return;
+    uint64_t w = s >> 6;
+    uint64_t last_word = (e - 1) >> 6;
+    while (w != MarkTree::kNone && w <= last_word) {
+      uint64_t word = bits_.word(w);
+      if (w == s >> 6) word &= ~LowMask(static_cast<uint32_t>(s & 63));
+      if (w == last_word && (e & 63) != 0) {
+        word &= LowMask(static_cast<uint32_t>(e & 63));
+      }
+      while (word != 0) {
+        uint32_t b = Ctz(word);
+        fn(w * 64 + b);
+        word &= word - 1;
+      }
+      w = nonempty_.NextMarked(w + 1);
+    }
+  }
+
+  void ReportLive(uint64_t s, uint64_t e, std::vector<uint64_t>* out) const {
+    ForEachLive(s, e, [out](uint64_t r) { out->push_back(r); });
+  }
+
+  /// Number of live rows in [s, e). Requires counting enabled.
+  uint64_t CountLive(uint64_t s, uint64_t e) const;
+
+  bool counting_enabled() const { return counting_; }
+
+  uint64_t SpaceBytes() const {
+    return bits_.SpaceBytes() + nonempty_.SpaceBytes() + dead_fenwick_.SpaceBytes();
+  }
+
+ private:
+  BitVector bits_;
+  MarkTree nonempty_;  // over word indices
+  Fenwick dead_fenwick_;
+  uint64_t size_ = 0;
+  uint64_t dead_ = 0;
+  bool counting_ = false;
+
+  uint64_t DeadInWordPrefix(uint64_t word, uint32_t bits) const {
+    if (bits == 0) return 0;
+    uint64_t w = ~bits_.word(word) & LowMask(bits);
+    // Mask out positions beyond size_.
+    uint64_t base = word * 64;
+    if (base + bits > size_) {
+      uint32_t valid = static_cast<uint32_t>(size_ > base ? size_ - base : 0);
+      w &= LowMask(valid);
+    }
+    return Popcount(w);
+  }
+};
+
+/// Lemma 3 layout: space proportional to dead rows.
+class LiveBitsSparse {
+ public:
+  LiveBitsSparse() = default;
+  explicit LiveBitsSparse(uint64_t n, bool with_counting = false) {
+    Reset(n, with_counting);
+  }
+
+  void Reset(uint64_t n, bool with_counting = false);
+
+  uint64_t size() const { return size_; }
+  uint64_t dead_count() const { return dead_; }
+
+  void Kill(uint64_t i);
+
+  bool IsLive(uint64_t i) const {
+    DYNDEX_DCHECK(i < size_);
+    auto it = dead_words_.find(i >> 6);
+    if (it == dead_words_.end()) return true;
+    return ((it->second >> (i & 63)) & 1) == 0;
+  }
+
+  template <typename Fn>
+  void ForEachLive(uint64_t s, uint64_t e, Fn fn) const {
+    if (s >= e) return;
+    for (uint64_t w = s >> 6, last = (e - 1) >> 6; w <= last; ++w) {
+      uint64_t word = ~0ull;
+      auto it = dead_words_.find(w);
+      if (it != dead_words_.end()) word = ~it->second;
+      if (w == s >> 6) word &= ~LowMask(static_cast<uint32_t>(s & 63));
+      uint64_t base = w * 64;
+      uint64_t limit = e < base + 64 ? e : base + 64;
+      if (limit < base + 64) word &= LowMask(static_cast<uint32_t>(limit - base));
+      while (word != 0) {
+        uint32_t b = Ctz(word);
+        fn(base + b);
+        word &= word - 1;
+      }
+    }
+  }
+
+  void ReportLive(uint64_t s, uint64_t e, std::vector<uint64_t>* out) const {
+    ForEachLive(s, e, [out](uint64_t r) { out->push_back(r); });
+  }
+
+  uint64_t CountLive(uint64_t s, uint64_t e) const;
+
+  bool counting_enabled() const { return counting_; }
+
+  uint64_t SpaceBytes() const {
+    // ~48 bytes per occupied hash bucket is a fair estimate for the node-based
+    // unordered_map; report bucket storage + Fenwick.
+    return dead_words_.size() * 48 + dead_fenwick_.SpaceBytes();
+  }
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> dead_words_;  // word index -> dead mask
+  Fenwick dead_fenwick_;
+  uint64_t size_ = 0;
+  uint64_t dead_ = 0;
+  bool counting_ = false;
+
+  uint64_t DeadInWordPrefix(uint64_t word, uint32_t bits) const {
+    if (bits == 0) return 0;
+    auto it = dead_words_.find(word);
+    if (it == dead_words_.end()) return 0;
+    return Popcount(it->second & LowMask(bits));
+  }
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_BITS_LIVE_ROW_REPORTER_H_

@@ -1,0 +1,85 @@
+#include "bits/mark_tree.h"
+
+#include "util/check.h"
+
+namespace dyndex {
+
+void MarkTree::Reset(uint64_t universe) {
+  universe_ = universe;
+  levels_.clear();
+  uint64_t n = universe == 0 ? 1 : universe;
+  while (true) {
+    uint64_t words = CeilDiv(n, 64);
+    levels_.emplace_back(words, 0);
+    if (words == 1) break;
+    n = words;
+  }
+}
+
+void MarkTree::Mark(uint64_t i) {
+  DYNDEX_DCHECK(i < universe_);
+  for (auto& level : levels_) {
+    uint64_t word = i >> 6;
+    uint64_t mask = 1ull << (i & 63);
+    bool was_empty = level[word] == 0;
+    level[word] |= mask;
+    if (!was_empty) break;  // upper levels already record this word
+    i = word;
+  }
+}
+
+void MarkTree::Unmark(uint64_t i) {
+  DYNDEX_DCHECK(i < universe_);
+  for (auto& level : levels_) {
+    uint64_t word = i >> 6;
+    uint64_t mask = 1ull << (i & 63);
+    level[word] &= ~mask;
+    if (level[word] != 0) break;  // word still non-empty: stop propagating
+    i = word;
+  }
+}
+
+bool MarkTree::IsMarked(uint64_t i) const {
+  DYNDEX_DCHECK(i < universe_);
+  return (levels_[0][i >> 6] >> (i & 63)) & 1;
+}
+
+uint64_t MarkTree::NextMarked(uint64_t i) const {
+  if (i >= universe_) return kNone;
+  // Ascend until a level has a set bit at or after the current position
+  // within the current word; then descend to the exact position.
+  size_t lvl = 0;
+  uint64_t pos = i;
+  while (true) {
+    const auto& level = levels_[lvl];
+    uint64_t word = pos >> 6;
+    uint32_t bit = static_cast<uint32_t>(pos & 63);
+    uint64_t w = word < level.size() ? level[word] & ~LowMask(bit) : 0;
+    if (w != 0) {
+      pos = word * 64 + Ctz(w);
+      // Descend back to level 0.
+      while (lvl > 0) {
+        --lvl;
+        uint64_t child = levels_[lvl][pos];
+        DYNDEX_DCHECK(child != 0);
+        pos = pos * 64 + Ctz(child);
+      }
+      return pos < universe_ ? pos : kNone;
+    }
+    // Move up one level, to the next word.
+    if (lvl + 1 >= levels_.size()) return kNone;
+    pos = word + 1;
+    ++lvl;
+    if (pos >= levels_[lvl].size() * 64) return kNone;
+    // At the upper level we must start at bit `word+1`, i.e. skip the word we
+    // just exhausted.
+  }
+}
+
+uint64_t MarkTree::SpaceBytes() const {
+  uint64_t total = 0;
+  for (const auto& level : levels_) total += level.capacity() * sizeof(uint64_t);
+  return total;
+}
+
+}  // namespace dyndex

@@ -1,0 +1,59 @@
+// Hierarchical 64-ary bitmap ("van Emde Boas lite") over a fixed universe.
+//
+// This is the engineering substitute for the Mortensen-Pagh-Patrascu dynamic
+// one-dimensional range-reporting structure [33] used by Lemma 2 of the paper:
+// it maintains a set of marked positions under Mark/Unmark and enumerates all
+// marked positions in a range in O(1) amortized per reported item with an
+// O(log_64 u) additive term (<= 4 levels for u <= 2^24 words, 6 for 2^36).
+#ifndef DYNDEX_BITS_MARK_TREE_H_
+#define DYNDEX_BITS_MARK_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.h"
+
+namespace dyndex {
+
+/// Dynamic set over [0, universe) with successor queries.
+class MarkTree {
+ public:
+  static constexpr uint64_t kNone = ~0ull;
+
+  MarkTree() = default;
+  explicit MarkTree(uint64_t universe) { Reset(universe); }
+
+  /// Re-initializes for universe size `universe`, all positions unmarked.
+  void Reset(uint64_t universe);
+
+  uint64_t universe() const { return universe_; }
+
+  void Mark(uint64_t i);
+  void Unmark(uint64_t i);
+  bool IsMarked(uint64_t i) const;
+
+  /// Smallest marked position >= i, or kNone.
+  uint64_t NextMarked(uint64_t i) const;
+
+  /// Calls fn(pos) for every marked position in [s, e), in increasing order.
+  template <typename Fn>
+  void ForEachMarked(uint64_t s, uint64_t e, Fn fn) const {
+    uint64_t p = NextMarked(s);
+    while (p != kNone && p < e) {
+      fn(p);
+      p = NextMarked(p + 1);
+    }
+  }
+
+  uint64_t SpaceBytes() const;
+
+ private:
+  // levels_[0] covers positions; levels_[k] has one bit per word of
+  // levels_[k-1], set iff that word is non-zero.
+  std::vector<std::vector<uint64_t>> levels_;
+  uint64_t universe_ = 0;
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_BITS_MARK_TREE_H_

@@ -1,0 +1,83 @@
+#include "bits/rank_select.h"
+
+namespace dyndex {
+
+void RankSelect::Build(BitVector bits) {
+  bits_ = std::move(bits);
+  uint64_t nwords = CeilDiv(bits_.size(), 64);
+  uint64_t nsuper = CeilDiv(nwords, 8) + 1;
+  counts_.assign(2 * nsuper, 0);
+  uint64_t running = 0;
+  for (uint64_t sb = 0; sb < nsuper; ++sb) {
+    counts_[2 * sb] = running;
+    uint64_t packed = 0;
+    uint32_t in_sb = 0;
+    for (uint32_t w = 0; w < 8; ++w) {
+      uint64_t word_idx = sb * 8 + w;
+      if (w > 0) packed |= static_cast<uint64_t>(in_sb) << (9 * (w - 1));
+      if (word_idx < nwords) in_sb += Popcount(bits_.word(word_idx));
+    }
+    counts_[2 * sb + 1] = packed;
+    running += in_sb;
+  }
+  ones_ = running;
+}
+
+uint64_t RankSelect::Rank1(uint64_t i) const {
+  DYNDEX_DCHECK(i <= bits_.size());
+  if (i == 0) return 0;
+  uint64_t word = i >> 6;
+  uint64_t sb = word >> 3;
+  uint32_t w_in_sb = static_cast<uint32_t>(word & 7);
+  uint64_t r = SuperRank(sb) + InSuper(sb, w_in_sb);
+  uint32_t bit = static_cast<uint32_t>(i & 63);
+  if (bit != 0) r += Popcount(bits_.word(word) & LowMask(bit));
+  return r;
+}
+
+uint64_t RankSelect::Select1(uint64_t k) const {
+  DYNDEX_DCHECK(k < ones_);
+  // Binary search over superblocks on absolute rank.
+  uint64_t nsuper = counts_.size() / 2;
+  uint64_t lo = 0, hi = nsuper - 1;
+  while (lo < hi) {
+    uint64_t mid = (lo + hi + 1) / 2;
+    if (SuperRank(mid) <= k) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  uint64_t sb = lo;
+  uint64_t rem = k - SuperRank(sb);
+  // Find the word within the superblock using the packed counts.
+  uint32_t w = 0;
+  while (w + 1 < 8 && InSuper(sb, w + 1) <= rem) ++w;
+  rem -= InSuper(sb, w);
+  uint64_t word_idx = sb * 8 + w;
+  return word_idx * 64 + SelectInWord(bits_.word(word_idx), static_cast<uint32_t>(rem));
+}
+
+uint64_t RankSelect::Select0(uint64_t k) const {
+  DYNDEX_DCHECK(k < zeros());
+  uint64_t nsuper = counts_.size() / 2;
+  uint64_t lo = 0, hi = nsuper - 1;
+  // Zeros before superblock sb = 512*sb - SuperRank(sb).
+  while (lo < hi) {
+    uint64_t mid = (lo + hi + 1) / 2;
+    if (512 * mid - SuperRank(mid) <= k) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  uint64_t sb = lo;
+  uint64_t rem = k - (512 * sb - SuperRank(sb));
+  uint32_t w = 0;
+  while (w + 1 < 8 && 64u * (w + 1) - InSuper(sb, w + 1) <= rem) ++w;
+  rem -= 64u * w - InSuper(sb, w);
+  uint64_t word_idx = sb * 8 + w;
+  return word_idx * 64 + SelectInWord(~bits_.word(word_idx), static_cast<uint32_t>(rem));
+}
+
+}  // namespace dyndex

@@ -1,0 +1,67 @@
+// rank9-style constant-time rank and logarithmic select over an immutable
+// BitVector. 25% space overhead over the raw bits.
+#ifndef DYNDEX_BITS_RANK_SELECT_H_
+#define DYNDEX_BITS_RANK_SELECT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bits/bit_vector.h"
+
+namespace dyndex {
+
+/// Rank/select directory over a bit vector it owns.
+///
+/// Layout (rank9): for every superblock of 8 words (512 bits) we store the
+/// absolute rank before the superblock plus seven 9-bit cumulative in-block
+/// counts packed into a second 64-bit word.
+class RankSelect {
+ public:
+  RankSelect() = default;
+
+  /// Takes ownership of `bits` and builds the directory in O(n/64).
+  explicit RankSelect(BitVector bits) { Build(std::move(bits)); }
+
+  void Build(BitVector bits);
+
+  uint64_t size() const { return bits_.size(); }
+  uint64_t ones() const { return ones_; }
+  uint64_t zeros() const { return bits_.size() - ones_; }
+  bool Get(uint64_t i) const { return bits_.Get(i); }
+  const BitVector& bits() const { return bits_; }
+
+  /// Number of 1-bits in [0, i). O(1).
+  uint64_t Rank1(uint64_t i) const;
+
+  /// Number of 0-bits in [0, i). O(1).
+  uint64_t Rank0(uint64_t i) const { return i - Rank1(i); }
+
+  /// Position of the k-th (0-based) 1-bit. Requires k < ones(). O(log n).
+  uint64_t Select1(uint64_t k) const;
+
+  /// Position of the k-th (0-based) 0-bit. Requires k < zeros(). O(log n).
+  uint64_t Select0(uint64_t k) const;
+
+  uint64_t SpaceBytes() const {
+    return bits_.SpaceBytes() + counts_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  BitVector bits_;
+  // counts_[2*sb] = absolute rank before superblock sb;
+  // counts_[2*sb+1] = seven packed 9-bit cumulative counts for words 1..7.
+  std::vector<uint64_t> counts_;
+  uint64_t ones_ = 0;
+
+  uint64_t SuperRank(uint64_t sb) const { return counts_[2 * sb]; }
+  uint32_t InSuper(uint64_t sb, uint32_t word_in_sb) const {
+    if (word_in_sb == 0) return 0;
+    return static_cast<uint32_t>(
+        (counts_[2 * sb + 1] >> (9 * (word_in_sb - 1))) & 0x1FF);
+  }
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_BITS_RANK_SELECT_H_

@@ -1,0 +1,40 @@
+// Shared query-result types of the dynamic collection interfaces.
+#ifndef DYNDEX_CORE_OCCURRENCE_H_
+#define DYNDEX_CORE_OCCURRENCE_H_
+
+#include <cstdint>
+#include <tuple>
+
+#include "text/concat_text.h"
+
+namespace dyndex {
+
+/// One pattern occurrence: document handle + offset within that document.
+/// Per the paper, positions are relative to document starts, so updates to
+/// other documents never shift reported positions.
+struct Occurrence {
+  DocId doc = kInvalidDocId;
+  uint64_t offset = 0;
+
+  friend bool operator==(const Occurrence& a, const Occurrence& b) {
+    return a.doc == b.doc && a.offset == b.offset;
+  }
+  friend bool operator<(const Occurrence& a, const Occurrence& b) {
+    return std::tie(a.doc, a.offset) < std::tie(b.doc, b.offset);
+  }
+};
+
+/// Space accounting snapshot (bytes) for the dynamic collections.
+struct SpaceBreakdown {
+  uint64_t static_indexes = 0;  // compressed sub-collection indexes
+  uint64_t reporters = 0;       // live-row structures (B + V of the paper)
+  uint64_t uncompressed = 0;    // C0 suffix tree (+ temp raw docs)
+  uint64_t bookkeeping = 0;     // registry, doc tables
+  uint64_t total() const {
+    return static_indexes + reporters + uncompressed + bookkeeping;
+  }
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_CORE_OCCURRENCE_H_

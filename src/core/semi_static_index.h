@@ -1,0 +1,168 @@
+// Deletion-only ("semi-dynamic") wrapper around a static index: the first
+// half of Section 2 of the paper.
+//
+// A static index I_s is built over a document collection. Deleting a document
+// kills its suffix-array rows in a live-row reporter V (Lemma 3 layout);
+// queries enumerate live rows in O(1) per row. When a 1/tau fraction of the
+// symbols is dead the owner purges (rebuilds) the structure.
+//
+// The wrapper is generic over the static index type I, which must provide:
+//   static I Build(const ConcatText&, const I::Options&)
+//   NumRows, Find, Locate, Extract, ForEachDocRow, DocOfPos,
+//   doc_start, doc_len, num_docs, SpaceBytes.
+// Both FmIndex and PackedSaIndex satisfy this concept.
+#ifndef DYNDEX_CORE_SEMI_STATIC_INDEX_H_
+#define DYNDEX_CORE_SEMI_STATIC_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bits/live_row_reporter.h"
+#include "core/occurrence.h"
+#include "text/concat_text.h"
+#include "text/row_range.h"
+#include "util/check.h"
+
+namespace dyndex {
+
+template <typename I>
+class SemiStaticIndex {
+ public:
+  struct Options {
+    typename I::Options index;
+    /// Enables the Theorem-1 counting augmentation (Fenwick over dead rows).
+    bool counting = false;
+  };
+
+  /// Builds the static index over `docs` (all non-empty, distinct ids).
+  SemiStaticIndex(const std::vector<Document>& docs, const Options& opt)
+      : counting_(opt.counting) {
+    ConcatText text(docs);
+    index_ = I::Build(text, opt.index);
+    live_.Reset(index_.NumRows(), counting_);
+    ids_.reserve(docs.size());
+    for (const Document& d : docs) {
+      local_of_[d.id] = static_cast<uint32_t>(ids_.size());
+      ids_.push_back(d.id);
+      live_symbols_ += d.symbols.size();
+    }
+    doc_dead_.assign(docs.size(), false);
+  }
+
+  uint64_t live_symbols() const { return live_symbols_; }
+  uint64_t dead_symbols() const { return dead_symbols_; }
+  uint64_t total_symbols() const { return live_symbols_ + dead_symbols_; }
+  uint32_t num_live_docs() const {
+    return static_cast<uint32_t>(local_of_.size());
+  }
+  bool counting_enabled() const { return counting_; }
+
+  bool ContainsLive(DocId id) const {
+    return local_of_.find(id) != local_of_.end();
+  }
+
+  /// True once the dead fraction reaches 1/tau (the paper's purge trigger).
+  bool NeedsPurge(uint32_t tau) const {
+    return dead_symbols_ * tau >= total_symbols() && dead_symbols_ > 0;
+  }
+
+  /// Lazy deletion: kills the doc's suffix rows via an LF/ISA walk
+  /// (the paper's tSA-per-symbol step). Returns false if id is not live here.
+  bool EraseDoc(DocId id) {
+    auto it = local_of_.find(id);
+    if (it == local_of_.end()) return false;
+    uint32_t local = it->second;
+    index_.ForEachDocRow(local, [&](uint64_t row) { live_.Kill(row); });
+    doc_dead_[local] = true;
+    uint64_t len = index_.doc_len(local);
+    live_symbols_ -= len;
+    dead_symbols_ += len;
+    local_of_.erase(it);
+    return true;
+  }
+
+  /// fn(DocId, offset) for every live occurrence of the pattern.
+  template <typename Fn>
+  void ForEachOccurrence(const std::vector<Symbol>& pattern, Fn fn) const {
+    DYNDEX_CHECK(!pattern.empty());
+    RowRange r = index_.Find(pattern);
+    live_.ForEachLive(r.begin, r.end, [&](uint64_t row) {
+      uint64_t pos = index_.Locate(row);
+      uint32_t local = index_.DocOfPos(pos);
+      DYNDEX_DCHECK(!doc_dead_[local]);
+      fn(ids_[local], pos - index_.doc_start(local));
+    });
+  }
+
+  /// Number of live occurrences. With counting enabled this is
+  /// O(trange + log n) (Theorem 1); otherwise it enumerates.
+  uint64_t Count(const std::vector<Symbol>& pattern) const {
+    DYNDEX_CHECK(!pattern.empty());
+    RowRange r = index_.Find(pattern);
+    if (r.empty()) return 0;
+    if (counting_) return live_.CountLive(r.begin, r.end);
+    uint64_t c = 0;
+    live_.ForEachLive(r.begin, r.end, [&](uint64_t) { ++c; });
+    return c;
+  }
+
+  /// Appends doc[from, from+len) to out. Requires the doc to be live here.
+  void Extract(DocId id, uint64_t from, uint64_t len,
+               std::vector<Symbol>* out) const {
+    auto it = local_of_.find(id);
+    DYNDEX_CHECK(it != local_of_.end());
+    uint32_t local = it->second;
+    DYNDEX_CHECK(from + len <= index_.doc_len(local));
+    index_.Extract(index_.doc_start(local) + from, len, out);
+  }
+
+  uint64_t DocLenOf(DocId id) const {
+    auto it = local_of_.find(id);
+    DYNDEX_CHECK(it != local_of_.end());
+    return index_.doc_len(it->second);
+  }
+
+  /// Reconstructs all live documents (via Extract) and appends them to out.
+  void ExportLiveDocs(std::vector<Document>* out) const {
+    for (uint32_t local = 0; local < ids_.size(); ++local) {
+      if (doc_dead_[local]) continue;
+      Document d;
+      d.id = ids_[local];
+      index_.Extract(index_.doc_start(local), index_.doc_len(local),
+                     &d.symbols);
+      out->push_back(std::move(d));
+    }
+  }
+
+  /// Ids of all live documents.
+  void AppendLiveIds(std::vector<DocId>* out) const {
+    for (uint32_t local = 0; local < ids_.size(); ++local) {
+      if (!doc_dead_[local]) out->push_back(ids_[local]);
+    }
+  }
+
+  const I& index() const { return index_; }
+
+  uint64_t IndexSpaceBytes() const { return index_.SpaceBytes(); }
+  uint64_t ReporterSpaceBytes() const { return live_.SpaceBytes(); }
+  uint64_t BookkeepingSpaceBytes() const {
+    return ids_.capacity() * sizeof(DocId) + local_of_.size() * 24 +
+           doc_dead_.capacity() / 8;
+  }
+
+ private:
+  I index_;
+  LiveBitsSparse live_;
+  std::vector<DocId> ids_;
+  std::vector<bool> doc_dead_;
+  std::unordered_map<DocId, uint32_t> local_of_;
+  uint64_t live_symbols_ = 0;
+  uint64_t dead_symbols_ = 0;
+  bool counting_ = false;
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_CORE_SEMI_STATIC_INDEX_H_

@@ -1,0 +1,325 @@
+#include "dynbits/dynamic_bit_vector.h"
+
+namespace dyndex {
+
+DynamicBitVector::~DynamicBitVector() {
+  // Iterative teardown to avoid deep recursive destructor chains.
+  std::vector<std::unique_ptr<Node>> stack;
+  if (root_) stack.push_back(std::move(root_));
+  while (!stack.empty()) {
+    std::unique_ptr<Node> n = std::move(stack.back());
+    stack.pop_back();
+    if (n->left) stack.push_back(std::move(n->left));
+    if (n->right) stack.push_back(std::move(n->right));
+  }
+}
+
+DynamicBitVector::DynamicBitVector(DynamicBitVector&& other) noexcept
+    : root_(std::move(other.root_)) {}
+
+DynamicBitVector& DynamicBitVector::operator=(DynamicBitVector&& other) noexcept {
+  root_ = std::move(other.root_);
+  return *this;
+}
+
+void DynamicBitVector::Update(Node* n) {
+  if (n->is_leaf()) return;
+  n->size = n->left->size + n->right->size;
+  n->ones = n->left->ones + n->right->ones;
+  n->height = 1 + (n->left->height > n->right->height ? n->left->height
+                                                      : n->right->height);
+}
+
+int DynamicBitVector::Balance(const Node* n) {
+  if (n->is_leaf()) return 0;
+  return n->left->height - n->right->height;
+}
+
+std::unique_ptr<DynamicBitVector::Node> DynamicBitVector::RotateLeft(
+    std::unique_ptr<Node> n) {
+  std::unique_ptr<Node> r = std::move(n->right);
+  n->right = std::move(r->left);
+  Update(n.get());
+  r->left = std::move(n);
+  Update(r.get());
+  return r;
+}
+
+std::unique_ptr<DynamicBitVector::Node> DynamicBitVector::RotateRight(
+    std::unique_ptr<Node> n) {
+  std::unique_ptr<Node> l = std::move(n->left);
+  n->left = std::move(l->right);
+  Update(n.get());
+  l->right = std::move(n);
+  Update(l.get());
+  return l;
+}
+
+std::unique_ptr<DynamicBitVector::Node> DynamicBitVector::Rebalance(
+    std::unique_ptr<Node> n) {
+  Update(n.get());
+  int b = Balance(n.get());
+  if (b > 1) {
+    if (Balance(n->left.get()) < 0) n->left = RotateLeft(std::move(n->left));
+    return RotateRight(std::move(n));
+  }
+  if (b < -1) {
+    if (Balance(n->right.get()) > 0) n->right = RotateRight(std::move(n->right));
+    return RotateLeft(std::move(n));
+  }
+  return n;
+}
+
+void DynamicBitVector::LeafInsert(Node* leaf, uint64_t i, bool bit) {
+  uint64_t n = leaf->size;
+  DYNDEX_DCHECK(i <= n);
+  if (CeilDiv(n + 1, 64) > leaf->words.size()) leaf->words.push_back(0);
+  // Shift everything at/after position i one bit towards the MSB end.
+  uint64_t w = i >> 6;
+  uint32_t off = static_cast<uint32_t>(i & 63);
+  uint64_t carry = (leaf->words[w] >> 63) & 1;
+  uint64_t low = leaf->words[w] & LowMask(off);
+  uint64_t high = leaf->words[w] & ~LowMask(off);
+  leaf->words[w] = low | (high << 1) | (static_cast<uint64_t>(bit) << off);
+  for (uint64_t k = w + 1; k <= (n >> 6) && k < leaf->words.size(); ++k) {
+    uint64_t next_carry = (leaf->words[k] >> 63) & 1;
+    leaf->words[k] = (leaf->words[k] << 1) | carry;
+    carry = next_carry;
+  }
+  ++leaf->size;
+  leaf->ones += bit ? 1 : 0;
+}
+
+void DynamicBitVector::LeafErase(Node* leaf, uint64_t i) {
+  uint64_t n = leaf->size;
+  DYNDEX_DCHECK(i < n);
+  uint64_t w = i >> 6;
+  uint32_t off = static_cast<uint32_t>(i & 63);
+  bool bit = (leaf->words[w] >> off) & 1;
+  uint64_t low = leaf->words[w] & LowMask(off);
+  uint64_t high = leaf->words[w] & ~LowMask(off + 1);
+  leaf->words[w] = low | (high >> 1);
+  uint64_t last_word = (n - 1) >> 6;
+  for (uint64_t k = w + 1; k <= last_word; ++k) {
+    // Move lowest bit of word k into the MSB of word k-1.
+    leaf->words[k - 1] |= (leaf->words[k] & 1) << 63;
+    leaf->words[k] >>= 1;
+  }
+  --leaf->size;
+  leaf->ones -= bit ? 1 : 0;
+  // Clear any bits beyond the new size in the last word.
+  if (leaf->size > 0) {
+    uint64_t lw = (leaf->size - 1) >> 6;
+    uint32_t bits_in_last = static_cast<uint32_t>(leaf->size - lw * 64);
+    if (bits_in_last < 64) leaf->words[lw] &= LowMask(bits_in_last);
+    for (uint64_t k = lw + 1; k < leaf->words.size(); ++k) leaf->words[k] = 0;
+  } else {
+    for (auto& word : leaf->words) word = 0;
+  }
+}
+
+std::unique_ptr<DynamicBitVector::Node> DynamicBitVector::SplitLeaf(
+    std::unique_ptr<Node> leaf) {
+  // Split a full leaf into an internal node with two half leaves.
+  uint64_t n = leaf->size;
+  uint64_t half = n / 2;
+  auto left = std::make_unique<Node>();
+  auto right = std::make_unique<Node>();
+  left->words.assign(leaf->words.begin(), leaf->words.begin() + (half + 63) / 64);
+  left->size = half;
+  // Right gets bits [half, n).
+  uint64_t rn = n - half;
+  right->words.assign(CeilDiv(rn, 64), 0);
+  for (uint64_t i = 0; i < rn; ++i) {
+    uint64_t src = half + i;
+    uint64_t b = (leaf->words[src >> 6] >> (src & 63)) & 1;
+    right->words[i >> 6] |= b << (i & 63);
+  }
+  right->size = rn;
+  // Clear left's tail bits beyond `half`.
+  if (half > 0) {
+    uint64_t lw = (half - 1) >> 6;
+    uint32_t bits_in_last = static_cast<uint32_t>(half - lw * 64);
+    if (bits_in_last < 64) left->words[lw] &= LowMask(bits_in_last);
+  }
+  uint64_t lones = 0;
+  for (uint64_t word : left->words) lones += Popcount(word);
+  left->ones = lones;
+  right->ones = leaf->ones - lones;
+  auto parent = std::make_unique<Node>();
+  parent->left = std::move(left);
+  parent->right = std::move(right);
+  Update(parent.get());
+  return parent;
+}
+
+std::unique_ptr<DynamicBitVector::Node> DynamicBitVector::InsertRec(
+    std::unique_ptr<Node> n, uint64_t i, bool bit) {
+  if (n == nullptr) {
+    auto leaf = std::make_unique<Node>();
+    leaf->words.assign(1, 0);
+    LeafInsert(leaf.get(), 0, bit);
+    return leaf;
+  }
+  if (n->is_leaf()) {
+    LeafInsert(n.get(), i, bit);
+    if (n->size > kMaxLeafBits) return SplitLeaf(std::move(n));
+    return n;
+  }
+  if (i <= n->left->size) {
+    n->left = InsertRec(std::move(n->left), i, bit);
+  } else {
+    n->right = InsertRec(std::move(n->right), i - n->left->size, bit);
+  }
+  return Rebalance(std::move(n));
+}
+
+std::unique_ptr<DynamicBitVector::Node> DynamicBitVector::EraseRec(
+    std::unique_ptr<Node> n, uint64_t i) {
+  if (n->is_leaf()) {
+    LeafErase(n.get(), i);
+    if (n->size == 0) return nullptr;
+    return n;
+  }
+  if (i < n->left->size) {
+    n->left = EraseRec(std::move(n->left), i);
+    if (n->left == nullptr) return std::move(n->right);
+  } else {
+    n->right = EraseRec(std::move(n->right), i - n->left->size);
+    if (n->right == nullptr) return std::move(n->left);
+  }
+  return Rebalance(std::move(n));
+}
+
+void DynamicBitVector::Insert(uint64_t i, bool bit) {
+  DYNDEX_CHECK(i <= size());
+  root_ = InsertRec(std::move(root_), i, bit);
+}
+
+void DynamicBitVector::Erase(uint64_t i) {
+  DYNDEX_CHECK(i < size());
+  root_ = EraseRec(std::move(root_), i);
+}
+
+bool DynamicBitVector::Get(uint64_t i) const {
+  DYNDEX_CHECK(i < size());
+  const Node* n = root_.get();
+  while (!n->is_leaf()) {
+    if (i < n->left->size) {
+      n = n->left.get();
+    } else {
+      i -= n->left->size;
+      n = n->right.get();
+    }
+  }
+  return (n->words[i >> 6] >> (i & 63)) & 1;
+}
+
+void DynamicBitVector::Set(uint64_t i, bool bit) {
+  DYNDEX_CHECK(i < size());
+  // Walk down, fixing `ones` along the way once we know the delta.
+  bool old = Get(i);
+  if (old == bit) return;
+  int64_t delta = bit ? 1 : -1;
+  Node* n = root_.get();
+  while (!n->is_leaf()) {
+    n->ones += delta;
+    if (i < n->left->size) {
+      n = n->left.get();
+    } else {
+      i -= n->left->size;
+      n = n->right.get();
+    }
+  }
+  uint64_t mask = 1ull << (i & 63);
+  if (bit) {
+    n->words[i >> 6] |= mask;
+  } else {
+    n->words[i >> 6] &= ~mask;
+  }
+  n->ones += delta;
+}
+
+uint64_t DynamicBitVector::Rank1(uint64_t i) const {
+  DYNDEX_CHECK(i <= size());
+  const Node* n = root_.get();
+  uint64_t r = 0;
+  if (n == nullptr) return 0;
+  while (!n->is_leaf()) {
+    if (i < n->left->size) {
+      n = n->left.get();
+    } else {
+      i -= n->left->size;
+      r += n->left->ones;
+      n = n->right.get();
+    }
+  }
+  uint64_t full = i >> 6;
+  for (uint64_t w = 0; w < full; ++w) r += Popcount(n->words[w]);
+  uint32_t bits = static_cast<uint32_t>(i & 63);
+  if (bits != 0) r += Popcount(n->words[full] & LowMask(bits));
+  return r;
+}
+
+uint64_t DynamicBitVector::Select1(uint64_t k) const {
+  DYNDEX_CHECK(k < ones());
+  const Node* n = root_.get();
+  uint64_t pos = 0;
+  while (!n->is_leaf()) {
+    if (k < n->left->ones) {
+      n = n->left.get();
+    } else {
+      k -= n->left->ones;
+      pos += n->left->size;
+      n = n->right.get();
+    }
+  }
+  for (uint64_t w = 0;; ++w) {
+    uint32_t c = Popcount(n->words[w]);
+    if (k < c) return pos + w * 64 + SelectInWord(n->words[w], static_cast<uint32_t>(k));
+    k -= c;
+  }
+}
+
+uint64_t DynamicBitVector::Select0(uint64_t k) const {
+  DYNDEX_CHECK(k < zeros());
+  const Node* n = root_.get();
+  uint64_t pos = 0;
+  while (!n->is_leaf()) {
+    uint64_t lzeros = n->left->size - n->left->ones;
+    if (k < lzeros) {
+      n = n->left.get();
+    } else {
+      k -= lzeros;
+      pos += n->left->size;
+      n = n->right.get();
+    }
+  }
+  for (uint64_t w = 0;; ++w) {
+    uint64_t inv = ~n->words[w];
+    // Mask out bits beyond the leaf size in the last word.
+    uint64_t remaining = n->size - w * 64;
+    if (remaining < 64) inv &= LowMask(static_cast<uint32_t>(remaining));
+    uint32_t c = Popcount(inv);
+    if (k < c) return pos + w * 64 + SelectInWord(inv, static_cast<uint32_t>(k));
+    k -= c;
+  }
+}
+
+uint64_t DynamicBitVector::SpaceBytes() const {
+  uint64_t total = 0;
+  std::vector<const Node*> stack;
+  if (root_) stack.push_back(root_.get());
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    total += sizeof(Node) + n->words.capacity() * sizeof(uint64_t);
+    if (!n->is_leaf()) {
+      stack.push_back(n->left.get());
+      stack.push_back(n->right.get());
+    }
+  }
+  return total;
+}
+
+}  // namespace dyndex

@@ -1,0 +1,94 @@
+// Dynamic bit vector: insert/delete/access/rank/select in O(log n).
+//
+// This is the substrate of the *baseline* structures ([30]/[35]-style dynamic
+// wavelet trees): every operation routes through a balanced tree, which is
+// exactly the Fredman-Saks-bounded bottleneck the paper's framework avoids.
+//
+// Implementation: an AVL tree whose leaves hold packed bit blocks of up to
+// kMaxLeafBits bits; internal nodes cache (subtree bits, subtree ones, height).
+#ifndef DYNDEX_DYNBITS_DYNAMIC_BIT_VECTOR_H_
+#define DYNDEX_DYNBITS_DYNAMIC_BIT_VECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace dyndex {
+
+/// Growable/shrinkable bit sequence with positional updates and rank/select.
+class DynamicBitVector {
+ public:
+  DynamicBitVector() = default;
+  ~DynamicBitVector();
+  DynamicBitVector(DynamicBitVector&&) noexcept;
+  DynamicBitVector& operator=(DynamicBitVector&&) noexcept;
+  DynamicBitVector(const DynamicBitVector&) = delete;
+  DynamicBitVector& operator=(const DynamicBitVector&) = delete;
+
+  uint64_t size() const { return root_ ? root_->size : 0; }
+  uint64_t ones() const { return root_ ? root_->ones : 0; }
+  uint64_t zeros() const { return size() - ones(); }
+
+  /// Inserts `bit` before position i (i == size() appends). O(log n).
+  void Insert(uint64_t i, bool bit);
+
+  /// Removes the bit at position i. O(log n).
+  void Erase(uint64_t i);
+
+  /// Appends a bit.
+  void PushBack(bool bit) { Insert(size(), bit); }
+
+  bool Get(uint64_t i) const;
+
+  /// Sets the bit at position i (no structural change). O(log n).
+  void Set(uint64_t i, bool bit);
+
+  /// Number of 1-bits in [0, i). O(log n).
+  uint64_t Rank1(uint64_t i) const;
+  uint64_t Rank0(uint64_t i) const { return i - Rank1(i); }
+
+  /// Position of the k-th (0-based) 1-bit. Requires k < ones(). O(log n).
+  uint64_t Select1(uint64_t k) const;
+
+  /// Position of the k-th (0-based) 0-bit. Requires k < zeros(). O(log n).
+  uint64_t Select0(uint64_t k) const;
+
+  uint64_t SpaceBytes() const;
+
+ private:
+  static constexpr uint32_t kMaxLeafWords = 12;  // 768 bits
+  static constexpr uint32_t kMaxLeafBits = kMaxLeafWords * 64;
+
+  struct Node {
+    // Internal iff left != nullptr (then right != nullptr too).
+    std::unique_ptr<Node> left, right;
+    uint64_t size = 0;   // bits in subtree (or leaf)
+    uint64_t ones = 0;   // ones in subtree (or leaf)
+    int32_t height = 0;  // leaf height 0
+    std::vector<uint64_t> words;  // leaf payload
+
+    bool is_leaf() const { return left == nullptr; }
+  };
+
+  std::unique_ptr<Node> root_;
+
+  static void Update(Node* n);
+  static int Balance(const Node* n);
+  static std::unique_ptr<Node> RotateLeft(std::unique_ptr<Node> n);
+  static std::unique_ptr<Node> RotateRight(std::unique_ptr<Node> n);
+  static std::unique_ptr<Node> Rebalance(std::unique_ptr<Node> n);
+  static std::unique_ptr<Node> InsertRec(std::unique_ptr<Node> n, uint64_t i,
+                                         bool bit);
+  static std::unique_ptr<Node> EraseRec(std::unique_ptr<Node> n, uint64_t i);
+
+  static void LeafInsert(Node* leaf, uint64_t i, bool bit);
+  static void LeafErase(Node* leaf, uint64_t i);
+  static std::unique_ptr<Node> SplitLeaf(std::unique_ptr<Node> leaf);
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_DYNBITS_DYNAMIC_BIT_VECTOR_H_

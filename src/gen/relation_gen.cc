@@ -1,0 +1,64 @@
+#include "gen/relation_gen.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace dyndex {
+
+namespace {
+
+uint32_t ZipfDraw(Rng& rng, const std::vector<double>& cdf) {
+  double x = rng.NextDouble() * cdf.back();
+  uint32_t lo = 0, hi = static_cast<uint32_t>(cdf.size()) - 1;
+  while (lo < hi) {
+    uint32_t mid = (lo + hi) / 2;
+    if (cdf[mid] < x) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<double> ZipfCdf(uint32_t n, double theta) {
+  std::vector<double> cdf(n);
+  double sum = 0.0;
+  for (uint32_t r = 0; r < n; ++r) {
+    sum += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    cdf[r] = sum;
+  }
+  return cdf;
+}
+
+}  // namespace
+
+std::vector<std::pair<uint32_t, uint32_t>> GenPairs(Rng& rng, uint64_t count,
+                                                    uint32_t num_objects,
+                                                    uint32_t num_labels,
+                                                    double zipf_theta) {
+  DYNDEX_CHECK(count <= static_cast<uint64_t>(num_objects) * num_labels);
+  std::vector<double> cdf;
+  if (zipf_theta > 0) cdf = ZipfCdf(num_labels, zipf_theta);
+  std::unordered_set<uint64_t> seen;
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    uint32_t o = static_cast<uint32_t>(rng.Below(num_objects));
+    uint32_t a = zipf_theta > 0 ? ZipfDraw(rng, cdf)
+                                : static_cast<uint32_t>(rng.Below(num_labels));
+    uint64_t key = (static_cast<uint64_t>(o) << 32) | a;
+    if (seen.insert(key).second) out.emplace_back(o, a);
+  }
+  return out;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> GenEdges(Rng& rng, uint64_t count,
+                                                    uint32_t num_nodes,
+                                                    double zipf_theta) {
+  return GenPairs(rng, count, num_nodes, num_nodes, zipf_theta);
+}
+
+}  // namespace dyndex

@@ -1,0 +1,28 @@
+// Relation and graph workload generators for the Theorem 2/3 benchmarks.
+#ifndef DYNDEX_GEN_RELATION_GEN_H_
+#define DYNDEX_GEN_RELATION_GEN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dyndex {
+
+/// `count` distinct (object, label) pairs, objects < num_objects, labels <
+/// num_labels; label popularity is Zipf-skewed when `zipf_theta` > 0.
+std::vector<std::pair<uint32_t, uint32_t>> GenPairs(Rng& rng, uint64_t count,
+                                                    uint32_t num_objects,
+                                                    uint32_t num_labels,
+                                                    double zipf_theta = 0.0);
+
+/// `count` distinct directed edges over `num_nodes` nodes; power-law
+/// in-degrees when `zipf_theta` > 0.
+std::vector<std::pair<uint32_t, uint32_t>> GenEdges(Rng& rng, uint64_t count,
+                                                    uint32_t num_nodes,
+                                                    double zipf_theta = 0.0);
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_GEN_RELATION_GEN_H_

@@ -1,0 +1,90 @@
+#include "gen/text_gen.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dyndex {
+
+std::vector<Symbol> UniformText(Rng& rng, uint64_t n, uint32_t sigma) {
+  DYNDEX_CHECK(sigma >= 1);
+  std::vector<Symbol> t(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    t[i] = kMinSymbol + static_cast<Symbol>(rng.Below(sigma));
+  }
+  return t;
+}
+
+std::vector<Symbol> ZipfText(Rng& rng, uint64_t n, uint32_t sigma,
+                             double theta) {
+  DYNDEX_CHECK(sigma >= 1);
+  // Precompute the CDF of P(rank r) ~ 1 / r^theta.
+  std::vector<double> cdf(sigma);
+  double sum = 0.0;
+  for (uint32_t r = 0; r < sigma; ++r) {
+    sum += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    cdf[r] = sum;
+  }
+  std::vector<Symbol> t(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    double x = rng.NextDouble() * sum;
+    uint32_t lo = 0, hi = sigma - 1;
+    while (lo < hi) {
+      uint32_t mid = (lo + hi) / 2;
+      if (cdf[mid] < x) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    t[i] = kMinSymbol + lo;
+  }
+  return t;
+}
+
+std::vector<Symbol> MarkovText(Rng& rng, uint64_t n, uint32_t sigma,
+                               uint32_t branch) {
+  DYNDEX_CHECK(sigma >= 1);
+  if (branch == 0 || branch > sigma) branch = sigma;
+  // Each state has `branch` fixed successors; transitions pick among them.
+  std::vector<std::vector<uint32_t>> succ(sigma);
+  for (uint32_t s = 0; s < sigma; ++s) {
+    succ[s].resize(branch);
+    for (uint32_t b = 0; b < branch; ++b) {
+      succ[s][b] = static_cast<uint32_t>(rng.Below(sigma));
+    }
+  }
+  std::vector<Symbol> t(n);
+  uint32_t state = static_cast<uint32_t>(rng.Below(sigma));
+  for (uint64_t i = 0; i < n; ++i) {
+    t[i] = kMinSymbol + state;
+    state = succ[state][rng.Below(branch)];
+  }
+  return t;
+}
+
+std::vector<std::vector<Symbol>> RandomDocs(Rng& rng, uint32_t count,
+                                            uint64_t min_len, uint64_t max_len,
+                                            uint32_t sigma) {
+  DYNDEX_CHECK(min_len >= 1 && min_len <= max_len);
+  std::vector<std::vector<Symbol>> docs(count);
+  for (uint32_t d = 0; d < count; ++d) {
+    docs[d] = UniformText(rng, rng.Range(min_len, max_len), sigma);
+  }
+  return docs;
+}
+
+std::vector<Symbol> SamplePattern(Rng& rng,
+                                  const std::vector<std::vector<Symbol>>& docs,
+                                  uint64_t len, uint32_t sigma) {
+  for (int attempt = 0; attempt < 32 && !docs.empty(); ++attempt) {
+    const auto& d = docs[rng.Below(docs.size())];
+    if (d.size() < len) continue;
+    uint64_t start = rng.Below(d.size() - len + 1);
+    return {d.begin() + static_cast<int64_t>(start),
+            d.begin() + static_cast<int64_t>(start + len)};
+  }
+  return UniformText(rng, len, sigma);
+}
+
+}  // namespace dyndex

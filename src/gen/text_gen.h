@@ -1,0 +1,46 @@
+// Workload generators: synthetic texts with controllable entropy, document
+// collections, and pattern samplers. Used by tests, benchmarks and examples.
+//
+// The paper has no experimental section, so these generators define the
+// workloads under which the claimed complexity shapes are measured
+// (EXPERIMENTS.md documents the choices per table/figure).
+#ifndef DYNDEX_GEN_TEXT_GEN_H_
+#define DYNDEX_GEN_TEXT_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/concat_text.h"
+#include "util/rng.h"
+
+namespace dyndex {
+
+/// Uniform symbols over [kMinSymbol, kMinSymbol + sigma).
+std::vector<Symbol> UniformText(Rng& rng, uint64_t n, uint32_t sigma);
+
+/// Zipf-distributed symbols (rank-frequency exponent `theta`, default ~1):
+/// models skewed alphabets (natural language, log tokens). Lower H0 than
+/// uniform at equal sigma.
+std::vector<Symbol> ZipfText(Rng& rng, uint64_t n, uint32_t sigma,
+                             double theta = 1.0);
+
+/// Order-1 Markov chain with `branch` successors per symbol: produces text
+/// with H1 << H0, exercising the k-th order entropy story.
+std::vector<Symbol> MarkovText(Rng& rng, uint64_t n, uint32_t sigma,
+                               uint32_t branch = 4);
+
+/// A collection of documents with lengths uniform in [min_len, max_len].
+std::vector<std::vector<Symbol>> RandomDocs(Rng& rng, uint32_t count,
+                                            uint64_t min_len, uint64_t max_len,
+                                            uint32_t sigma);
+
+/// A pattern of length `len` sampled as a substring of a random document
+/// (guaranteeing at least one occurrence). Falls back to a uniform pattern if
+/// every document is shorter than `len`.
+std::vector<Symbol> SamplePattern(Rng& rng,
+                                  const std::vector<std::vector<Symbol>>& docs,
+                                  uint64_t len, uint32_t sigma);
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_GEN_TEXT_GEN_H_

@@ -1,0 +1,239 @@
+#include "gst/suffix_tree.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace dyndex {
+
+void SuffixTreeCollection::Clear() {
+  nodes_.clear();
+  nodes_.emplace_back();  // root; root.slink unused (treated as root)
+  docs_.clear();
+  slot_of_.clear();
+  live_symbols_ = 0;
+  dead_symbols_ = 0;
+  num_live_docs_ = 0;
+}
+
+uint32_t SuffixTreeCollection::NewNode() {
+  nodes_.emplace_back();
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+uint64_t SuffixTreeCollection::EdgeLength(const Node& n, uint32_t cur_slot,
+                                          uint64_t cur_pos) const {
+  uint64_t end;
+  if (n.edge_end >= 0) {
+    end = static_cast<uint64_t>(n.edge_end);
+  } else if (n.edge_doc == cur_slot) {
+    end = cur_pos + 1;  // open edge of the document being inserted
+  } else {
+    end = docs_[n.edge_doc].text.size();
+  }
+  return end - n.edge_start;
+}
+
+void SuffixTreeCollection::Insert(DocId id, std::vector<Symbol> symbols) {
+  DYNDEX_CHECK(!symbols.empty());
+  DYNDEX_CHECK(slot_of_.find(id) == slot_of_.end());
+  for (Symbol s : symbols) DYNDEX_CHECK(s >= kMinSymbol && s < kTermBase);
+  uint32_t slot = static_cast<uint32_t>(docs_.size());
+  docs_.emplace_back();
+  DocRecord& rec = docs_.back();
+  rec.id = id;
+  rec.text = std::move(symbols);
+  rec.text.push_back(kTermBase + slot);
+  slot_of_[id] = slot;
+  live_symbols_ += rec.text.size() - 1;
+  ++num_live_docs_;
+  InsertIntoTree(slot);
+}
+
+void SuffixTreeCollection::InsertIntoTree(uint32_t slot) {
+  const std::vector<Symbol>& t = docs_[slot].text;
+  uint64_t L = t.size();
+  uint32_t active_node = 0;
+  uint64_t active_edge = 0;  // index into t
+  uint64_t active_len = 0;
+  uint64_t remainder = 0;
+  uint32_t need_slink = kNil;
+
+  auto add_slink = [&](uint32_t node) {
+    if (need_slink != kNil) nodes_[need_slink].slink = node;
+    need_slink = node;
+  };
+
+  for (uint64_t i = 0; i < L; ++i) {
+    ++remainder;
+    need_slink = kNil;
+    while (remainder > 0) {
+      if (active_len == 0) active_edge = i;
+      Symbol edge_sym = t[active_edge];
+      auto it = nodes_[active_node].children.find(edge_sym);
+      if (it == nodes_[active_node].children.end()) {
+        // Rule 2: new leaf directly under active_node.
+        uint32_t leaf = NewNode();
+        Node& ln = nodes_[leaf];
+        ln.edge_doc = slot;
+        ln.edge_start = i;
+        ln.edge_end = -1;
+        ln.leaf_slot = static_cast<int32_t>(slot);
+        ln.suffix_start = i + 1 - remainder;
+        nodes_[active_node].children[edge_sym] = leaf;
+        add_slink(active_node);
+      } else {
+        uint32_t nxt = it->second;
+        uint64_t elen = EdgeLength(nodes_[nxt], slot, i);
+        if (active_len >= elen) {
+          // Walk down.
+          active_node = nxt;
+          active_edge += elen;
+          active_len -= elen;
+          continue;
+        }
+        const Node& nn = nodes_[nxt];
+        Symbol on_edge =
+            docs_[nn.edge_doc].text[nn.edge_start + active_len];
+        if (on_edge == t[i]) {
+          // Rule 3: already present; advance and stop this phase.
+          ++active_len;
+          add_slink(active_node);
+          break;
+        }
+        // Split the edge.
+        uint32_t split = NewNode();
+        Node& sp = nodes_[split];
+        sp.edge_doc = nodes_[nxt].edge_doc;
+        sp.edge_start = nodes_[nxt].edge_start;
+        sp.edge_end = static_cast<int64_t>(nodes_[nxt].edge_start + active_len);
+        nodes_[active_node].children[edge_sym] = split;
+        uint32_t leaf = NewNode();
+        Node& ln = nodes_[leaf];
+        ln.edge_doc = slot;
+        ln.edge_start = i;
+        ln.edge_end = -1;
+        ln.leaf_slot = static_cast<int32_t>(slot);
+        ln.suffix_start = i + 1 - remainder;
+        nodes_[split].children[t[i]] = leaf;
+        nodes_[nxt].edge_start += active_len;
+        Symbol nxt_sym = docs_[nodes_[nxt].edge_doc].text[nodes_[nxt].edge_start];
+        nodes_[split].children[nxt_sym] = nxt;
+        add_slink(split);
+      }
+      --remainder;
+      if (active_node == 0 && active_len > 0) {
+        --active_len;
+        active_edge = i + 1 - remainder;
+      } else if (active_node != 0) {
+        uint32_t sl = nodes_[active_node].slink;
+        active_node = sl == kNil ? 0 : sl;
+      }
+    }
+  }
+  // The unique terminator guarantees remainder == 0 at the end.
+  DYNDEX_DCHECK(remainder == 0);
+}
+
+bool SuffixTreeCollection::Erase(DocId id) {
+  auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) return false;
+  DocRecord& rec = docs_[it->second];
+  DYNDEX_CHECK(!rec.dead);
+  rec.dead = true;
+  uint64_t len = rec.text.size() - 1;
+  live_symbols_ -= len;
+  dead_symbols_ += len;
+  --num_live_docs_;
+  slot_of_.erase(it);
+  RebuildIfNeeded();
+  return true;
+}
+
+void SuffixTreeCollection::RebuildIfNeeded() {
+  if (dead_symbols_ > 0 && dead_symbols_ >= live_symbols_) Rebuild();
+}
+
+void SuffixTreeCollection::Rebuild() {
+  std::vector<DocRecord> old = std::move(docs_);
+  Clear();
+  for (DocRecord& rec : old) {
+    if (rec.dead) continue;
+    rec.text.pop_back();  // strip the old terminator
+    Insert(rec.id, std::move(rec.text));
+  }
+}
+
+bool SuffixTreeCollection::Contains(DocId id) const {
+  return slot_of_.find(id) != slot_of_.end();
+}
+
+uint32_t SuffixTreeCollection::Locus(const std::vector<Symbol>& pattern) const {
+  DYNDEX_CHECK(!pattern.empty());
+  uint32_t node = 0;
+  uint64_t matched = 0;
+  while (matched < pattern.size()) {
+    auto it = nodes_[node].children.find(pattern[matched]);
+    if (it == nodes_[node].children.end()) return kNil;
+    uint32_t nxt = it->second;
+    const Node& nn = nodes_[nxt];
+    uint64_t end = nn.edge_end >= 0 ? static_cast<uint64_t>(nn.edge_end)
+                                    : docs_[nn.edge_doc].text.size();
+    const std::vector<Symbol>& label_text = docs_[nn.edge_doc].text;
+    for (uint64_t p = nn.edge_start; p < end && matched < pattern.size(); ++p) {
+      if (label_text[p] != pattern[matched]) return kNil;
+      ++matched;
+    }
+    node = nxt;
+  }
+  return node;
+}
+
+uint64_t SuffixTreeCollection::Count(const std::vector<Symbol>& pattern) const {
+  uint64_t count = 0;
+  ForEachOccurrence(pattern, [&](DocId, uint64_t) { ++count; });
+  return count;
+}
+
+const std::vector<Symbol>& SuffixTreeCollection::DocSymbols(DocId id) const {
+  auto it = slot_of_.find(id);
+  DYNDEX_CHECK(it != slot_of_.end());
+  // Note: includes the trailing terminator; callers use Extract for slices.
+  return docs_[it->second].text;
+}
+
+uint64_t SuffixTreeCollection::DocLen(DocId id) const {
+  auto it = slot_of_.find(id);
+  DYNDEX_CHECK(it != slot_of_.end());
+  return docs_[it->second].text.size() - 1;
+}
+
+void SuffixTreeCollection::Extract(DocId id, uint64_t from, uint64_t len,
+                                   std::vector<Symbol>* out) const {
+  auto it = slot_of_.find(id);
+  DYNDEX_CHECK(it != slot_of_.end());
+  const std::vector<Symbol>& t = docs_[it->second].text;
+  DYNDEX_CHECK(from + len + 1 <= t.size());
+  out->insert(out->end(), t.begin() + static_cast<int64_t>(from),
+              t.begin() + static_cast<int64_t>(from + len));
+}
+
+void SuffixTreeCollection::ExportLiveDocs(std::vector<Document>* out) {
+  for (DocRecord& rec : docs_) {
+    if (rec.dead) continue;
+    rec.text.pop_back();
+    out->push_back(Document{rec.id, std::move(rec.text)});
+  }
+  Clear();
+}
+
+uint64_t SuffixTreeCollection::SpaceBytes() const {
+  uint64_t total = nodes_.capacity() * sizeof(Node);
+  for (const Node& n : nodes_) total += n.children.size() * 24;
+  for (const DocRecord& d : docs_) {
+    total += sizeof(DocRecord) + d.text.capacity() * sizeof(Symbol);
+  }
+  return total;
+}
+
+}  // namespace dyndex

@@ -1,0 +1,138 @@
+// Generalized suffix tree over a small document collection: the uncompressed
+// fully-dynamic structure C0 of the paper (Section A.2).
+//
+// Documents are inserted in O(|T|) expected time (Ukkonen's algorithm with
+// hash-map child dictionaries; each document is terminated by a unique
+// per-slot terminator symbol so all suffixes are explicit). Pattern queries
+// take O(|P| + occ).
+//
+// Deletion is lazy (the paper's McCreight-style physical deletion is replaced
+// by dead-marking plus a physical rebuild once half the symbols are dead; C0
+// holds only O(n / log^2 n) symbols, so rebuilds amortize to O(1) per update
+// symbol — see DESIGN.md, substitution 6).
+#ifndef DYNDEX_GST_SUFFIX_TREE_H_
+#define DYNDEX_GST_SUFFIX_TREE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "text/concat_text.h"
+
+namespace dyndex {
+
+/// Dynamic uncompressed document collection with O(|P| + occ) search.
+class SuffixTreeCollection {
+ public:
+  SuffixTreeCollection() { Clear(); }
+
+  /// Inserts a document under the caller's stable id. O(|T|) expected.
+  void Insert(DocId id, std::vector<Symbol> symbols);
+
+  /// Lazily removes the document. Returns false if the id is unknown.
+  bool Erase(DocId id);
+
+  bool Contains(DocId id) const;
+
+  /// Calls fn(id, offset) for every occurrence of `pattern` in every live
+  /// document. O(|P| + occ) plus the (bounded) cost of skipping dead leaves.
+  template <typename Fn>
+  void ForEachOccurrence(const std::vector<Symbol>& pattern, Fn fn) const {
+    uint32_t locus = Locus(pattern);
+    if (locus == kNil) return;
+    CollectLeaves(locus, fn);
+  }
+
+  /// Number of live occurrences of `pattern`.
+  uint64_t Count(const std::vector<Symbol>& pattern) const;
+
+  /// Document content. NOTE: includes the internal terminator as the last
+  /// element; prefer Extract/DocLen for slicing.
+  const std::vector<Symbol>& DocSymbols(DocId id) const;
+
+  /// Length of the document (excluding the terminator). Requires Contains.
+  uint64_t DocLen(DocId id) const;
+
+  /// Appends doc[from, from+len) to out. Requires the range to be valid.
+  void Extract(DocId id, uint64_t from, uint64_t len,
+               std::vector<Symbol>* out) const;
+
+  uint64_t live_symbols() const { return live_symbols_; }
+  uint64_t dead_symbols() const { return dead_symbols_; }
+  uint32_t num_live_docs() const { return num_live_docs_; }
+
+  /// Moves all live documents into `out` and resets the structure.
+  void ExportLiveDocs(std::vector<Document>* out);
+
+  /// Drops everything.
+  void Clear();
+
+  uint64_t SpaceBytes() const;
+
+ private:
+  static constexpr uint32_t kNil = ~0u;
+  static constexpr Symbol kTermBase = 1u << 31;
+
+  struct Node {
+    std::unordered_map<Symbol, uint32_t> children;
+    uint32_t slink = kNil;
+    uint32_t edge_doc = 0;    // slot whose text labels the incoming edge
+    uint64_t edge_start = 0;  // label = text[edge_start, edge_end)
+    int64_t edge_end = -1;    // -1: to the end of edge_doc's text
+    int32_t leaf_slot = -1;   // >= 0 for leaves
+    uint64_t suffix_start = 0;
+  };
+
+  struct DocRecord {
+    DocId id = kInvalidDocId;
+    std::vector<Symbol> text;  // includes the terminator
+    bool dead = false;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<DocRecord> docs_;
+  std::unordered_map<DocId, uint32_t> slot_of_;
+  uint64_t live_symbols_ = 0;  // excludes terminators
+  uint64_t dead_symbols_ = 0;
+  uint32_t num_live_docs_ = 0;
+
+  uint32_t NewNode();
+  uint64_t EdgeLength(const Node& n, uint32_t cur_slot, uint64_t cur_pos) const;
+  void InsertIntoTree(uint32_t slot);
+  void RebuildIfNeeded();
+  void Rebuild();
+
+  /// Node whose subtree holds exactly the suffixes starting with `pattern`,
+  /// or kNil. (If the pattern ends mid-edge, the edge's lower node.)
+  uint32_t Locus(const std::vector<Symbol>& pattern) const;
+
+  template <typename Fn>
+  void CollectLeaves(uint32_t node, Fn fn) const {
+    // Iterative DFS.
+    std::vector<uint32_t> stack{node};
+    while (!stack.empty()) {
+      uint32_t v = stack.back();
+      stack.pop_back();
+      const Node& n = nodes_[v];
+      if (n.leaf_slot >= 0) {
+        const DocRecord& d = docs_[static_cast<uint32_t>(n.leaf_slot)];
+        if (!d.dead && n.suffix_start + 1 < d.text.size()) {
+          // Exclude the terminator-only suffix (never matches a pattern, but
+          // guard for robustness).
+          fn(d.id, n.suffix_start);
+        }
+        continue;
+      }
+      for (const auto& [sym, child] : n.children) {
+        (void)sym;
+        stack.push_back(child);
+      }
+    }
+  }
+
+  friend class SuffixTreeTestPeer;
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_GST_SUFFIX_TREE_H_

@@ -1,0 +1,44 @@
+#include "relation/baseline_relation.h"
+
+#include "util/check.h"
+
+namespace dyndex {
+
+BaselineRelation::BaselineRelation(uint32_t max_objects, uint32_t max_labels)
+    : s_(max_labels == 0 ? 1 : max_labels),
+      max_objects_(max_objects),
+      max_labels_(max_labels) {
+  DYNDEX_CHECK(max_objects >= 1);
+  // N starts as one 0 per object (every object initially unrelated).
+  for (uint32_t o = 0; o < max_objects; ++o) n_.PushBack(false);
+}
+
+bool BaselineRelation::AddPair(uint32_t o, uint32_t a) {
+  DYNDEX_CHECK(o < max_objects_ && a < max_labels_);
+  if (Related(o, a)) return false;
+  auto [l, r] = SRange(o);
+  (void)l;
+  s_.Insert(r, a);
+  // Insert the pair's 1-bit just before object o's terminating 0.
+  n_.Insert(n_.Select0(o), true);
+  return true;
+}
+
+bool BaselineRelation::RemovePair(uint32_t o, uint32_t a) {
+  DYNDEX_CHECK(o < max_objects_ && a < max_labels_);
+  auto [l, r] = SRange(o);
+  uint64_t k = s_.Rank(a, l);
+  if (k >= s_.Count(a)) return false;
+  uint64_t pos = s_.Select(a, k);
+  if (pos >= r) return false;
+  n_.Erase(n_.Select1(pos));
+  s_.Erase(pos);
+  return true;
+}
+
+bool BaselineRelation::Related(uint32_t o, uint32_t a) const {
+  auto [l, r] = SRange(o);
+  return s_.Rank(a, r) > s_.Rank(a, l);
+}
+
+}  // namespace dyndex

@@ -1,0 +1,77 @@
+// Baseline dynamic relation over dynamic rank/select structures
+// (Navarro-Nekrich [35]): S in a dynamic wavelet tree, N in a dynamic bit
+// vector. Every reported datum and every update pays a dynamic rank/select
+// chain — the Fredman-Saks-bounded approach Theorem 2 improves on.
+#ifndef DYNDEX_RELATION_BASELINE_RELATION_H_
+#define DYNDEX_RELATION_BASELINE_RELATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dynbits/dynamic_bit_vector.h"
+#include "seq/dynamic_wavelet_tree.h"
+
+namespace dyndex {
+
+/// Dynamic relation with fixed capacities: objects in [0, max_objects),
+/// labels in [0, max_labels).
+class BaselineRelation {
+ public:
+  BaselineRelation(uint32_t max_objects, uint32_t max_labels);
+
+  /// Adds (o, a); returns false if present.
+  bool AddPair(uint32_t o, uint32_t a);
+
+  /// Removes (o, a); returns false if absent.
+  bool RemovePair(uint32_t o, uint32_t a);
+
+  bool Related(uint32_t o, uint32_t a) const;
+
+  template <typename Fn>
+  void ForEachLabelOfObject(uint32_t o, Fn fn) const {
+    auto [l, r] = SRange(o);
+    for (uint64_t p = l; p < r; ++p) fn(s_.Access(p));
+  }
+
+  template <typename Fn>
+  void ForEachObjectOfLabel(uint32_t a, Fn fn) const {
+    uint64_t total = s_.Count(a);
+    for (uint64_t k = 0; k < total; ++k) {
+      uint64_t pos = s_.Select(a, k);
+      fn(ObjectOfS(pos));
+    }
+  }
+
+  uint64_t CountLabelsOf(uint32_t o) const {
+    auto [l, r] = SRange(o);
+    return r - l;
+  }
+
+  uint64_t CountObjectsOf(uint32_t a) const { return s_.Count(a); }
+
+  uint64_t num_pairs() const { return s_.size(); }
+  uint64_t SpaceBytes() const { return s_.SpaceBytes() + n_.SpaceBytes(); }
+
+ private:
+  DynamicWaveletTree s_;
+  DynamicBitVector n_;  // 1 per pair, 0 terminating each object's run
+  uint32_t max_objects_;
+  uint32_t max_labels_;
+
+  /// S-positions [begin, end) of object o's labels: the ones of N between
+  /// the (o-1)-th and o-th zeros.
+  std::pair<uint64_t, uint64_t> SRange(uint32_t o) const {
+    uint64_t begin = o == 0 ? 0 : n_.Select0(o - 1) - (o - 1);
+    uint64_t end = n_.Select0(o) - o;
+    return {begin, end};
+  }
+
+  uint32_t ObjectOfS(uint64_t spos) const {
+    uint64_t npos = n_.Select1(spos);
+    return static_cast<uint32_t>(npos - spos);
+  }
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_RELATION_BASELINE_RELATION_H_

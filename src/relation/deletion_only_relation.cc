@@ -1,0 +1,35 @@
+#include "relation/deletion_only_relation.h"
+
+#include "util/check.h"
+
+namespace dyndex {
+
+DeletionOnlyRelation::DeletionOnlyRelation(std::vector<Pair> pairs,
+                                           uint32_t num_objects,
+                                           uint32_t num_labels)
+    : rel_(std::move(pairs), num_objects, num_labels) {
+  live_.Reset(rel_.num_pairs(), /*with_counting=*/true);
+  dead_per_label_.assign(num_labels, 0);
+}
+
+bool DeletionOnlyRelation::DeletePair(uint32_t o, uint32_t a) {
+  uint64_t pos = rel_.FindPair(o, a);
+  if (pos == StaticRelation::kNotFound || !live_.IsLive(pos)) return false;
+  live_.Kill(pos);
+  ++dead_per_label_[a];
+  ++dead_;
+  return true;
+}
+
+bool DeletionOnlyRelation::Related(uint32_t o, uint32_t a) const {
+  uint64_t pos = rel_.FindPair(o, a);
+  return pos != StaticRelation::kNotFound && live_.IsLive(pos);
+}
+
+void DeletionOnlyRelation::ExportLivePairs(std::vector<Pair>* out) const {
+  live_.ForEachLive(0, rel_.num_pairs(), [&](uint64_t pos) {
+    out->push_back({rel_.ObjectAt(pos), rel_.LabelAt(pos)});
+  });
+}
+
+}  // namespace dyndex

@@ -1,0 +1,89 @@
+// Deletion-only binary relation (Section 5, first half): a static relation
+// plus the dead-pair bit vector D (live-row reporter with Fenwick counting,
+// standing in for the rank structure of [20]) and per-label dead counters
+// (the paper's D_a sequences, realized through select on S + D probes).
+#ifndef DYNDEX_RELATION_DELETION_ONLY_RELATION_H_
+#define DYNDEX_RELATION_DELETION_ONLY_RELATION_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bits/live_row_reporter.h"
+#include "relation/static_relation.h"
+
+namespace dyndex {
+
+/// Static relation supporting lazy pair deletion.
+class DeletionOnlyRelation {
+ public:
+  DeletionOnlyRelation() = default;
+
+  DeletionOnlyRelation(std::vector<Pair> pairs, uint32_t num_objects,
+                       uint32_t num_labels);
+
+  uint64_t live_pairs() const { return rel_.num_pairs() - dead_; }
+  uint64_t dead_pairs() const { return dead_; }
+  uint64_t total_pairs() const { return rel_.num_pairs(); }
+  uint32_t num_objects() const { return rel_.num_objects(); }
+  uint32_t num_labels() const { return rel_.num_labels(); }
+
+  bool NeedsPurge(uint32_t tau) const {
+    return dead_ > 0 && dead_ * tau >= rel_.num_pairs();
+  }
+
+  /// Marks (o, a) dead. Returns false if absent or already dead.
+  bool DeletePair(uint32_t o, uint32_t a);
+
+  /// Is (o, a) present and live?
+  bool Related(uint32_t o, uint32_t a) const;
+
+  /// fn(label) for each live label of object o, O(log sigma_l) per datum.
+  template <typename Fn>
+  void ForEachLabelOfObject(uint32_t o, Fn fn) const {
+    auto [l, r] = rel_.ObjectRange(o);
+    live_.ForEachLive(l, r, [&](uint64_t pos) { fn(rel_.LabelAt(pos)); });
+  }
+
+  /// fn(object) for each live object of label a. Dead occurrences are
+  /// skipped (their fraction is bounded by the purge rule).
+  template <typename Fn>
+  void ForEachObjectOfLabel(uint32_t a, Fn fn) const {
+    if (a >= rel_.num_labels()) return;
+    uint64_t total = rel_.LabelCount(a);
+    for (uint64_t k = 0; k < total; ++k) {
+      uint64_t pos = rel_.SelectLabel(a, k);
+      if (live_.IsLive(pos)) fn(rel_.ObjectAt(pos));
+    }
+  }
+
+  /// Live labels related to object o: O(log n) via the counting reporter.
+  uint64_t CountLabelsOf(uint32_t o) const {
+    auto [l, r] = rel_.ObjectRange(o);
+    return live_.CountLive(l, r);
+  }
+
+  /// Live objects related to label a: O(1).
+  uint64_t CountObjectsOf(uint32_t a) const {
+    if (a >= rel_.num_labels()) return 0;
+    return rel_.LabelCount(a) - dead_per_label_[a];
+  }
+
+  /// Appends all live pairs to out (used by purges/merges).
+  void ExportLivePairs(std::vector<Pair>* out) const;
+
+  uint64_t SpaceBytes() const {
+    return rel_.SpaceBytes() + live_.SpaceBytes() +
+           dead_per_label_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  StaticRelation rel_;
+  LiveBitsSparse live_;
+  std::vector<uint32_t> dead_per_label_;
+  uint64_t dead_ = 0;
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_RELATION_DELETION_ONLY_RELATION_H_

@@ -1,0 +1,68 @@
+// Dynamic directed graph as a binary relation between nodes (Theorem 3):
+// an edge u -> v relates object u to label v, so out-neighbors are "labels of
+// object u", in-neighbors (reverse neighbors) are "objects of label v", and
+// adjacency is pair membership.
+#ifndef DYNDEX_RELATION_DYNAMIC_GRAPH_H_
+#define DYNDEX_RELATION_DYNAMIC_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relation/dynamic_relation.h"
+
+namespace dyndex {
+
+/// Compressed dynamic digraph over uint32 node ids.
+class DynamicGraph {
+ public:
+  explicit DynamicGraph(const DynamicRelationOptions& opt =
+                            DynamicRelationOptions())
+      : rel_(opt) {}
+
+  /// Adds edge u -> v. Returns false if already present.
+  bool AddEdge(uint32_t u, uint32_t v) { return rel_.AddPair(u, v); }
+
+  /// Removes edge u -> v. Returns false if absent.
+  bool RemoveEdge(uint32_t u, uint32_t v) { return rel_.RemovePair(u, v); }
+
+  /// Is there an edge u -> v?
+  bool HasEdge(uint32_t u, uint32_t v) const { return rel_.Related(u, v); }
+
+  /// fn(v) for every edge u -> v.
+  template <typename Fn>
+  void ForEachOutNeighbor(uint32_t u, Fn fn) const {
+    rel_.ForEachLabelOfObject(u, fn);
+  }
+
+  /// fn(w) for every edge w -> v (reverse neighbors).
+  template <typename Fn>
+  void ForEachInNeighbor(uint32_t v, Fn fn) const {
+    rel_.ForEachObjectOfLabel(v, fn);
+  }
+
+  std::vector<uint32_t> OutNeighbors(uint32_t u) const {
+    std::vector<uint32_t> out;
+    ForEachOutNeighbor(u, [&](uint32_t v) { out.push_back(v); });
+    return out;
+  }
+
+  std::vector<uint32_t> InNeighbors(uint32_t v) const {
+    std::vector<uint32_t> out;
+    ForEachInNeighbor(v, [&](uint32_t u) { out.push_back(u); });
+    return out;
+  }
+
+  uint64_t OutDegree(uint32_t u) const { return rel_.CountLabelsOf(u); }
+  uint64_t InDegree(uint32_t v) const { return rel_.CountObjectsOf(v); }
+  uint64_t num_edges() const { return rel_.num_pairs(); }
+
+  uint64_t SpaceBytes() const { return rel_.SpaceBytes(); }
+  void CheckInvariants() const { rel_.CheckInvariants(); }
+
+ private:
+  DynamicRelation rel_;
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_RELATION_DYNAMIC_GRAPH_H_

@@ -1,0 +1,183 @@
+// Fully-dynamic compressed binary relation (Section 5, Theorem 2).
+//
+// The paper's framework applied to relations: a small uncompressed C0
+// (adjacency hash lists, O(log n) bits per pair) absorbs insertions;
+// the bulk lives in deletion-only compressed sub-collections arranged on the
+// Transformation-1 geometric schedule. Global object/label ids are mapped
+// through the SN/NS tables (id <-> dense slot, with free-list reuse); each
+// sub-collection maps global slots to its *effective alphabet* via rank on
+// presence bitmaps (the paper's GC_i sequences), so a slot reused after its
+// label died maps onto all-dead pairs and reports nothing — exactly the
+// paper's staleness argument.
+//
+// Queries visit C0 plus every sub-collection:
+//   adjacency / reporting : O(#subs * log sigma_l) per datum
+//   counting              : O(#subs * log n)
+//   updates               : amortized O(polylog)
+#ifndef DYNDEX_RELATION_DYNAMIC_RELATION_H_
+#define DYNDEX_RELATION_DYNAMIC_RELATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bits/rank_select.h"
+#include "relation/deletion_only_relation.h"
+
+namespace dyndex {
+
+struct DynamicRelationOptions {
+  /// Dead-fraction purge knob; 0 = auto (~log log n).
+  uint32_t tau = 0;
+  /// Growth exponent of the sub-collection schedule.
+  double epsilon = 0.5;
+  /// Minimum C0 capacity in pairs.
+  uint64_t min_c0 = 1024;
+};
+
+/// Dynamic relation between arbitrary uint32 object ids and label ids.
+class DynamicRelation {
+ public:
+  explicit DynamicRelation(const DynamicRelationOptions& opt =
+                               DynamicRelationOptions());
+
+  /// Adds (object, label). Returns false if the pair already exists.
+  bool AddPair(uint32_t object, uint32_t label);
+
+  /// Removes (object, label). Returns false if absent.
+  bool RemovePair(uint32_t object, uint32_t label);
+
+  /// Adjacency test.
+  bool Related(uint32_t object, uint32_t label) const;
+
+  /// fn(label) for every label related to `object`.
+  template <typename Fn>
+  void ForEachLabelOfObject(uint32_t object, Fn fn) const {
+    auto it = obj_slot_.find(object);
+    if (it == obj_slot_.end()) return;
+    uint32_t os = it->second;
+    auto c0 = c0_by_object_.find(os);
+    if (c0 != c0_by_object_.end()) {
+      for (uint32_t ls : c0->second) fn(slot_label_[ls]);
+    }
+    for (const auto& sub : subs_) {
+      if (sub == nullptr) continue;
+      uint32_t local_o;
+      if (!sub->LocalObject(os, &local_o)) continue;
+      sub->rel.ForEachLabelOfObject(
+          local_o, [&](uint32_t ll) { fn(slot_label_[sub->GlobalLabel(ll)]); });
+    }
+  }
+
+  /// fn(object) for every object related to `label`.
+  template <typename Fn>
+  void ForEachObjectOfLabel(uint32_t label, Fn fn) const {
+    auto it = label_slot_.find(label);
+    if (it == label_slot_.end()) return;
+    uint32_t ls = it->second;
+    auto c0 = c0_by_label_.find(ls);
+    if (c0 != c0_by_label_.end()) {
+      for (uint32_t os : c0->second) fn(slot_obj_[os]);
+    }
+    for (const auto& sub : subs_) {
+      if (sub == nullptr) continue;
+      uint32_t local_a;
+      if (!sub->LocalLabel(ls, &local_a)) continue;
+      sub->rel.ForEachObjectOfLabel(
+          local_a, [&](uint32_t lo) { fn(slot_obj_[sub->GlobalObject(lo)]); });
+    }
+  }
+
+  /// Number of labels related to `object` (O(#subs * log n)).
+  uint64_t CountLabelsOf(uint32_t object) const;
+
+  /// Number of objects related to `label`.
+  uint64_t CountObjectsOf(uint32_t label) const;
+
+  uint64_t num_pairs() const { return num_pairs_; }
+  uint64_t c0_pairs() const { return c0_pairs_; }
+  uint32_t num_subcollections() const;
+  uint32_t tau() const { return Tau(); }
+
+  uint64_t SpaceBytes() const;
+
+  /// Test hook: registry and size invariants.
+  void CheckInvariants() const;
+
+ private:
+  /// A deletion-only sub-collection plus global->effective alphabet maps.
+  struct Sub {
+    DeletionOnlyRelation rel;
+    RankSelect objects;  // bit o set iff global object slot o occurs here
+    RankSelect labels;
+
+    bool LocalObject(uint32_t global, uint32_t* local) const {
+      if (global >= objects.size() || !objects.Get(global)) return false;
+      *local = static_cast<uint32_t>(objects.Rank1(global));
+      return true;
+    }
+    bool LocalLabel(uint32_t global, uint32_t* local) const {
+      if (global >= labels.size() || !labels.Get(global)) return false;
+      *local = static_cast<uint32_t>(labels.Rank1(global));
+      return true;
+    }
+    uint32_t GlobalObject(uint32_t local) const {
+      return static_cast<uint32_t>(objects.Select1(local));
+    }
+    uint32_t GlobalLabel(uint32_t local) const {
+      return static_cast<uint32_t>(labels.Select1(local));
+    }
+  };
+
+  DynamicRelationOptions opt_;
+  // SN/NS tables: external id <-> dense slot.
+  std::unordered_map<uint32_t, uint32_t> obj_slot_, label_slot_;
+  std::vector<uint32_t> slot_obj_, slot_label_;
+  std::vector<uint32_t> free_obj_slots_, free_label_slots_;
+  std::vector<uint32_t> obj_pair_count_, label_pair_count_;
+
+  // C0: uncompressed adjacency lists over slots.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> c0_by_object_;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> c0_by_label_;
+  std::unordered_set<uint64_t> c0_pairs_set_;
+  uint64_t c0_pairs_ = 0;
+
+  std::vector<std::unique_ptr<Sub>> subs_;
+  uint64_t num_pairs_ = 0;
+  uint64_t nf_ = 0;
+
+  static uint64_t Key(uint32_t os, uint32_t ls) {
+    return (static_cast<uint64_t>(os) << 32) | ls;
+  }
+
+  uint32_t Tau() const;
+  uint64_t MaxSize(uint32_t level) const;
+
+  uint32_t InternObject(uint32_t object);
+  uint32_t InternLabel(uint32_t label);
+  void ReleaseObject(uint32_t slot);
+  void ReleaseLabel(uint32_t slot);
+
+  bool C0Related(uint32_t os, uint32_t ls) const {
+    return c0_pairs_set_.count(Key(os, ls)) > 0;
+  }
+  void C0Add(uint32_t os, uint32_t ls);
+  bool C0Remove(uint32_t os, uint32_t ls);
+
+  /// Builds a Sub from pairs given in *slot* space.
+  std::unique_ptr<Sub> BuildSub(const std::vector<Pair>& slot_pairs) const;
+
+  /// Drains C0 and levels 0..j into a rebuilt level j, plus `extra`.
+  void MergeThrough(uint32_t j, Pair extra_slot_pair);
+  void PurgeIfNeeded(uint32_t level);
+  void GlobalRebase();
+
+  /// Exports a sub's live pairs in slot space.
+  void ExportSub(const Sub& sub, std::vector<Pair>* out) const;
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_RELATION_DYNAMIC_RELATION_H_

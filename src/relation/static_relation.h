@@ -1,0 +1,82 @@
+// Static binary relation in the Barbay et al. [4,5] representation: the label
+// string S (labels listed object by object, wavelet tree) plus the unary
+// degree sequence N = 1^{n_1} 0 1^{n_2} 0 ... (rank/select bit vector).
+//
+// All queries reduce to rank/select/access on S and N:
+//   labels related to an object  : O((k+1) log sigma_l)
+//   objects related to a label   : O((k+1) log sigma_l)
+//   object-label adjacency       : O(log sigma_l)
+#ifndef DYNDEX_RELATION_STATIC_RELATION_H_
+#define DYNDEX_RELATION_STATIC_RELATION_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bits/rank_select.h"
+#include "seq/wavelet_tree.h"
+
+namespace dyndex {
+
+/// An (object, label) pair with dense local ids.
+struct Pair {
+  uint32_t object = 0;
+  uint32_t label = 0;
+  friend bool operator==(const Pair& a, const Pair& b) {
+    return a.object == b.object && a.label == b.label;
+  }
+  friend bool operator<(const Pair& a, const Pair& b) {
+    return a.object != b.object ? a.object < b.object : a.label < b.label;
+  }
+};
+
+/// Immutable relation over objects [0, num_objects) and labels
+/// [0, num_labels).
+class StaticRelation {
+ public:
+  StaticRelation() = default;
+
+  /// Builds from (not necessarily sorted, but duplicate-free) pairs.
+  StaticRelation(std::vector<Pair> pairs, uint32_t num_objects,
+                 uint32_t num_labels);
+
+  uint64_t num_pairs() const { return s_.size(); }
+  uint32_t num_objects() const { return num_objects_; }
+  uint32_t num_labels() const { return num_labels_; }
+
+  /// Positions [begin, end) in S holding object o's labels.
+  std::pair<uint64_t, uint64_t> ObjectRange(uint32_t o) const;
+
+  /// Label stored at S[pos].
+  uint32_t LabelAt(uint64_t pos) const { return s_.Access(pos); }
+
+  /// Object owning S[pos].
+  uint32_t ObjectAt(uint64_t pos) const {
+    return static_cast<uint32_t>(n_.Select1(pos) - pos);
+  }
+
+  /// Position in S of the k-th occurrence of label a.
+  uint64_t SelectLabel(uint32_t a, uint64_t k) const { return s_.Select(a, k); }
+
+  /// Occurrences of label a in S[0, pos).
+  uint64_t RankLabel(uint32_t a, uint64_t pos) const { return s_.Rank(a, pos); }
+
+  /// Total pairs carrying label a.
+  uint64_t LabelCount(uint32_t a) const { return s_.Count(a); }
+
+  /// Position of pair (o, a) in S, or kNotFound.
+  static constexpr uint64_t kNotFound = ~0ull;
+  uint64_t FindPair(uint32_t o, uint32_t a) const;
+
+  uint64_t SpaceBytes() const { return s_.SpaceBytes() + n_.SpaceBytes(); }
+
+ private:
+  WaveletTree s_;
+  RankSelect n_;
+  uint32_t num_objects_ = 0;
+  uint32_t num_labels_ = 0;
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_RELATION_STATIC_RELATION_H_

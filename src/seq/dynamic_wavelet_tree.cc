@@ -1,0 +1,130 @@
+#include "seq/dynamic_wavelet_tree.h"
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace dyndex {
+
+DynamicWaveletTree::DynamicWaveletTree(uint32_t capacity) {
+  DYNDEX_CHECK(capacity >= 1);
+  depth_ = CeilLog2(capacity);
+  if (depth_ == 0) depth_ = 1;  // keep at least one level so code paths unify
+  capacity_ = 1u << depth_;
+  root_ = std::make_unique<Node>();
+}
+
+void DynamicWaveletTree::Insert(uint64_t i, uint32_t c) {
+  DYNDEX_CHECK(c < capacity_);
+  DYNDEX_CHECK(i <= size_);
+  Node* node = root_.get();
+  for (uint32_t level = 0; level < depth_; ++level) {
+    bool bit = (c >> (depth_ - 1 - level)) & 1;
+    node->bits.Insert(i, bit);
+    if (level + 1 == depth_) break;
+    if (!bit) {
+      i = node->bits.Rank0(i);
+      if (node->left == nullptr) node->left = std::make_unique<Node>();
+      node = node->left.get();
+    } else {
+      i = node->bits.Rank1(i);
+      if (node->right == nullptr) node->right = std::make_unique<Node>();
+      node = node->right.get();
+    }
+  }
+  ++size_;
+}
+
+uint32_t DynamicWaveletTree::Erase(uint64_t i) {
+  DYNDEX_CHECK(i < size_);
+  Node* node = root_.get();
+  uint32_t c = 0;
+  for (uint32_t level = 0; level < depth_; ++level) {
+    bool bit = node->bits.Get(i);
+    c = (c << 1) | (bit ? 1 : 0);
+    uint64_t child_i = bit ? node->bits.Rank1(i) : node->bits.Rank0(i);
+    node->bits.Erase(i);
+    if (level + 1 == depth_) break;
+    node = bit ? node->right.get() : node->left.get();
+    DYNDEX_DCHECK(node != nullptr);
+    i = child_i;
+  }
+  --size_;
+  return c;
+}
+
+uint32_t DynamicWaveletTree::Access(uint64_t i) const {
+  DYNDEX_CHECK(i < size_);
+  const Node* node = root_.get();
+  uint32_t c = 0;
+  for (uint32_t level = 0; level < depth_; ++level) {
+    bool bit = node->bits.Get(i);
+    c = (c << 1) | (bit ? 1 : 0);
+    if (level + 1 == depth_) break;
+    i = bit ? node->bits.Rank1(i) : node->bits.Rank0(i);
+    node = bit ? node->right.get() : node->left.get();
+  }
+  return c;
+}
+
+uint64_t DynamicWaveletTree::Rank(uint32_t c, uint64_t i) const {
+  DYNDEX_CHECK(c < capacity_);
+  DYNDEX_CHECK(i <= size_);
+  const Node* node = root_.get();
+  for (uint32_t level = 0; level < depth_; ++level) {
+    bool bit = (c >> (depth_ - 1 - level)) & 1;
+    i = bit ? node->bits.Rank1(i) : node->bits.Rank0(i);
+    if (level + 1 == depth_) return i;
+    node = bit ? node->right.get() : node->left.get();
+    if (node == nullptr) return 0;
+  }
+  return i;
+}
+
+std::pair<uint32_t, uint64_t> DynamicWaveletTree::InverseSelect(
+    uint64_t i) const {
+  DYNDEX_CHECK(i < size_);
+  const Node* node = root_.get();
+  uint32_t c = 0;
+  for (uint32_t level = 0; level < depth_; ++level) {
+    bool bit = node->bits.Get(i);
+    c = (c << 1) | (bit ? 1 : 0);
+    i = bit ? node->bits.Rank1(i) : node->bits.Rank0(i);
+    if (level + 1 == depth_) break;
+    node = bit ? node->right.get() : node->left.get();
+  }
+  return {c, i};
+}
+
+uint64_t DynamicWaveletTree::SelectRec(const Node* node, uint32_t level,
+                                       uint32_t c, uint64_t k) const {
+  bool bit = (c >> (depth_ - 1 - level)) & 1;
+  if (level + 1 == depth_) {
+    return bit ? node->bits.Select1(k) : node->bits.Select0(k);
+  }
+  const Node* child = bit ? node->right.get() : node->left.get();
+  DYNDEX_CHECK(child != nullptr);
+  uint64_t p = SelectRec(child, level + 1, c, k);
+  return bit ? node->bits.Select1(p) : node->bits.Select0(p);
+}
+
+uint64_t DynamicWaveletTree::Select(uint32_t c, uint64_t k) const {
+  DYNDEX_CHECK(c < capacity_);
+  return SelectRec(root_.get(), 0, c, k);
+}
+
+uint64_t DynamicWaveletTree::SpaceBytes() const {
+  uint64_t total = 0;
+  // Recursion via explicit stack.
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n == nullptr) continue;
+    total += sizeof(Node) + n->bits.SpaceBytes();
+    stack.push_back(n->left.get());
+    stack.push_back(n->right.get());
+  }
+  return total;
+}
+
+}  // namespace dyndex

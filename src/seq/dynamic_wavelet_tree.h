@@ -1,0 +1,72 @@
+// Dynamic wavelet tree over dynamic bit vectors: insert/erase/access/rank/
+// select in O(log sigma * log n).
+//
+// This structure *is* the bottleneck the paper talks about: every symbol
+// operation pays the Fredman-Saks dynamic-rank price at each of its
+// log(sigma) levels. It is the substrate of the baseline dynamic FM-index
+// (Chan-Hon-Lam-Sadakane [10,9], Makinen-Navarro [30,31], Navarro-Nekrich
+// [35]) and of the baseline dynamic relation, against which the paper's
+// framework is benchmarked.
+#ifndef DYNDEX_SEQ_DYNAMIC_WAVELET_TREE_H_
+#define DYNDEX_SEQ_DYNAMIC_WAVELET_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "dynbits/dynamic_bit_vector.h"
+
+namespace dyndex {
+
+/// Dynamic integer sequence with rank/select, alphabet [0, capacity) where
+/// capacity is fixed at construction (rounded up to a power of two).
+class DynamicWaveletTree {
+ public:
+  DynamicWaveletTree() = default;
+
+  /// `capacity` bounds the largest symbol value + 1 ever inserted.
+  explicit DynamicWaveletTree(uint32_t capacity);
+
+  uint64_t size() const { return size_; }
+  uint32_t capacity() const { return capacity_; }
+
+  /// Inserts symbol c before position i (i == size() appends).
+  void Insert(uint64_t i, uint32_t c);
+
+  /// Removes the symbol at position i and returns it.
+  uint32_t Erase(uint64_t i);
+
+  /// Value at position i.
+  uint32_t Access(uint64_t i) const;
+
+  /// Occurrences of c in [0, i).
+  uint64_t Rank(uint32_t c, uint64_t i) const;
+
+  /// Position of the k-th (0-based) occurrence of c; requires k < Count(c).
+  uint64_t Select(uint32_t c, uint64_t k) const;
+
+  /// {Access(i), Rank(Access(i), i)} in one descent.
+  std::pair<uint32_t, uint64_t> InverseSelect(uint64_t i) const;
+
+  uint64_t Count(uint32_t c) const { return Rank(c, size_); }
+
+  uint64_t SpaceBytes() const;
+
+ private:
+  struct Node {
+    DynamicBitVector bits;
+    std::unique_ptr<Node> left, right;  // created lazily
+  };
+
+  std::unique_ptr<Node> root_;
+  uint64_t size_ = 0;
+  uint32_t capacity_ = 0;
+  uint32_t depth_ = 0;
+
+  uint64_t SelectRec(const Node* node, uint32_t level, uint32_t c,
+                     uint64_t k) const;
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_SEQ_DYNAMIC_WAVELET_TREE_H_

@@ -1,0 +1,199 @@
+#include "seq/huffman_wavelet_tree.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace dyndex {
+
+HuffmanWaveletTree::HuffmanWaveletTree(const std::vector<uint32_t>& data,
+                                       uint32_t sigma) {
+  DYNDEX_CHECK(sigma >= 1);
+  size_ = data.size();
+  sigma_ = sigma;
+  counts_.assign(sigma, 0);
+  leaf_of_.assign(sigma, -1);
+  if (size_ == 0) return;
+  for (uint32_t c : data) {
+    DYNDEX_CHECK(c < sigma);
+    ++counts_[c];
+  }
+
+  // Build the Huffman tree over present symbols.
+  struct HeapItem {
+    uint64_t weight;
+    int32_t node;
+    bool operator>(const HeapItem& o) const {
+      // Deterministic tie-break on node id.
+      return weight != o.weight ? weight > o.weight : node > o.node;
+    }
+  };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>>
+      heap;
+  for (uint32_t c = 0; c < sigma; ++c) {
+    if (counts_[c] == 0) continue;
+    Node leaf;
+    leaf.symbol = static_cast<int32_t>(c);
+    nodes_.push_back(std::move(leaf));
+    int32_t id = static_cast<int32_t>(nodes_.size()) - 1;
+    leaf_of_[c] = id;
+    heap.push({counts_[c], id});
+  }
+  if (heap.size() == 1) {
+    single_symbol_ = true;
+    return;  // rank/select answered arithmetically
+  }
+  while (heap.size() > 1) {
+    HeapItem a = heap.top();
+    heap.pop();
+    HeapItem b = heap.top();
+    heap.pop();
+    Node internal;
+    internal.left = a.node;
+    internal.right = b.node;
+    nodes_.push_back(std::move(internal));
+    int32_t id = static_cast<int32_t>(nodes_.size()) - 1;
+    nodes_[a.node].parent = id;
+    nodes_[a.node].is_right_child = false;
+    nodes_[b.node].parent = id;
+    nodes_[b.node].is_right_child = true;
+    heap.push({a.weight + b.weight, id});
+  }
+  int32_t root = heap.top().node;
+  // Re-root at index 0 by swapping (queries start at nodes_[0]).
+  if (root != 0) {
+    std::swap(nodes_[0], nodes_[static_cast<uint32_t>(root)]);
+    // Fix references to the two swapped nodes.
+    auto fix = [&](int32_t& ref) {
+      if (ref == 0) {
+        ref = root;
+      } else if (ref == root) {
+        ref = 0;
+      }
+    };
+    for (uint32_t i = 0; i < nodes_.size(); ++i) {
+      fix(nodes_[i].left);
+      fix(nodes_[i].right);
+      fix(nodes_[i].parent);
+    }
+    for (uint32_t c = 0; c < sigma; ++c) {
+      if (leaf_of_[c] == 0) {
+        leaf_of_[c] = root;
+      } else if (leaf_of_[c] == root) {
+        leaf_of_[c] = 0;
+      }
+    }
+  }
+
+  // Fill the per-node bitmaps level-wise: route every element down its code
+  // path, appending one bit per internal node visited.
+  std::vector<BitVector> raw(nodes_.size());
+  std::vector<std::vector<uint32_t>> node_seq(1);
+  // Instead of materializing per-node sequences (O(nH0) space anyway), do a
+  // two-pass: compute code paths per symbol, then append bits in data order
+  // using per-node write cursors over pre-sized bit vectors.
+  std::vector<uint64_t> node_size(nodes_.size(), 0);
+  std::vector<std::vector<std::pair<int32_t, bool>>> code(sigma);
+  for (uint32_t c = 0; c < sigma; ++c) {
+    if (counts_[c] == 0) continue;
+    int32_t v = leaf_of_[c];
+    std::vector<std::pair<int32_t, bool>> path;
+    while (nodes_[v].parent != -1) {
+      path.push_back({nodes_[v].parent, nodes_[v].is_right_child});
+      v = nodes_[v].parent;
+    }
+    std::reverse(path.begin(), path.end());
+    for (auto [node, bit] : path) {
+      (void)bit;
+      node_size[node] += counts_[c];
+    }
+    code[c] = std::move(path);
+  }
+  for (uint32_t v = 0; v < nodes_.size(); ++v) {
+    if (nodes_[v].symbol < 0) raw[v].Reset(node_size[v]);
+  }
+  std::vector<uint64_t> cursor(nodes_.size(), 0);
+  for (uint32_t c : data) {
+    for (auto [node, bit] : code[c]) {
+      raw[node].Set(cursor[node]++, bit);
+    }
+  }
+  for (uint32_t v = 0; v < nodes_.size(); ++v) {
+    if (nodes_[v].symbol < 0) nodes_[v].bits.Build(std::move(raw[v]));
+  }
+}
+
+uint32_t HuffmanWaveletTree::Access(uint64_t i) const {
+  DYNDEX_DCHECK(i < size_);
+  if (single_symbol_) return static_cast<uint32_t>(nodes_[0].symbol);
+  int32_t v = 0;
+  while (nodes_[v].symbol < 0) {
+    bool bit = nodes_[v].bits.Get(i);
+    i = bit ? nodes_[v].bits.Rank1(i) : nodes_[v].bits.Rank0(i);
+    v = bit ? nodes_[v].right : nodes_[v].left;
+  }
+  return static_cast<uint32_t>(nodes_[v].symbol);
+}
+
+uint64_t HuffmanWaveletTree::Rank(uint32_t c, uint64_t i) const {
+  DYNDEX_DCHECK(i <= size_);
+  if (c >= sigma_ || leaf_of_.empty() || leaf_of_[c] < 0) return 0;
+  if (single_symbol_) return i;
+  // Walk down the code path, mapping the prefix length.
+  int32_t v = 0;
+  for (auto [node, bit] : [&] {
+         // Recompute the path root->leaf from parent pointers.
+         std::vector<std::pair<int32_t, bool>> path;
+         int32_t u = leaf_of_[c];
+         while (nodes_[u].parent != -1) {
+           path.push_back({nodes_[u].parent, nodes_[u].is_right_child});
+           u = nodes_[u].parent;
+         }
+         std::reverse(path.begin(), path.end());
+         return path;
+       }()) {
+    (void)node;
+    DYNDEX_DCHECK(node == v);
+    i = bit ? nodes_[v].bits.Rank1(i) : nodes_[v].bits.Rank0(i);
+    v = bit ? nodes_[v].right : nodes_[v].left;
+    if (i == 0) return 0;
+  }
+  return i;
+}
+
+uint64_t HuffmanWaveletTree::Select(uint32_t c, uint64_t k) const {
+  DYNDEX_DCHECK(c < sigma_ && leaf_of_[c] >= 0);
+  if (single_symbol_) return k;
+  // Ascend from the leaf, inverting each routing step with select.
+  int32_t v = leaf_of_[c];
+  uint64_t pos = k;
+  while (nodes_[v].parent != -1) {
+    int32_t p = nodes_[v].parent;
+    pos = nodes_[v].is_right_child ? nodes_[p].bits.Select1(pos)
+                                   : nodes_[p].bits.Select0(pos);
+    v = p;
+  }
+  return pos;
+}
+
+double HuffmanWaveletTree::BitsPerSymbol() const {
+  if (size_ == 0) return 0.0;
+  uint64_t total_bits = 0;
+  for (const Node& n : nodes_) {
+    if (n.symbol < 0) total_bits += n.bits.size();
+  }
+  return static_cast<double>(total_bits) / static_cast<double>(size_);
+}
+
+uint64_t HuffmanWaveletTree::SpaceBytes() const {
+  uint64_t total = nodes_.capacity() * sizeof(Node) +
+                   leaf_of_.capacity() * sizeof(int32_t) +
+                   counts_.capacity() * sizeof(uint64_t);
+  for (const Node& n : nodes_) {
+    if (n.symbol < 0) total += n.bits.SpaceBytes();
+  }
+  return total;
+}
+
+}  // namespace dyndex

@@ -1,0 +1,54 @@
+#include "suffix/entropy.h"
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace dyndex {
+
+namespace {
+
+double H0OfCounts(const std::unordered_map<uint32_t, uint64_t>& counts,
+                  uint64_t total) {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const auto& [sym, c] : counts) {
+    (void)sym;
+    if (c == 0) continue;
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+double EntropyH0(const std::vector<uint32_t>& text) {
+  std::unordered_map<uint32_t, uint64_t> counts;
+  for (uint32_t c : text) ++counts[c];
+  return H0OfCounts(counts, text.size());
+}
+
+double EntropyHk(const std::vector<uint32_t>& text, uint32_t k) {
+  if (k == 0) return EntropyH0(text);
+  if (text.size() <= k) return 0.0;
+  // Group symbols by their preceding k-symbol context.
+  std::map<std::u32string, std::unordered_map<uint32_t, uint64_t>> by_context;
+  std::map<std::u32string, uint64_t> context_total;
+  std::u32string ctx;
+  for (uint64_t i = k; i < text.size(); ++i) {
+    ctx.clear();
+    for (uint64_t j = i - k; j < i; ++j) ctx.push_back(text[j]);
+    ++by_context[ctx][text[i]];
+    ++context_total[ctx];
+  }
+  double total_bits = 0.0;
+  for (const auto& [c, dist] : by_context) {
+    uint64_t t = context_total[c];
+    total_bits += static_cast<double>(t) * H0OfCounts(dist, t);
+  }
+  return total_bits / static_cast<double>(text.size());
+}
+
+}  // namespace dyndex

@@ -1,0 +1,21 @@
+// Empirical entropy statistics (H0, Hk) used by the space-accounting
+// benchmarks: the paper's space bounds are stated in terms of nHk, so every
+// space report includes the measured entropy bounds next to the actual bytes.
+#ifndef DYNDEX_SUFFIX_ENTROPY_H_
+#define DYNDEX_SUFFIX_ENTROPY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dyndex {
+
+/// Zero-order empirical entropy of `text` in bits per symbol.
+double EntropyH0(const std::vector<uint32_t>& text);
+
+/// k-th order empirical entropy of `text` in bits per symbol
+/// (Hk = sum over contexts w of |T_w|/n * H0(T_w)). k = 0 falls back to H0.
+double EntropyHk(const std::vector<uint32_t>& text, uint32_t k);
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_SUFFIX_ENTROPY_H_

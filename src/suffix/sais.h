@@ -1,0 +1,21 @@
+// SA-IS suffix array construction for integer alphabets, O(n) time.
+// The construction backbone of every static index in the library.
+#ifndef DYNDEX_SUFFIX_SAIS_H_
+#define DYNDEX_SUFFIX_SAIS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dyndex {
+
+/// Builds the suffix array of `text`.
+///
+/// Requirements: text is non-empty, its last symbol is 0, 0 occurs nowhere
+/// else, and all symbols are < `sigma`. Returns SA with SA[0] = n-1 (the
+/// sentinel suffix).
+std::vector<uint64_t> BuildSuffixArray(const std::vector<uint32_t>& text,
+                                       uint32_t sigma);
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_SUFFIX_SAIS_H_

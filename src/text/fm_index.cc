@@ -1,0 +1,122 @@
+#include "text/fm_index.h"
+
+#include <algorithm>
+
+#include "suffix/bwt.h"
+#include "suffix/sais.h"
+#include "util/check.h"
+
+namespace dyndex {
+
+FmIndex FmIndex::Build(const ConcatText& text, const Options& options) {
+  FmIndex idx;
+  idx.sample_rate_ = options.sample_rate == 0 ? 1 : options.sample_rate;
+  idx.starts_ = text.starts();
+  idx.lens_ = text.lens();
+  idx.sigma_ = text.sigma();
+
+  // Append the sentinel and build the suffix array.
+  std::vector<Symbol> t = text.symbols();
+  t.push_back(kSentinel);
+  uint64_t n_rows = t.size();
+  std::vector<uint64_t> sa = BuildSuffixArray(t, idx.sigma_);
+  std::vector<Symbol> bwt = BwtFromSuffixArray(t, sa);
+  idx.wt_ = WaveletTree(bwt, idx.sigma_);
+
+  // C array.
+  idx.c_.assign(idx.sigma_ + 1, 0);
+  for (Symbol c : bwt) ++idx.c_[c + 1];
+  for (uint32_t c = 1; c <= idx.sigma_; ++c) idx.c_[c] += idx.c_[c - 1];
+
+  // Sampling: rows whose SA value is a multiple of s, in row order, plus the
+  // inverse samples for extraction.
+  uint32_t s = idx.sample_rate_;
+  BitVector sampled(n_rows);
+  std::vector<uint64_t> sample_values;
+  idx.inv_samples_.Reset((n_rows - 1) / s + 1, BitWidth(n_rows - 1));
+  for (uint64_t row = 0; row < n_rows; ++row) {
+    if (sa[row] % s == 0) {
+      sampled.Set(row, true);
+      sample_values.push_back(sa[row]);
+      idx.inv_samples_.Set(sa[row] / s, row);
+    }
+  }
+  idx.sampled_.Build(std::move(sampled));
+  idx.sa_samples_ = IntVector::Pack(sample_values);
+
+  // Separator rows: scan the SA once; a separator at position p terminates
+  // the document whose range contains p.
+  uint32_t m = text.num_docs();
+  idx.sep_rows_.Reset(m, BitWidth(n_rows == 0 ? 1 : n_rows - 1));
+  for (uint64_t row = 0; row < n_rows; ++row) {
+    uint64_t pos = sa[row];
+    if (pos + 1 < n_rows && t[pos] == kSeparator) {
+      idx.sep_rows_.Set(idx.DocOfPos(pos), row);
+    }
+  }
+  return idx;
+}
+
+uint32_t FmIndex::DocOfPos(uint64_t pos) const {
+  DYNDEX_DCHECK(!starts_.empty());
+  auto it = std::upper_bound(starts_.begin(), starts_.end(), pos);
+  DYNDEX_DCHECK(it != starts_.begin());
+  return static_cast<uint32_t>((it - starts_.begin()) - 1);
+}
+
+RowRange FmIndex::Find(const Symbol* pattern, uint64_t len) const {
+  uint64_t lo = 0, hi = NumRows();
+  for (uint64_t k = len; k > 0; --k) {
+    Symbol c = pattern[k - 1];
+    if (c >= sigma_) return {0, 0};
+    lo = c_[c] + wt_.Rank(c, lo);
+    hi = c_[c] + wt_.Rank(c, hi);
+    if (lo >= hi) return {0, 0};
+  }
+  return {lo, hi};
+}
+
+uint64_t FmIndex::Locate(uint64_t row) const {
+  uint64_t k = 0;
+  while (!sampled_.Get(row)) {
+    row = LF(row);
+    ++k;
+  }
+  return sa_samples_.Get(sampled_.Rank1(row)) + k;
+}
+
+void FmIndex::Extract(uint64_t pos, uint64_t len, std::vector<Symbol>* out) const {
+  uint64_t n = TextSize();
+  DYNDEX_CHECK(pos + len <= n);
+  if (len == 0) return;
+  uint64_t target = pos + len;
+  uint32_t s = sample_rate_;
+  // The nearest sampled text position at or after `target`; position n (the
+  // sentinel) is always reachable as row 0.
+  uint64_t p = CeilDiv(target, s) * s;
+  uint64_t row;
+  if (p >= n) {
+    p = n;
+    row = 0;  // sentinel suffix has the smallest row
+  } else {
+    row = inv_samples_.Get(p / s);
+  }
+  std::vector<Symbol> buf(p - pos);
+  uint64_t q = p;
+  while (q > pos) {
+    auto [c, r] = wt_.InverseSelect(row);
+    buf[q - 1 - pos] = c;
+    row = c_[c] + r;
+    --q;
+  }
+  out->insert(out->end(), buf.begin(), buf.begin() + static_cast<int64_t>(len));
+}
+
+uint64_t FmIndex::SpaceBytes() const {
+  return wt_.SpaceBytes() + c_.capacity() * sizeof(uint64_t) +
+         sampled_.SpaceBytes() + sa_samples_.SpaceBytes() +
+         inv_samples_.SpaceBytes() + sep_rows_.SpaceBytes() +
+         (starts_.capacity() + lens_.capacity()) * sizeof(uint64_t);
+}
+
+}  // namespace dyndex

@@ -1,0 +1,19 @@
+// Suffix-array row range shared by every static index implementation.
+#ifndef DYNDEX_TEXT_ROW_RANGE_H_
+#define DYNDEX_TEXT_ROW_RANGE_H_
+
+#include <cstdint>
+
+namespace dyndex {
+
+/// Half-open range of suffix-array rows returned by range-finding.
+struct RowRange {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  uint64_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_TEXT_ROW_RANGE_H_

@@ -1,0 +1,44 @@
+#include "util/bits.h"
+
+namespace dyndex {
+
+namespace {
+
+// Per-byte select table: kSelectInByte[k][b] = position of the k-th 1-bit in
+// byte b, or 8 if it does not exist.
+struct SelectTable {
+  uint8_t pos[8][256];
+  constexpr SelectTable() : pos{} {
+    for (int b = 0; b < 256; ++b) {
+      int seen = 0;
+      for (int i = 0; i < 8; ++i) {
+        if (b & (1 << i)) {
+          pos[seen][b] = static_cast<uint8_t>(i);
+          ++seen;
+        }
+      }
+      for (int k = seen; k < 8; ++k) pos[k][b] = 8;
+    }
+  }
+};
+
+constexpr SelectTable kSelect{};
+
+}  // namespace
+
+uint32_t SelectInWord(uint64_t x, uint32_t k) {
+  DYNDEX_DCHECK(k < Popcount(x));
+  uint32_t offset = 0;
+  for (int byte = 0; byte < 8; ++byte) {
+    uint32_t b = static_cast<uint32_t>(x & 0xFF);
+    uint32_t cnt = Popcount(b);
+    if (k < cnt) return offset + kSelect.pos[k][b];
+    k -= cnt;
+    x >>= 8;
+    offset += 8;
+  }
+  DYNDEX_CHECK(false);  // unreachable: k < Popcount(x) was violated
+  return 64;
+}
+
+}  // namespace dyndex

@@ -1,0 +1,63 @@
+// Broadword/bit-manipulation primitives used by every succinct structure in the
+// library: popcount, select-in-word, integer logs and ceil-div helpers.
+#ifndef DYNDEX_UTIL_BITS_H_
+#define DYNDEX_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace dyndex {
+
+/// Number of 1-bits in `x`.
+inline uint32_t Popcount(uint64_t x) { return static_cast<uint32_t>(std::popcount(x)); }
+
+/// Position (0-based, LSB first) of the k-th (0-based) 1-bit of `x`.
+/// Requires k < Popcount(x).
+uint32_t SelectInWord(uint64_t x, uint32_t k);
+
+/// Position of the lowest set bit. Requires x != 0.
+inline uint32_t Ctz(uint64_t x) {
+  DYNDEX_DCHECK(x != 0);
+  return static_cast<uint32_t>(std::countr_zero(x));
+}
+
+/// floor(log2(x)) for x >= 1; returns 0 for x == 0.
+inline uint32_t FloorLog2(uint64_t x) {
+  return x == 0 ? 0 : 63u - static_cast<uint32_t>(std::countl_zero(x));
+}
+
+/// ceil(log2(x)): number of bits needed to represent values in [0, x).
+/// CeilLog2(0) == CeilLog2(1) == 0.
+inline uint32_t CeilLog2(uint64_t x) {
+  if (x <= 1) return 0;
+  return FloorLog2(x - 1) + 1;
+}
+
+/// Number of bits needed to store the value `x` itself (at least 1).
+inline uint32_t BitWidth(uint64_t x) { return x == 0 ? 1 : FloorLog2(x) + 1; }
+
+/// ceil(a / b) for b > 0.
+inline uint64_t CeilDiv(uint64_t a, uint64_t b) {
+  DYNDEX_DCHECK(b > 0);
+  return (a + b - 1) / b;
+}
+
+/// Mask with the low `n` bits set; n in [0, 64].
+inline uint64_t LowMask(uint32_t n) {
+  return n >= 64 ? ~0ull : ((1ull << n) - 1);
+}
+
+/// log2(n)/log2(log2(n)) style helper used for default τ: returns
+/// max(4, log n / log log n) on the current size.
+inline uint32_t DefaultTau(uint64_t n) {
+  uint32_t logn = BitWidth(n | 1);
+  uint32_t loglogn = BitWidth(logn | 1);
+  uint32_t tau = logn / (loglogn == 0 ? 1 : loglogn);
+  return tau < 4 ? 4 : tau;
+}
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_UTIL_BITS_H_

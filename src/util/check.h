@@ -1,0 +1,36 @@
+// Lightweight CHECK macros (the library does not use exceptions; invariant and
+// precondition violations abort with a message, following the Google style the
+// project adopts).
+#ifndef DYNDEX_UTIL_CHECK_H_
+#define DYNDEX_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dyndex {
+
+[[noreturn]] inline void CheckFail(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace dyndex
+
+/// Aborts the process if `cond` is false. Enabled in all build types: the cost
+/// is negligible outside of inner loops and the structures here are intricate
+/// enough that silent corruption is far worse than an abort.
+#define DYNDEX_CHECK(cond)                                  \
+  do {                                                      \
+    if (!(cond)) ::dyndex::CheckFail(__FILE__, __LINE__, #cond); \
+  } while (0)
+
+/// Debug-only check for hot paths.
+#ifndef NDEBUG
+#define DYNDEX_DCHECK(cond) DYNDEX_CHECK(cond)
+#else
+#define DYNDEX_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#endif
+
+#endif  // DYNDEX_UTIL_CHECK_H_

@@ -1,0 +1,77 @@
+// Fenwick (binary indexed) tree over 64-bit counts.
+//
+// Used as the engineering substitute for the dynamic-rank structures of
+// Navarro-Sadakane [37] and Gonzalez-Navarro [20]: counting dead suffix-array
+// rows in a range (Theorem 1) and maintaining dynamic symbol counts (the C
+// array of the baseline dynamic FM-index). O(log n) query/update.
+#ifndef DYNDEX_UTIL_FENWICK_H_
+#define DYNDEX_UTIL_FENWICK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dyndex {
+
+/// Prefix-sum tree over `size` slots of int64 deltas.
+class Fenwick {
+ public:
+  Fenwick() = default;
+  explicit Fenwick(uint64_t size) { Reset(size); }
+
+  void Reset(uint64_t size) {
+    size_ = size;
+    tree_.assign(size + 1, 0);
+  }
+
+  uint64_t size() const { return size_; }
+
+  /// Adds `delta` to slot i.
+  void Add(uint64_t i, int64_t delta) {
+    DYNDEX_DCHECK(i < size_);
+    for (uint64_t p = i + 1; p <= size_; p += p & (~p + 1)) tree_[p] += delta;
+  }
+
+  /// Sum of slots [0, i).
+  int64_t PrefixSum(uint64_t i) const {
+    DYNDEX_DCHECK(i <= size_);
+    int64_t s = 0;
+    for (uint64_t p = i; p > 0; p -= p & (~p + 1)) s += tree_[p];
+    return s;
+  }
+
+  /// Sum of slots [a, b).
+  int64_t RangeSum(uint64_t a, uint64_t b) const {
+    DYNDEX_DCHECK(a <= b);
+    return PrefixSum(b) - PrefixSum(a);
+  }
+
+  /// Smallest index i such that PrefixSum(i+1) > target, i.e. the slot where
+  /// the cumulative sum first exceeds `target`. All deltas must be
+  /// non-negative for this to be meaningful. Returns size() if the total is
+  /// <= target.
+  uint64_t FindByPrefix(int64_t target) const {
+    uint64_t pos = 0;
+    uint64_t mask = 1;
+    while ((mask << 1) <= size_) mask <<= 1;
+    for (; mask > 0; mask >>= 1) {
+      uint64_t next = pos + mask;
+      if (next <= size_ && tree_[next] <= target) {
+        target -= tree_[next];
+        pos = next;
+      }
+    }
+    return pos;  // slots [0, pos) sum to <= original target
+  }
+
+  uint64_t SpaceBytes() const { return tree_.capacity() * sizeof(int64_t); }
+
+ private:
+  uint64_t size_ = 0;
+  std::vector<int64_t> tree_;
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_UTIL_FENWICK_H_

@@ -1,0 +1,31 @@
+#include "util/int_vector.h"
+
+namespace dyndex {
+
+void IntVector::Reset(uint64_t size, uint32_t width) {
+  DYNDEX_CHECK(width <= 64);
+  size_ = size;
+  width_ = width;
+  mask_ = width == 64 ? ~0ull : LowMask(width);
+  words_.assign(CeilDiv(size * width, 64) + 1, 0);
+}
+
+IntVector IntVector::Pack(const std::vector<uint64_t>& values) {
+  uint64_t max = 0;
+  for (uint64_t v : values) max = v > max ? v : max;
+  IntVector out(values.size(), BitWidth(max));
+  for (uint64_t i = 0; i < values.size(); ++i) out.Set(i, values[i]);
+  return out;
+}
+
+void IntVector::PushBack(uint64_t value) {
+  uint64_t needed = CeilDiv((size_ + 1) * width_, 64) + 1;
+  if (words_.size() < needed) {
+    uint64_t grow = words_.size() + words_.size() / 2 + 2;
+    words_.resize(grow > needed ? grow : needed, 0);
+  }
+  ++size_;
+  Set(size_ - 1, value);
+}
+
+}  // namespace dyndex

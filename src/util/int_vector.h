@@ -1,0 +1,96 @@
+// Packed vector of fixed-width integers. The basic storage unit of every
+// succinct structure in the library: a suffix array packed to ceil(log2 n)
+// bits, a text packed to ceil(log2 sigma) bits, sample tables, etc.
+#ifndef DYNDEX_UTIL_INT_VECTOR_H_
+#define DYNDEX_UTIL_INT_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace dyndex {
+
+/// Fixed-width packed integer vector.
+///
+/// Values are stored LSB-first in a flat array of 64-bit words; a value may
+/// straddle a word boundary. Width 0 is allowed (all values read as 0).
+class IntVector {
+ public:
+  IntVector() = default;
+
+  /// Creates a vector of `size` zeros, each `width` bits wide (width <= 64).
+  IntVector(uint64_t size, uint32_t width) { Reset(size, width); }
+
+  /// Re-initializes to `size` zeros of the given width.
+  void Reset(uint64_t size, uint32_t width);
+
+  /// Builds a packed copy of `values` using width = BitWidth(max value).
+  static IntVector Pack(const std::vector<uint64_t>& values);
+
+  uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint32_t width() const { return width_; }
+
+  /// Reads the value at index i.
+  uint64_t Get(uint64_t i) const {
+    DYNDEX_DCHECK(i < size_);
+    if (width_ == 0) return 0;
+    uint64_t bit = i * width_;
+    uint64_t word = bit >> 6;
+    uint32_t off = static_cast<uint32_t>(bit & 63);
+    uint64_t v = words_[word] >> off;
+    if (off + width_ > 64) v |= words_[word + 1] << (64 - off);
+    return v & mask_;
+  }
+
+  uint64_t operator[](uint64_t i) const { return Get(i); }
+
+  /// Writes `value` (must fit in `width` bits) at index i.
+  void Set(uint64_t i, uint64_t value) {
+    DYNDEX_DCHECK(i < size_);
+    DYNDEX_DCHECK((value & ~mask_) == 0 || width_ == 64);
+    if (width_ == 0) return;
+    uint64_t bit = i * width_;
+    uint64_t word = bit >> 6;
+    uint32_t off = static_cast<uint32_t>(bit & 63);
+    words_[word] = (words_[word] & ~(mask_ << off)) | (value << off);
+    if (off + width_ > 64) {
+      uint32_t high = off + width_ - 64;
+      words_[word + 1] =
+          (words_[word + 1] & ~LowMask(high)) | (value >> (64 - off));
+    }
+  }
+
+  /// Appends a value (amortized O(1)).
+  void PushBack(uint64_t value);
+
+  /// Reads up to 64 raw bits starting at absolute bit offset `bit`. Bits
+  /// beyond the storage read as 0. Used for word-packed multi-symbol reads.
+  uint64_t GetBits(uint64_t bit, uint32_t nbits) const {
+    DYNDEX_DCHECK(nbits <= 64);
+    if (nbits == 0) return 0;
+    uint64_t word = bit >> 6;
+    uint32_t off = static_cast<uint32_t>(bit & 63);
+    if (word >= words_.size()) return 0;
+    uint64_t v = words_[word] >> off;
+    if (off + nbits > 64 && word + 1 < words_.size()) {
+      v |= words_[word + 1] << (64 - off);
+    }
+    return nbits == 64 ? v : v & LowMask(nbits);
+  }
+
+  /// Heap bytes used by the storage.
+  uint64_t SpaceBytes() const { return words_.capacity() * sizeof(uint64_t); }
+
+ private:
+  std::vector<uint64_t> words_;
+  uint64_t size_ = 0;
+  uint32_t width_ = 0;
+  uint64_t mask_ = 0;
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_UTIL_INT_VECTOR_H_

@@ -1,0 +1,42 @@
+// Small deterministic RNG (splitmix64 + xoshiro-style mixing) used by tests,
+// workload generators and benchmarks. Deterministic across platforms, unlike
+// std::mt19937 distributions.
+#ifndef DYNDEX_UTIL_RNG_H_
+#define DYNDEX_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace dyndex {
+
+/// Deterministic 64-bit RNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  /// Next raw 64-bit value (splitmix64).
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform value in [lo, hi].
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Bernoulli(p).
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_UTIL_RNG_H_

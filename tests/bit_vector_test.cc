@@ -1,0 +1,52 @@
+#include "bits/bit_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+TEST(BitVectorTest, SetGet) {
+  BitVector b(200);
+  EXPECT_EQ(b.size(), 200u);
+  for (uint64_t i = 0; i < 200; i += 3) b.Set(i, true);
+  for (uint64_t i = 0; i < 200; ++i) EXPECT_EQ(b.Get(i), i % 3 == 0) << i;
+}
+
+TEST(BitVectorTest, FillTrueClearsTail) {
+  for (uint64_t n : {1ull, 63ull, 64ull, 65ull, 127ull, 128ull, 1000ull}) {
+    BitVector b(n, true);
+    EXPECT_EQ(b.CountOnes(), n) << n;
+    for (uint64_t i = 0; i < n; ++i) EXPECT_TRUE(b.Get(i));
+  }
+}
+
+TEST(BitVectorTest, PushBack) {
+  BitVector b;
+  Rng rng(3);
+  std::vector<bool> expect;
+  for (int i = 0; i < 5000; ++i) {
+    bool bit = rng.Chance(0.3);
+    b.PushBack(bit);
+    expect.push_back(bit);
+  }
+  ASSERT_EQ(b.size(), expect.size());
+  uint64_t ones = 0;
+  for (uint64_t i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(b.Get(i), expect[i]);
+    ones += expect[i];
+  }
+  EXPECT_EQ(b.CountOnes(), ones);
+}
+
+TEST(BitVectorTest, ZeroSize) {
+  BitVector b(0);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.CountOnes(), 0u);
+}
+
+}  // namespace
+}  // namespace dyndex

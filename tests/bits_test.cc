@@ -1,0 +1,82 @@
+#include "util/bits.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+TEST(BitsTest, PopcountMatchesNaive) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t x = rng.Next();
+    uint32_t naive = 0;
+    for (int b = 0; b < 64; ++b) naive += (x >> b) & 1;
+    EXPECT_EQ(Popcount(x), naive);
+  }
+}
+
+TEST(BitsTest, SelectInWordMatchesNaive) {
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t x = rng.Next() & rng.Next();  // sparser words too
+    uint32_t ones = Popcount(x);
+    if (ones == 0) continue;
+    uint32_t k = static_cast<uint32_t>(rng.Below(ones));
+    uint32_t pos = SelectInWord(x, k);
+    // Verify: bit set and exactly k ones before it.
+    EXPECT_TRUE((x >> pos) & 1);
+    uint32_t before = pos == 0 ? 0 : Popcount(x & LowMask(pos));
+    EXPECT_EQ(before, k);
+  }
+}
+
+TEST(BitsTest, SelectInWordEdgeCases) {
+  EXPECT_EQ(SelectInWord(1ull, 0), 0u);
+  EXPECT_EQ(SelectInWord(1ull << 63, 0), 63u);
+  EXPECT_EQ(SelectInWord(~0ull, 63), 63u);
+  EXPECT_EQ(SelectInWord(~0ull, 0), 0u);
+  EXPECT_EQ(SelectInWord(0x8000000000000001ull, 1), 63u);
+}
+
+TEST(BitsTest, Logs) {
+  EXPECT_EQ(FloorLog2(1), 0u);
+  EXPECT_EQ(FloorLog2(2), 1u);
+  EXPECT_EQ(FloorLog2(3), 1u);
+  EXPECT_EQ(FloorLog2(1024), 10u);
+  EXPECT_EQ(CeilLog2(0), 0u);
+  EXPECT_EQ(CeilLog2(1), 0u);
+  EXPECT_EQ(CeilLog2(2), 1u);
+  EXPECT_EQ(CeilLog2(3), 2u);
+  EXPECT_EQ(CeilLog2(1024), 10u);
+  EXPECT_EQ(CeilLog2(1025), 11u);
+  EXPECT_EQ(BitWidth(0), 1u);
+  EXPECT_EQ(BitWidth(1), 1u);
+  EXPECT_EQ(BitWidth(255), 8u);
+  EXPECT_EQ(BitWidth(256), 9u);
+}
+
+TEST(BitsTest, LowMask) {
+  EXPECT_EQ(LowMask(0), 0ull);
+  EXPECT_EQ(LowMask(1), 1ull);
+  EXPECT_EQ(LowMask(63), ~0ull >> 1);
+  EXPECT_EQ(LowMask(64), ~0ull);
+}
+
+TEST(BitsTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 64), 0u);
+  EXPECT_EQ(CeilDiv(1, 64), 1u);
+  EXPECT_EQ(CeilDiv(64, 64), 1u);
+  EXPECT_EQ(CeilDiv(65, 64), 2u);
+}
+
+TEST(BitsTest, DefaultTauGrowsSlowly) {
+  EXPECT_GE(DefaultTau(10), 4u);
+  EXPECT_GE(DefaultTau(1 << 20), 4u);
+  EXPECT_LE(DefaultTau(1 << 20), 8u);
+  EXPECT_LE(DefaultTau(1ull << 40), 12u);
+}
+
+}  // namespace
+}  // namespace dyndex

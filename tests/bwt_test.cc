@@ -1,0 +1,65 @@
+#include "suffix/bwt.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/text_gen.h"
+#include "suffix/sais.h"
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+class BwtRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
+
+TEST_P(BwtRoundTripTest, InverseRecoversText) {
+  auto [n, sigma] = GetParam();
+  Rng rng(n + sigma);
+  std::vector<Symbol> t = UniformText(rng, n, sigma);
+  t.push_back(kSentinel);
+  uint32_t full_sigma = 0;
+  for (Symbol s : t) full_sigma = s + 1 > full_sigma ? s + 1 : full_sigma;
+  auto sa = BuildSuffixArray(t, full_sigma);
+  auto bwt = BwtFromSuffixArray(t, sa);
+  ASSERT_EQ(bwt.size(), t.size());
+  // Exactly one sentinel in the BWT.
+  uint64_t sentinels = 0;
+  for (Symbol c : bwt) sentinels += c == kSentinel;
+  EXPECT_EQ(sentinels, 1u);
+  EXPECT_EQ(InverseBwt(bwt, full_sigma), t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BwtRoundTripTest,
+    ::testing::Combine(::testing::Values(1, 2, 17, 256, 4000),
+                       ::testing::Values(2u, 4u, 26u, 300u)));
+
+TEST(BwtTest, KnownTransform) {
+  // "banana$" with a=2,b=3,n=4 and $=0 -> BWT should be "annb$aa":
+  // suffixes sorted: $, a$, ana$, anana$, banana$, na$, nana$
+  // preceding chars:  a   n    n      b       $     a    a
+  std::vector<Symbol> t{3, 2, 4, 2, 4, 2, 0};
+  auto sa = BuildSuffixArray(t, 5);
+  auto bwt = BwtFromSuffixArray(t, sa);
+  EXPECT_EQ(bwt, (std::vector<Symbol>{2, 4, 4, 3, 0, 2, 2}));
+}
+
+TEST(BwtTest, RepetitiveTextGroupsRuns) {
+  // BWT of a highly repetitive text should contain long runs; sanity-check
+  // that the run count is far below n.
+  Rng rng(5);
+  std::vector<Symbol> t;
+  auto unit = UniformText(rng, 25, 4);
+  for (int rep = 0; rep < 40; ++rep) t.insert(t.end(), unit.begin(), unit.end());
+  t.push_back(kSentinel);
+  auto sa = BuildSuffixArray(t, 8);
+  auto bwt = BwtFromSuffixArray(t, sa);
+  uint64_t runs = 1;
+  for (uint64_t i = 1; i < bwt.size(); ++i) runs += bwt[i] != bwt[i - 1];
+  EXPECT_LT(runs * 4, bwt.size());
+}
+
+}  // namespace
+}  // namespace dyndex

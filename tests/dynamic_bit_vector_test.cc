@@ -1,0 +1,135 @@
+#include "dynbits/dynamic_bit_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+void CheckAgainstModel(const DynamicBitVector& dbv,
+                       const std::vector<bool>& model) {
+  ASSERT_EQ(dbv.size(), model.size());
+  uint64_t ones = 0, k1 = 0, k0 = 0;
+  for (uint64_t i = 0; i < model.size(); ++i) {
+    ASSERT_EQ(dbv.Get(i), model[i]) << i;
+    ASSERT_EQ(dbv.Rank1(i), ones) << i;
+    if (model[i]) {
+      ASSERT_EQ(dbv.Select1(k1), i);
+      ++k1;
+      ++ones;
+    } else {
+      ASSERT_EQ(dbv.Select0(k0), i);
+      ++k0;
+    }
+  }
+  ASSERT_EQ(dbv.ones(), ones);
+}
+
+TEST(DynamicBitVectorTest, AppendOnly) {
+  DynamicBitVector dbv;
+  std::vector<bool> model;
+  Rng rng(1);
+  for (int i = 0; i < 4000; ++i) {
+    bool b = rng.Chance(0.4);
+    dbv.PushBack(b);
+    model.push_back(b);
+  }
+  CheckAgainstModel(dbv, model);
+}
+
+TEST(DynamicBitVectorTest, RandomInsertions) {
+  DynamicBitVector dbv;
+  std::vector<bool> model;
+  Rng rng(2);
+  for (int i = 0; i < 4000; ++i) {
+    uint64_t pos = rng.Below(model.size() + 1);
+    bool b = rng.Chance(0.5);
+    dbv.Insert(pos, b);
+    model.insert(model.begin() + static_cast<int64_t>(pos), b);
+  }
+  CheckAgainstModel(dbv, model);
+}
+
+TEST(DynamicBitVectorTest, InsertThenEraseAll) {
+  DynamicBitVector dbv;
+  std::vector<bool> model;
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t pos = rng.Below(model.size() + 1);
+    bool b = rng.Chance(0.5);
+    dbv.Insert(pos, b);
+    model.insert(model.begin() + static_cast<int64_t>(pos), b);
+  }
+  while (!model.empty()) {
+    uint64_t pos = rng.Below(model.size());
+    dbv.Erase(pos);
+    model.erase(model.begin() + static_cast<int64_t>(pos));
+    if (model.size() % 257 == 0) CheckAgainstModel(dbv, model);
+  }
+  EXPECT_EQ(dbv.size(), 0u);
+  EXPECT_EQ(dbv.ones(), 0u);
+}
+
+TEST(DynamicBitVectorTest, MixedChurn) {
+  DynamicBitVector dbv;
+  std::vector<bool> model;
+  Rng rng(4);
+  for (int step = 0; step < 12000; ++step) {
+    uint64_t op = rng.Below(10);
+    if (op < 5 || model.empty()) {
+      uint64_t pos = rng.Below(model.size() + 1);
+      bool b = rng.Chance(0.5);
+      dbv.Insert(pos, b);
+      model.insert(model.begin() + static_cast<int64_t>(pos), b);
+    } else if (op < 8) {
+      uint64_t pos = rng.Below(model.size());
+      dbv.Erase(pos);
+      model.erase(model.begin() + static_cast<int64_t>(pos));
+    } else {
+      uint64_t pos = rng.Below(model.size());
+      bool b = rng.Chance(0.5);
+      dbv.Set(pos, b);
+      model[pos] = b;
+    }
+    if (step % 1000 == 999) CheckAgainstModel(dbv, model);
+  }
+  CheckAgainstModel(dbv, model);
+}
+
+TEST(DynamicBitVectorTest, SetDoesNotChangeSize) {
+  DynamicBitVector dbv;
+  for (int i = 0; i < 100; ++i) dbv.PushBack(false);
+  dbv.Set(50, true);
+  EXPECT_EQ(dbv.size(), 100u);
+  EXPECT_EQ(dbv.ones(), 1u);
+  EXPECT_TRUE(dbv.Get(50));
+  dbv.Set(50, true);  // idempotent
+  EXPECT_EQ(dbv.ones(), 1u);
+}
+
+TEST(DynamicBitVectorTest, LargeSequentialRank) {
+  DynamicBitVector dbv;
+  for (int i = 0; i < 100000; ++i) dbv.PushBack(i % 3 == 0);
+  EXPECT_EQ(dbv.Rank1(100000), (100000u + 2) / 3);
+  EXPECT_EQ(dbv.Select1(0), 0u);
+  EXPECT_EQ(dbv.Select1(1), 3u);
+  EXPECT_EQ(dbv.Rank1(50000), (50000u + 2) / 3);
+}
+
+TEST(DynamicBitVectorTest, MoveSemantics) {
+  DynamicBitVector a;
+  a.PushBack(true);
+  a.PushBack(false);
+  DynamicBitVector b = std::move(a);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_TRUE(b.Get(0));
+  DynamicBitVector c;
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dyndex

@@ -1,0 +1,227 @@
+// Model tests of Transformations 1 and 3: every query answer is checked
+// against a naive reference collection through randomized insert/erase/query
+// churn, across both static index types and both growth policies.
+#include "core/dynamic_collection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "gen/text_gen.h"
+#include "text/fm_index.h"
+#include "text/packed_sa_index.h"
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+template <typename Coll>
+std::vector<Occurrence> SortedFind(const Coll& c,
+                                   const std::vector<Symbol>& p) {
+  auto v = c.Find(p);
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+std::vector<Occurrence> NaiveFind(
+    const std::map<DocId, std::vector<Symbol>>& model,
+    const std::vector<Symbol>& p) {
+  std::vector<Occurrence> out;
+  for (const auto& [id, doc] : model) {
+    if (doc.size() < p.size()) continue;
+    for (uint64_t i = 0; i + p.size() <= doc.size(); ++i) {
+      if (std::equal(p.begin(), p.end(), doc.begin() + static_cast<int64_t>(i))) {
+        out.push_back({id, i});
+      }
+    }
+  }
+  return out;
+}
+
+// Small min_c0 forces the merge cascade to exercise on test-sized inputs.
+DynamicCollectionOptions SmallOptions(bool counting = false) {
+  DynamicCollectionOptions opt;
+  opt.min_c0 = 64;
+  opt.counting = counting;
+  return opt;
+}
+
+template <typename Coll>
+void RunChurnModel(Coll& coll, uint64_t seed, int steps, uint32_t sigma,
+                   uint64_t max_doc_len) {
+  std::map<DocId, std::vector<Symbol>> model;
+  Rng rng(seed);
+  for (int step = 0; step < steps; ++step) {
+    uint64_t op = rng.Below(10);
+    if (op < 5 || model.empty()) {
+      auto doc = UniformText(rng, rng.Range(1, max_doc_len), sigma);
+      DocId id = coll.Insert(doc);
+      ASSERT_TRUE(model.emplace(id, std::move(doc)).second);
+    } else if (op < 7) {
+      auto it = model.begin();
+      std::advance(it, static_cast<int64_t>(rng.Below(model.size())));
+      ASSERT_TRUE(coll.Erase(it->first));
+      model.erase(it);
+    } else if (op < 9) {
+      std::vector<std::vector<Symbol>> live;
+      for (const auto& [id, d] : model) live.push_back(d);
+      auto p = SamplePattern(rng, live, rng.Range(1, 6), sigma);
+      ASSERT_EQ(SortedFind(coll, p), NaiveFind(model, p)) << "step " << step;
+      ASSERT_EQ(coll.Count(p), NaiveFind(model, p).size()) << "step " << step;
+    } else {
+      if (model.empty()) continue;
+      auto it = model.begin();
+      std::advance(it, static_cast<int64_t>(rng.Below(model.size())));
+      const auto& doc = it->second;
+      uint64_t from = rng.Below(doc.size());
+      uint64_t len = rng.Below(doc.size() - from + 1);
+      std::vector<Symbol> expect(doc.begin() + static_cast<int64_t>(from),
+                                 doc.begin() + static_cast<int64_t>(from + len));
+      ASSERT_EQ(coll.Extract(it->first, from, len), expect) << "step " << step;
+    }
+    if (step % 100 == 99) coll.CheckInvariants();
+  }
+  // Final exhaustive comparison.
+  ASSERT_EQ(coll.num_docs(), model.size());
+  uint64_t total = 0;
+  for (const auto& [id, d] : model) {
+    ASSERT_TRUE(coll.Contains(id));
+    ASSERT_EQ(coll.DocLenOf(id), d.size());
+    total += d.size();
+  }
+  ASSERT_EQ(coll.live_symbols(), total);
+  coll.CheckInvariants();
+}
+
+TEST(DynamicCollectionT1Fm, ChurnModel) {
+  DynamicCollectionT1<FmIndex> coll(SmallOptions());
+  RunChurnModel(coll, 1001, 600, 4, 100);
+}
+
+TEST(DynamicCollectionT1Fm, ChurnModelWithCounting) {
+  DynamicCollectionT1<FmIndex> coll(SmallOptions(true));
+  RunChurnModel(coll, 1002, 500, 6, 80);
+}
+
+TEST(DynamicCollectionT1Packed, ChurnModel) {
+  DynamicCollectionT1<PackedSaIndex> coll(SmallOptions());
+  RunChurnModel(coll, 1003, 600, 4, 100);
+}
+
+TEST(DynamicCollectionT3Fm, ChurnModelDoublingPolicy) {
+  DynamicCollectionT3<FmIndex> coll(SmallOptions());
+  RunChurnModel(coll, 1004, 600, 4, 100);
+}
+
+TEST(DynamicCollectionT1Fm, LargeAlphabetChurn) {
+  DynamicCollectionT1<FmIndex> coll(SmallOptions());
+  RunChurnModel(coll, 1005, 300, 1000, 60);
+}
+
+TEST(DynamicCollectionT1Fm, BigDocumentsTriggerDirectPlacement) {
+  DynamicCollectionOptions opt = SmallOptions();
+  DynamicCollectionT1<FmIndex> coll(opt);
+  std::map<DocId, std::vector<Symbol>> model;
+  Rng rng(1006);
+  // A document far larger than C0's capacity must be indexed and queryable.
+  auto big = UniformText(rng, 5000, 4);
+  DocId id = coll.Insert(big);
+  model[id] = big;
+  auto small = UniformText(rng, 10, 4);
+  DocId id2 = coll.Insert(small);
+  model[id2] = small;
+  std::vector<std::vector<Symbol>> live{big, small};
+  for (int q = 0; q < 20; ++q) {
+    auto p = SamplePattern(rng, live, 4, 4);
+    ASSERT_EQ(SortedFind(coll, p), NaiveFind(model, p));
+  }
+  coll.CheckInvariants();
+}
+
+TEST(DynamicCollectionT1Fm, InsertOnlyGrowthCascade) {
+  DynamicCollectionT1<FmIndex> coll(SmallOptions());
+  std::map<DocId, std::vector<Symbol>> model;
+  Rng rng(1007);
+  for (int i = 0; i < 300; ++i) {
+    auto doc = UniformText(rng, rng.Range(5, 40), 4);
+    DocId id = coll.Insert(doc);
+    model[id] = doc;
+  }
+  coll.CheckInvariants();
+  EXPECT_GE(coll.num_levels(), 1u);  // cascade must have spilled out of C0
+  for (int q = 0; q < 30; ++q) {
+    std::vector<std::vector<Symbol>> live;
+    for (const auto& [id, d] : model) live.push_back(d);
+    auto p = SamplePattern(rng, live, rng.Range(1, 5), 4);
+    ASSERT_EQ(SortedFind(coll, p), NaiveFind(model, p));
+  }
+}
+
+TEST(DynamicCollectionT1Fm, DeleteEverythingThenReuse) {
+  DynamicCollectionT1<FmIndex> coll(SmallOptions());
+  Rng rng(1008);
+  std::vector<DocId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(coll.Insert(UniformText(rng, 30, 4)));
+  }
+  for (DocId id : ids) ASSERT_TRUE(coll.Erase(id));
+  EXPECT_EQ(coll.num_docs(), 0u);
+  EXPECT_EQ(coll.live_symbols(), 0u);
+  EXPECT_TRUE(coll.Find({2, 3}).empty());
+  // The structure is reusable after total deletion.
+  auto doc = UniformText(rng, 25, 4);
+  DocId id = coll.Insert(doc);
+  EXPECT_EQ(coll.Extract(id, 0, 25), doc);
+}
+
+TEST(DynamicCollectionT1Fm, EraseUnknownIdReturnsFalse) {
+  DynamicCollectionT1<FmIndex> coll(SmallOptions());
+  EXPECT_FALSE(coll.Erase(12345));
+  DocId id = coll.Insert({2, 3, 4});
+  EXPECT_TRUE(coll.Erase(id));
+  EXPECT_FALSE(coll.Erase(id));
+}
+
+TEST(DynamicCollectionT1Fm, OccurrencePositionsAreDocRelative) {
+  DynamicCollectionT1<FmIndex> coll(SmallOptions());
+  std::vector<Symbol> a{5, 6, 7};
+  std::vector<Symbol> b{9, 9, 5, 6, 7};
+  DocId ia = coll.Insert(a);
+  DocId ib = coll.Insert(b);
+  auto occ = SortedFind(coll, {5, 6, 7});
+  ASSERT_EQ(occ.size(), 2u);
+  EXPECT_EQ(occ[0], (Occurrence{ia, 0}));
+  EXPECT_EQ(occ[1], (Occurrence{ib, 2}));
+  // Deleting the first doc must not shift the second doc's offsets.
+  coll.Erase(ia);
+  occ = SortedFind(coll, {5, 6, 7});
+  ASSERT_EQ(occ.size(), 1u);
+  EXPECT_EQ(occ[0], (Occurrence{ib, 2}));
+}
+
+TEST(DynamicCollectionT1Fm, SpaceBreakdownIsPopulated) {
+  DynamicCollectionT1<FmIndex> coll(SmallOptions());
+  Rng rng(1009);
+  for (int i = 0; i < 200; ++i) coll.Insert(UniformText(rng, 50, 4));
+  SpaceBreakdown sp = coll.Space();
+  EXPECT_GT(sp.static_indexes, 0u);
+  EXPECT_GT(sp.total(), 0u);
+}
+
+TEST(DynamicCollectionT3Fm, MoreLevelsThanT1) {
+  // The doubling policy should produce at least as many levels as the
+  // polylog policy on identical input.
+  DynamicCollectionT1<FmIndex> t1(SmallOptions());
+  DynamicCollectionT3<FmIndex> t3(SmallOptions());
+  Rng rng1(1010), rng3(1010);
+  for (int i = 0; i < 400; ++i) {
+    t1.Insert(UniformText(rng1, 20, 4));
+    t3.Insert(UniformText(rng3, 20, 4));
+  }
+  EXPECT_GE(t3.num_levels(), t1.num_levels());
+}
+
+}  // namespace
+}  // namespace dyndex

@@ -1,0 +1,161 @@
+#include "baseline/dynamic_fm_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "gen/text_gen.h"
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+std::vector<Occurrence> NaiveFind(
+    const std::map<DocId, std::vector<Symbol>>& model,
+    const std::vector<Symbol>& p) {
+  std::vector<Occurrence> out;
+  for (const auto& [id, doc] : model) {
+    if (doc.size() < p.size()) continue;
+    for (uint64_t i = 0; i + p.size() <= doc.size(); ++i) {
+      if (std::equal(p.begin(), p.end(), doc.begin() + static_cast<int64_t>(i))) {
+        out.push_back({id, i});
+      }
+    }
+  }
+  return out;
+}
+
+TEST(DynamicFmIndexTest, InsertThenCountSimple) {
+  DynamicFmIndex idx;
+  idx.Insert({2, 3, 2, 3, 4});
+  EXPECT_EQ(idx.Count({2, 3}), 2u);
+  EXPECT_EQ(idx.Count({3, 2}), 1u);
+  EXPECT_EQ(idx.Count({4}), 1u);
+  EXPECT_EQ(idx.Count({5}), 0u);
+  EXPECT_EQ(idx.Count({2, 3, 4}), 1u);
+}
+
+TEST(DynamicFmIndexTest, MultiDocCountsAndLocate) {
+  DynamicFmIndex idx;
+  std::map<DocId, std::vector<Symbol>> model;
+  std::vector<std::vector<Symbol>> docs{
+      {2, 3, 4, 2, 3}, {3, 4, 3, 4}, {2, 2, 2}, {4, 3, 2}};
+  for (const auto& d : docs) model[idx.Insert(d)] = d;
+  for (const std::vector<Symbol>& p :
+       {std::vector<Symbol>{2}, {3, 4}, {2, 3}, {4, 3}, {2, 2}}) {
+    auto got = idx.Find(p);
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, NaiveFind(model, p)) << "pattern size " << p.size();
+    ASSERT_EQ(idx.Count(p), NaiveFind(model, p).size());
+  }
+}
+
+TEST(DynamicFmIndexTest, EraseRestoresExactState) {
+  DynamicFmIndex idx;
+  auto a = std::vector<Symbol>{2, 3, 4};
+  auto b = std::vector<Symbol>{3, 3, 3};
+  DocId ia = idx.Insert(a);
+  uint64_t size_after_a = idx.size();
+  DocId ib = idx.Insert(b);
+  idx.Erase(ib);
+  EXPECT_EQ(idx.size(), size_after_a);
+  EXPECT_EQ(idx.Count({3, 3}), 0u);
+  EXPECT_EQ(idx.Count({2, 3}), 1u);
+  idx.Erase(ia);
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_EQ(idx.num_docs(), 0u);
+}
+
+class DynamicFmChurnTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(DynamicFmChurnTest, RandomChurnMatchesNaive) {
+  uint32_t sample_rate = GetParam();
+  DynamicFmIndex::Options opt;
+  opt.sample_rate = sample_rate;
+  opt.max_docs = 256;
+  DynamicFmIndex idx(opt);
+  std::map<DocId, std::vector<Symbol>> model;
+  Rng rng(3000 + sample_rate);
+  for (int step = 0; step < 300; ++step) {
+    uint64_t op = rng.Below(10);
+    if (op < 5 || model.empty()) {
+      auto doc = UniformText(rng, rng.Range(1, 60), 4);
+      model[idx.Insert(doc)] = doc;
+    } else if (op < 7) {
+      auto it = model.begin();
+      std::advance(it, static_cast<int64_t>(rng.Below(model.size())));
+      ASSERT_TRUE(idx.Erase(it->first));
+      model.erase(it);
+    } else {
+      std::vector<std::vector<Symbol>> live;
+      for (const auto& [id, d] : model) live.push_back(d);
+      auto p = SamplePattern(rng, live, rng.Range(1, 5), 4);
+      auto got = idx.Find(p);
+      std::sort(got.begin(), got.end());
+      ASSERT_EQ(got, NaiveFind(model, p)) << "step " << step;
+      ASSERT_EQ(idx.Count(p), NaiveFind(model, p).size());
+    }
+  }
+  uint64_t total = 0;
+  for (const auto& [id, d] : model) total += d.size();
+  EXPECT_EQ(idx.live_symbols(), total);
+  EXPECT_EQ(idx.size(), total + model.size());  // one separator per doc
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleRates, DynamicFmChurnTest,
+                         ::testing::Values(1u, 4u, 32u));
+
+TEST(DynamicFmIndexTest, SeparatorPoolIsReused) {
+  DynamicFmIndex::Options opt;
+  opt.max_docs = 4;
+  DynamicFmIndex idx(opt);
+  // Insert/erase more total docs than the pool size.
+  for (int round = 0; round < 10; ++round) {
+    std::vector<DocId> ids;
+    for (int i = 0; i < 4; ++i) ids.push_back(idx.Insert({2, 3, 4}));
+    EXPECT_EQ(idx.Count({2, 3}), 4u);
+    for (DocId id : ids) idx.Erase(id);
+    EXPECT_EQ(idx.size(), 0u);
+  }
+}
+
+TEST(DynamicFmIndexTest, SingleSymbolDocsAndOverlaps) {
+  DynamicFmIndex idx;
+  std::map<DocId, std::vector<Symbol>> model;
+  for (int i = 0; i < 20; ++i) {
+    std::vector<Symbol> d{2};
+    model[idx.Insert(d)] = d;
+  }
+  EXPECT_EQ(idx.Count({2}), 20u);
+  auto rep = std::vector<Symbol>(50, 2);
+  model[idx.Insert(rep)] = rep;
+  EXPECT_EQ(idx.Count({2, 2, 2}), 48u);
+  auto got = idx.Find({2, 2});
+  std::sort(got.begin(), got.end());
+  ASSERT_EQ(got, NaiveFind(model, {2, 2}));
+}
+
+TEST(DynamicFmIndexTest, LargeAlphabet) {
+  DynamicFmIndex::Options opt;
+  opt.max_symbol = 70000;
+  DynamicFmIndex idx(opt);
+  std::map<DocId, std::vector<Symbol>> model;
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) {
+    auto d = UniformText(rng, 40, 60000);
+    model[idx.Insert(d)] = d;
+  }
+  for (int q = 0; q < 20; ++q) {
+    std::vector<std::vector<Symbol>> live;
+    for (const auto& [id, d] : model) live.push_back(d);
+    auto p = SamplePattern(rng, live, 2, 60000);
+    auto got = idx.Find(p);
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, NaiveFind(model, p));
+  }
+}
+
+}  // namespace
+}  // namespace dyndex

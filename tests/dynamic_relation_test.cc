@@ -1,0 +1,210 @@
+// Model tests of the fully-dynamic relation (Theorem 2), the dynamic graph
+// (Theorem 3), and the rank/select-bottlenecked baseline relation [35].
+#include "relation/dynamic_relation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "gen/relation_gen.h"
+#include "relation/baseline_relation.h"
+#include "relation/dynamic_graph.h"
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+using PairSet = std::set<std::pair<uint32_t, uint32_t>>;
+
+DynamicRelationOptions SmallRel() {
+  DynamicRelationOptions opt;
+  opt.min_c0 = 16;
+  opt.tau = 3;
+  return opt;
+}
+
+template <typename Rel>
+void CheckAgainstModel(const Rel& rel, const PairSet& model, uint32_t t,
+                       uint32_t sl) {
+  for (uint32_t o = 0; o < t; ++o) {
+    std::multiset<uint32_t> got;
+    rel.ForEachLabelOfObject(o, [&](uint32_t a) { got.insert(a); });
+    std::multiset<uint32_t> expect;
+    for (auto [oo, aa] : model) {
+      if (oo == o) expect.insert(aa);
+    }
+    ASSERT_EQ(got, expect) << "object " << o;
+    ASSERT_EQ(rel.CountLabelsOf(o), expect.size()) << "object " << o;
+  }
+  for (uint32_t a = 0; a < sl; ++a) {
+    std::multiset<uint32_t> got;
+    rel.ForEachObjectOfLabel(a, [&](uint32_t o) { got.insert(o); });
+    std::multiset<uint32_t> expect;
+    for (auto [oo, aa] : model) {
+      if (aa == a) expect.insert(oo);
+    }
+    ASSERT_EQ(got, expect) << "label " << a;
+    ASSERT_EQ(rel.CountObjectsOf(a), expect.size()) << "label " << a;
+  }
+}
+
+TEST(DynamicRelationTest, ChurnMatchesModel) {
+  DynamicRelation rel(SmallRel());
+  PairSet model;
+  Rng rng(41);
+  uint32_t t = 30, sl = 25;
+  for (int step = 0; step < 3000; ++step) {
+    uint32_t o = static_cast<uint32_t>(rng.Below(t));
+    uint32_t a = static_cast<uint32_t>(rng.Below(sl));
+    if (rng.Below(3) != 0) {
+      bool added = rel.AddPair(o, a);
+      ASSERT_EQ(added, model.insert({o, a}).second) << "step " << step;
+    } else {
+      bool removed = rel.RemovePair(o, a);
+      ASSERT_EQ(removed, model.erase({o, a}) > 0) << "step " << step;
+    }
+    if (step % 200 == 199) {
+      ASSERT_EQ(rel.num_pairs(), model.size());
+      rel.CheckInvariants();
+      // Spot-check adjacency.
+      for (int q = 0; q < 30; ++q) {
+        uint32_t qo = static_cast<uint32_t>(rng.Below(t));
+        uint32_t qa = static_cast<uint32_t>(rng.Below(sl));
+        ASSERT_EQ(rel.Related(qo, qa), model.count({qo, qa}) > 0);
+      }
+    }
+  }
+  CheckAgainstModel(rel, model, t, sl);
+  rel.CheckInvariants();
+}
+
+TEST(DynamicRelationTest, SlotReuseAfterLabelDeath) {
+  DynamicRelation rel(SmallRel());
+  // Fill past C0 so label slots land in compressed sub-collections.
+  Rng rng(42);
+  auto pairs = GenPairs(rng, 200, 40, 40);
+  PairSet model;
+  for (auto [o, a] : pairs) {
+    rel.AddPair(o, a);
+    model.insert({o, a});
+  }
+  // Kill every pair of label 7; its slot becomes reusable while stale
+  // bitmaps still reference it.
+  std::vector<std::pair<uint32_t, uint32_t>> dead;
+  for (auto [o, a] : model) {
+    if (a == 7) dead.push_back({o, a});
+  }
+  for (auto [o, a] : dead) {
+    ASSERT_TRUE(rel.RemovePair(o, a));
+    model.erase({o, a});
+  }
+  EXPECT_EQ(rel.CountObjectsOf(7), 0u);
+  // New pairs with fresh label ids (forcing slot reuse) must not leak the
+  // dead label's pairs.
+  for (uint32_t i = 0; i < 30; ++i) {
+    uint32_t fresh = 1000 + i;
+    rel.AddPair(i % 40, fresh);
+    model.insert({i % 40, fresh});
+  }
+  uint64_t fresh_total = 0;
+  for (uint32_t i = 0; i < 30; ++i) {
+    fresh_total += rel.CountObjectsOf(1000 + i);
+  }
+  EXPECT_EQ(fresh_total, 30u);
+  EXPECT_EQ(rel.CountObjectsOf(7), 0u);
+  rel.CheckInvariants();
+}
+
+TEST(DynamicRelationTest, ArbitrarySparseIds) {
+  DynamicRelation rel(SmallRel());
+  // Ids far apart exercise the SN/NS mapping.
+  EXPECT_TRUE(rel.AddPair(4000000000u, 3999999999u));
+  EXPECT_TRUE(rel.AddPair(7, 3999999999u));
+  EXPECT_FALSE(rel.AddPair(7, 3999999999u));
+  EXPECT_TRUE(rel.Related(4000000000u, 3999999999u));
+  EXPECT_EQ(rel.CountObjectsOf(3999999999u), 2u);
+  std::set<uint32_t> objs;
+  rel.ForEachObjectOfLabel(3999999999u, [&](uint32_t o) { objs.insert(o); });
+  EXPECT_EQ(objs, (std::set<uint32_t>{7, 4000000000u}));
+}
+
+TEST(DynamicGraphTest, NeighborsAndDegrees) {
+  DynamicGraph g(SmallRel());
+  PairSet model;
+  Rng rng(43);
+  auto edges = GenEdges(rng, 500, 40);
+  for (auto [u, v] : edges) {
+    ASSERT_TRUE(g.AddEdge(u, v));
+    model.insert({u, v});
+  }
+  // Remove a quarter.
+  std::vector<std::pair<uint32_t, uint32_t>> all(model.begin(), model.end());
+  for (size_t i = 0; i < all.size(); i += 4) {
+    ASSERT_TRUE(g.RemoveEdge(all[i].first, all[i].second));
+    model.erase(all[i]);
+  }
+  EXPECT_EQ(g.num_edges(), model.size());
+  for (uint32_t u = 0; u < 40; ++u) {
+    std::set<uint32_t> out_got, in_got;
+    for (uint32_t v : g.OutNeighbors(u)) out_got.insert(v);
+    for (uint32_t v : g.InNeighbors(u)) in_got.insert(v);
+    std::set<uint32_t> out_expect, in_expect;
+    for (auto [a, b] : model) {
+      if (a == u) out_expect.insert(b);
+      if (b == u) in_expect.insert(a);
+    }
+    ASSERT_EQ(out_got, out_expect) << "node " << u;
+    ASSERT_EQ(in_got, in_expect) << "node " << u;
+    ASSERT_EQ(g.OutDegree(u), out_expect.size());
+    ASSERT_EQ(g.InDegree(u), in_expect.size());
+  }
+  for (int q = 0; q < 100; ++q) {
+    uint32_t u = static_cast<uint32_t>(rng.Below(40));
+    uint32_t v = static_cast<uint32_t>(rng.Below(40));
+    ASSERT_EQ(g.HasEdge(u, v), model.count({u, v}) > 0);
+  }
+}
+
+TEST(DynamicGraphTest, SelfLoopsAndIsolatedNodes) {
+  DynamicGraph g(SmallRel());
+  EXPECT_TRUE(g.AddEdge(5, 5));
+  EXPECT_TRUE(g.HasEdge(5, 5));
+  EXPECT_EQ(g.OutDegree(5), 1u);
+  EXPECT_EQ(g.InDegree(5), 1u);
+  EXPECT_EQ(g.OutDegree(99), 0u);  // never-seen node
+  EXPECT_TRUE(g.RemoveEdge(5, 5));
+  EXPECT_FALSE(g.HasEdge(5, 5));
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(BaselineRelationTest, ChurnMatchesModel) {
+  uint32_t t = 20, sl = 15;
+  BaselineRelation rel(t, sl);
+  PairSet model;
+  Rng rng(44);
+  for (int step = 0; step < 2000; ++step) {
+    uint32_t o = static_cast<uint32_t>(rng.Below(t));
+    uint32_t a = static_cast<uint32_t>(rng.Below(sl));
+    if (rng.Below(3) != 0) {
+      ASSERT_EQ(rel.AddPair(o, a), model.insert({o, a}).second);
+    } else {
+      ASSERT_EQ(rel.RemovePair(o, a), model.erase({o, a}) > 0);
+    }
+    if (step % 400 == 399) {
+      ASSERT_EQ(rel.num_pairs(), model.size());
+    }
+  }
+  CheckAgainstModel(rel, model, t, sl);
+}
+
+TEST(BaselineRelationTest, EmptyObjectQueries) {
+  BaselineRelation rel(5, 5);
+  EXPECT_EQ(rel.CountLabelsOf(3), 0u);
+  EXPECT_FALSE(rel.Related(3, 3));
+  EXPECT_FALSE(rel.RemovePair(3, 3));
+  rel.ForEachLabelOfObject(3, [](uint32_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace dyndex

@@ -1,0 +1,85 @@
+#include "seq/dynamic_wavelet_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+void CheckModel(const DynamicWaveletTree& wt, const std::vector<uint32_t>& m,
+                uint32_t sigma) {
+  ASSERT_EQ(wt.size(), m.size());
+  std::vector<uint64_t> counts(sigma, 0);
+  std::vector<uint64_t> seen(sigma, 0);
+  for (uint64_t i = 0; i < m.size(); ++i) {
+    ASSERT_EQ(wt.Access(i), m[i]) << i;
+    auto [c, r] = wt.InverseSelect(i);
+    ASSERT_EQ(c, m[i]);
+    ASSERT_EQ(r, counts[m[i]]);
+    ASSERT_EQ(wt.Select(m[i], seen[m[i]]), i);
+    ++counts[m[i]];
+    ++seen[m[i]];
+  }
+  for (uint32_t c = 0; c < sigma; ++c) {
+    ASSERT_EQ(wt.Count(c), counts[c]) << "c=" << c;
+  }
+}
+
+class DynamicWaveletTreeTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(DynamicWaveletTreeTest, RandomChurnMatchesModel) {
+  uint32_t sigma = GetParam();
+  DynamicWaveletTree wt(sigma);
+  std::vector<uint32_t> model;
+  Rng rng(sigma);
+  for (int step = 0; step < 3000; ++step) {
+    if (rng.Below(3) != 0 || model.empty()) {
+      uint64_t pos = rng.Below(model.size() + 1);
+      uint32_t c = static_cast<uint32_t>(rng.Below(sigma));
+      wt.Insert(pos, c);
+      model.insert(model.begin() + static_cast<int64_t>(pos), c);
+    } else {
+      uint64_t pos = rng.Below(model.size());
+      uint32_t erased = wt.Erase(pos);
+      ASSERT_EQ(erased, model[pos]);
+      model.erase(model.begin() + static_cast<int64_t>(pos));
+    }
+    if (step % 500 == 499) CheckModel(wt, model, sigma);
+  }
+  CheckModel(wt, model, sigma);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphabets, DynamicWaveletTreeTest,
+                         ::testing::Values(2u, 3u, 8u, 100u, 1000u));
+
+TEST(DynamicWaveletTreeBasic, RankAtEveryPrefix) {
+  DynamicWaveletTree wt(4);
+  std::vector<uint32_t> data{0, 1, 2, 3, 2, 1, 0, 2};
+  for (uint32_t i = 0; i < data.size(); ++i) wt.Insert(i, data[i]);
+  uint64_t c2 = 0;
+  for (uint64_t i = 0; i <= data.size(); ++i) {
+    ASSERT_EQ(wt.Rank(2, i), c2);
+    if (i < data.size() && data[i] == 2) ++c2;
+  }
+}
+
+TEST(DynamicWaveletTreeBasic, EmptyTree) {
+  DynamicWaveletTree wt(16);
+  EXPECT_EQ(wt.size(), 0u);
+  EXPECT_EQ(wt.Rank(3, 0), 0u);
+  EXPECT_EQ(wt.Count(3), 0u);
+}
+
+TEST(DynamicWaveletTreeBasic, CapacityOne) {
+  DynamicWaveletTree wt(1);
+  wt.Insert(0, 0);
+  wt.Insert(1, 0);
+  EXPECT_EQ(wt.Access(1), 0u);
+  EXPECT_EQ(wt.Count(0), 2u);
+}
+
+}  // namespace
+}  // namespace dyndex

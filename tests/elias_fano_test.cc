@@ -1,0 +1,84 @@
+#include "bits/elias_fano.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+std::vector<uint64_t> RandomSorted(uint64_t m, uint64_t universe, uint64_t seed,
+                                   bool strict) {
+  Rng rng(seed);
+  std::vector<uint64_t> v;
+  if (strict) {
+    // m distinct values.
+    while (v.size() < m) v.push_back(rng.Below(universe));
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  } else {
+    for (uint64_t i = 0; i < m; ++i) v.push_back(rng.Below(universe));
+    std::sort(v.begin(), v.end());
+  }
+  return v;
+}
+
+class EliasFanoTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EliasFanoTest, AccessAndRank) {
+  auto [mi, ui] = GetParam();
+  uint64_t m = static_cast<uint64_t>(mi);
+  uint64_t universe = static_cast<uint64_t>(ui);
+  auto values = RandomSorted(m, universe, m * 7919 + universe, false);
+  EliasFano ef(values, universe);
+  ASSERT_EQ(ef.size(), values.size());
+  for (uint64_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(ef.Get(i), values[i]) << i;
+  }
+  // RankLess at sampled query points.
+  Rng rng(42);
+  for (int q = 0; q < 200; ++q) {
+    uint64_t x = rng.Below(universe + 1);
+    uint64_t expect =
+        std::lower_bound(values.begin(), values.end(), x) - values.begin();
+    ASSERT_EQ(ef.RankLess(x), expect) << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EliasFanoTest,
+                         ::testing::Combine(::testing::Values(1, 10, 100, 5000),
+                                            ::testing::Values(10, 1000,
+                                                              1000000)));
+
+TEST(EliasFanoBasic, PredecessorIndex) {
+  EliasFano ef({0, 5, 5, 17, 100}, 200);
+  EXPECT_EQ(ef.PredecessorIndex(0), 0u);
+  EXPECT_EQ(ef.PredecessorIndex(4), 0u);
+  EXPECT_EQ(ef.PredecessorIndex(5), 2u);   // last copy of 5
+  EXPECT_EQ(ef.PredecessorIndex(16), 2u);
+  EXPECT_EQ(ef.PredecessorIndex(17), 3u);
+  EXPECT_EQ(ef.PredecessorIndex(199), 4u);
+}
+
+TEST(EliasFanoBasic, Empty) {
+  EliasFano ef(std::vector<uint64_t>{}, 100);
+  EXPECT_EQ(ef.size(), 0u);
+  EXPECT_EQ(ef.RankLess(50), 0u);
+}
+
+TEST(EliasFanoBasic, DenseSequential) {
+  std::vector<uint64_t> v(1000);
+  for (uint64_t i = 0; i < 1000; ++i) v[i] = i;
+  EliasFano ef(v, 1000);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(ef.Get(i), i);
+    EXPECT_EQ(ef.RankLess(i), i);
+    EXPECT_EQ(ef.PredecessorIndex(i), i);
+  }
+}
+
+}  // namespace
+}  // namespace dyndex

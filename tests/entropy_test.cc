@@ -1,0 +1,67 @@
+#include "suffix/entropy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/text_gen.h"
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+TEST(EntropyTest, UniformTextApproachesLogSigma) {
+  Rng rng(1);
+  auto t = UniformText(rng, 200000, 16);
+  double h0 = EntropyH0(t);
+  EXPECT_NEAR(h0, 4.0, 0.01);
+}
+
+TEST(EntropyTest, ConstantTextIsZero) {
+  std::vector<Symbol> t(1000, 7);
+  EXPECT_DOUBLE_EQ(EntropyH0(t), 0.0);
+  EXPECT_DOUBLE_EQ(EntropyHk(t, 2), 0.0);
+}
+
+TEST(EntropyTest, TwoSymbolKnownValue) {
+  // 1/4 vs 3/4 distribution: H = 0.25*2 + 0.75*log2(4/3).
+  std::vector<Symbol> t;
+  for (int i = 0; i < 1000; ++i) t.push_back(i % 4 == 0 ? 2 : 3);
+  double expect = 0.25 * 2.0 + 0.75 * std::log2(4.0 / 3.0);
+  EXPECT_NEAR(EntropyH0(t), expect, 1e-9);
+}
+
+TEST(EntropyTest, MarkovTextHasLowerH1) {
+  Rng rng(3);
+  auto t = MarkovText(rng, 100000, 64, /*branch=*/4);
+  double h0 = EntropyH0(t);
+  double h1 = EntropyHk(t, 1);
+  // With 4 successors per state, H1 <= log2(4) = 2, while H0 ~ log2(64).
+  EXPECT_GT(h0, 3.0);
+  EXPECT_LE(h1, 2.1);
+}
+
+TEST(EntropyTest, HkDecreasesInK) {
+  Rng rng(4);
+  auto t = MarkovText(rng, 50000, 16, 3);
+  double h0 = EntropyH0(t);
+  double h1 = EntropyHk(t, 1);
+  double h2 = EntropyHk(t, 2);
+  EXPECT_GE(h0 + 1e-9, h1);
+  EXPECT_GE(h1 + 1e-9, h2);
+}
+
+TEST(EntropyTest, ZipfSkewLowersEntropy) {
+  Rng rng(5);
+  auto uniform = UniformText(rng, 100000, 256);
+  auto zipf = ZipfText(rng, 100000, 256, 1.2);
+  EXPECT_LT(EntropyH0(zipf), EntropyH0(uniform) - 1.0);
+}
+
+TEST(EntropyTest, EmptyAndShortInputs) {
+  EXPECT_DOUBLE_EQ(EntropyH0({}), 0.0);
+  EXPECT_DOUBLE_EQ(EntropyHk({2, 3}, 5), 0.0);
+}
+
+}  // namespace
+}  // namespace dyndex

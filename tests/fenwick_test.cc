@@ -1,0 +1,64 @@
+#include "util/fenwick.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+TEST(FenwickTest, PrefixSumsMatchNaive) {
+  uint64_t n = 300;
+  Fenwick f(n);
+  std::vector<int64_t> naive(n, 0);
+  Rng rng(7);
+  for (int step = 0; step < 2000; ++step) {
+    uint64_t i = rng.Below(n);
+    int64_t d = static_cast<int64_t>(rng.Below(10)) - 4;
+    f.Add(i, d);
+    naive[i] += d;
+    uint64_t q = rng.Below(n + 1);
+    int64_t expect = 0;
+    for (uint64_t j = 0; j < q; ++j) expect += naive[j];
+    ASSERT_EQ(f.PrefixSum(q), expect);
+  }
+}
+
+TEST(FenwickTest, RangeSum) {
+  Fenwick f(10);
+  for (uint64_t i = 0; i < 10; ++i) f.Add(i, static_cast<int64_t>(i));
+  EXPECT_EQ(f.RangeSum(0, 10), 45);
+  EXPECT_EQ(f.RangeSum(3, 7), 3 + 4 + 5 + 6);
+  EXPECT_EQ(f.RangeSum(5, 5), 0);
+}
+
+TEST(FenwickTest, FindByPrefix) {
+  Fenwick f(8);
+  // counts: 2 0 3 1 0 0 5 1  cumulative: 2 2 5 6 6 6 11 12
+  int64_t counts[] = {2, 0, 3, 1, 0, 0, 5, 1};
+  for (uint64_t i = 0; i < 8; ++i) f.Add(i, counts[i]);
+  EXPECT_EQ(f.FindByPrefix(0), 0u);   // first item in slot 0
+  EXPECT_EQ(f.FindByPrefix(1), 0u);
+  EXPECT_EQ(f.FindByPrefix(2), 2u);   // third item in slot 2
+  EXPECT_EQ(f.FindByPrefix(4), 2u);
+  EXPECT_EQ(f.FindByPrefix(5), 3u);
+  EXPECT_EQ(f.FindByPrefix(6), 6u);
+  EXPECT_EQ(f.FindByPrefix(11), 7u);
+  EXPECT_EQ(f.FindByPrefix(12), 8u);  // past the end
+}
+
+TEST(FenwickTest, EmptyAndReset) {
+  Fenwick f;
+  EXPECT_EQ(f.size(), 0u);
+  f.Reset(5);
+  EXPECT_EQ(f.PrefixSum(5), 0);
+  f.Add(4, 9);
+  EXPECT_EQ(f.PrefixSum(5), 9);
+  f.Reset(5);
+  EXPECT_EQ(f.PrefixSum(5), 0);
+}
+
+}  // namespace
+}  // namespace dyndex

@@ -1,0 +1,109 @@
+#include "seq/huffman_wavelet_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gen/text_gen.h"
+#include "suffix/entropy.h"
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+void CheckAgainstNaive(const HuffmanWaveletTree& wt,
+                       const std::vector<uint32_t>& data, uint32_t sigma) {
+  ASSERT_EQ(wt.size(), data.size());
+  std::vector<uint64_t> counts(sigma, 0);
+  std::vector<uint64_t> seen(sigma, 0);
+  for (uint64_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(wt.Access(i), data[i]) << i;
+    ASSERT_EQ(wt.Rank(data[i], i), counts[data[i]]) << i;
+    ASSERT_EQ(wt.Select(data[i], seen[data[i]]), i) << i;
+    ++counts[data[i]];
+    ++seen[data[i]];
+  }
+  for (uint32_t c = 0; c < sigma; ++c) {
+    ASSERT_EQ(wt.Count(c), counts[c]) << "c=" << c;
+    ASSERT_EQ(wt.Rank(c, data.size()), counts[c]) << "c=" << c;
+  }
+}
+
+class HuffmanWtTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
+
+TEST_P(HuffmanWtTest, UniformDataMatchesNaive) {
+  auto [n, sigma] = GetParam();
+  Rng rng(n + sigma);
+  std::vector<uint32_t> data(n);
+  for (auto& v : data) v = static_cast<uint32_t>(rng.Below(sigma));
+  HuffmanWaveletTree wt(data, sigma);
+  CheckAgainstNaive(wt, data, sigma);
+}
+
+TEST_P(HuffmanWtTest, SkewedDataMatchesNaive) {
+  auto [n, sigma] = GetParam();
+  Rng rng(n * 3 + sigma);
+  std::vector<uint32_t> data(n);
+  for (auto& v : data) {
+    // Geometric-ish skew: most mass on small symbols.
+    uint32_t s = 0;
+    while (s + 1 < sigma && rng.Chance(0.5)) ++s;
+    v = s;
+  }
+  HuffmanWaveletTree wt(data, sigma);
+  CheckAgainstNaive(wt, data, sigma);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HuffmanWtTest,
+                         ::testing::Combine(::testing::Values(1, 64, 1000,
+                                                              10000),
+                                            ::testing::Values(2u, 3u, 17u,
+                                                              256u)));
+
+TEST(HuffmanWtBasic, SingleDistinctSymbol) {
+  std::vector<uint32_t> data(100, 5);
+  HuffmanWaveletTree wt(data, 8);
+  EXPECT_EQ(wt.Access(42), 5u);
+  EXPECT_EQ(wt.Rank(5, 100), 100u);
+  EXPECT_EQ(wt.Rank(3, 100), 0u);
+  EXPECT_EQ(wt.Select(5, 99), 99u);
+  EXPECT_EQ(wt.Count(5), 100u);
+  EXPECT_DOUBLE_EQ(wt.BitsPerSymbol(), 0.0);
+}
+
+TEST(HuffmanWtBasic, AbsentSymbolRankIsZero) {
+  HuffmanWaveletTree wt({0, 1, 0, 1}, 16);
+  EXPECT_EQ(wt.Rank(7, 4), 0u);
+  EXPECT_EQ(wt.Count(7), 0u);
+}
+
+TEST(HuffmanWtBasic, EmptySequence) {
+  HuffmanWaveletTree wt({}, 4);
+  EXPECT_EQ(wt.size(), 0u);
+  EXPECT_EQ(wt.Count(2), 0u);
+}
+
+TEST(HuffmanWtBasic, BitsPerSymbolApproachesH0) {
+  // Zipf data: the Huffman shape must land within 1 bit of H0 (classic
+  // Huffman bound), far below the balanced log2(sigma) = 8.
+  Rng rng(77);
+  auto text = ZipfText(rng, 100000, 256, 1.3);
+  std::vector<uint32_t> data(text.begin(), text.end());
+  HuffmanWaveletTree wt(data, 2 + 256);
+  double h0 = EntropyH0(text);
+  EXPECT_GE(wt.BitsPerSymbol() + 1e-9, h0);
+  EXPECT_LE(wt.BitsPerSymbol(), h0 + 1.0);
+  EXPECT_LT(wt.BitsPerSymbol(), 8.0);
+}
+
+TEST(HuffmanWtBasic, TwoSymbolsOneBitEach) {
+  std::vector<uint32_t> data{0, 1, 1, 0, 1};
+  HuffmanWaveletTree wt(data, 2);
+  EXPECT_DOUBLE_EQ(wt.BitsPerSymbol(), 1.0);
+  CheckAgainstNaive(wt, data, 2);
+}
+
+}  // namespace
+}  // namespace dyndex

@@ -1,0 +1,67 @@
+#include "util/int_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+class IntVectorWidthTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(IntVectorWidthTest, SetGetRoundTrip) {
+  uint32_t width = GetParam();
+  uint64_t n = 1000;
+  IntVector v(n, width);
+  Rng rng(width);
+  std::vector<uint64_t> expected(n);
+  uint64_t mask = width == 64 ? ~0ull : LowMask(width);
+  for (uint64_t i = 0; i < n; ++i) {
+    expected[i] = rng.Next() & mask;
+    v.Set(i, expected[i]);
+  }
+  for (uint64_t i = 0; i < n; ++i) EXPECT_EQ(v.Get(i), expected[i]) << i;
+}
+
+TEST_P(IntVectorWidthTest, OverwriteIsClean) {
+  uint32_t width = GetParam();
+  if (width == 0) return;
+  IntVector v(100, width);
+  uint64_t mask = width == 64 ? ~0ull : LowMask(width);
+  for (uint64_t i = 0; i < 100; ++i) v.Set(i, mask);
+  v.Set(50, 0);
+  EXPECT_EQ(v.Get(50), 0ull);
+  EXPECT_EQ(v.Get(49), mask);
+  EXPECT_EQ(v.Get(51), mask);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, IntVectorWidthTest,
+                         ::testing::Values(0u, 1u, 2u, 3u, 7u, 8u, 9u, 13u, 31u,
+                                           32u, 33u, 63u, 64u));
+
+TEST(IntVectorTest, PackChoosesMinimalWidth) {
+  IntVector v = IntVector::Pack({0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(v.width(), 3u);
+  for (uint64_t i = 0; i < 8; ++i) EXPECT_EQ(v.Get(i), i);
+}
+
+TEST(IntVectorTest, PushBackGrows) {
+  IntVector v(0, 17);
+  for (uint64_t i = 0; i < 5000; ++i) v.PushBack(i & LowMask(17));
+  EXPECT_EQ(v.size(), 5000u);
+  for (uint64_t i = 0; i < 5000; ++i) EXPECT_EQ(v.Get(i), i & LowMask(17));
+}
+
+TEST(IntVectorTest, EmptyAndZeroWidth) {
+  IntVector v;
+  EXPECT_TRUE(v.empty());
+  IntVector z(10, 0);
+  EXPECT_EQ(z.Get(5), 0ull);
+  z.Set(5, 0);
+  EXPECT_EQ(z.size(), 10u);
+}
+
+}  // namespace
+}  // namespace dyndex

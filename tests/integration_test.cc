@@ -1,0 +1,155 @@
+// Cross-module integration tests: byte-string round trips through the whole
+// stack, agreement between all four dynamic collection implementations on a
+// shared random workload, and framework/index interoperability.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/dynamic_fm_index.h"
+#include "baseline/suffix_tree_index.h"
+#include "core/dynamic_collection.h"
+#include "core/transformation2.h"
+#include "gen/text_gen.h"
+#include "text/fm_index.h"
+#include "text/packed_sa_index.h"
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+TEST(IntegrationTest, ByteStringRoundTripThroughEverything) {
+  const std::string text = "engineers build; theorists bound. build, bound!";
+  DynamicCollectionT1<FmIndex> coll;
+  DocId id = coll.Insert(SymbolsFromString(text));
+  EXPECT_EQ(StringFromSymbols(coll.Extract(id, 0, text.size())), text);
+  auto occ = coll.Find(SymbolsFromString("build"));
+  EXPECT_EQ(occ.size(), 2u);
+  EXPECT_EQ(coll.Count(SymbolsFromString("bound")), 2u);
+  EXPECT_EQ(coll.Count(SymbolsFromString("; ")), 1u);
+}
+
+// All four dynamic collection implementations must agree on every answer.
+TEST(IntegrationTest, FourImplementationsAgree) {
+  DynamicCollectionOptions small;
+  small.min_c0 = 64;
+  T2Options t2opt;
+  t2opt.min_c0 = 64;
+  t2opt.mode = RebuildMode::kThreaded;
+  DynamicCollectionT1<FmIndex> a(small);
+  DynamicCollectionT3<FmIndex> b(small);
+  DynamicCollectionT2<FmIndex> c(t2opt);
+  DynamicCollectionT1<PackedSaIndex> d(small);
+
+  Rng rng(321);
+  std::vector<std::vector<Symbol>> live_docs;
+  std::vector<std::array<DocId, 4>> ids;
+  for (int step = 0; step < 250; ++step) {
+    if (rng.Below(3) != 0 || ids.empty()) {
+      auto doc = UniformText(rng, rng.Range(1, 80), 5);
+      ids.push_back({a.Insert(doc), b.Insert(doc), c.Insert(doc),
+                     d.Insert(doc)});
+      live_docs.push_back(std::move(doc));
+    } else {
+      size_t k = rng.Below(ids.size());
+      EXPECT_TRUE(a.Erase(ids[k][0]));
+      EXPECT_TRUE(b.Erase(ids[k][1]));
+      EXPECT_TRUE(c.Erase(ids[k][2]));
+      EXPECT_TRUE(d.Erase(ids[k][3]));
+      ids.erase(ids.begin() + static_cast<int64_t>(k));
+      live_docs.erase(live_docs.begin() + static_cast<int64_t>(k));
+    }
+    if (step % 10 == 9 && !live_docs.empty()) {
+      auto p = SamplePattern(rng, live_docs, rng.Range(1, 6), 5);
+      uint64_t ca = a.Count(p);
+      ASSERT_EQ(ca, b.Count(p)) << "T3 disagrees at step " << step;
+      ASSERT_EQ(ca, c.Count(p)) << "T2 disagrees at step " << step;
+      ASSERT_EQ(ca, d.Count(p)) << "PackedSA disagrees at step " << step;
+    }
+  }
+  c.ForceAllPending();
+  ASSERT_EQ(a.num_docs(), c.num_docs());
+  ASSERT_EQ(a.live_symbols(), d.live_symbols());
+}
+
+// The framework and the rank/select-bottlenecked baseline answer identically;
+// only the cost model differs.
+TEST(IntegrationTest, FrameworkAgreesWithDynamicFmBaseline) {
+  DynamicCollectionOptions small;
+  small.min_c0 = 64;
+  DynamicCollectionT1<FmIndex> ours(small);
+  DynamicFmIndex::Options bopt;
+  bopt.max_docs = 512;
+  bopt.max_symbol = kMinSymbol + 8;
+  DynamicFmIndex baseline(bopt);
+  SuffixTreeIndex tree;
+
+  Rng rng(322);
+  std::vector<std::vector<Symbol>> live;
+  std::vector<std::array<DocId, 3>> ids;
+  for (int step = 0; step < 200; ++step) {
+    if (rng.Below(3) != 0 || ids.empty()) {
+      auto doc = UniformText(rng, rng.Range(1, 50), 8);
+      ids.push_back({ours.Insert(doc), baseline.Insert(doc),
+                     tree.Insert(doc)});
+      live.push_back(std::move(doc));
+    } else {
+      size_t k = rng.Below(ids.size());
+      ours.Erase(ids[k][0]);
+      baseline.Erase(ids[k][1]);
+      tree.Erase(ids[k][2]);
+      ids.erase(ids.begin() + static_cast<int64_t>(k));
+      live.erase(live.begin() + static_cast<int64_t>(k));
+    }
+    if (step % 10 == 9 && !live.empty()) {
+      auto p = SamplePattern(rng, live, rng.Range(1, 5), 8);
+      uint64_t expect = ours.Count(p);
+      ASSERT_EQ(baseline.Count(p), expect) << "step " << step;
+      ASSERT_EQ(tree.Count(p), expect) << "step " << step;
+      // Occurrence multisets of (offset) must match too (doc ids differ
+      // across implementations, offsets must agree as multisets).
+      auto offs = [](std::vector<Occurrence> v) {
+        std::vector<uint64_t> o;
+        for (const auto& x : v) o.push_back(x.offset);
+        std::sort(o.begin(), o.end());
+        return o;
+      };
+      ASSERT_EQ(offs(ours.Find(p)), offs(baseline.Find(p))) << "step " << step;
+    }
+  }
+}
+
+// Long pipeline: generator -> T2 threaded -> deletions -> extraction equals
+// original bytes even across merges, purges and global rebases.
+TEST(IntegrationTest, ContentSurvivesAllRebuildPaths) {
+  T2Options opt;
+  opt.min_c0 = 64;
+  opt.tau = 4;
+  opt.mode = RebuildMode::kThreaded;
+  DynamicCollectionT2<FmIndex> coll(opt);
+  Rng rng(323);
+  std::map<DocId, std::vector<Symbol>> model;
+  for (int i = 0; i < 150; ++i) {
+    auto doc = MarkovText(rng, rng.Range(10, 400), 16);
+    model.emplace(coll.Insert(doc), doc);
+  }
+  // Delete enough to trigger purges and merges.
+  int k = 0;
+  for (auto it = model.begin(); it != model.end();) {
+    if (++k % 3 == 0) {
+      coll.Erase(it->first);
+      it = model.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  coll.ForceAllPending();
+  for (const auto& [id, doc] : model) {
+    ASSERT_EQ(coll.Extract(id, 0, doc.size()), doc) << "doc " << id;
+  }
+}
+
+}  // namespace
+}  // namespace dyndex

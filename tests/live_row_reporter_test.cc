@@ -1,0 +1,122 @@
+#include "bits/live_row_reporter.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+// Both reporter layouts must behave identically; test them through a common
+// template fixture.
+template <typename T>
+class LiveBitsTest : public ::testing::Test {};
+
+using Layouts = ::testing::Types<LiveBitsPlain, LiveBitsSparse>;
+TYPED_TEST_SUITE(LiveBitsTest, Layouts);
+
+TYPED_TEST(LiveBitsTest, AllLiveInitially) {
+  TypeParam lb(300);
+  EXPECT_EQ(lb.dead_count(), 0u);
+  std::vector<uint64_t> rows;
+  lb.ReportLive(0, 300, &rows);
+  ASSERT_EQ(rows.size(), 300u);
+  for (uint64_t i = 0; i < 300; ++i) EXPECT_EQ(rows[i], i);
+}
+
+TYPED_TEST(LiveBitsTest, KillAndReport) {
+  TypeParam lb(200);
+  for (uint64_t i = 0; i < 200; i += 2) lb.Kill(i);
+  EXPECT_EQ(lb.dead_count(), 100u);
+  std::vector<uint64_t> rows;
+  lb.ReportLive(10, 20, &rows);
+  EXPECT_EQ(rows, (std::vector<uint64_t>{11, 13, 15, 17, 19}));
+  EXPECT_FALSE(lb.IsLive(10));
+  EXPECT_TRUE(lb.IsLive(11));
+}
+
+TYPED_TEST(LiveBitsTest, KillIsIdempotent) {
+  TypeParam lb(10);
+  lb.Kill(5);
+  lb.Kill(5);
+  EXPECT_EQ(lb.dead_count(), 1u);
+}
+
+TYPED_TEST(LiveBitsTest, RandomModel) {
+  uint64_t n = 5000;
+  TypeParam lb(n, /*with_counting=*/true);
+  std::vector<bool> model(n, true);
+  Rng rng(99);
+  for (int step = 0; step < 3000; ++step) {
+    uint64_t i = rng.Below(n);
+    lb.Kill(i);
+    model[i] = false;
+    if (step % 50 == 0) {
+      uint64_t s = rng.Below(n);
+      uint64_t e = s + rng.Below(n - s + 1);
+      std::vector<uint64_t> got;
+      lb.ReportLive(s, e, &got);
+      std::vector<uint64_t> expect;
+      uint64_t live = 0;
+      for (uint64_t j = s; j < e; ++j) {
+        if (model[j]) {
+          expect.push_back(j);
+          ++live;
+        }
+      }
+      ASSERT_EQ(got, expect) << "[" << s << "," << e << ")";
+      ASSERT_EQ(lb.CountLive(s, e), live);
+    }
+  }
+}
+
+TYPED_TEST(LiveBitsTest, CountingOnFullAndEmptyRanges) {
+  TypeParam lb(1000, /*with_counting=*/true);
+  EXPECT_EQ(lb.CountLive(0, 1000), 1000u);
+  EXPECT_EQ(lb.CountLive(500, 500), 0u);
+  for (uint64_t i = 100; i < 200; ++i) lb.Kill(i);
+  EXPECT_EQ(lb.CountLive(0, 1000), 900u);
+  EXPECT_EQ(lb.CountLive(100, 200), 0u);
+  EXPECT_EQ(lb.CountLive(99, 201), 2u);
+  EXPECT_EQ(lb.CountLive(150, 160), 0u);
+}
+
+TYPED_TEST(LiveBitsTest, WordBoundaryKills) {
+  TypeParam lb(256, /*with_counting=*/true);
+  for (uint64_t i : {0ull, 63ull, 64ull, 127ull, 128ull, 255ull}) lb.Kill(i);
+  std::vector<uint64_t> rows;
+  lb.ReportLive(0, 256, &rows);
+  EXPECT_EQ(rows.size(), 250u);
+  EXPECT_EQ(lb.CountLive(0, 256), 250u);
+  EXPECT_EQ(lb.CountLive(63, 65), 0u);
+}
+
+TYPED_TEST(LiveBitsTest, KillEverything) {
+  TypeParam lb(130, /*with_counting=*/true);
+  for (uint64_t i = 0; i < 130; ++i) lb.Kill(i);
+  EXPECT_EQ(lb.dead_count(), 130u);
+  std::vector<uint64_t> rows;
+  lb.ReportLive(0, 130, &rows);
+  EXPECT_TRUE(rows.empty());
+  EXPECT_EQ(lb.CountLive(0, 130), 0u);
+}
+
+TEST(LiveBitsSpace, SparseUsesLessWhenFewDead) {
+  uint64_t n = 1 << 20;
+  LiveBitsPlain plain(n);
+  LiveBitsSparse sparse(n);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t p = rng.Below(n);
+    plain.Kill(p);
+    sparse.Kill(p);
+  }
+  // The Lemma-3 layout must be far smaller than the Lemma-2 layout when the
+  // number of dead rows is tiny.
+  EXPECT_LT(sparse.SpaceBytes() * 10, plain.SpaceBytes());
+}
+
+}  // namespace
+}  // namespace dyndex

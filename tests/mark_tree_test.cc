@@ -1,0 +1,84 @@
+#include "bits/mark_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+class MarkTreeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MarkTreeTest, RandomOpsMatchSet) {
+  uint64_t universe = GetParam();
+  MarkTree mt(universe);
+  std::set<uint64_t> model;
+  Rng rng(universe);
+  for (int step = 0; step < 3000; ++step) {
+    uint64_t i = rng.Below(universe);
+    switch (rng.Below(3)) {
+      case 0:
+        mt.Mark(i);
+        model.insert(i);
+        break;
+      case 1:
+        mt.Unmark(i);
+        model.erase(i);
+        break;
+      default: {
+        ASSERT_EQ(mt.IsMarked(i), model.count(i) > 0);
+        auto it = model.lower_bound(i);
+        uint64_t expect = it == model.end() ? MarkTree::kNone : *it;
+        ASSERT_EQ(mt.NextMarked(i), expect) << "at " << i;
+        break;
+      }
+    }
+  }
+  // Full enumeration.
+  std::vector<uint64_t> got;
+  mt.ForEachMarked(0, universe, [&](uint64_t p) { got.push_back(p); });
+  std::vector<uint64_t> expect(model.begin(), model.end());
+  EXPECT_EQ(got, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MarkTreeTest,
+                         ::testing::Values(1, 64, 65, 4096, 4097, 1000000));
+
+TEST(MarkTreeBasic, MarkUnmarkIdempotent) {
+  MarkTree mt(100);
+  mt.Mark(50);
+  mt.Mark(50);
+  EXPECT_TRUE(mt.IsMarked(50));
+  mt.Unmark(50);
+  EXPECT_FALSE(mt.IsMarked(50));
+  mt.Unmark(50);
+  EXPECT_FALSE(mt.IsMarked(50));
+  EXPECT_EQ(mt.NextMarked(0), MarkTree::kNone);
+}
+
+TEST(MarkTreeBasic, RangeEnumeration) {
+  MarkTree mt(1000);
+  for (uint64_t i = 0; i < 1000; i += 100) mt.Mark(i);
+  std::vector<uint64_t> got;
+  mt.ForEachMarked(150, 750, [&](uint64_t p) { got.push_back(p); });
+  EXPECT_EQ(got, (std::vector<uint64_t>{200, 300, 400, 500, 600, 700}));
+}
+
+TEST(MarkTreeBasic, BoundaryPositions) {
+  MarkTree mt(128);
+  mt.Mark(0);
+  mt.Mark(63);
+  mt.Mark(64);
+  mt.Mark(127);
+  EXPECT_EQ(mt.NextMarked(0), 0u);
+  EXPECT_EQ(mt.NextMarked(1), 63u);
+  EXPECT_EQ(mt.NextMarked(64), 64u);
+  EXPECT_EQ(mt.NextMarked(65), 127u);
+  EXPECT_EQ(mt.NextMarked(127), 127u);
+}
+
+}  // namespace
+}  // namespace dyndex

@@ -1,0 +1,171 @@
+// Property-based tests: structural invariants that must hold for any input,
+// complementing the oracle-comparison tests.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "gen/text_gen.h"
+#include "seq/wavelet_tree.h"
+#include "text/fm_index.h"
+#include "text/packed_sa_index.h"
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+class FmPropertyTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  void Build(uint64_t n) {
+    uint32_t sigma = GetParam();
+    Rng rng(sigma * 7 + n);
+    docs_ = RandomDocs(rng, 6, n / 8, n / 4, sigma);
+    std::vector<Document> d;
+    for (uint32_t i = 0; i < docs_.size(); ++i) d.push_back({i, docs_[i]});
+    text_ = ConcatText(d);
+    FmIndex::Options opt;
+    opt.sample_rate = 4;
+    idx_ = FmIndex::Build(text_, opt);
+  }
+
+  std::vector<std::vector<Symbol>> docs_;
+  ConcatText text_;
+  FmIndex idx_;
+};
+
+// LF is a permutation of the rows.
+TEST_P(FmPropertyTest, LfIsAPermutation) {
+  Build(400);
+  std::set<uint64_t> images;
+  for (uint64_t row = 0; row < idx_.NumRows(); ++row) {
+    uint64_t lf = idx_.LF(row);
+    ASSERT_LT(lf, idx_.NumRows());
+    ASSERT_TRUE(images.insert(lf).second) << "LF not injective at " << row;
+  }
+}
+
+// Iterating LF from row 0 visits every row exactly once (one cycle through
+// the whole text: the BWT's defining property for a sentinel-terminated
+// concatenation).
+TEST_P(FmPropertyTest, LfIsASingleCycle) {
+  Build(300);
+  uint64_t row = 0;
+  std::set<uint64_t> visited;
+  for (uint64_t k = 0; k < idx_.NumRows(); ++k) {
+    ASSERT_TRUE(visited.insert(row).second) << "cycle shorter than n at " << k;
+    row = idx_.LF(row);
+  }
+  EXPECT_EQ(row, 0u);  // back to the sentinel row
+  EXPECT_EQ(visited.size(), idx_.NumRows());
+}
+
+// Locate over the full row set is a permutation of text positions.
+TEST_P(FmPropertyTest, LocateIsAPermutationOfPositions) {
+  Build(250);
+  std::set<uint64_t> positions;
+  for (uint64_t row = 0; row < idx_.NumRows(); ++row) {
+    uint64_t pos = idx_.Locate(row);
+    ASSERT_LE(pos, idx_.TextSize());
+    ASSERT_TRUE(positions.insert(pos).second);
+  }
+  EXPECT_EQ(positions.size(), idx_.NumRows());
+}
+
+// Find ranges for the sigma single-symbol patterns partition the rows
+// holding text symbols (plus sentinel and separator rows).
+TEST_P(FmPropertyTest, SingleSymbolRangesPartitionRows) {
+  Build(300);
+  uint64_t covered = 0;
+  uint64_t prev_end = 0;
+  for (Symbol c = kMinSymbol; c < text_.sigma(); ++c) {
+    RowRange r = idx_.Find(&c, 1);
+    if (r.empty()) continue;
+    ASSERT_GE(r.begin, prev_end);  // ranges ordered and disjoint
+    prev_end = r.end;
+    covered += r.size();
+  }
+  // Rows = sentinel (1) + separators (num docs) + symbol rows.
+  EXPECT_EQ(covered + 1 + text_.num_docs(), idx_.NumRows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphabets, FmPropertyTest,
+                         ::testing::Values(2u, 4u, 26u, 200u));
+
+// Wavelet tree: sum of Rank over all symbols at any prefix equals the prefix
+// length (rank partition law).
+TEST(WaveletProperty, RanksPartitionEveryPrefix) {
+  Rng rng(5);
+  uint32_t sigma = 17;
+  std::vector<uint32_t> data(800);
+  for (auto& v : data) v = static_cast<uint32_t>(rng.Below(sigma));
+  WaveletTree wt(data, sigma);
+  for (uint64_t i = 0; i <= data.size(); i += 37) {
+    uint64_t sum = 0;
+    for (uint32_t c = 0; c < sigma; ++c) sum += wt.Rank(c, i);
+    ASSERT_EQ(sum, i);
+  }
+}
+
+// PackedSaIndex: SA and ISA are mutually inverse permutations.
+TEST(PackedSaProperty, SaIsaInverse) {
+  Rng rng(6);
+  auto docs = RandomDocs(rng, 4, 50, 150, 8);
+  std::vector<Document> d;
+  for (uint32_t i = 0; i < docs.size(); ++i) d.push_back({i, docs[i]});
+  PackedSaIndex idx = PackedSaIndex::Build(ConcatText(d), {});
+  std::set<uint64_t> seen;
+  for (uint64_t row = 0; row < idx.NumRows(); ++row) {
+    uint64_t pos = idx.Locate(row);
+    ASSERT_TRUE(seen.insert(pos).second);
+  }
+  EXPECT_EQ(seen.size(), idx.NumRows());
+}
+
+// Suffixes in SA order are lexicographically sorted (checked via Extract on
+// a prefix window).
+TEST(PackedSaProperty, RowsAreSorted) {
+  Rng rng(7);
+  auto docs = RandomDocs(rng, 3, 40, 80, 4);
+  std::vector<Document> d;
+  for (uint32_t i = 0; i < docs.size(); ++i) d.push_back({i, docs[i]});
+  ConcatText text(d);
+  PackedSaIndex idx = PackedSaIndex::Build(text, {});
+  auto suffix_prefix = [&](uint64_t row) {
+    uint64_t pos = idx.Locate(row);
+    uint64_t len = std::min<uint64_t>(12, idx.TextSize() + 1 - pos);
+    std::vector<Symbol> out;
+    // Read from the raw concatenation (simplest ground truth).
+    for (uint64_t i = 0; i < len; ++i) {
+      out.push_back(pos + i < text.symbols().size() ? text.symbols()[pos + i]
+                                                    : kSentinel);
+    }
+    return out;
+  };
+  for (uint64_t row = 1; row < idx.NumRows(); ++row) {
+    auto a = suffix_prefix(row - 1);
+    auto b = suffix_prefix(row);
+    ASSERT_LE(a, b) << "row " << row;
+  }
+}
+
+// Count is monotone under pattern extension: count(Pc) <= count(P).
+TEST(FmProperty, CountMonotoneInPatternExtension) {
+  Rng rng(8);
+  auto docs = RandomDocs(rng, 5, 100, 200, 4);
+  std::vector<Document> d;
+  for (uint32_t i = 0; i < docs.size(); ++i) d.push_back({i, docs[i]});
+  FmIndex idx = FmIndex::Build(ConcatText(d), {});
+  for (int trial = 0; trial < 50; ++trial) {
+    auto p = SamplePattern(rng, docs, 2, 4);
+    RowRange r2 = idx.Find(p);
+    for (Symbol c = kMinSymbol; c < kMinSymbol + 4; ++c) {
+      auto ext = p;
+      ext.push_back(c);
+      ASSERT_LE(idx.Find(ext).size(), r2.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dyndex

@@ -1,0 +1,88 @@
+#include "bits/rank_select.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+// Parameterized over (size, density-percent).
+class RankSelectTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {
+ protected:
+  void Build() {
+    auto [n, density] = GetParam();
+    n_ = n;
+    BitVector b(n);
+    Rng rng(n * 131 + density);
+    bits_.assign(n, false);
+    for (uint64_t i = 0; i < n; ++i) {
+      bits_[i] = rng.Below(100) < static_cast<uint64_t>(density);
+      b.Set(i, bits_[i]);
+    }
+    rs_.Build(std::move(b));
+  }
+
+  uint64_t n_ = 0;
+  std::vector<bool> bits_;
+  RankSelect rs_;
+};
+
+TEST_P(RankSelectTest, RankMatchesNaive) {
+  Build();
+  uint64_t r = 0;
+  for (uint64_t i = 0; i <= n_; ++i) {
+    ASSERT_EQ(rs_.Rank1(i), r) << i;
+    ASSERT_EQ(rs_.Rank0(i), i - r) << i;
+    if (i < n_ && bits_[i]) ++r;
+  }
+  EXPECT_EQ(rs_.ones(), r);
+}
+
+TEST_P(RankSelectTest, SelectMatchesNaive) {
+  Build();
+  uint64_t k1 = 0, k0 = 0;
+  for (uint64_t i = 0; i < n_; ++i) {
+    if (bits_[i]) {
+      ASSERT_EQ(rs_.Select1(k1), i) << k1;
+      ++k1;
+    } else {
+      ASSERT_EQ(rs_.Select0(k0), i) << k0;
+      ++k0;
+    }
+  }
+}
+
+TEST_P(RankSelectTest, RankSelectInverse) {
+  Build();
+  for (uint64_t k = 0; k < rs_.ones(); k += 7) {
+    uint64_t p = rs_.Select1(k);
+    EXPECT_EQ(rs_.Rank1(p), k);
+    EXPECT_TRUE(rs_.Get(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RankSelectTest,
+    ::testing::Combine(::testing::Values(1, 63, 64, 65, 511, 512, 513, 4096,
+                                         100000),
+                       ::testing::Values(0, 1, 50, 99, 100)));
+
+TEST(RankSelectBasic, AllOnes) {
+  RankSelect rs(BitVector(1000, true));
+  EXPECT_EQ(rs.ones(), 1000u);
+  EXPECT_EQ(rs.Rank1(777), 777u);
+  EXPECT_EQ(rs.Select1(999), 999u);
+}
+
+TEST(RankSelectBasic, Empty) {
+  RankSelect rs{BitVector(0)};
+  EXPECT_EQ(rs.ones(), 0u);
+  EXPECT_EQ(rs.Rank1(0), 0u);
+}
+
+}  // namespace
+}  // namespace dyndex

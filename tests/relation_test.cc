@@ -1,0 +1,150 @@
+// Tests for static / deletion-only relations against naive pair-set models.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "gen/relation_gen.h"
+#include "relation/deletion_only_relation.h"
+#include "relation/static_relation.h"
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+using PairSet = std::set<std::pair<uint32_t, uint32_t>>;
+
+std::vector<Pair> ToPairs(const PairSet& s) {
+  std::vector<Pair> out;
+  for (auto [o, a] : s) out.push_back({o, a});
+  return out;
+}
+
+TEST(StaticRelationTest, ObjectRangesAndLookups) {
+  // objects: 0 -> {1, 3}, 1 -> {}, 2 -> {0, 1, 2}
+  std::vector<Pair> pairs{{0, 1}, {0, 3}, {2, 0}, {2, 1}, {2, 2}};
+  StaticRelation rel(pairs, 3, 4);
+  EXPECT_EQ(rel.num_pairs(), 5u);
+  auto [l0, r0] = rel.ObjectRange(0);
+  EXPECT_EQ(r0 - l0, 2u);
+  auto [l1, r1] = rel.ObjectRange(1);
+  EXPECT_EQ(r1 - l1, 0u);
+  auto [l2, r2] = rel.ObjectRange(2);
+  EXPECT_EQ(r2 - l2, 3u);
+  EXPECT_EQ(rel.LabelAt(l0), 1u);
+  EXPECT_EQ(rel.LabelAt(l0 + 1), 3u);
+  EXPECT_EQ(rel.ObjectAt(l2), 2u);
+  EXPECT_NE(rel.FindPair(0, 3), StaticRelation::kNotFound);
+  EXPECT_EQ(rel.FindPair(0, 2), StaticRelation::kNotFound);
+  EXPECT_EQ(rel.FindPair(1, 1), StaticRelation::kNotFound);
+  EXPECT_EQ(rel.LabelCount(1), 2u);
+}
+
+class StaticRelationRandomTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(StaticRelationRandomTest, MatchesNaiveSets) {
+  auto [n_pairs, t, sl] = GetParam();
+  Rng rng(n_pairs * 31 + t + sl);
+  auto raw = GenPairs(rng, n_pairs, t, sl);
+  PairSet model(raw.begin(), raw.end());
+  StaticRelation rel(ToPairs(model), t, sl);
+  // Per-object label sets.
+  for (uint32_t o = 0; o < static_cast<uint32_t>(t); ++o) {
+    auto [l, r] = rel.ObjectRange(o);
+    std::set<uint32_t> got;
+    for (uint64_t p = l; p < r; ++p) got.insert(rel.LabelAt(p));
+    std::set<uint32_t> expect;
+    for (auto [oo, aa] : model) {
+      if (oo == o) expect.insert(aa);
+    }
+    ASSERT_EQ(got, expect) << "object " << o;
+  }
+  // Per-label object sets via select.
+  for (uint32_t a = 0; a < static_cast<uint32_t>(sl); ++a) {
+    std::set<uint32_t> got;
+    for (uint64_t k = 0; k < rel.LabelCount(a); ++k) {
+      got.insert(rel.ObjectAt(rel.SelectLabel(a, k)));
+    }
+    std::set<uint32_t> expect;
+    for (auto [oo, aa] : model) {
+      if (aa == a) expect.insert(oo);
+    }
+    ASSERT_EQ(got, expect) << "label " << a;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StaticRelationRandomTest,
+                         ::testing::Values(std::tuple{50, 10, 8},
+                                           std::tuple{500, 40, 30},
+                                           std::tuple{400, 100, 5},
+                                           std::tuple{400, 5, 100}));
+
+TEST(DeletionOnlyRelationTest, DeleteAndQuery) {
+  Rng rng(9);
+  auto raw = GenPairs(rng, 800, 50, 40);
+  PairSet model(raw.begin(), raw.end());
+  DeletionOnlyRelation rel(ToPairs(model), 50, 40);
+  // Delete a third of the pairs.
+  std::vector<std::pair<uint32_t, uint32_t>> all(model.begin(), model.end());
+  for (size_t i = 0; i < all.size(); i += 3) {
+    ASSERT_TRUE(rel.DeletePair(all[i].first, all[i].second));
+    ASSERT_FALSE(rel.DeletePair(all[i].first, all[i].second));  // double
+    model.erase(all[i]);
+  }
+  EXPECT_EQ(rel.live_pairs(), model.size());
+  for (uint32_t o = 0; o < 50; ++o) {
+    std::set<uint32_t> got;
+    rel.ForEachLabelOfObject(o, [&](uint32_t a) { got.insert(a); });
+    std::set<uint32_t> expect;
+    for (auto [oo, aa] : model) {
+      if (oo == o) expect.insert(aa);
+    }
+    ASSERT_EQ(got, expect) << "object " << o;
+    ASSERT_EQ(rel.CountLabelsOf(o), expect.size());
+  }
+  for (uint32_t a = 0; a < 40; ++a) {
+    std::set<uint32_t> got;
+    rel.ForEachObjectOfLabel(a, [&](uint32_t o) { got.insert(o); });
+    std::set<uint32_t> expect;
+    for (auto [oo, aa] : model) {
+      if (aa == a) expect.insert(oo);
+    }
+    ASSERT_EQ(got, expect) << "label " << a;
+    ASSERT_EQ(rel.CountObjectsOf(a), expect.size());
+  }
+}
+
+TEST(DeletionOnlyRelationTest, RelatedReflectsLiveness) {
+  std::vector<Pair> pairs{{0, 0}, {0, 1}, {1, 0}};
+  DeletionOnlyRelation rel(pairs, 2, 2);
+  EXPECT_TRUE(rel.Related(0, 0));
+  EXPECT_TRUE(rel.DeletePair(0, 0));
+  EXPECT_FALSE(rel.Related(0, 0));
+  EXPECT_TRUE(rel.Related(0, 1));
+  EXPECT_TRUE(rel.Related(1, 0));
+  EXPECT_FALSE(rel.Related(1, 1));
+}
+
+TEST(DeletionOnlyRelationTest, PurgeThresholdAndExport) {
+  Rng rng(10);
+  auto raw = GenPairs(rng, 100, 20, 20);
+  PairSet model(raw.begin(), raw.end());
+  DeletionOnlyRelation rel(ToPairs(model), 20, 20);
+  EXPECT_FALSE(rel.NeedsPurge(4));
+  std::vector<std::pair<uint32_t, uint32_t>> all(model.begin(), model.end());
+  for (int i = 0; i < 30; ++i) {
+    rel.DeletePair(all[i].first, all[i].second);
+    model.erase(all[i]);
+  }
+  EXPECT_TRUE(rel.NeedsPurge(4));
+  std::vector<Pair> live;
+  rel.ExportLivePairs(&live);
+  PairSet exported;
+  for (const Pair& p : live) exported.insert({p.object, p.label});
+  EXPECT_EQ(exported, model);
+}
+
+}  // namespace
+}  // namespace dyndex

@@ -1,0 +1,94 @@
+#include "suffix/sais.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/text_gen.h"
+#include "tests/testing_util.h"
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+std::vector<Symbol> WithSentinel(std::vector<Symbol> t) {
+  t.push_back(kSentinel);
+  return t;
+}
+
+void ExpectValidSuffixArray(const std::vector<Symbol>& text) {
+  uint32_t sigma = 0;
+  for (Symbol s : text) sigma = s + 1 > sigma ? s + 1 : sigma;
+  auto sa = BuildSuffixArray(text, sigma);
+  auto expect = NaiveSuffixArray(text);
+  ASSERT_EQ(sa, expect);
+}
+
+TEST(SaisTest, TinyInputs) {
+  ExpectValidSuffixArray({0});
+  ExpectValidSuffixArray({5, 0});
+  ExpectValidSuffixArray({2, 2, 0});
+  ExpectValidSuffixArray({3, 2, 0});
+  ExpectValidSuffixArray({2, 3, 0});
+}
+
+TEST(SaisTest, ClassicBanana) {
+  // "banana" mapped to integers: b=4,a=3,n=5.
+  std::vector<Symbol> t{4, 3, 5, 3, 5, 3, 0};
+  ExpectValidSuffixArray(t);
+}
+
+TEST(SaisTest, AllEqualSymbols) {
+  ExpectValidSuffixArray(WithSentinel(std::vector<Symbol>(500, 7)));
+}
+
+TEST(SaisTest, StrictlyIncreasingAndDecreasing) {
+  std::vector<Symbol> inc, dec;
+  for (uint32_t i = 0; i < 200; ++i) inc.push_back(2 + i);
+  for (uint32_t i = 0; i < 200; ++i) dec.push_back(2 + 199 - i);
+  ExpectValidSuffixArray(WithSentinel(inc));
+  ExpectValidSuffixArray(WithSentinel(dec));
+}
+
+TEST(SaisTest, PeriodicText) {
+  std::vector<Symbol> t;
+  for (int i = 0; i < 300; ++i) t.push_back(2 + (i % 3));
+  ExpectValidSuffixArray(WithSentinel(t));
+}
+
+class SaisRandomTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
+
+TEST_P(SaisRandomTest, MatchesNaiveSort) {
+  auto [n, sigma] = GetParam();
+  Rng rng(n * 1000 + sigma);
+  ExpectValidSuffixArray(WithSentinel(UniformText(rng, n, sigma)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SaisRandomTest,
+    ::testing::Combine(::testing::Values(1, 2, 10, 100, 1000, 5000),
+                       ::testing::Values(1u, 2u, 4u, 26u, 1000u)));
+
+TEST(SaisTest, MarkovAndZipfTexts) {
+  Rng rng(11);
+  ExpectValidSuffixArray(WithSentinel(MarkovText(rng, 2000, 16)));
+  ExpectValidSuffixArray(WithSentinel(ZipfText(rng, 2000, 64)));
+}
+
+TEST(SaisTest, SentinelRowIsFirst) {
+  Rng rng(12);
+  auto t = WithSentinel(UniformText(rng, 1000, 8));
+  auto sa = BuildSuffixArray(t, 10);
+  EXPECT_EQ(sa[0], t.size() - 1);
+  // Permutation property.
+  std::vector<bool> seen(t.size(), false);
+  for (uint64_t v : sa) {
+    ASSERT_LT(v, t.size());
+    ASSERT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+}  // namespace
+}  // namespace dyndex

@@ -1,0 +1,162 @@
+#include "core/semi_static_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "gen/text_gen.h"
+#include "tests/testing_util.h"
+#include "text/fm_index.h"
+#include "text/packed_sa_index.h"
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+using Occ = std::pair<DocId, uint64_t>;
+
+template <typename I>
+class SemiStaticIndexTest : public ::testing::Test {
+ protected:
+  using Semi = SemiStaticIndex<I>;
+
+  std::unique_ptr<Semi> Build(const std::map<DocId, std::vector<Symbol>>& docs,
+                              bool counting) {
+    std::vector<Document> d;
+    for (const auto& [id, syms] : docs) d.push_back({id, syms});
+    typename Semi::Options opt;
+    opt.counting = counting;
+    return std::make_unique<Semi>(d, opt);
+  }
+
+  static std::vector<Occ> Occurrences(const Semi& s,
+                                      const std::vector<Symbol>& p) {
+    std::vector<Occ> out;
+    s.ForEachOccurrence(p, [&](DocId id, uint64_t off) {
+      out.emplace_back(id, off);
+    });
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  static std::vector<Occ> Naive(const std::map<DocId, std::vector<Symbol>>& m,
+                                const std::vector<Symbol>& p) {
+    std::vector<Occ> out;
+    for (const auto& [id, doc] : m) {
+      if (doc.size() < p.size()) continue;
+      for (uint64_t i = 0; i + p.size() <= doc.size(); ++i) {
+        if (std::equal(p.begin(), p.end(), doc.begin() + static_cast<int64_t>(i))) {
+          out.emplace_back(id, i);
+        }
+      }
+    }
+    return out;
+  }
+};
+
+using IndexTypes = ::testing::Types<FmIndex, PackedSaIndex>;
+TYPED_TEST_SUITE(SemiStaticIndexTest, IndexTypes);
+
+TYPED_TEST(SemiStaticIndexTest, DeletionHidesAllOccurrences) {
+  Rng rng(21);
+  std::map<DocId, std::vector<Symbol>> model;
+  for (DocId id = 100; id < 110; ++id) {
+    model[id] = UniformText(rng, rng.Range(30, 90), 4);
+  }
+  auto semi = this->Build(model, /*counting=*/true);
+  // Delete half the docs one by one, re-checking queries each time.
+  for (DocId id = 100; id < 105; ++id) {
+    ASSERT_TRUE(semi->EraseDoc(id));
+    ASSERT_FALSE(semi->EraseDoc(id));  // second call is a no-op
+    model.erase(id);
+    for (int q = 0; q < 10; ++q) {
+      std::vector<std::vector<Symbol>> live;
+      for (const auto& [i, d] : model) live.push_back(d);
+      auto p = SamplePattern(rng, live, rng.Range(1, 4), 4);
+      ASSERT_EQ(this->Occurrences(*semi, p), this->Naive(model, p));
+      ASSERT_EQ(semi->Count(p), this->Naive(model, p).size());
+    }
+  }
+}
+
+TYPED_TEST(SemiStaticIndexTest, CountWithAndWithoutAugmentation) {
+  Rng rng(22);
+  std::map<DocId, std::vector<Symbol>> model;
+  for (DocId id = 0; id < 6; ++id) {
+    model[id] = UniformText(rng, 200, 3);
+  }
+  auto with = this->Build(model, true);
+  auto without = this->Build(model, false);
+  with->EraseDoc(2);
+  without->EraseDoc(2);
+  model.erase(2);
+  for (int q = 0; q < 30; ++q) {
+    std::vector<std::vector<Symbol>> live;
+    for (const auto& [i, d] : model) live.push_back(d);
+    auto p = SamplePattern(rng, live, rng.Range(1, 5), 3);
+    uint64_t expect = this->Naive(model, p).size();
+    ASSERT_EQ(with->Count(p), expect);
+    ASSERT_EQ(without->Count(p), expect);
+  }
+}
+
+TYPED_TEST(SemiStaticIndexTest, PurgeThreshold) {
+  Rng rng(23);
+  std::map<DocId, std::vector<Symbol>> model;
+  for (DocId id = 0; id < 10; ++id) model[id] = UniformText(rng, 100, 4);
+  auto semi = this->Build(model, false);
+  EXPECT_FALSE(semi->NeedsPurge(8));
+  semi->EraseDoc(0);  // 10% dead
+  EXPECT_FALSE(semi->NeedsPurge(8));
+  EXPECT_TRUE(semi->NeedsPurge(10));
+  semi->EraseDoc(1);  // 20% dead
+  EXPECT_TRUE(semi->NeedsPurge(5));
+}
+
+TYPED_TEST(SemiStaticIndexTest, ExportLiveDocsReconstructsContent) {
+  Rng rng(24);
+  std::map<DocId, std::vector<Symbol>> model;
+  for (DocId id = 0; id < 8; ++id) {
+    model[id] = UniformText(rng, rng.Range(1, 50), 16);
+  }
+  auto semi = this->Build(model, false);
+  semi->EraseDoc(3);
+  semi->EraseDoc(5);
+  model.erase(3);
+  model.erase(5);
+  std::vector<Document> out;
+  semi->ExportLiveDocs(&out);
+  ASSERT_EQ(out.size(), model.size());
+  for (const Document& d : out) {
+    ASSERT_EQ(d.symbols, model.at(d.id)) << "doc " << d.id;
+  }
+}
+
+TYPED_TEST(SemiStaticIndexTest, ExtractAndDocLen) {
+  Rng rng(25);
+  std::map<DocId, std::vector<Symbol>> model{{42, UniformText(rng, 120, 8)}};
+  auto semi = this->Build(model, false);
+  EXPECT_EQ(semi->DocLenOf(42), 120u);
+  std::vector<Symbol> out;
+  semi->Extract(42, 10, 20, &out);
+  std::vector<Symbol> expect(model[42].begin() + 10, model[42].begin() + 30);
+  EXPECT_EQ(out, expect);
+}
+
+TYPED_TEST(SemiStaticIndexTest, EraseEverything) {
+  Rng rng(26);
+  std::map<DocId, std::vector<Symbol>> model;
+  for (DocId id = 0; id < 5; ++id) model[id] = UniformText(rng, 40, 4);
+  auto semi = this->Build(model, true);
+  for (DocId id = 0; id < 5; ++id) ASSERT_TRUE(semi->EraseDoc(id));
+  EXPECT_EQ(semi->live_symbols(), 0u);
+  EXPECT_EQ(semi->num_live_docs(), 0u);
+  auto p = std::vector<Symbol>{2};
+  EXPECT_TRUE(this->Occurrences(*semi, p).empty());
+  EXPECT_EQ(semi->Count(p), 0u);
+}
+
+}  // namespace
+}  // namespace dyndex

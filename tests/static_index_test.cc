@@ -1,0 +1,230 @@
+// Shared conformance tests for the two static indexes (FmIndex and
+// PackedSaIndex): the Transformations are generic over this interface, so both
+// must satisfy identical contracts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "gen/text_gen.h"
+#include "tests/testing_util.h"
+#include "text/fm_index.h"
+#include "text/packed_sa_index.h"
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+template <typename Index>
+Index BuildIndex(const ConcatText& text);
+
+template <>
+FmIndex BuildIndex<FmIndex>(const ConcatText& text) {
+  FmIndex::Options opt;
+  opt.sample_rate = 8;
+  return FmIndex::Build(text, opt);
+}
+
+template <>
+PackedSaIndex BuildIndex<PackedSaIndex>(const ConcatText& text) {
+  return PackedSaIndex::Build(text, {});
+}
+
+template <typename Index>
+class StaticIndexTest : public ::testing::Test {
+ protected:
+  void BuildCollection(uint32_t num_docs, uint64_t min_len, uint64_t max_len,
+                       uint32_t sigma, uint64_t seed) {
+    Rng rng(seed);
+    docs_ = RandomDocs(rng, num_docs, min_len, max_len, sigma);
+    std::vector<Document> d;
+    for (uint32_t i = 0; i < docs_.size(); ++i) {
+      d.push_back({static_cast<DocId>(i), docs_[i]});
+    }
+    text_ = ConcatText(d);
+    idx_ = BuildIndex<Index>(text_);
+  }
+
+  // All live occurrences via Find + Locate + DocOfPos.
+  std::vector<std::pair<uint32_t, uint64_t>> IndexOccurrences(
+      const std::vector<Symbol>& p) {
+    RowRange r = idx_.Find(p);
+    std::vector<std::pair<uint32_t, uint64_t>> out;
+    for (uint64_t row = r.begin; row < r.end; ++row) {
+      uint64_t pos = idx_.Locate(row);
+      uint32_t d = idx_.DocOfPos(pos);
+      out.emplace_back(d, pos - idx_.doc_start(d));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::vector<std::vector<Symbol>> docs_;
+  ConcatText text_;
+  Index idx_;
+};
+
+using IndexTypes = ::testing::Types<FmIndex, PackedSaIndex>;
+TYPED_TEST_SUITE(StaticIndexTest, IndexTypes);
+
+TYPED_TEST(StaticIndexTest, FindLocateMatchesNaive) {
+  this->BuildCollection(8, 20, 200, 6, 42);
+  Rng rng(7);
+  for (int q = 0; q < 50; ++q) {
+    uint64_t len = rng.Range(1, 6);
+    auto p = SamplePattern(rng, this->docs_, len, 6);
+    ASSERT_EQ(this->IndexOccurrences(p), NaiveOccurrences(this->docs_, p));
+  }
+}
+
+TYPED_TEST(StaticIndexTest, MissingPatternsReturnEmpty) {
+  this->BuildCollection(4, 50, 100, 4, 43);
+  // Symbol outside the alphabet.
+  std::vector<Symbol> p{2, 3, 4, 99};
+  EXPECT_TRUE(this->idx_.Find(p).empty());
+  // Pattern longer than any document.
+  Rng rng(1);
+  auto longp = UniformText(rng, 500, 4);
+  EXPECT_EQ(this->IndexOccurrences(longp),
+            NaiveOccurrences(this->docs_, longp));
+}
+
+TYPED_TEST(StaticIndexTest, EmptyPatternMatchesAllRows) {
+  this->BuildCollection(3, 10, 20, 4, 44);
+  RowRange r = this->idx_.Find(std::vector<Symbol>{});
+  EXPECT_EQ(r.size(), this->idx_.NumRows());
+}
+
+TYPED_TEST(StaticIndexTest, ExtractEveryDocInFull) {
+  this->BuildCollection(6, 5, 80, 8, 45);
+  for (uint32_t d = 0; d < this->docs_.size(); ++d) {
+    std::vector<Symbol> got;
+    this->idx_.Extract(this->idx_.doc_start(d), this->idx_.doc_len(d), &got);
+    ASSERT_EQ(got, this->docs_[d]) << "doc " << d;
+  }
+}
+
+TYPED_TEST(StaticIndexTest, ExtractRandomSlices) {
+  this->BuildCollection(4, 100, 300, 16, 46);
+  Rng rng(9);
+  for (int q = 0; q < 60; ++q) {
+    uint32_t d = static_cast<uint32_t>(rng.Below(this->docs_.size()));
+    const auto& doc = this->docs_[d];
+    uint64_t from = rng.Below(doc.size());
+    uint64_t len = rng.Below(doc.size() - from + 1);
+    std::vector<Symbol> got;
+    this->idx_.Extract(this->idx_.doc_start(d) + from, len, &got);
+    std::vector<Symbol> expect(doc.begin() + static_cast<int64_t>(from),
+                               doc.begin() + static_cast<int64_t>(from + len));
+    ASSERT_EQ(got, expect);
+  }
+}
+
+TYPED_TEST(StaticIndexTest, ForEachDocRowCoversExactlyDocSuffixes) {
+  this->BuildCollection(5, 10, 60, 4, 47);
+  std::set<uint64_t> all_rows;
+  uint64_t total = 0;
+  for (uint32_t d = 0; d < this->docs_.size(); ++d) {
+    std::set<uint64_t> rows;
+    this->idx_.ForEachDocRow(d, [&](uint64_t row) {
+      EXPECT_TRUE(rows.insert(row).second) << "duplicate row";
+      // Every reported row's suffix must start inside doc d.
+      uint64_t pos = this->idx_.Locate(row);
+      EXPECT_EQ(this->idx_.DocOfPos(pos), d);
+    });
+    EXPECT_EQ(rows.size(), this->docs_[d].size() + 1);
+    total += rows.size();
+    all_rows.insert(rows.begin(), rows.end());
+  }
+  // Together with the sentinel row, doc rows partition the SA.
+  EXPECT_EQ(total + 1, this->idx_.NumRows());
+  EXPECT_EQ(all_rows.size(), total);
+}
+
+TYPED_TEST(StaticIndexTest, DocOfPosBoundaries) {
+  this->BuildCollection(3, 4, 10, 4, 48);
+  for (uint32_t d = 0; d < this->docs_.size(); ++d) {
+    uint64_t s = this->idx_.doc_start(d);
+    uint64_t l = this->idx_.doc_len(d);
+    EXPECT_EQ(this->idx_.DocOfPos(s), d);
+    EXPECT_EQ(this->idx_.DocOfPos(s + l), d);  // the separator
+    if (d + 1 < this->docs_.size()) {
+      EXPECT_EQ(this->idx_.DocOfPos(s + l + 1), d + 1);
+    }
+  }
+}
+
+TYPED_TEST(StaticIndexTest, SingleDocSingleSymbol) {
+  Rng rng(50);
+  std::vector<Document> d;
+  d.push_back({0, {5}});
+  ConcatText text(d);
+  auto idx = BuildIndex<TypeParam>(text);
+  EXPECT_EQ(idx.NumRows(), 3u);  // "5", separator, sentinel
+  RowRange r = idx.Find(std::vector<Symbol>{5});
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(idx.Locate(r.begin), 0u);
+  EXPECT_TRUE(idx.Find(std::vector<Symbol>{6}).empty());
+}
+
+TYPED_TEST(StaticIndexTest, LargeAlphabetSparseSymbols) {
+  Rng rng(51);
+  std::vector<std::vector<Symbol>> docs;
+  docs.push_back({100000, 2, 100000, 99999});
+  docs.push_back({99999, 100000, 2});
+  std::vector<Document> d;
+  for (uint32_t i = 0; i < docs.size(); ++i) {
+    d.push_back({i, docs[i]});
+  }
+  ConcatText text(d);
+  auto idx = BuildIndex<TypeParam>(text);
+  std::vector<Symbol> p{100000};
+  RowRange r = idx.Find(p);
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TYPED_TEST(StaticIndexTest, RepetitiveCollection) {
+  // Many identical documents: every pattern occurrence appears in each.
+  std::vector<Symbol> unit{2, 3, 2, 3, 4};
+  std::vector<Document> d;
+  for (uint32_t i = 0; i < 20; ++i) d.push_back({i, unit});
+  ConcatText text(d);
+  auto idx = BuildIndex<TypeParam>(text);
+  std::vector<Symbol> p{2, 3};
+  RowRange r = idx.Find(p);
+  EXPECT_EQ(r.size(), 40u);  // two occurrences per doc
+}
+
+class FmSampleRateTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FmSampleRateTest, LocateCorrectAtEverySampleRate) {
+  Rng rng(60);
+  auto docs = RandomDocs(rng, 5, 50, 150, 8);
+  std::vector<Document> d;
+  for (uint32_t i = 0; i < docs.size(); ++i) {
+    d.push_back({i, docs[i]});
+  }
+  ConcatText text(d);
+  FmIndex::Options opt;
+  opt.sample_rate = GetParam();
+  FmIndex idx = FmIndex::Build(text, opt);
+  for (int q = 0; q < 20; ++q) {
+    auto p = SamplePattern(rng, docs, 3, 8);
+    RowRange r = idx.Find(p);
+    std::vector<std::pair<uint32_t, uint64_t>> got;
+    for (uint64_t row = r.begin; row < r.end; ++row) {
+      uint64_t pos = idx.Locate(row);
+      uint32_t dd = idx.DocOfPos(pos);
+      got.emplace_back(dd, pos - idx.doc_start(dd));
+    }
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, NaiveOccurrences(docs, p)) << "s=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleRates, FmSampleRateTest,
+                         ::testing::Values(1u, 2u, 4u, 32u, 128u, 1024u));
+
+}  // namespace
+}  // namespace dyndex

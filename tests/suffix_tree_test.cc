@@ -1,0 +1,214 @@
+#include "gst/suffix_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "gen/text_gen.h"
+#include "tests/testing_util.h"
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+using Occ = std::pair<DocId, uint64_t>;
+
+std::vector<Occ> TreeOccurrences(const SuffixTreeCollection& st,
+                                 const std::vector<Symbol>& p) {
+  std::vector<Occ> out;
+  st.ForEachOccurrence(p, [&](DocId id, uint64_t off) {
+    out.emplace_back(id, off);
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Occurrences over a doc-id-keyed map collection.
+std::vector<Occ> MapOccurrences(
+    const std::map<DocId, std::vector<Symbol>>& docs,
+    const std::vector<Symbol>& p) {
+  std::vector<Occ> out;
+  for (const auto& [id, doc] : docs) {
+    if (doc.size() < p.size()) continue;
+    for (uint64_t i = 0; i + p.size() <= doc.size(); ++i) {
+      bool ok = true;
+      for (uint64_t j = 0; j < p.size(); ++j) {
+        if (doc[i + j] != p[j]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) out.emplace_back(id, i);
+    }
+  }
+  return out;
+}
+
+TEST(SuffixTreeTest, SingleDocAllSubstrings) {
+  SuffixTreeCollection st;
+  std::vector<Symbol> doc{2, 3, 2, 3, 4, 2};
+  st.Insert(7, doc);
+  std::map<DocId, std::vector<Symbol>> model{{7, doc}};
+  for (uint64_t from = 0; from < doc.size(); ++from) {
+    for (uint64_t len = 1; from + len <= doc.size(); ++len) {
+      std::vector<Symbol> p(doc.begin() + static_cast<int64_t>(from),
+                            doc.begin() + static_cast<int64_t>(from + len));
+      ASSERT_EQ(TreeOccurrences(st, p), MapOccurrences(model, p))
+          << "from=" << from << " len=" << len;
+    }
+  }
+}
+
+TEST(SuffixTreeTest, NoFalsePositives) {
+  SuffixTreeCollection st;
+  st.Insert(1, {2, 2, 2, 2});
+  EXPECT_TRUE(TreeOccurrences(st, {3}).empty());
+  EXPECT_TRUE(TreeOccurrences(st, {2, 3}).empty());
+  EXPECT_TRUE(TreeOccurrences(st, {2, 2, 2, 2, 2}).empty());
+  EXPECT_EQ(st.Count({2, 2}), 3u);
+}
+
+TEST(SuffixTreeTest, MultipleDocsSharedSubstrings) {
+  SuffixTreeCollection st;
+  std::map<DocId, std::vector<Symbol>> model;
+  model[10] = {2, 3, 4};
+  model[20] = {3, 4, 5};
+  model[30] = {2, 3, 4};  // identical content to doc 10
+  for (const auto& [id, doc] : model) st.Insert(id, doc);
+  EXPECT_EQ(TreeOccurrences(st, {3, 4}), MapOccurrences(model, {3, 4}));
+  EXPECT_EQ(st.Count({3, 4}), 3u);
+  EXPECT_EQ(st.Count({2, 3, 4}), 2u);
+}
+
+TEST(SuffixTreeTest, EraseHidesOccurrences) {
+  SuffixTreeCollection st;
+  st.Insert(1, {2, 3, 4});
+  st.Insert(2, {2, 3, 5});
+  EXPECT_EQ(st.Count({2, 3}), 2u);
+  EXPECT_TRUE(st.Erase(1));
+  EXPECT_EQ(st.Count({2, 3}), 1u);
+  EXPECT_FALSE(st.Contains(1));
+  EXPECT_FALSE(st.Erase(1));  // double erase
+  auto occ = TreeOccurrences(st, {2, 3});
+  ASSERT_EQ(occ.size(), 1u);
+  EXPECT_EQ(occ[0].first, 2u);
+}
+
+TEST(SuffixTreeTest, RebuildAfterManyDeletions) {
+  SuffixTreeCollection st;
+  Rng rng(8);
+  std::map<DocId, std::vector<Symbol>> model;
+  for (DocId id = 0; id < 40; ++id) {
+    auto doc = UniformText(rng, 50, 4);
+    st.Insert(id, doc);
+    model[id] = doc;
+  }
+  // Delete 3/4 of the docs; rebuild must trigger (dead >= live).
+  for (DocId id = 0; id < 30; ++id) {
+    st.Erase(id);
+    model.erase(id);
+  }
+  EXPECT_EQ(st.num_live_docs(), 10u);
+  EXPECT_EQ(st.dead_symbols(), 0u);  // rebuild purged the dead docs
+  for (int q = 0; q < 30; ++q) {
+    std::vector<std::vector<Symbol>> live_docs;
+    for (const auto& [id, d] : model) live_docs.push_back(d);
+    auto p = SamplePattern(rng, live_docs, rng.Range(1, 5), 4);
+    ASSERT_EQ(TreeOccurrences(st, p), MapOccurrences(model, p));
+  }
+}
+
+TEST(SuffixTreeTest, RandomizedModelChurn) {
+  SuffixTreeCollection st;
+  std::map<DocId, std::vector<Symbol>> model;
+  Rng rng(77);
+  DocId next_id = 0;
+  for (int step = 0; step < 400; ++step) {
+    uint64_t op = rng.Below(10);
+    if (op < 5 || model.empty()) {
+      auto doc = UniformText(rng, rng.Range(1, 120), 5);
+      st.Insert(next_id, doc);
+      model[next_id] = doc;
+      ++next_id;
+    } else if (op < 8) {
+      auto it = model.begin();
+      std::advance(it, static_cast<int64_t>(rng.Below(model.size())));
+      st.Erase(it->first);
+      model.erase(it);
+    } else {
+      std::vector<std::vector<Symbol>> live;
+      for (const auto& [id, d] : model) live.push_back(d);
+      auto p = SamplePattern(rng, live, rng.Range(1, 8), 5);
+      ASSERT_EQ(TreeOccurrences(st, p), MapOccurrences(model, p))
+          << "step " << step;
+      ASSERT_EQ(st.Count(p), MapOccurrences(model, p).size());
+    }
+  }
+  // Final verification over every remaining doc.
+  uint64_t live_syms = 0;
+  for (const auto& [id, d] : model) {
+    ASSERT_TRUE(st.Contains(id));
+    ASSERT_EQ(st.DocLen(id), d.size());
+    live_syms += d.size();
+  }
+  EXPECT_EQ(st.live_symbols(), live_syms);
+}
+
+TEST(SuffixTreeTest, ExtractSlices) {
+  SuffixTreeCollection st;
+  Rng rng(9);
+  auto doc = UniformText(rng, 200, 10);
+  st.Insert(5, doc);
+  for (int q = 0; q < 40; ++q) {
+    uint64_t from = rng.Below(doc.size());
+    uint64_t len = rng.Below(doc.size() - from + 1);
+    std::vector<Symbol> got;
+    st.Extract(5, from, len, &got);
+    std::vector<Symbol> expect(doc.begin() + static_cast<int64_t>(from),
+                               doc.begin() + static_cast<int64_t>(from + len));
+    ASSERT_EQ(got, expect);
+  }
+}
+
+TEST(SuffixTreeTest, ExportLiveDocsDrainsEverything) {
+  SuffixTreeCollection st;
+  st.Insert(1, {2, 3});
+  st.Insert(2, {4, 5, 6});
+  st.Insert(3, {7});
+  st.Erase(2);
+  std::vector<Document> out;
+  st.ExportLiveDocs(&out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 1u);
+  EXPECT_EQ(out[0].symbols, (std::vector<Symbol>{2, 3}));
+  EXPECT_EQ(out[1].id, 3u);
+  EXPECT_EQ(st.live_symbols(), 0u);
+  EXPECT_EQ(st.num_live_docs(), 0u);
+  // The structure is reusable afterwards.
+  st.Insert(9, {2, 2});
+  EXPECT_EQ(st.Count({2}), 2u);
+}
+
+TEST(SuffixTreeTest, PeriodicAndOverlappingPatterns) {
+  SuffixTreeCollection st;
+  std::vector<Symbol> doc;
+  for (int i = 0; i < 60; ++i) doc.push_back(2);
+  st.Insert(0, doc);
+  EXPECT_EQ(st.Count({2, 2, 2}), 58u);  // overlapping matches
+  std::map<DocId, std::vector<Symbol>> model{{0, doc}};
+  EXPECT_EQ(TreeOccurrences(st, {2, 2}), MapOccurrences(model, {2, 2}));
+}
+
+TEST(SuffixTreeTest, IdenticalDocsManyCopies) {
+  SuffixTreeCollection st;
+  std::vector<Symbol> doc{2, 3, 4, 2, 3};
+  for (DocId id = 0; id < 25; ++id) st.Insert(id, doc);
+  EXPECT_EQ(st.Count({2, 3}), 50u);
+  for (DocId id = 0; id < 25; id += 2) st.Erase(id);
+  EXPECT_EQ(st.Count({2, 3}), 24u);
+}
+
+}  // namespace
+}  // namespace dyndex

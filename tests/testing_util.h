@@ -1,0 +1,54 @@
+// Naive reference implementations shared by the test suite.
+#ifndef DYNDEX_TESTS_TESTING_UTIL_H_
+#define DYNDEX_TESTS_TESTING_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "text/concat_text.h"
+
+namespace dyndex {
+
+/// All (doc index, offset) occurrences of `pattern` in `docs`, sorted.
+inline std::vector<std::pair<uint32_t, uint64_t>> NaiveOccurrences(
+    const std::vector<std::vector<Symbol>>& docs,
+    const std::vector<Symbol>& pattern) {
+  std::vector<std::pair<uint32_t, uint64_t>> out;
+  for (uint32_t d = 0; d < docs.size(); ++d) {
+    const auto& doc = docs[d];
+    if (pattern.empty() || doc.size() < pattern.size()) continue;
+    for (uint64_t i = 0; i + pattern.size() <= doc.size(); ++i) {
+      bool match = true;
+      for (uint64_t j = 0; j < pattern.size(); ++j) {
+        if (doc[i + j] != pattern[j]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) out.emplace_back(d, i);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Naive suffix array by sorting all suffix start positions.
+inline std::vector<uint64_t> NaiveSuffixArray(const std::vector<Symbol>& text) {
+  std::vector<uint64_t> sa(text.size());
+  for (uint64_t i = 0; i < text.size(); ++i) sa[i] = i;
+  std::sort(sa.begin(), sa.end(), [&](uint64_t a, uint64_t b) {
+    while (a < text.size() && b < text.size()) {
+      if (text[a] != text[b]) return text[a] < text[b];
+      ++a;
+      ++b;
+    }
+    return a == text.size() && b != text.size();
+  });
+  return sa;
+}
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_TESTS_TESTING_UTIL_H_

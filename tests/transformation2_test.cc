@@ -1,0 +1,220 @@
+// Model tests of Transformation 2 (worst-case updates): synchronous mode is
+// deterministic; threaded mode exercises real background builds with racing
+// deletions replayed at swap time.
+#include "core/transformation2.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "gen/text_gen.h"
+#include "text/fm_index.h"
+#include "text/packed_sa_index.h"
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+std::vector<Occurrence> NaiveFind(
+    const std::map<DocId, std::vector<Symbol>>& model,
+    const std::vector<Symbol>& p) {
+  std::vector<Occurrence> out;
+  for (const auto& [id, doc] : model) {
+    if (doc.size() < p.size()) continue;
+    for (uint64_t i = 0; i + p.size() <= doc.size(); ++i) {
+      if (std::equal(p.begin(), p.end(), doc.begin() + static_cast<int64_t>(i))) {
+        out.push_back({id, i});
+      }
+    }
+  }
+  return out;
+}
+
+T2Options SmallT2(RebuildMode mode, bool counting = false) {
+  T2Options opt;
+  opt.min_c0 = 64;
+  opt.tau = 4;
+  opt.counting = counting;
+  opt.mode = mode;
+  return opt;
+}
+
+template <typename Coll>
+void RunChurn(Coll& coll, uint64_t seed, int steps, uint32_t sigma,
+              uint64_t max_doc_len, bool check_queries_every_step) {
+  std::map<DocId, std::vector<Symbol>> model;
+  Rng rng(seed);
+  for (int step = 0; step < steps; ++step) {
+    uint64_t op = rng.Below(10);
+    if (op < 5 || model.empty()) {
+      auto doc = UniformText(rng, rng.Range(1, max_doc_len), sigma);
+      DocId id = coll.Insert(doc);
+      model.emplace(id, std::move(doc));
+    } else if (op < 7) {
+      auto it = model.begin();
+      std::advance(it, static_cast<int64_t>(rng.Below(model.size())));
+      ASSERT_TRUE(coll.Erase(it->first));
+      model.erase(it);
+    } else if (op < 9 || check_queries_every_step) {
+      std::vector<std::vector<Symbol>> live;
+      for (const auto& [id, d] : model) live.push_back(d);
+      auto p = SamplePattern(rng, live, rng.Range(1, 6), sigma);
+      auto got = coll.Find(p);
+      std::sort(got.begin(), got.end());
+      ASSERT_EQ(got, NaiveFind(model, p)) << "step " << step;
+      ASSERT_EQ(coll.Count(p), NaiveFind(model, p).size()) << "step " << step;
+    } else if (!model.empty()) {
+      auto it = model.begin();
+      std::advance(it, static_cast<int64_t>(rng.Below(model.size())));
+      const auto& doc = it->second;
+      uint64_t from = rng.Below(doc.size());
+      uint64_t len = rng.Below(doc.size() - from + 1);
+      std::vector<Symbol> expect(doc.begin() + static_cast<int64_t>(from),
+                                 doc.begin() + static_cast<int64_t>(from + len));
+      ASSERT_EQ(coll.Extract(it->first, from, len), expect);
+    }
+    if (step % 100 == 99) coll.CheckInvariants();
+  }
+  coll.ForceAllPending();
+  coll.CheckInvariants();
+  ASSERT_EQ(coll.num_docs(), model.size());
+  // Exhaustive final check.
+  std::vector<std::vector<Symbol>> live;
+  for (const auto& [id, d] : model) live.push_back(d);
+  Rng qrng(seed + 1);
+  for (int q = 0; q < 30 && !model.empty(); ++q) {
+    auto p = SamplePattern(qrng, live, qrng.Range(1, 5), sigma);
+    auto got = coll.Find(p);
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, NaiveFind(model, p));
+  }
+}
+
+TEST(T2Sync, ChurnModelFm) {
+  DynamicCollectionT2<FmIndex> coll(SmallT2(RebuildMode::kSynchronous));
+  RunChurn(coll, 2001, 700, 4, 100, false);
+}
+
+TEST(T2Sync, ChurnModelFmCounting) {
+  DynamicCollectionT2<FmIndex> coll(SmallT2(RebuildMode::kSynchronous, true));
+  RunChurn(coll, 2002, 500, 6, 80, false);
+}
+
+TEST(T2Sync, ChurnModelPacked) {
+  DynamicCollectionT2<PackedSaIndex> coll(SmallT2(RebuildMode::kSynchronous));
+  RunChurn(coll, 2003, 600, 4, 100, false);
+}
+
+TEST(T2Threaded, ChurnModelFm) {
+  DynamicCollectionT2<FmIndex> coll(SmallT2(RebuildMode::kThreaded));
+  RunChurn(coll, 2004, 700, 4, 100, false);
+}
+
+TEST(T2Threaded, ChurnModelQueriesEveryStep) {
+  // Query correctness must hold *while* background builds are in flight.
+  DynamicCollectionT2<FmIndex> coll(SmallT2(RebuildMode::kThreaded));
+  RunChurn(coll, 2005, 300, 4, 60, true);
+}
+
+TEST(T2Sync, OversizedDocBecomesTopCollection) {
+  DynamicCollectionT2<FmIndex> coll(SmallT2(RebuildMode::kSynchronous));
+  Rng rng(2006);
+  // Prime the collection.
+  std::map<DocId, std::vector<Symbol>> model;
+  for (int i = 0; i < 50; ++i) {
+    auto d = UniformText(rng, 30, 4);
+    model.emplace(coll.Insert(d), d);
+  }
+  auto big = UniformText(rng, 4000, 4);
+  DocId id = coll.Insert(big);
+  model.emplace(id, big);
+  EXPECT_GE(coll.num_tops(), 1u);
+  std::vector<std::vector<Symbol>> live;
+  for (const auto& [i, d] : model) live.push_back(d);
+  for (int q = 0; q < 20; ++q) {
+    auto p = SamplePattern(rng, live, 4, 4);
+    auto got = coll.Find(p);
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, NaiveFind(model, p));
+  }
+  // Deleting the oversized doc must eventually drop its top collection.
+  coll.Erase(id);
+  model.erase(id);
+  auto p = SamplePattern(rng, {big}, 6, 4);
+  auto got = coll.Find(p);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, NaiveFind(model, p));
+}
+
+TEST(T2Sync, HeavyDeletionTriggersPurges) {
+  DynamicCollectionT2<FmIndex> coll(SmallT2(RebuildMode::kSynchronous));
+  Rng rng(2007);
+  std::vector<DocId> ids;
+  std::map<DocId, std::vector<Symbol>> model;
+  for (int i = 0; i < 400; ++i) {
+    auto d = UniformText(rng, 40, 4);
+    DocId id = coll.Insert(d);
+    ids.push_back(id);
+    model.emplace(id, d);
+  }
+  // Delete 90%.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i % 10 == 0) continue;
+    ASSERT_TRUE(coll.Erase(ids[i]));
+    model.erase(ids[i]);
+  }
+  coll.ForceAllPending();
+  coll.CheckInvariants();
+  std::vector<std::vector<Symbol>> live;
+  for (const auto& [i, d] : model) live.push_back(d);
+  for (int q = 0; q < 20; ++q) {
+    auto p = SamplePattern(rng, live, 3, 4);
+    auto got = coll.Find(p);
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, NaiveFind(model, p));
+  }
+}
+
+TEST(T2Threaded, DeletionsDuringBackgroundBuildAreReplayed) {
+  DynamicCollectionT2<FmIndex> coll(SmallT2(RebuildMode::kThreaded));
+  Rng rng(2008);
+  std::map<DocId, std::vector<Symbol>> model;
+  // Fill beyond C0 so a background build starts, then delete immediately.
+  std::vector<DocId> ids;
+  for (int i = 0; i < 120; ++i) {
+    auto d = UniformText(rng, 20, 4);
+    DocId id = coll.Insert(d);
+    ids.push_back(id);
+    model.emplace(id, d);
+  }
+  // Erase a batch without waiting for pending builds.
+  for (int i = 0; i < 60; ++i) {
+    coll.Erase(ids[i]);
+    model.erase(ids[i]);
+  }
+  coll.ForceAllPending();
+  coll.CheckInvariants();
+  ASSERT_EQ(coll.num_docs(), model.size());
+  std::vector<std::vector<Symbol>> live;
+  for (const auto& [i, d] : model) live.push_back(d);
+  for (int q = 0; q < 20; ++q) {
+    auto p = SamplePattern(rng, live, 3, 4);
+    auto got = coll.Find(p);
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, NaiveFind(model, p));
+  }
+}
+
+TEST(T2Sync, EraseUnknownAndDoubleErase) {
+  DynamicCollectionT2<FmIndex> coll(SmallT2(RebuildMode::kSynchronous));
+  EXPECT_FALSE(coll.Erase(999));
+  DocId id = coll.Insert({2, 3, 4});
+  EXPECT_TRUE(coll.Erase(id));
+  EXPECT_FALSE(coll.Erase(id));
+  EXPECT_EQ(coll.num_docs(), 0u);
+}
+
+}  // namespace
+}  // namespace dyndex

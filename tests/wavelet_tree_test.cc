@@ -1,0 +1,97 @@
+#include "seq/wavelet_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+class WaveletTreeTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {
+ protected:
+  void Build() {
+    auto [n, sigma] = GetParam();
+    Rng rng(n * 31 + sigma);
+    data_.resize(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      data_[i] = static_cast<uint32_t>(rng.Below(sigma));
+    }
+    wt_ = WaveletTree(data_, sigma);
+  }
+
+  std::vector<uint32_t> data_;
+  WaveletTree wt_;
+};
+
+TEST_P(WaveletTreeTest, AccessMatches) {
+  Build();
+  for (uint64_t i = 0; i < data_.size(); ++i) {
+    ASSERT_EQ(wt_.Access(i), data_[i]) << i;
+  }
+}
+
+TEST_P(WaveletTreeTest, RankMatchesNaive) {
+  Build();
+  auto [n, sigma] = GetParam();
+  std::vector<uint64_t> counts(sigma, 0);
+  for (uint64_t i = 0; i <= n; ++i) {
+    // Check a few symbols at every position, all symbols at sparse positions.
+    if (i % 17 == 0) {
+      for (uint32_t c = 0; c < sigma; ++c) {
+        ASSERT_EQ(wt_.Rank(c, i), counts[c]) << "c=" << c << " i=" << i;
+      }
+    } else if (i > 0) {
+      // counts[] covers [0, i) here, including position i-1.
+      uint32_t c = data_[i - 1];
+      ASSERT_EQ(wt_.Rank(c, i), counts[c]) << "c=" << c << " i=" << i;
+    }
+    if (i < n) ++counts[data_[i]];
+  }
+}
+
+TEST_P(WaveletTreeTest, SelectIsInverseOfRank) {
+  Build();
+  auto [n, sigma] = GetParam();
+  (void)n;
+  std::vector<uint64_t> seen(sigma, 0);
+  for (uint64_t i = 0; i < data_.size(); ++i) {
+    uint32_t c = data_[i];
+    ASSERT_EQ(wt_.Select(c, seen[c]), i) << "c=" << c;
+    ++seen[c];
+  }
+}
+
+TEST_P(WaveletTreeTest, InverseSelectMatches) {
+  Build();
+  for (uint64_t i = 0; i < data_.size(); ++i) {
+    auto [c, r] = wt_.InverseSelect(i);
+    ASSERT_EQ(c, data_[i]);
+    ASSERT_EQ(r, wt_.Rank(c, i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WaveletTreeTest,
+    ::testing::Combine(::testing::Values(0, 1, 100, 1000, 10000),
+                       ::testing::Values(1u, 2u, 3u, 5u, 16u, 257u, 5000u)));
+
+TEST(WaveletTreeBasic, UnaryAlphabet) {
+  WaveletTree wt(std::vector<uint32_t>(50, 0), 1);
+  EXPECT_EQ(wt.Access(7), 0u);
+  EXPECT_EQ(wt.Rank(0, 50), 50u);
+  EXPECT_EQ(wt.Select(0, 49), 49u);
+}
+
+TEST(WaveletTreeBasic, CountPerSymbol) {
+  std::vector<uint32_t> data{3, 1, 4, 1, 5, 1, 2, 6};
+  WaveletTree wt(data, 7);
+  EXPECT_EQ(wt.Count(1), 3u);
+  EXPECT_EQ(wt.Count(0), 0u);
+  EXPECT_EQ(wt.Count(6), 1u);
+}
+
+}  // namespace
+}  // namespace dyndex
