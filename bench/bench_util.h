@@ -24,6 +24,12 @@ struct Corpus {
   uint32_t sigma = 0;
 };
 
+// Every corpus/pattern stream is seeded purely from its parameters (never
+// from time or an entropy source), so BENCH_*.json trajectories written by
+// scripts/run_benchmarks.sh are comparable run-to-run and commit-to-commit.
+inline constexpr uint64_t kCorpusSeedMix = 1315423911u;
+inline constexpr uint64_t kPatternSeed = 99;
+
 /// Builds (and caches) a corpus of ~`total` symbols over alphabet `sigma`,
 /// Markov-generated so higher-order entropy is below log(sigma).
 inline const Corpus& GetCorpus(uint64_t total, uint32_t sigma,
@@ -36,7 +42,10 @@ inline const Corpus& GetCorpus(uint64_t total, uint32_t sigma,
   if (it != cache.end()) return *it->second;
   auto corpus = std::make_unique<Corpus>();
   corpus->sigma = sigma;
-  Rng rng(total * 1315423911u + sigma);
+  // Mix all three shape parameters so distinct corpora get distinct (but
+  // fixed) streams; previously doc_len was left out and two corpora differing
+  // only in doc_len shared one stream.
+  Rng rng((total * kCorpusSeedMix + sigma) ^ (doc_len << 32));
   while (corpus->total_symbols < total) {
     uint64_t len = rng.Range(doc_len / 2, doc_len + doc_len / 2);
     corpus->docs.push_back(MarkovText(rng, len, sigma, /*branch=*/4));
@@ -51,10 +60,9 @@ inline const Corpus& GetCorpus(uint64_t total, uint32_t sigma,
 }
 
 /// Patterns of length `len` sampled from the corpus (guaranteed hits).
-inline std::vector<std::vector<Symbol>> MakePatterns(const Corpus& corpus,
-                                                     uint64_t len,
-                                                     uint32_t count,
-                                                     uint64_t seed = 99) {
+inline std::vector<std::vector<Symbol>> MakePatterns(
+    const Corpus& corpus, uint64_t len, uint32_t count,
+    uint64_t seed = kPatternSeed) {
   Rng rng(seed);
   std::vector<std::vector<Symbol>> out;
   out.reserve(count);

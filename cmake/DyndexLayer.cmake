@@ -1,0 +1,54 @@
+# Helper for declaring one layer of the dyndex stack.
+#
+# Each layer's headers are exposed through a staged include directory that
+# contains a single symlink, `<layer>/ -> src/<layer>/`. A target can therefore
+# only resolve `#include "<layer>/foo.h"` if it links (directly or
+# transitively) the `dyndex_<layer>` target: layering violations fail the
+# compile, not review.
+#
+# DEPS are the layers named in this layer's *public headers*: they are linked
+# PUBLIC, so their headers propagate to consumers (they are part of this
+# layer's interface, that is unavoidable). PRIVATE_DEPS are layers used only
+# by this layer's .cc files: linked PRIVATE, so their headers do NOT leak to
+# consumers — CMake still records them as $<LINK_ONLY:> for the final link.
+# The compile-time-visible set for any target is therefore its declared deps
+# plus the public-interface closure of those deps, nothing more.
+#
+# dyndex_add_layer(<layer>
+#   [SOURCES <file>...]        # .cc files; omit for a header-only layer
+#   [DEPS <target>...]         # used in public headers -> PUBLIC
+#   [PRIVATE_DEPS <target>...])# used only in .cc files  -> PRIVATE
+function(dyndex_add_layer LAYER)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS;PRIVATE_DEPS" ${ARGN})
+
+  set(stage "${PROJECT_BINARY_DIR}/layer_include/${LAYER}")
+  file(MAKE_DIRECTORY "${stage}")
+  file(CREATE_LINK "${CMAKE_CURRENT_SOURCE_DIR}" "${stage}/${LAYER}"
+       SYMBOLIC)
+
+  set(target dyndex_${LAYER})
+  if(ARG_SOURCES)
+    add_library(${target} STATIC ${ARG_SOURCES})
+    target_include_directories(${target} PUBLIC "${stage}")
+    target_compile_features(${target} PUBLIC cxx_std_20)
+    target_compile_options(${target} PRIVATE ${DYNDEX_WARNING_OPTIONS})
+    if(ARG_DEPS)
+      target_link_libraries(${target} PUBLIC ${ARG_DEPS})
+    endif()
+    if(ARG_PRIVATE_DEPS)
+      target_link_libraries(${target} PRIVATE ${ARG_PRIVATE_DEPS})
+    endif()
+  else()
+    add_library(${target} INTERFACE)
+    target_include_directories(${target} INTERFACE "${stage}")
+    target_compile_features(${target} INTERFACE cxx_std_20)
+    if(ARG_PRIVATE_DEPS)
+      message(FATAL_ERROR
+              "header-only layer '${LAYER}' cannot have PRIVATE_DEPS")
+    endif()
+    if(ARG_DEPS)
+      target_link_libraries(${target} INTERFACE ${ARG_DEPS})
+    endif()
+  endif()
+  add_library(dyndex::${LAYER} ALIAS ${target})
+endfunction()

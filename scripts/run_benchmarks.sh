@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Runs every bench_* binary in a build tree and writes one BENCH_<name>.json
+# per benchmark. Corpora and patterns use fixed seeds (see bench/bench_util.h),
+# so JSON trajectories are comparable run-to-run and commit-to-commit.
+#
+# Usage: scripts/run_benchmarks.sh [BUILD_DIR] [OUT_DIR] [EXTRA_BENCH_ARGS...]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-.}"
+shift $(( $# > 2 ? 2 : $# )) || true
+
+if [[ ! -d "${BUILD_DIR}/bench" ]]; then
+  echo "error: ${BUILD_DIR}/bench not found; build with:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j --target bench_all" >&2
+  exit 1
+fi
+
+mkdir -p "${OUT_DIR}"
+ran=0
+for bin in "${BUILD_DIR}"/bench/bench_*; do
+  [[ -x "${bin}" && ! -d "${bin}" ]] || continue
+  name="$(basename "${bin}")"
+  out="${OUT_DIR}/BENCH_${name#bench_}.json"
+  echo "== ${name} -> ${out}"
+  "${bin}" --benchmark_format=json --benchmark_out="${out}" \
+           --benchmark_out_format=json "$@" >/dev/null
+  ran=$((ran + 1))
+done
+if [[ "${ran}" -eq 0 ]]; then
+  # Configure-only trees have a bench/ dir but no binaries in it.
+  echo "error: no bench_* binaries in ${BUILD_DIR}/bench; build with:" >&2
+  echo "  cmake --build ${BUILD_DIR} -j --target bench_all" >&2
+  exit 1
+fi
+echo "done: ${ran} benchmarks."

@@ -9,8 +9,11 @@ void BitVector::Reset(uint64_t size, bool fill) {
     // Clear bits beyond `size` so CountOnes and word-level scans stay exact.
     uint64_t last_bits = size & 63;
     uint64_t full_words = size >> 6;
-    if (last_bits != 0) words_[full_words] = LowMask(static_cast<uint32_t>(last_bits));
-    for (uint64_t w = full_words + (last_bits ? 1 : 0); w < words_.size(); ++w) {
+    if (last_bits != 0) {
+      words_[full_words] = LowMask(static_cast<uint32_t>(last_bits));
+    }
+    uint64_t first_clear = full_words + (last_bits ? 1 : 0);
+    for (uint64_t w = first_clear; w < words_.size(); ++w) {
       words_[w] = 0;
     }
   }

@@ -8,7 +8,8 @@ namespace {
 
 uint64_t CountLiveGeneric(uint64_t s, uint64_t e, uint64_t size,
                           const Fenwick& fenwick,
-                          uint64_t (*dead_prefix)(const void*, uint64_t, uint32_t),
+                          uint64_t (*dead_prefix)(const void*, uint64_t,
+                                                  uint32_t),
                           const void* self) {
   DYNDEX_CHECK(s <= e && e <= size);
   if (s == e) return 0;
@@ -62,7 +63,8 @@ uint64_t LiveBitsPlain::CountLive(uint64_t s, uint64_t e) const {
   return CountLiveGeneric(
       s, e, size_, dead_fenwick_,
       [](const void* self, uint64_t word, uint32_t bits) {
-        return static_cast<const LiveBitsPlain*>(self)->DeadInWordPrefix(word, bits);
+        return static_cast<const LiveBitsPlain*>(self)->DeadInWordPrefix(
+            word, bits);
       },
       this);
 }
@@ -94,7 +96,8 @@ uint64_t LiveBitsSparse::CountLive(uint64_t s, uint64_t e) const {
   return CountLiveGeneric(
       s, e, size_, dead_fenwick_,
       [](const void* self, uint64_t word, uint32_t bits) {
-        return static_cast<const LiveBitsSparse*>(self)->DeadInWordPrefix(word, bits);
+        return static_cast<const LiveBitsSparse*>(self)->DeadInWordPrefix(
+            word, bits);
       },
       this);
 }

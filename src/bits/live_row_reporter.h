@@ -83,7 +83,8 @@ class LiveBitsPlain {
   bool counting_enabled() const { return counting_; }
 
   uint64_t SpaceBytes() const {
-    return bits_.SpaceBytes() + nonempty_.SpaceBytes() + dead_fenwick_.SpaceBytes();
+    return bits_.SpaceBytes() + nonempty_.SpaceBytes() +
+           dead_fenwick_.SpaceBytes();
   }
 
  private:
@@ -139,7 +140,9 @@ class LiveBitsSparse {
       if (w == s >> 6) word &= ~LowMask(static_cast<uint32_t>(s & 63));
       uint64_t base = w * 64;
       uint64_t limit = e < base + 64 ? e : base + 64;
-      if (limit < base + 64) word &= LowMask(static_cast<uint32_t>(limit - base));
+      if (limit < base + 64) {
+        word &= LowMask(static_cast<uint32_t>(limit - base));
+      }
       while (word != 0) {
         uint32_t b = Ctz(word);
         fn(base + b);
@@ -163,7 +166,8 @@ class LiveBitsSparse {
   }
 
  private:
-  std::unordered_map<uint64_t, uint64_t> dead_words_;  // word index -> dead mask
+  // word index -> dead mask
+  std::unordered_map<uint64_t, uint64_t> dead_words_;
   Fenwick dead_fenwick_;
   uint64_t size_ = 0;
   uint64_t dead_ = 0;

@@ -78,7 +78,9 @@ uint64_t MarkTree::NextMarked(uint64_t i) const {
 
 uint64_t MarkTree::SpaceBytes() const {
   uint64_t total = 0;
-  for (const auto& level : levels_) total += level.capacity() * sizeof(uint64_t);
+  for (const auto& level : levels_) {
+    total += level.capacity() * sizeof(uint64_t);
+  }
   return total;
 }
 

@@ -55,7 +55,8 @@ uint64_t RankSelect::Select1(uint64_t k) const {
   while (w + 1 < 8 && InSuper(sb, w + 1) <= rem) ++w;
   rem -= InSuper(sb, w);
   uint64_t word_idx = sb * 8 + w;
-  return word_idx * 64 + SelectInWord(bits_.word(word_idx), static_cast<uint32_t>(rem));
+  return word_idx * 64 +
+         SelectInWord(bits_.word(word_idx), static_cast<uint32_t>(rem));
 }
 
 uint64_t RankSelect::Select0(uint64_t k) const {
@@ -77,7 +78,8 @@ uint64_t RankSelect::Select0(uint64_t k) const {
   while (w + 1 < 8 && 64u * (w + 1) - InSuper(sb, w + 1) <= rem) ++w;
   rem -= 64u * w - InSuper(sb, w);
   uint64_t word_idx = sb * 8 + w;
-  return word_idx * 64 + SelectInWord(~bits_.word(word_idx), static_cast<uint32_t>(rem));
+  return word_idx * 64 +
+         SelectInWord(~bits_.word(word_idx), static_cast<uint32_t>(rem));
 }
 
 }  // namespace dyndex

@@ -101,7 +101,9 @@ class DynamicCollectionT2 {
     uint32_t rmax = RMax();
     for (uint32_t j = 0; j < rmax; ++j) {
       uint64_t cj = SizeOfCj(j);
-      uint64_t cj1 = levels_.size() > j && levels_[j].c ? levels_[j].c->live_symbols() : 0;
+      uint64_t cj1 = levels_.size() > j && levels_[j].c
+                         ? levels_[j].c->live_symbols()
+                         : 0;
       if (cj1 + cj + m > MaxSize(j + 1)) continue;
       PlaceViaLevel(j, Document{id, std::move(symbols)}, m);
       return id;

@@ -17,7 +17,8 @@ DynamicBitVector::~DynamicBitVector() {
 DynamicBitVector::DynamicBitVector(DynamicBitVector&& other) noexcept
     : root_(std::move(other.root_)) {}
 
-DynamicBitVector& DynamicBitVector::operator=(DynamicBitVector&& other) noexcept {
+DynamicBitVector& DynamicBitVector::operator=(
+    DynamicBitVector&& other) noexcept {
   root_ = std::move(other.root_);
   return *this;
 }
@@ -64,7 +65,9 @@ std::unique_ptr<DynamicBitVector::Node> DynamicBitVector::Rebalance(
     return RotateRight(std::move(n));
   }
   if (b < -1) {
-    if (Balance(n->right.get()) > 0) n->right = RotateRight(std::move(n->right));
+    if (Balance(n->right.get()) > 0) {
+      n->right = RotateRight(std::move(n->right));
+    }
     return RotateLeft(std::move(n));
   }
   return n;
@@ -125,7 +128,8 @@ std::unique_ptr<DynamicBitVector::Node> DynamicBitVector::SplitLeaf(
   uint64_t half = n / 2;
   auto left = std::make_unique<Node>();
   auto right = std::make_unique<Node>();
-  left->words.assign(leaf->words.begin(), leaf->words.begin() + (half + 63) / 64);
+  left->words.assign(leaf->words.begin(),
+                     leaf->words.begin() + (half + 63) / 64);
   left->size = half;
   // Right gets bits [half, n).
   uint64_t rn = n - half;
@@ -276,7 +280,9 @@ uint64_t DynamicBitVector::Select1(uint64_t k) const {
   }
   for (uint64_t w = 0;; ++w) {
     uint32_t c = Popcount(n->words[w]);
-    if (k < c) return pos + w * 64 + SelectInWord(n->words[w], static_cast<uint32_t>(k));
+    if (k < c) {
+      return pos + w * 64 + SelectInWord(n->words[w], static_cast<uint32_t>(k));
+    }
     k -= c;
   }
 }
@@ -301,7 +307,9 @@ uint64_t DynamicBitVector::Select0(uint64_t k) const {
     uint64_t remaining = n->size - w * 64;
     if (remaining < 64) inv &= LowMask(static_cast<uint32_t>(remaining));
     uint32_t c = Popcount(inv);
-    if (k < c) return pos + w * 64 + SelectInWord(inv, static_cast<uint32_t>(k));
+    if (k < c) {
+      return pos + w * 64 + SelectInWord(inv, static_cast<uint32_t>(k));
+    }
     k -= c;
   }
 }

@@ -117,7 +117,8 @@ void SuffixTreeCollection::InsertIntoTree(uint32_t slot) {
         ln.suffix_start = i + 1 - remainder;
         nodes_[split].children[t[i]] = leaf;
         nodes_[nxt].edge_start += active_len;
-        Symbol nxt_sym = docs_[nodes_[nxt].edge_doc].text[nodes_[nxt].edge_start];
+        Symbol nxt_sym =
+            docs_[nodes_[nxt].edge_doc].text[nodes_[nxt].edge_start];
         nodes_[split].children[nxt_sym] = nxt;
         add_slink(split);
       }

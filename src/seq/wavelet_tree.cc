@@ -9,7 +9,7 @@ WaveletTree::WaveletTree(const std::vector<uint32_t>& data, uint32_t sigma) {
   size_ = data.size();
   sigma_ = sigma;
   depth_ = CeilLog2(sigma);
-  if (depth_ == 0) return;  // unary alphabet: everything answered arithmetically
+  if (depth_ == 0) return;  // unary alphabet: answered arithmetically
   levels_.resize(depth_);
   std::vector<uint32_t> cur = data;
   std::vector<uint32_t> next(cur.size());
@@ -114,7 +114,8 @@ std::pair<uint32_t, uint64_t> WaveletTree::InverseSelect(uint64_t i) const {
   return {c, i - s};
 }
 
-uint64_t WaveletTree::SelectRec(uint32_t level, uint64_t node_s, uint64_t node_e,
+uint64_t WaveletTree::SelectRec(uint32_t level, uint64_t node_s,
+                                uint64_t node_e,
                                 uint32_t c, uint64_t k) const {
   if (level == depth_) return node_s + k;
   const RankSelect& rs = levels_[level];

@@ -38,7 +38,7 @@ class WaveletTree {
   /// k < Rank(c, size()). O(log sigma).
   uint64_t Select(uint32_t c, uint64_t k) const;
 
-  /// Returns {Access(i), Rank(Access(i), i)} in a single descent — the LF-step
+  /// Returns {Access(i), Rank(Access(i), i)} in one descent — the LF-step
   /// primitive of the FM-index.
   std::pair<uint32_t, uint64_t> InverseSelect(uint64_t i) const;
 

@@ -85,7 +85,8 @@ uint64_t FmIndex::Locate(uint64_t row) const {
   return sa_samples_.Get(sampled_.Rank1(row)) + k;
 }
 
-void FmIndex::Extract(uint64_t pos, uint64_t len, std::vector<Symbol>* out) const {
+void FmIndex::Extract(uint64_t pos, uint64_t len,
+                      std::vector<Symbol>* out) const {
   uint64_t n = TextSize();
   DYNDEX_CHECK(pos + len <= n);
   if (len == 0) return;

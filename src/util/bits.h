@@ -11,7 +11,9 @@
 namespace dyndex {
 
 /// Number of 1-bits in `x`.
-inline uint32_t Popcount(uint64_t x) { return static_cast<uint32_t>(std::popcount(x)); }
+inline uint32_t Popcount(uint64_t x) {
+  return static_cast<uint32_t>(std::popcount(x));
+}
 
 /// Position (0-based, LSB first) of the k-th (0-based) 1-bit of `x`.
 /// Requires k < Popcount(x).

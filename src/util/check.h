@@ -9,7 +9,8 @@
 
 namespace dyndex {
 
-[[noreturn]] inline void CheckFail(const char* file, int line, const char* expr) {
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr) {
   std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
   std::abort();
 }

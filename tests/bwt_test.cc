@@ -52,7 +52,9 @@ TEST(BwtTest, RepetitiveTextGroupsRuns) {
   Rng rng(5);
   std::vector<Symbol> t;
   auto unit = UniformText(rng, 25, 4);
-  for (int rep = 0; rep < 40; ++rep) t.insert(t.end(), unit.begin(), unit.end());
+  for (int rep = 0; rep < 40; ++rep) {
+    t.insert(t.end(), unit.begin(), unit.end());
+  }
   t.push_back(kSentinel);
   auto sa = BuildSuffixArray(t, 8);
   auto bwt = BwtFromSuffixArray(t, sa);

@@ -32,7 +32,8 @@ std::vector<Occurrence> NaiveFind(
   for (const auto& [id, doc] : model) {
     if (doc.size() < p.size()) continue;
     for (uint64_t i = 0; i + p.size() <= doc.size(); ++i) {
-      if (std::equal(p.begin(), p.end(), doc.begin() + static_cast<int64_t>(i))) {
+      if (std::equal(p.begin(), p.end(),
+                     doc.begin() + static_cast<int64_t>(i))) {
         out.push_back({id, i});
       }
     }
@@ -77,8 +78,8 @@ void RunChurnModel(Coll& coll, uint64_t seed, int steps, uint32_t sigma,
       const auto& doc = it->second;
       uint64_t from = rng.Below(doc.size());
       uint64_t len = rng.Below(doc.size() - from + 1);
-      std::vector<Symbol> expect(doc.begin() + static_cast<int64_t>(from),
-                                 doc.begin() + static_cast<int64_t>(from + len));
+      auto begin = doc.begin() + static_cast<int64_t>(from);
+      std::vector<Symbol> expect(begin, begin + static_cast<int64_t>(len));
       ASSERT_EQ(coll.Extract(it->first, from, len), expect) << "step " << step;
     }
     if (step % 100 == 99) coll.CheckInvariants();

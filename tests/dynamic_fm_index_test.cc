@@ -19,7 +19,8 @@ std::vector<Occurrence> NaiveFind(
   for (const auto& [id, doc] : model) {
     if (doc.size() < p.size()) continue;
     for (uint64_t i = 0; i + p.size() <= doc.size(); ++i) {
-      if (std::equal(p.begin(), p.end(), doc.begin() + static_cast<int64_t>(i))) {
+      if (std::equal(p.begin(), p.end(),
+                     doc.begin() + static_cast<int64_t>(i))) {
         out.push_back({id, i});
       }
     }

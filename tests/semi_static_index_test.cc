@@ -47,7 +47,8 @@ class SemiStaticIndexTest : public ::testing::Test {
     for (const auto& [id, doc] : m) {
       if (doc.size() < p.size()) continue;
       for (uint64_t i = 0; i + p.size() <= doc.size(); ++i) {
-        if (std::equal(p.begin(), p.end(), doc.begin() + static_cast<int64_t>(i))) {
+        if (std::equal(p.begin(), p.end(),
+                       doc.begin() + static_cast<int64_t>(i))) {
           out.emplace_back(id, i);
         }
       }
