@@ -1,0 +1,138 @@
+// Concurrent serving throughput: queries/second at 1/2/4/8 reader threads
+// against a ConcurrentIndex over Transformation 2 (threaded rebuilds), with
+// and without a live writer applying batched updates.
+//
+// This is the serving-path headline the dynamic-graph literature reports
+// (concurrent-reader scaling): the paper's Figure 3 background-rebuild story
+// only pays off if readers keep scaling while the writer churns levels.
+//
+// Each benchmark iteration runs `kQueriesPerReader` queries on each of R
+// reader threads (plus one writer when writer:1) and reports aggregate
+// items/s; UseRealTime makes the denominator wall-clock, so items/s is true
+// aggregate throughput.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "serve/concurrent_index.h"
+#include "serve/dynamic_index.h"
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+constexpr uint64_t kCorpusSymbols = 1 << 17;
+constexpr uint64_t kDocLen = 256;
+constexpr uint32_t kSigma = 8;
+constexpr uint64_t kPatternLen = 4;
+constexpr uint32_t kNumPatterns = 64;
+constexpr uint64_t kQueriesPerReader = 512;
+
+/// Prebuilt serving index + query/update streams, shared across iterations.
+struct ServeFixture {
+  std::unique_ptr<ConcurrentIndex> index;
+  std::vector<std::vector<Symbol>> patterns;
+  std::vector<std::vector<Symbol>> update_docs;  // writer insert pool
+  std::vector<DocId> churn_ids;                  // ids the writer cycles
+};
+
+ServeFixture* GetFixture() {
+  static ServeFixture* fixture = [] {
+    auto* f = new ServeFixture();
+    const bench::Corpus& corpus =
+        bench::GetCorpus(kCorpusSymbols, kSigma, kDocLen);
+    DynamicIndexOptions opt;
+    opt.mode = RebuildMode::kThreaded;
+    opt.min_c0 = 4096;
+    f->index = std::make_unique<ConcurrentIndex>(
+        MakeDynamicIndex(Backend::kT2, opt));
+    f->index->InsertBatch(corpus.docs);
+    f->index->Flush();
+    f->patterns = bench::MakePatterns(corpus, kPatternLen, kNumPatterns);
+    Rng rng(bench::kPatternSeed + 1);
+    for (int i = 0; i < 64; ++i) {
+      f->update_docs.push_back(MarkovText(rng, kDocLen, kSigma, 4));
+    }
+    return f;
+  }();
+  return fixture;
+}
+
+void ReaderWork(const ConcurrentIndex& index,
+                const std::vector<std::vector<Symbol>>& patterns,
+                uint64_t seed, uint64_t queries) {
+  Rng rng(seed);
+  for (uint64_t q = 0; q < queries; ++q) {
+    uint64_t c = index.Count(patterns[rng.Below(patterns.size())]);
+    benchmark::DoNotOptimize(c);
+  }
+}
+
+/// Writer loop: balanced insert/erase batches so collection size stays flat
+/// while levels keep churning (locks, background builds, swaps, replays).
+void WriterWork(ServeFixture* f, const std::atomic<bool>& stop) {
+  uint64_t n = 0;
+  while (!stop.load(std::memory_order_acquire)) {
+    std::vector<DocId> ids = f->index->InsertBatch(
+        {f->update_docs[n % f->update_docs.size()]});
+    f->churn_ids.insert(f->churn_ids.end(), ids.begin(), ids.end());
+    if (f->churn_ids.size() > 32) {
+      std::vector<DocId> victims(f->churn_ids.begin(),
+                                 f->churn_ids.begin() + 16);
+      f->churn_ids.erase(f->churn_ids.begin(), f->churn_ids.begin() + 16);
+      f->index->EraseBatch(victims);
+    }
+    ++n;
+  }
+}
+
+void BM_ServeConcurrentCount(benchmark::State& state) {
+  ServeFixture* f = GetFixture();
+  const int readers = static_cast<int>(state.range(0));
+  const bool with_writer = state.range(1) != 0;
+  uint64_t round = 0;
+  for (auto _ : state) {
+    std::atomic<bool> stop{false};
+    std::thread writer;
+    if (with_writer) {
+      writer = std::thread(WriterWork, f, std::cref(stop));
+    }
+    std::vector<std::thread> pool;
+    for (int r = 0; r < readers; ++r) {
+      pool.emplace_back(ReaderWork, std::cref(*f->index),
+                        std::cref(f->patterns), round * 131 + r,
+                        kQueriesPerReader);
+    }
+    for (auto& t : pool) t.join();
+    stop.store(true, std::memory_order_release);
+    if (writer.joinable()) writer.join();
+    ++round;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * readers *
+                          static_cast<int64_t>(kQueriesPerReader));
+  state.counters["readers"] = readers;
+  state.counters["writer"] = with_writer ? 1 : 0;
+}
+
+BENCHMARK(BM_ServeConcurrentCount)
+    ->ArgNames({"readers", "writer"})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dyndex
+
+BENCHMARK_MAIN();

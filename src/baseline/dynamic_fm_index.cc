@@ -145,6 +145,32 @@ std::vector<Occurrence> DynamicFmIndex::Find(
   return out;
 }
 
+std::vector<Symbol> DynamicFmIndex::Extract(DocId id, uint64_t from,
+                                            uint64_t len) const {
+  auto it = docs_.find(id);
+  DYNDEX_CHECK(it != docs_.end());
+  uint64_t m = it->second.len;
+  DYNDEX_CHECK(from + len <= m);
+  // Walking LF from the "$_d" row yields T[m-1], T[m-2], ...; stop once the
+  // walk passes `from` — positions below it are never needed.
+  std::vector<Symbol> out(len);
+  uint32_t sep = it->second.sep;
+  uint64_t row = static_cast<uint64_t>(counts_.PrefixSum(sep));
+  for (uint64_t i = m; i-- > from;) {
+    uint32_t c = bwt_.Access(row);
+    DYNDEX_CHECK(c != sep);
+    if (i < from + len) out[i - from] = c - opt_.max_docs + kMinSymbol;
+    row = LfStep(c, row);
+  }
+  return out;
+}
+
+uint64_t DynamicFmIndex::DocLenOf(DocId id) const {
+  auto it = docs_.find(id);
+  DYNDEX_CHECK(it != docs_.end());
+  return it->second.len;
+}
+
 uint64_t DynamicFmIndex::SpaceBytes() const {
   return bwt_.SpaceBytes() + counts_.SpaceBytes() + sampled_.SpaceBytes() +
          samples_.capacity() * sizeof(Sample) + docs_.size() * 32 +

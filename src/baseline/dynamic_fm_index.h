@@ -56,6 +56,14 @@ class DynamicFmIndex {
   /// All occurrences (doc, offset).
   std::vector<Occurrence> Find(const std::vector<Symbol>& pattern) const;
 
+  /// doc[from, from+len), reconstructed by an LF-walk from the document's
+  /// separator row: O(|T| log sigma log n) regardless of `from` (the dynamic
+  /// BWT keeps no positional samples per document).
+  std::vector<Symbol> Extract(DocId id, uint64_t from, uint64_t len) const;
+
+  /// Length of a stored document. Requires Contains(id).
+  uint64_t DocLenOf(DocId id) const;
+
   bool Contains(DocId id) const { return docs_.find(id) != docs_.end(); }
   uint64_t num_docs() const { return docs_.size(); }
   /// Total stored symbols (including one separator per document).

@@ -23,6 +23,16 @@
 //
 // Deletions that race a background build are replayed on the new structure at
 // swap time, so a swap is always consistent.
+//
+// Threading contract (see serve/concurrent_index.h for the serving wrapper):
+//  * A builder thread only ever touches its own document snapshot (moved into
+//    the std::async closure) and the Semi it constructs; it never reads or
+//    writes collection state, so it cannot race queries.
+//  * Swap *publication* — moving a finished Semi into levels_/tops_ and
+//    rewriting where_ — happens exclusively on the mutator thread, inside
+//    Insert/Erase/PollPending/ForceAllPending. Queries and mutations must be
+//    externally synchronized (readers shared, mutators exclusive); under that
+//    discipline a reader can never observe a half-swapped level.
 #ifndef DYNDEX_CORE_TRANSFORMATION2_H_
 #define DYNDEX_CORE_TRANSFORMATION2_H_
 
@@ -276,6 +286,11 @@ class DynamicCollectionT2 {
     return n;
   }
   uint32_t tau() const { return Tau(); }
+
+  /// Publishes any finished background builds without blocking on the ones
+  /// still running. Serving layers call this between query batches so swaps
+  /// keep landing even when no update arrives (mutator thread only).
+  void PollPending() { AdvancePending(); }
 
   /// Completes all in-flight background builds (deterministic barrier).
   void ForceAllPending() {

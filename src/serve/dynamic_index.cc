@@ -1,0 +1,63 @@
+#include "serve/dynamic_index.h"
+
+#include "text/fm_index.h"
+#include "util/check.h"
+
+namespace dyndex {
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kT1:
+      return "t1";
+    case Backend::kT2:
+      return "t2";
+    case Backend::kT3:
+      return "t3";
+    case Backend::kBaseline:
+      return "baseline";
+  }
+  DYNDEX_CHECK(false);
+  return "?";
+}
+
+std::unique_ptr<DynamicIndex> MakeDynamicIndex(Backend backend,
+                                               const DynamicIndexOptions& opt) {
+  FmIndex::Options fm;
+  fm.sample_rate = opt.sample_rate;
+  switch (backend) {
+    case Backend::kT1:
+    case Backend::kT3: {
+      DynamicCollectionOptions o;
+      o.tau = opt.tau;
+      o.epsilon = opt.epsilon;
+      o.min_c0 = opt.min_c0;
+      o.counting = opt.counting;
+      o.growth = backend == Backend::kT3 ? GrowthPolicy::kDoubling
+                                         : GrowthPolicy::kPolylog;
+      return std::make_unique<CollectionIndex<DynamicCollectionT1<FmIndex>>>(
+          BackendName(backend), o, fm);
+    }
+    case Backend::kT2: {
+      T2Options o;
+      o.tau = opt.tau;
+      o.epsilon = opt.epsilon;
+      o.min_c0 = opt.min_c0;
+      o.counting = opt.counting;
+      o.mode = opt.mode;
+      return std::make_unique<CollectionIndex<DynamicCollectionT2<FmIndex>>>(
+          BackendName(backend), o, fm);
+    }
+    case Backend::kBaseline: {
+      DynamicFmIndex::Options o;
+      o.max_docs = opt.baseline_max_docs;
+      o.max_symbol = opt.baseline_max_symbol;
+      o.sample_rate = opt.sample_rate;
+      return std::make_unique<CollectionIndex<DynamicFmIndex>>(
+          BackendName(backend), o);
+    }
+  }
+  DYNDEX_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace dyndex

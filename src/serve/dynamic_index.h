@@ -1,0 +1,147 @@
+// The serving facade: one polymorphic interface over every fully-dynamic
+// collection in the repo, so servers, tests and benchmarks can swap backends
+// without recompiling against a different template.
+//
+// Three families implement it (via one duck-typed adapter):
+//  * DynamicCollectionT1/T3<FmIndex>  -- Transformations 1 and 3 (amortized)
+//  * DynamicCollectionT2<FmIndex>     -- Transformation 2 (worst-case, with
+//                                        optional threaded background builds)
+//  * DynamicFmIndex                   -- the dynamic-rank baseline the paper
+//                                        is designed to beat
+//
+// All query methods are const: the adapter stores the collection by value and
+// calls through from const members, so any mutation hiding in a backend's
+// query path fails to compile here. This is the single-threaded facade;
+// serve/concurrent_index.h adds the reader/writer discipline on top.
+#ifndef DYNDEX_SERVE_DYNAMIC_INDEX_H_
+#define DYNDEX_SERVE_DYNAMIC_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "baseline/dynamic_fm_index.h"
+#include "core/dynamic_collection.h"
+#include "core/occurrence.h"
+#include "core/transformation2.h"
+#include "text/concat_text.h"
+
+namespace dyndex {
+
+/// Polymorphic fully-dynamic document-collection index.
+class DynamicIndex {
+ public:
+  virtual ~DynamicIndex() = default;
+
+  // Mutations (writer thread only; see concurrent_index.h).
+  virtual DocId Insert(std::vector<Symbol> symbols) = 0;
+  virtual bool Erase(DocId id) = 0;
+
+  // Queries (const end to end).
+  virtual uint64_t Count(const std::vector<Symbol>& pattern) const = 0;
+  virtual std::vector<Occurrence> Locate(
+      const std::vector<Symbol>& pattern) const = 0;
+  virtual std::vector<Symbol> Extract(DocId id, uint64_t from,
+                                      uint64_t len) const = 0;
+  virtual bool Contains(DocId id) const = 0;
+  virtual uint64_t DocLenOf(DocId id) const = 0;
+  virtual uint64_t num_docs() const = 0;
+  virtual uint64_t live_symbols() const = 0;
+
+  /// Publishes finished background builds without blocking (no-op for
+  /// backends without background work). Writer thread only.
+  virtual void PollPending() {}
+  /// Blocks until every background build has been published (deterministic
+  /// barrier for tests/benchmarks). Writer thread only.
+  virtual void ForceAllPending() {}
+  /// Structural self-check (no-op where the backend offers none).
+  virtual void CheckInvariants() const {}
+
+  virtual const char* backend_name() const = 0;
+};
+
+/// Adapter over any collection with the shared duck-typed API
+/// (Insert/Erase/Count/Find/Extract/Contains/DocLenOf/num_docs/live_symbols);
+/// optional capabilities (PollPending, ForceAllPending, CheckInvariants) are
+/// detected with `requires` and forwarded when present.
+template <typename Coll>
+class CollectionIndex final : public DynamicIndex {
+ public:
+  template <typename... Args>
+  explicit CollectionIndex(const char* name, Args&&... args)
+      : name_(name), coll_(std::forward<Args>(args)...) {}
+
+  DocId Insert(std::vector<Symbol> symbols) override {
+    return coll_.Insert(std::move(symbols));
+  }
+  bool Erase(DocId id) override { return coll_.Erase(id); }
+
+  uint64_t Count(const std::vector<Symbol>& pattern) const override {
+    return coll_.Count(pattern);
+  }
+  std::vector<Occurrence> Locate(
+      const std::vector<Symbol>& pattern) const override {
+    return coll_.Find(pattern);
+  }
+  std::vector<Symbol> Extract(DocId id, uint64_t from,
+                              uint64_t len) const override {
+    return coll_.Extract(id, from, len);
+  }
+  bool Contains(DocId id) const override { return coll_.Contains(id); }
+  uint64_t DocLenOf(DocId id) const override { return coll_.DocLenOf(id); }
+  uint64_t num_docs() const override { return coll_.num_docs(); }
+  uint64_t live_symbols() const override { return coll_.live_symbols(); }
+
+  void PollPending() override {
+    if constexpr (requires(Coll& c) { c.PollPending(); }) {
+      coll_.PollPending();
+    }
+  }
+  void ForceAllPending() override {
+    if constexpr (requires(Coll& c) { c.ForceAllPending(); }) {
+      coll_.ForceAllPending();
+    }
+  }
+  void CheckInvariants() const override {
+    if constexpr (requires(const Coll& c) { c.CheckInvariants(); }) {
+      coll_.CheckInvariants();
+    }
+  }
+
+  const char* backend_name() const override { return name_; }
+
+  Coll& collection() { return coll_; }
+  const Coll& collection() const { return coll_; }
+
+ private:
+  const char* name_;
+  Coll coll_;
+};
+
+/// Which dynamization backs the index.
+enum class Backend { kT1, kT2, kT3, kBaseline };
+
+const char* BackendName(Backend backend);
+
+/// One options bag for every backend; fields irrelevant to the chosen backend
+/// are ignored (e.g. `mode` outside kT2, `baseline_*` outside kBaseline).
+struct DynamicIndexOptions {
+  uint32_t tau = 0;        // dead-fraction purge knob; 0 = auto
+  double epsilon = 0.5;    // Transformation-1 growth exponent
+  uint64_t min_c0 = 4096;  // C0 capacity floor
+  bool counting = false;   // Theorem-1 counting augmentation
+  RebuildMode mode = RebuildMode::kSynchronous;  // kT2 only
+  uint32_t baseline_max_docs = 4096;
+  uint32_t baseline_max_symbol = 258;
+  uint32_t sample_rate = 32;  // SA sample rate of the static/dynamic index
+};
+
+/// Builds a facade over the requested backend (FmIndex as the static index
+/// for the Transformation backends).
+std::unique_ptr<DynamicIndex> MakeDynamicIndex(
+    Backend backend, const DynamicIndexOptions& opt = {});
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_SERVE_DYNAMIC_INDEX_H_

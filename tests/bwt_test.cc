@@ -46,6 +46,69 @@ TEST(BwtTest, KnownTransform) {
   EXPECT_EQ(bwt, (std::vector<Symbol>{2, 4, 4, 3, 0, 2, 2}));
 }
 
+// --- fuzz-style adversarial inputs ----------------------------------------
+
+namespace {
+void ExpectRoundTrip(std::vector<Symbol> t) {
+  t.push_back(kSentinel);
+  uint32_t sigma = 0;
+  for (Symbol s : t) sigma = s + 1 > sigma ? s + 1 : sigma;
+  auto sa = BuildSuffixArray(t, sigma);
+  auto bwt = BwtFromSuffixArray(t, sa);
+  ASSERT_EQ(InverseBwt(bwt, sigma), t);
+}
+}  // namespace
+
+TEST(BwtAdversarialTest, AlphabetOfSizeOne) {
+  for (uint64_t n : {1ull, 2ull, 64ull, 1000ull}) {
+    ExpectRoundTrip(std::vector<Symbol>(n, 2));
+  }
+}
+
+TEST(BwtAdversarialTest, AllEqualSymbolRunsGroupToOneRun) {
+  // BWT of c^n $ is c...c$ rotated: exactly two runs after the sentinel.
+  std::vector<Symbol> t(300, 5);
+  t.push_back(kSentinel);
+  auto sa = BuildSuffixArray(t, 6);
+  auto bwt = BwtFromSuffixArray(t, sa);
+  uint64_t runs = 1;
+  for (uint64_t i = 1; i < bwt.size(); ++i) runs += bwt[i] != bwt[i - 1];
+  EXPECT_LE(runs, 3u);
+  EXPECT_EQ(InverseBwt(bwt, 6), t);
+}
+
+TEST(BwtAdversarialTest, ConcatOfLengthOneDocuments) {
+  std::vector<Symbol> t;
+  Rng rng(79);
+  for (int d = 0; d < 150; ++d) {
+    t.push_back(2 + static_cast<Symbol>(rng.Below(3)));
+    t.push_back(kSeparator);
+  }
+  ExpectRoundTrip(std::move(t));
+}
+
+TEST(BwtAdversarialTest, BoundarySizes) {
+  Rng rng(80);
+  for (uint64_t n : {1ull, 2ull, 3ull, 31ull, 32ull, 33ull, 255ull, 256ull,
+                     257ull, 1023ull, 1024ull, 1025ull}) {
+    ExpectRoundTrip(UniformText(rng, n, 4));
+  }
+}
+
+TEST(BwtAdversarialTest, SeededFuzzSweep) {
+  for (uint64_t seed = 0; seed < 120; ++seed) {
+    Rng rng(seed * 31 + 7);
+    uint64_t n = 1 + rng.Below(80);
+    uint32_t sigma = 1 + static_cast<uint32_t>(rng.Below(8));
+    std::vector<Symbol> t = UniformText(rng, n, sigma);
+    for (auto& s : t) {
+      if (rng.Below(10) == 0) s = kSeparator;
+    }
+    SCOPED_TRACE("fuzz seed=" + std::to_string(seed));
+    ExpectRoundTrip(std::move(t));
+  }
+}
+
 TEST(BwtTest, RepetitiveTextGroupsRuns) {
   // BWT of a highly repetitive text should contain long runs; sanity-check
   // that the run count is far below n.

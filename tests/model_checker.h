@@ -1,0 +1,205 @@
+// Differential model-checking harness shared by the correctness tests.
+//
+// ReferenceModel is the simplest possible document collection: documents as
+// std::strings, queries as std::string scans. RunDifferentialChurn drives a
+// DynamicIndex and the model through the same seeded random op sequence
+// (insert/delete/count/locate/extract) and asserts equal answers; every
+// assertion carries the seed, so a failure line is a one-token repro.
+#ifndef DYNDEX_TESTS_MODEL_CHECKER_H_
+#define DYNDEX_TESTS_MODEL_CHECKER_H_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gen/text_gen.h"
+#include "serve/dynamic_index.h"
+#include "text/concat_text.h"
+#include "util/rng.h"
+
+namespace dyndex {
+
+/// Naive string-scan reference collection. Symbols are stored as fixed
+/// 4-byte little-endian chunks, so any alphabet fits and substring search is
+/// std::string::find restricted to 4-aligned hits.
+class ReferenceModel {
+ public:
+  static std::string Encode(const std::vector<Symbol>& symbols) {
+    std::string s(symbols.size() * 4, '\0');
+    for (uint64_t i = 0; i < symbols.size(); ++i) {
+      std::memcpy(&s[i * 4], &symbols[i], 4);
+    }
+    return s;
+  }
+
+  void Insert(DocId id, const std::vector<Symbol>& symbols) {
+    docs_[id] = Encode(symbols);
+  }
+
+  bool Erase(DocId id) { return docs_.erase(id) > 0; }
+
+  bool Contains(DocId id) const { return docs_.find(id) != docs_.end(); }
+
+  uint64_t DocLenOf(DocId id) const { return docs_.at(id).size() / 4; }
+
+  uint64_t num_docs() const { return docs_.size(); }
+
+  uint64_t live_symbols() const {
+    uint64_t t = 0;
+    for (const auto& [id, d] : docs_) t += d.size() / 4;
+    return t;
+  }
+
+  /// All (doc, offset) occurrences of `pattern`, sorted.
+  std::vector<Occurrence> Find(const std::vector<Symbol>& pattern) const {
+    std::vector<Occurrence> out;
+    std::string p = Encode(pattern);
+    for (const auto& [id, doc] : docs_) {
+      for (size_t at = doc.find(p); at != std::string::npos;
+           at = doc.find(p, at + 1)) {
+        if (at % 4 == 0) out.push_back({id, at / 4});
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  uint64_t Count(const std::vector<Symbol>& pattern) const {
+    return Find(pattern).size();
+  }
+
+  std::vector<Symbol> Extract(DocId id, uint64_t from, uint64_t len) const {
+    const std::string& doc = docs_.at(id);
+    std::vector<Symbol> out(len);
+    for (uint64_t i = 0; i < len; ++i) {
+      std::memcpy(&out[i], &doc[(from + i) * 4], 4);
+    }
+    return out;
+  }
+
+  /// Decoded live documents (for pattern sampling).
+  std::vector<std::vector<Symbol>> LiveDocs() const {
+    std::vector<std::vector<Symbol>> out;
+    for (const auto& [id, doc] : docs_) {
+      std::vector<Symbol> d(doc.size() / 4);
+      for (uint64_t i = 0; i < d.size(); ++i) {
+        std::memcpy(&d[i], &doc[i * 4], 4);
+      }
+      out.push_back(std::move(d));
+    }
+    return out;
+  }
+
+  const std::map<DocId, std::string>& docs() const { return docs_; }
+
+ private:
+  std::map<DocId, std::string> docs_;
+};
+
+struct ChurnConfig {
+  int steps = 500;
+  uint32_t sigma = 4;
+  uint64_t max_doc_len = 80;
+  uint64_t max_pattern_len = 6;
+  /// Out of 10: ops 0..insert-1 insert, next erase_weight erase, next
+  /// query_weight query (count+locate), rest extract.
+  uint32_t insert_weight = 5;
+  uint32_t erase_weight = 2;
+  uint32_t query_weight = 2;
+  /// Also run the full query check after every single op (slow; catches
+  /// transient states between rebuilds).
+  bool check_every_step = false;
+  /// Invoke backend CheckInvariants() every `invariant_every` steps.
+  int invariant_every = 100;
+};
+
+namespace model_checker_internal {
+
+inline void CheckQueries(DynamicIndex& index, const ReferenceModel& model,
+                         Rng& rng, const ChurnConfig& cfg, uint64_t seed,
+                         int step) {
+  auto live = model.LiveDocs();
+  auto p = SamplePattern(rng, live, rng.Range(1, cfg.max_pattern_len),
+                         cfg.sigma);
+  auto expect = model.Find(p);
+  auto got = index.Locate(p);
+  std::sort(got.begin(), got.end());
+  ASSERT_EQ(got, expect) << "Locate mismatch, seed=" << seed << " step="
+                         << step << " backend=" << index.backend_name();
+  ASSERT_EQ(index.Count(p), expect.size())
+      << "Count mismatch, seed=" << seed << " step=" << step
+      << " backend=" << index.backend_name();
+}
+
+}  // namespace model_checker_internal
+
+/// Drives `index` and a ReferenceModel through the same seeded random op
+/// sequence, comparing every answer. On mismatch the assertion message names
+/// the seed, the step and the backend.
+inline void RunDifferentialChurn(DynamicIndex& index, uint64_t seed,
+                                 const ChurnConfig& cfg = {}) {
+  ReferenceModel model;
+  Rng rng(seed);
+  for (int step = 0; step < cfg.steps; ++step) {
+    uint64_t op = rng.Below(10);
+    if (op < cfg.insert_weight || model.num_docs() == 0) {
+      auto doc =
+          UniformText(rng, rng.Range(1, cfg.max_doc_len), cfg.sigma);
+      DocId id = index.Insert(doc);
+      ASSERT_FALSE(model.Contains(id))
+          << "duplicate id " << id << ", seed=" << seed << " step=" << step;
+      model.Insert(id, doc);
+    } else if (op < cfg.insert_weight + cfg.erase_weight) {
+      auto it = model.docs().begin();
+      std::advance(it, static_cast<int64_t>(rng.Below(model.num_docs())));
+      DocId id = it->first;
+      ASSERT_TRUE(index.Erase(id))
+          << "Erase(" << id << ") failed, seed=" << seed << " step=" << step;
+      model.Erase(id);
+    } else if (op < cfg.insert_weight + cfg.erase_weight + cfg.query_weight) {
+      model_checker_internal::CheckQueries(index, model, rng, cfg, seed, step);
+      if (::testing::Test::HasFatalFailure()) return;
+    } else {
+      auto it = model.docs().begin();
+      std::advance(it, static_cast<int64_t>(rng.Below(model.num_docs())));
+      DocId id = it->first;
+      uint64_t doc_len = model.DocLenOf(id);
+      ASSERT_EQ(index.DocLenOf(id), doc_len)
+          << "DocLenOf mismatch, seed=" << seed << " step=" << step;
+      uint64_t from = rng.Below(doc_len);
+      uint64_t len = rng.Below(doc_len - from + 1);
+      ASSERT_EQ(index.Extract(id, from, len), model.Extract(id, from, len))
+          << "Extract mismatch, seed=" << seed << " step=" << step
+          << " backend=" << index.backend_name();
+    }
+    if (cfg.check_every_step) {
+      model_checker_internal::CheckQueries(index, model, rng, cfg, seed, step);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    if (cfg.invariant_every > 0 && step % cfg.invariant_every ==
+                                       cfg.invariant_every - 1) {
+      index.CheckInvariants();
+    }
+  }
+  // Final exhaustive pass: barrier all background work, then re-check.
+  index.ForceAllPending();
+  index.CheckInvariants();
+  ASSERT_EQ(index.num_docs(), model.num_docs()) << "seed=" << seed;
+  ASSERT_EQ(index.live_symbols(), model.live_symbols()) << "seed=" << seed;
+  Rng qrng(seed ^ 0x5deece66dull);
+  for (int q = 0; q < 25 && model.num_docs() > 0; ++q) {
+    model_checker_internal::CheckQueries(index, model, qrng, cfg, seed,
+                                         cfg.steps + q);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_TESTS_MODEL_CHECKER_H_

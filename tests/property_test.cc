@@ -1,5 +1,6 @@
 // Property-based tests: structural invariants that must hold for any input,
-// complementing the oracle-comparison tests.
+// plus the differential model check (tests/model_checker.h) run against every
+// dynamic backend through the serve-layer DynamicIndex facade.
 #include <gtest/gtest.h>
 
 #include <numeric>
@@ -8,6 +9,8 @@
 
 #include "gen/text_gen.h"
 #include "seq/wavelet_tree.h"
+#include "serve/dynamic_index.h"
+#include "tests/model_checker.h"
 #include "text/fm_index.h"
 #include "text/packed_sa_index.h"
 #include "util/rng.h"
@@ -147,6 +150,70 @@ TEST(PackedSaProperty, RowsAreSorted) {
     auto b = suffix_prefix(row);
     ASSERT_LE(a, b) << "row " << row;
   }
+}
+
+// Differential model check: every backend behind the DynamicIndex facade must
+// agree with the naive string-scan ReferenceModel on a seeded random op
+// sequence. A failure prints the seed/step/backend for a one-token repro.
+class DifferentialBackendTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  static DynamicIndexOptions SmallOptions() {
+    DynamicIndexOptions opt;
+    opt.min_c0 = 64;  // force frequent level rebuilds
+    opt.tau = 4;
+    return opt;
+  }
+};
+
+TEST_P(DifferentialBackendTest, SeededChurnMatchesModel) {
+  for (uint64_t seed : {101ull, 202ull, 303ull}) {
+    auto index = MakeDynamicIndex(GetParam(), SmallOptions());
+    ChurnConfig cfg;
+    cfg.steps = 400;
+    RunDifferentialChurn(*index, seed, cfg);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST_P(DifferentialBackendTest, WideAlphabetChurnMatchesModel) {
+  auto opt = SmallOptions();
+  opt.baseline_max_symbol = 2 + 64;
+  auto index = MakeDynamicIndex(GetParam(), opt);
+  ChurnConfig cfg;
+  cfg.steps = 250;
+  cfg.sigma = 64;
+  cfg.max_doc_len = 40;
+  RunDifferentialChurn(*index, 404, cfg);
+}
+
+TEST_P(DifferentialBackendTest, DeleteHeavyChurnMatchesModel) {
+  auto index = MakeDynamicIndex(GetParam(), SmallOptions());
+  ChurnConfig cfg;
+  cfg.steps = 300;
+  cfg.insert_weight = 4;
+  cfg.erase_weight = 4;
+  RunDifferentialChurn(*index, 505, cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, DifferentialBackendTest,
+                         ::testing::Values(Backend::kT1, Backend::kT2,
+                                           Backend::kT3, Backend::kBaseline),
+                         [](const auto& info) {
+                           return std::string(BackendName(info.param));
+                         });
+
+// Transformation 2 with real builder threads must stay consistent while
+// builds are in flight: check queries after every single op.
+TEST(DifferentialT2Threaded, EveryStepConsistentDuringBackgroundBuilds) {
+  DynamicIndexOptions opt;
+  opt.min_c0 = 64;
+  opt.tau = 4;
+  opt.mode = RebuildMode::kThreaded;
+  auto index = MakeDynamicIndex(Backend::kT2, opt);
+  ChurnConfig cfg;
+  cfg.steps = 250;
+  cfg.check_every_step = true;
+  RunDifferentialChurn(*index, 606, cfg);
 }
 
 // Count is monotone under pattern extension: count(Pc) <= count(P).

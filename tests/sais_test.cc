@@ -76,6 +76,77 @@ TEST(SaisTest, MarkovAndZipfTexts) {
   ExpectValidSuffixArray(WithSentinel(ZipfText(rng, 2000, 64)));
 }
 
+// --- fuzz-style adversarial inputs ----------------------------------------
+
+TEST(SaisAdversarialTest, AlphabetOfSizeOne) {
+  // Text uses a single distinct symbol besides the sentinel, at several
+  // lengths including the trivial ones.
+  for (uint64_t n : {1ull, 2ull, 3ull, 63ull, 64ull, 65ull, 1000ull}) {
+    ExpectValidSuffixArray(WithSentinel(std::vector<Symbol>(n, 2)));
+  }
+}
+
+TEST(SaisAdversarialTest, AllEqualLargeRuns) {
+  // All-equal texts are the worst case for induced sorting: every suffix
+  // comparison runs to the end.
+  ExpectValidSuffixArray(WithSentinel(std::vector<Symbol>(5000, 9)));
+}
+
+TEST(SaisAdversarialTest, BoundarySizes) {
+  // Sizes straddling internal block/bucket boundaries (powers of two +- 1)
+  // — the shapes documents take at the paper's max_j/2 "large document"
+  // threshold.
+  Rng rng(77);
+  for (uint64_t n : {31ull, 32ull, 33ull, 127ull, 128ull, 129ull, 255ull,
+                     256ull, 257ull, 1023ull, 1024ull, 1025ull}) {
+    ExpectValidSuffixArray(WithSentinel(UniformText(rng, n, 4)));
+  }
+}
+
+TEST(SaisAdversarialTest, ConcatOfLengthOneDocuments) {
+  // A concatenation of length-1 documents is alternating symbol/separator:
+  // maximal separator density, each text symbol is its own L/S context.
+  std::vector<Symbol> t;
+  Rng rng(78);
+  for (int d = 0; d < 200; ++d) {
+    t.push_back(2 + static_cast<Symbol>(rng.Below(4)));
+    t.push_back(kSeparator);
+  }
+  ExpectValidSuffixArray(WithSentinel(t));
+}
+
+TEST(SaisAdversarialTest, NestedRepetitionsAndRunBoundaries) {
+  // abab..., aabb..., fibonacci-like repetition: stress L/S type switches.
+  std::vector<Symbol> ab, aabb, fib_a{2}, fib_b{2, 3};
+  for (int i = 0; i < 500; ++i) ab.push_back(2 + (i & 1));
+  for (int i = 0; i < 500; ++i) aabb.push_back(2 + ((i >> 1) & 1));
+  for (int i = 0; i < 10; ++i) {
+    auto next = fib_b;
+    next.insert(next.end(), fib_a.begin(), fib_a.end());
+    fib_a = std::move(fib_b);
+    fib_b = std::move(next);
+  }
+  ExpectValidSuffixArray(WithSentinel(ab));
+  ExpectValidSuffixArray(WithSentinel(aabb));
+  ExpectValidSuffixArray(WithSentinel(fib_b));
+}
+
+TEST(SaisAdversarialTest, SeededFuzzSweep) {
+  // Many small random shapes; the failing seed is in the assertion message.
+  for (uint64_t seed = 0; seed < 150; ++seed) {
+    Rng rng(seed);
+    uint64_t n = 1 + rng.Below(64);
+    uint32_t sigma = 1 + static_cast<uint32_t>(rng.Below(6));
+    std::vector<Symbol> t = UniformText(rng, n, sigma);
+    // Randomly sprinkle separators to mimic document concatenations.
+    for (auto& s : t) {
+      if (rng.Below(8) == 0) s = kSeparator;
+    }
+    SCOPED_TRACE("fuzz seed=" + std::to_string(seed));
+    ExpectValidSuffixArray(WithSentinel(t));
+  }
+}
+
 TEST(SaisTest, SentinelRowIsFirst) {
   Rng rng(12);
   auto t = WithSentinel(UniformText(rng, 1000, 8));
