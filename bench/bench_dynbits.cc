@@ -1,0 +1,168 @@
+// Microbenchmarks of the dynamic-bits engine (src/dynbits): the substrate
+// every dynamic baseline in the repo bottoms out in.
+//
+// Point operations (Insert/Erase/Rank1/Select1/Get) are measured on prebuilt
+// vectors of n in {1e4, 1e6, 1e7} bits, and construction is measured both
+// through the bulk path (Build) and the incremental path (N x PushBack).
+//
+// The benchmark is engine-agnostic: the bulk benchmarks fall back to PushBack
+// when the engine predates Build(), so one binary produces comparable
+// BENCH_dynbits.json trajectories across the AVL -> B-tree rewrite
+// (scripts/compare_benchmarks.py diffs two such files).
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "dynbits/dynamic_bit_vector.h"
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+constexpr uint64_t kFixtureSeed = 0xdb17;
+
+std::vector<uint64_t> RandomWords(uint64_t nbits, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> words((nbits + 63) / 64, 0);
+  for (auto& w : words) w = rng.Next();
+  if (nbits % 64 != 0) words.back() &= LowMask(nbits % 64);
+  return words;
+}
+
+template <typename V>
+concept HasBulkLoad = requires(V v, const uint64_t* w, uint64_t n) {
+  v.Build(w, n);
+};
+
+template <typename V>
+void FillBulk(V* v, const std::vector<uint64_t>& words, uint64_t nbits) {
+  if constexpr (HasBulkLoad<V>) {
+    v->Build(words.data(), nbits);
+  } else {
+    for (uint64_t i = 0; i < nbits; ++i) {
+      v->PushBack((words[i >> 6] >> (i & 63)) & 1);
+    }
+  }
+}
+
+/// Cached ~50% density fixture of n bits (built once per size).
+const DynamicBitVector& GetFilled(uint64_t n) {
+  static std::map<uint64_t, std::unique_ptr<DynamicBitVector>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    auto v = std::make_unique<DynamicBitVector>();
+    FillBulk(v.get(), RandomWords(n, kFixtureSeed + n), n);
+    it = cache.emplace(n, std::move(v)).first;
+  }
+  return *it->second;
+}
+
+// Query positions are precomputed (power-of-two count, masked index) so the
+// loop measures the structure, not the RNG's modulo.
+constexpr uint64_t kQueries = 1 << 14;
+
+std::vector<uint64_t> RandomPositions(uint64_t bound, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> out(kQueries);
+  for (auto& p : out) p = rng.Below(bound);
+  return out;
+}
+
+void BM_DynBits_Rank1(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  const DynamicBitVector& v = GetFilled(n);
+  auto pos = RandomPositions(n + 1, 1);
+  uint64_t acc = 0, q = 0;
+  for (auto _ : state) acc += v.Rank1(pos[q++ & (kQueries - 1)]);
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_DynBits_Rank1)->Arg(10000)->Arg(1000000)->Arg(10000000);
+
+void BM_DynBits_Select1(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  const DynamicBitVector& v = GetFilled(n);
+  auto pos = RandomPositions(v.ones(), 2);
+  uint64_t acc = 0, q = 0;
+  for (auto _ : state) acc += v.Select1(pos[q++ & (kQueries - 1)]);
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_DynBits_Select1)->Arg(10000)->Arg(1000000)->Arg(10000000);
+
+void BM_DynBits_Get(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  const DynamicBitVector& v = GetFilled(n);
+  auto pos = RandomPositions(n, 3);
+  uint64_t acc = 0, q = 0;
+  for (auto _ : state) acc += v.Get(pos[q++ & (kQueries - 1)]);
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_DynBits_Get)->Arg(10000)->Arg(1000000)->Arg(10000000);
+
+// One random Insert + one random Erase per iteration, so the vector stays at
+// n bits and the numbers are per-update-pair.
+void BM_DynBits_InsertErase(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  DynamicBitVector v;
+  FillBulk(&v, RandomWords(n, kFixtureSeed + n), n);
+  Rng rng(4);
+  for (auto _ : state) {
+    v.Insert(rng.Below(v.size() + 1), rng.Below(2) != 0);
+    v.Erase(rng.Below(v.size()));
+  }
+  benchmark::DoNotOptimize(v.size());
+}
+BENCHMARK(BM_DynBits_InsertErase)->Arg(10000)->Arg(1000000)->Arg(10000000);
+
+// Construction via the best available bulk path (Build on the B-tree engine,
+// PushBack fallback on engines that predate it).
+void BM_DynBits_BuildBulk(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  auto words = RandomWords(n, kFixtureSeed + n);
+  for (auto _ : state) {
+    DynamicBitVector v;
+    FillBulk(&v, words, n);
+    benchmark::DoNotOptimize(v.ones());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_DynBits_BuildBulk)
+    ->Arg(10000)
+    ->Arg(1000000)
+    ->Arg(10000000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Construction via N x PushBack (the only path the AVL engine had).
+void BM_DynBits_BuildPushBack(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  auto words = RandomWords(n, kFixtureSeed + n);
+  for (auto _ : state) {
+    DynamicBitVector v;
+    for (uint64_t i = 0; i < n; ++i) {
+      v.PushBack((words[i >> 6] >> (i & 63)) & 1);
+    }
+    benchmark::DoNotOptimize(v.ones());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_DynBits_BuildPushBack)
+    ->Arg(10000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DynBits_SpaceBytesPerBit(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  const DynamicBitVector& v = GetFilled(n);
+  for (auto _ : state) benchmark::DoNotOptimize(v.SpaceBytes());
+  state.counters["bytes_per_bit"] =
+      static_cast<double>(v.SpaceBytes()) / static_cast<double>(n);
+}
+BENCHMARK(BM_DynBits_SpaceBytesPerBit)->Arg(1000000);
+
+}  // namespace
+}  // namespace dyndex
+
+BENCHMARK_MAIN();

@@ -47,7 +47,7 @@ DynamicFmIndex* GetBaseline() {
     opt.max_symbol = kMinSymbol + kSigma;
     auto idx = std::make_unique<DynamicFmIndex>(opt);
     const Corpus& c = GetCorpus(kSymbols, kSigma);
-    for (const auto& d : c.docs) idx->Insert(d);
+    idx->InsertBulk(c.docs);  // one SA-IS pass, not |T| LF-walk insertions
     return idx;
   }();
   return cached.get();

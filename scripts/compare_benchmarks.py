@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Diffs two google-benchmark JSON files and prints a per-benchmark speedup
+table.
+
+Usage:
+  scripts/compare_benchmarks.py BEFORE.json AFTER.json
+
+BEFORE/AFTER are files written by scripts/run_benchmarks.sh (or any
+--benchmark_out=... --benchmark_out_format=json run). Benchmarks are matched
+by name; speedup = before_time / after_time, so > 1.0 means AFTER is faster.
+Aggregate rows (mean/median/stddev repetitions) are skipped. Exits non-zero
+if the two files share no benchmark names.
+"""
+
+import json
+import math
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        # Later duplicates (e.g. reruns appended to one file) win.
+        out[b["name"]] = (float(b["cpu_time"]), b.get("time_unit", "ns"))
+    return out
+
+
+TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    before, after = load(argv[1]), load(argv[2])
+    shared = [name for name in before if name in after]
+    if not shared:
+        sys.stderr.write("error: no benchmark names in common\n")
+        return 1
+    rows = []
+    for name in shared:
+        b_ns = before[name][0] * TO_NS[before[name][1]]
+        a_ns = after[name][0] * TO_NS[after[name][1]]
+        rows.append((name, b_ns, a_ns, b_ns / a_ns if a_ns > 0 else math.inf))
+
+    def fmt_ns(ns):
+        for unit, div in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+            if ns >= div:
+                return f"{ns / div:.2f} {unit}"
+        return f"{ns:.0f} ns"
+
+    name_w = max(len(r[0]) for r in rows)
+    header = f"{'benchmark':<{name_w}}  {'before':>10}  {'after':>10}  speedup"
+    print(header)
+    print("-" * len(header))
+    for name, b_ns, a_ns, speedup in rows:
+        print(f"{name:<{name_w}}  {fmt_ns(b_ns):>10}  {fmt_ns(a_ns):>10}  "
+              f"{speedup:6.2f}x")
+    finite = [r[3] for r in rows if math.isfinite(r[3]) and r[3] > 0]
+    if finite:
+        geomean = math.exp(sum(math.log(s) for s in finite) / len(finite))
+        print("-" * len(header))
+        print(f"{'geomean':<{name_w}}  {'':>10}  {'':>10}  {geomean:6.2f}x")
+    only_before = sorted(set(before) - set(after))
+    only_after = sorted(set(after) - set(before))
+    if only_before:
+        print(f"only in {argv[1]}: {', '.join(only_before)}")
+    if only_after:
+        print(f"only in {argv[2]}: {', '.join(only_after)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "suffix/sais.h"
 #include "util/bits.h"
 #include "util/check.h"
 
@@ -74,6 +75,86 @@ DocId DynamicFmIndex::Insert(const std::vector<Symbol>& symbols) {
   return id;
 }
 
+std::vector<DocId> DynamicFmIndex::InsertBulk(
+    const std::vector<std::vector<Symbol>>& docs) {
+  DYNDEX_CHECK(bwt_.size() == 0);  // the bulk path loads an empty index
+  DYNDEX_CHECK(docs.size() <= free_seps_.size());
+  std::vector<DocId> ids;
+  if (docs.empty()) return ids;
+  uint64_t total = 0;
+  for (const auto& d : docs) {
+    DYNDEX_CHECK(!d.empty());
+    for (Symbol s : d) DYNDEX_CHECK(s >= kMinSymbol && s < opt_.max_symbol);
+    total += d.size();
+  }
+  uint64_t n_rows = total + docs.size();
+
+  // Concatenate T_0 $_0 T_1 $_1 ... with every internal symbol shifted +1 so
+  // value 0 can serve as the SA-IS sentinel. Separators take their pool
+  // values in pool order, and separators sort below text symbols, so suffix
+  // comparisons terminate at the first separator and the resulting row order
+  // is exactly the one incremental insertion produces.
+  std::vector<uint32_t> text;
+  text.reserve(n_rows + 1);
+  std::vector<uint64_t> doc_of(n_rows);  // position -> local doc index
+  std::vector<uint64_t> off_of(n_rows);  // position -> offset (len at sep)
+  std::vector<uint32_t> seps(docs.size());
+  std::vector<uint64_t> start(docs.size());
+  ids.reserve(docs.size());
+  for (uint64_t d = 0; d < docs.size(); ++d) {
+    DocId id = next_id_++;
+    ids.push_back(id);
+    seps[d] = free_seps_.back();
+    free_seps_.pop_back();
+    start[d] = text.size();
+    for (uint64_t k = 0; k < docs[d].size(); ++k) {
+      doc_of[text.size()] = d;
+      off_of[text.size()] = k;
+      text.push_back(Internal(docs[d][k]) + 1);
+    }
+    doc_of[text.size()] = d;
+    off_of[text.size()] = docs[d].size();
+    text.push_back(seps[d] + 1);
+    docs_[id] = {seps[d], docs[d].size()};
+    live_symbols_ += docs[d].size();
+  }
+  text.push_back(0);
+  uint32_t sigma = opt_.max_docs + (opt_.max_symbol - kMinSymbol) + 1;
+  std::vector<uint64_t> sa = BuildSuffixArray(text, sigma);
+
+  // Emit rows in suffix order, skipping the sentinel suffix. The BWT char of
+  // a document's first-symbol row is its own separator (the per-document
+  // cyclic BWT the incremental walk maintains), not the concatenation's
+  // predecessor.
+  std::vector<uint32_t> bwt_syms;
+  bwt_syms.reserve(n_rows);
+  std::vector<uint64_t> sampled_words(CeilDiv(n_rows, 64), 0);
+  std::vector<uint64_t> freq(sigma, 0);
+  uint64_t row = 0;
+  for (uint64_t r = 0; r < sa.size(); ++r) {
+    uint64_t p = sa[r];
+    if (p == n_rows) continue;  // sentinel suffix
+    uint64_t d = doc_of[p];
+    uint32_t sym = p == start[d] ? seps[d] : text[p - 1] - 1;
+    bwt_syms.push_back(sym);
+    ++freq[sym];
+    uint64_t off = off_of[p];
+    if (off % opt_.sample_rate == 0) {
+      sampled_words[row >> 6] |= 1ull << (row & 63);
+      samples_.push_back({ids[d], off});
+    }
+    ++row;
+  }
+  DYNDEX_DCHECK(row == n_rows);
+  for (uint32_t sym = 0; sym + 1 < sigma; ++sym) {
+    if (freq[sym] != 0) counts_.Add(sym, static_cast<int64_t>(freq[sym]));
+  }
+  bwt_ = DynamicWaveletTree(opt_.max_docs + (opt_.max_symbol - kMinSymbol),
+                            std::move(bwt_syms));
+  sampled_.Build(sampled_words.data(), n_rows);
+  return ids;
+}
+
 bool DynamicFmIndex::Erase(DocId id) {
   auto it = docs_.find(id);
   if (it == docs_.end()) return false;
@@ -110,8 +191,11 @@ bool DynamicFmIndex::BackwardSearch(const std::vector<Symbol>& pattern,
     Symbol s = pattern[k];
     if (s < kMinSymbol || s >= opt_.max_symbol) return false;
     uint32_t c = Internal(s);
-    a = LfStep(c, a);
-    b = LfStep(c, b);
+    // Both LF-steps share one wavelet-tree descent via RankPair.
+    uint64_t base = static_cast<uint64_t>(counts_.PrefixSum(c));
+    auto [ra, rb] = bwt_.RankPair(c, a, b);
+    a = base + ra;
+    b = base + rb;
     if (a >= b) return false;
   }
   *lo = a;

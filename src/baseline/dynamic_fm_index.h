@@ -44,8 +44,22 @@ class DynamicFmIndex {
   DynamicFmIndex() : DynamicFmIndex(Options()) {}
   explicit DynamicFmIndex(const Options& opt);
 
+  /// Bulk-constructs over `docs` (convenience for benchmarks/servers).
+  DynamicFmIndex(const std::vector<std::vector<Symbol>>& docs,
+                 const Options& opt)
+      : DynamicFmIndex(opt) {
+    InsertBulk(docs);
+  }
+
   /// Inserts a document, returns its stable handle.
   DocId Insert(const std::vector<Symbol>& symbols);
+
+  /// Bulk-loads `docs` into an *empty* index: one SA-IS pass over the
+  /// concatenation plus bulk wavelet-tree/bitvector loads, O(n log sigma),
+  /// instead of n dynamic-rank insertions at O(log sigma log n) each. The
+  /// resulting structure is row-for-row identical to inserting the documents
+  /// one by one. Returns the handles in document order.
+  std::vector<DocId> InsertBulk(const std::vector<std::vector<Symbol>>& docs);
 
   /// Removes a document. Returns false for unknown handles.
   bool Erase(DocId id);

@@ -1,333 +1,825 @@
 #include "dynbits/dynamic_bit_vector.h"
 
+#include <algorithm>
+
 namespace dyndex {
 
-DynamicBitVector::~DynamicBitVector() {
-  // Iterative teardown to avoid deep recursive destructor chains.
-  std::vector<std::unique_ptr<Node>> stack;
-  if (root_) stack.push_back(std::move(root_));
-  while (!stack.empty()) {
-    std::unique_ptr<Node> n = std::move(stack.back());
-    stack.pop_back();
-    if (n->left) stack.push_back(std::move(n->left));
-    if (n->right) stack.push_back(std::move(n->right));
+// ---------------------------------------------------------------------------
+// Leaf-local word-parallel operations.
+// ---------------------------------------------------------------------------
+
+void DynamicBitVector::LeafClearTail(Leaf& lf, uint32_t from) {
+  uint32_t w = from >> 6;
+  if ((from & 63) != 0) {
+    lf.words[w] &= LowMask(from & 63);
+    ++w;
   }
+  for (; w < kLeafWords; ++w) lf.words[w] = 0;
 }
 
-DynamicBitVector::DynamicBitVector(DynamicBitVector&& other) noexcept
-    : root_(std::move(other.root_)) {}
-
-DynamicBitVector& DynamicBitVector::operator=(
-    DynamicBitVector&& other) noexcept {
-  root_ = std::move(other.root_);
-  return *this;
+void DynamicBitVector::LeafRecount(Leaf& lf) {
+  uint32_t c = 0;
+  for (uint32_t j = 0; j < kLeafWords / 2; ++j) {
+    lf.cum[j] = static_cast<uint16_t>(c);
+    c += Popcount(lf.words[2 * j]) + Popcount(lf.words[2 * j + 1]);
+  }
+  lf.ones = c;
 }
 
-void DynamicBitVector::Update(Node* n) {
-  if (n->is_leaf()) return;
-  n->size = n->left->size + n->right->size;
-  n->ones = n->left->ones + n->right->ones;
-  n->height = 1 + (n->left->height > n->right->height ? n->left->height
-                                                      : n->right->height);
+void DynamicBitVector::LeafAssign(Leaf& lf, const uint64_t* buf, uint64_t pos,
+                                  uint32_t nbits) {
+  DYNDEX_DCHECK(nbits <= kLeafBits);
+  for (uint32_t w = 0; w < kLeafWords; ++w) lf.words[w] = 0;
+  CopyBits(lf.words, 0, buf, pos, nbits);
+  lf.size = nbits;
+  LeafRecount(lf);
 }
 
-int DynamicBitVector::Balance(const Node* n) {
-  if (n->is_leaf()) return 0;
-  return n->left->height - n->right->height;
+void DynamicBitVector::LeafInsertBit(Leaf& lf, uint32_t i, bool bit) {
+  uint32_t n = lf.size;
+  DYNDEX_DCHECK(i <= n && n < kLeafBits);
+  uint32_t w = i >> 6;
+  uint32_t off = i & 63;
+  // Incremental rank-directory update (before the words move): block j's
+  // prefix gains the inserted bit and loses the old bit at position 128j-1,
+  // which the shift pushes across the block boundary.
+  uint32_t one = bit ? 1 : 0;
+  for (uint32_t j = (i >> 7) + 1; j < kLeafWords / 2; ++j) {
+    lf.cum[j] = static_cast<uint16_t>(
+        lf.cum[j] + one -
+        static_cast<uint32_t>(lf.words[2 * j - 1] >> 63));
+  }
+  // Shift everything at/after position i one bit towards the MSB end.
+  uint64_t carry = lf.words[w] >> 63;
+  uint64_t low = lf.words[w] & LowMask(off);
+  uint64_t high = lf.words[w] & ~LowMask(off);
+  lf.words[w] = low | (high << 1) | (static_cast<uint64_t>(bit) << off);
+  uint32_t last = n >> 6;  // highest word the grown leaf occupies
+  for (uint32_t k = w + 1; k <= last && k < kLeafWords; ++k) {
+    uint64_t next_carry = lf.words[k] >> 63;
+    lf.words[k] = (lf.words[k] << 1) | carry;
+    carry = next_carry;
+  }
+  ++lf.size;
+  lf.ones += one;
 }
 
-std::unique_ptr<DynamicBitVector::Node> DynamicBitVector::RotateLeft(
-    std::unique_ptr<Node> n) {
-  std::unique_ptr<Node> r = std::move(n->right);
-  n->right = std::move(r->left);
-  Update(n.get());
-  r->left = std::move(n);
-  Update(r.get());
+bool DynamicBitVector::LeafEraseBit(Leaf& lf, uint32_t i) {
+  uint32_t n = lf.size;
+  DYNDEX_DCHECK(i < n);
+  uint32_t w = i >> 6;
+  uint32_t off = i & 63;
+  bool bit = (lf.words[w] >> off) & 1;
+  // Incremental rank-directory update (before the words move): block j's
+  // prefix loses the erased bit and gains the old bit at position 128j,
+  // which the shift pulls across the block boundary.
+  uint32_t one = bit ? 1 : 0;
+  for (uint32_t j = (i >> 7) + 1; j < kLeafWords / 2; ++j) {
+    lf.cum[j] = static_cast<uint16_t>(
+        lf.cum[j] + static_cast<uint32_t>(lf.words[2 * j] & 1) - one);
+  }
+  uint64_t low = lf.words[w] & LowMask(off);
+  uint64_t high = lf.words[w] & ~LowMask(off + 1);
+  lf.words[w] = low | (high >> 1);
+  uint32_t last = (n - 1) >> 6;
+  for (uint32_t k = w + 1; k <= last; ++k) {
+    // Move the lowest bit of word k into the MSB of word k-1.
+    lf.words[k - 1] |= (lf.words[k] & 1) << 63;
+    lf.words[k] >>= 1;
+  }
+  --lf.size;
+  lf.ones -= one;
+  return bit;
+}
+
+uint64_t DynamicBitVector::LeafRank1(const Leaf& lf, uint32_t i) {
+  DYNDEX_DCHECK(i <= lf.size);
+  // Jump via the 128-bit rank directory, then at most one full popcount
+  // plus the partial word — no serial word scan.
+  if (i == kLeafBits) return lf.ones;  // full-leaf boundary: cum[8] absent
+  uint32_t full = i >> 6;
+  uint32_t w = (i >> 7) * 2;
+  uint64_t r = lf.cum[i >> 7];
+  // Within the 2-word block: whole first word + partial second when i falls
+  // in the block's upper word, partial first word otherwise — masked rather
+  // than branched (the parity of `full` is a coin flip).
+  uint64_t partial = LowMask(i & 63);
+  uint64_t m_first = (full & 1) != 0 ? ~0ull : partial;
+  uint64_t m_second = (full & 1) != 0 ? partial : 0;
+  r += Popcount(lf.words[w] & m_first);
+  r += Popcount(lf.words[w | 1] & m_second);
   return r;
 }
 
-std::unique_ptr<DynamicBitVector::Node> DynamicBitVector::RotateRight(
-    std::unique_ptr<Node> n) {
-  std::unique_ptr<Node> l = std::move(n->left);
-  n->left = std::move(l->right);
-  Update(n.get());
-  l->right = std::move(n);
-  Update(l.get());
-  return l;
+uint32_t DynamicBitVector::LeafSelect1(const Leaf& lf, uint32_t k) {
+  DYNDEX_DCHECK(k < lf.ones);
+  // Branch-free block find in the rank directory (monotone), then at most
+  // two words.
+  uint32_t b = 0;
+  for (uint32_t j = 1; j < kLeafWords / 2; ++j) b += lf.cum[j] <= k ? 1 : 0;
+  k -= lf.cum[b];
+  uint32_t w = 2 * b;
+  uint32_t c = Popcount(lf.words[w]);
+  // Branchless step into the block's upper word (the choice is a coin flip).
+  uint32_t go = k >= c ? 1 : 0;
+  k -= go * c;
+  w += go;
+  return w * 64 + SelectInWord(lf.words[w], k);
 }
 
-std::unique_ptr<DynamicBitVector::Node> DynamicBitVector::Rebalance(
-    std::unique_ptr<Node> n) {
-  Update(n.get());
-  int b = Balance(n.get());
-  if (b > 1) {
-    if (Balance(n->left.get()) < 0) n->left = RotateLeft(std::move(n->left));
-    return RotateRight(std::move(n));
+uint32_t DynamicBitVector::LeafSelect0(const Leaf& lf, uint32_t k) {
+  DYNDEX_DCHECK(k < lf.size - lf.ones);
+  // Zeros directory derived on the fly: zeros before block j is
+  // min(128j, size) - cum[j] (tail bits past `size` are zero in storage but
+  // not part of the sequence).
+  uint32_t b = 0;
+  for (uint32_t j = 1; j < kLeafWords / 2; ++j) {
+    uint32_t limit = 128 * j < lf.size ? 128 * j : lf.size;
+    b += limit - lf.cum[j] <= k ? 1 : 0;
   }
-  if (b < -1) {
-    if (Balance(n->right.get()) > 0) {
-      n->right = RotateRight(std::move(n->right));
+  uint32_t limit_b = 128 * b < lf.size ? 128 * b : lf.size;
+  k -= limit_b - lf.cum[b];
+  uint32_t w = 2 * b;
+  uint64_t inv = ~lf.words[w];
+  uint32_t remaining = lf.size - w * 64;
+  if (remaining < 64) inv &= LowMask(remaining);
+  uint32_t c = Popcount(inv);
+  if (k >= c) {
+    k -= c;
+    ++w;
+    inv = ~lf.words[w];
+    remaining = lf.size - w * 64;
+    if (remaining < 64) inv &= LowMask(remaining);
+  }
+  return w * 64 + SelectInWord(inv, k);
+}
+
+// ---------------------------------------------------------------------------
+// Branch-free child selection. The prefix arrays are monotone, so the child
+// index equals the number of boundaries below the target. Counting runs in
+// two branch-free passes — whole blocks of 8 boundaries first, then the one
+// straddling block — ~15 independent compares per node instead of a
+// mispredict-prone early-exit scan with a serial subtract chain.
+// ---------------------------------------------------------------------------
+
+uint32_t DynamicBitVector::ChildForRank(const Inner& nd, uint64_t i) {
+  uint32_t n = nd.n;
+  uint32_t c = 0;
+  for (uint32_t k = 8; k < n; k += 8) c += nd.bits[k] < i ? 8 : 0;
+  // The final index lands within 8 of the coarse count: pull the companion
+  // ones/child lines in while the fine pass runs.
+  __builtin_prefetch(&nd.ones[c]);
+  __builtin_prefetch(&nd.child[c]);
+  uint32_t end = n < c + 8 ? n : c + 8;
+  uint32_t base = c;
+  for (uint32_t k = base + 1; k < end; ++k) c += nd.bits[k] < i ? 1 : 0;
+  return c;
+}
+
+uint32_t DynamicBitVector::ChildForPos(const Inner& nd, uint64_t i) {
+  DYNDEX_DCHECK(i < nd.bits[nd.n]);
+  uint32_t n = nd.n;
+  uint32_t c = 0;
+  for (uint32_t k = 8; k < n; k += 8) c += nd.bits[k] <= i ? 8 : 0;
+  __builtin_prefetch(&nd.child[c]);
+  uint32_t end = n < c + 8 ? n : c + 8;
+  uint32_t base = c;
+  for (uint32_t k = base + 1; k < end; ++k) c += nd.bits[k] <= i ? 1 : 0;
+  return c;
+}
+
+uint32_t DynamicBitVector::ChildForSelect1(const Inner& nd, uint64_t k) {
+  DYNDEX_DCHECK(k < nd.ones[nd.n]);
+  uint32_t n = nd.n;
+  uint32_t c = 0;
+  for (uint32_t j = 8; j < n; j += 8) c += nd.ones[j] <= k ? 8 : 0;
+  __builtin_prefetch(&nd.bits[c]);
+  __builtin_prefetch(&nd.child[c]);
+  uint32_t end = n < c + 8 ? n : c + 8;
+  uint32_t base = c;
+  for (uint32_t j = base + 1; j < end; ++j) c += nd.ones[j] <= k ? 1 : 0;
+  return c;
+}
+
+uint32_t DynamicBitVector::ChildForSelect0(const Inner& nd, uint64_t k) {
+  DYNDEX_DCHECK(k < nd.bits[nd.n] - nd.ones[nd.n]);
+  uint32_t n = nd.n;
+  uint32_t c = 0;
+  for (uint32_t j = 8; j < n; j += 8) {
+    c += nd.bits[j] - nd.ones[j] <= k ? 8 : 0;
+  }
+  __builtin_prefetch(&nd.child[c]);
+  uint32_t end = n < c + 8 ? n : c + 8;
+  uint32_t base = c;
+  for (uint32_t j = base + 1; j < end; ++j) {
+    c += nd.bits[j] - nd.ones[j] <= k ? 1 : 0;
+  }
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Structural helpers.
+// ---------------------------------------------------------------------------
+
+void DynamicBitVector::ToDeltas(const Inner& nd, Deltas* d) {
+  d->n = nd.n;
+  for (uint32_t k = 0; k < nd.n; ++k) {
+    d->bits[k] = nd.bits[k + 1] - nd.bits[k];
+    d->ones[k] = nd.ones[k + 1] - nd.ones[k];
+    d->child[k] = nd.child[k];
+  }
+}
+
+void DynamicBitVector::FromDeltas(const Deltas& d, Inner* nd) {
+  nd->n = d.n;
+  nd->bits[0] = 0;
+  nd->ones[0] = 0;
+  for (uint32_t k = 0; k < d.n; ++k) {
+    nd->bits[k + 1] = nd->bits[k] + d.bits[k];
+    nd->ones[k + 1] = nd->ones[k] + d.ones[k];
+    nd->child[k] = d.child[k];
+  }
+}
+
+DynamicBitVector::Entry DynamicBitVector::SplitLeafNode(uint32_t id) {
+  uint32_t rid = leaves_.Alloc();
+  Leaf& l = leaves_[id];
+  Leaf& r = leaves_[rid];
+  uint32_t half = l.size / 2;
+  uint32_t rn = l.size - half;
+  CopyBits(r.words, 0, l.words, half, rn);
+  r.size = rn;
+  LeafRecount(r);
+  LeafClearTail(l, half);
+  l.size = half;
+  LeafRecount(l);
+  return {rid, rn, r.ones};
+}
+
+DynamicBitVector::Entry DynamicBitVector::SplitInnerNode(uint32_t id) {
+  uint32_t rid = inners_.Alloc();
+  Inner& l = inners_[id];
+  Inner& r = inners_[rid];
+  Deltas d;
+  ToDeltas(l, &d);
+  uint32_t keep = (d.n + 1) / 2;
+  Deltas dr;
+  dr.n = d.n - keep;
+  for (uint32_t k = 0; k < dr.n; ++k) {
+    dr.bits[k] = d.bits[keep + k];
+    dr.ones[k] = d.ones[keep + k];
+    dr.child[k] = d.child[keep + k];
+  }
+  d.n = keep;
+  FromDeltas(d, &l);
+  FromDeltas(dr, &r);
+  return {rid, r.bits[r.n], r.ones[r.n]};
+}
+
+// Inserts `e` as the new child at position idx, carving its counts from the
+// tail of child idx-1 (whose prefix entries must already cover e's content).
+void DynamicBitVector::InsertChildEntry(Inner& nd, uint32_t idx,
+                                        const Entry& e) {
+  DYNDEX_DCHECK(idx >= 1 && idx <= nd.n && nd.n <= kMaxFanout);
+  for (uint32_t k = nd.n; k > idx; --k) nd.child[k] = nd.child[k - 1];
+  nd.child[idx] = e.id;
+  for (uint32_t k = nd.n + 1; k > idx; --k) {
+    nd.bits[k] = nd.bits[k - 1];
+    nd.ones[k] = nd.ones[k - 1];
+  }
+  nd.bits[idx] = nd.bits[idx + 1] - e.bits;
+  nd.ones[idx] = nd.ones[idx + 1] - e.ones;
+  ++nd.n;
+}
+
+// Drops child idx, folding its span into child idx-1 (whose content must
+// already have absorbed it).
+void DynamicBitVector::RemoveChildEntry(Inner& nd, uint32_t idx) {
+  DYNDEX_DCHECK(idx >= 1 && idx < nd.n);
+  for (uint32_t k = idx; k + 1 < nd.n; ++k) nd.child[k] = nd.child[k + 1];
+  for (uint32_t k = idx; k < nd.n; ++k) {
+    nd.bits[k] = nd.bits[k + 1];
+    nd.ones[k] = nd.ones[k + 1];
+  }
+  --nd.n;
+}
+
+void DynamicBitVector::RebalanceLeafChild(Inner& parent, uint32_t idx) {
+  DYNDEX_DCHECK(parent.n >= 2);
+  uint32_t l = idx > 0 ? idx - 1 : idx;
+  uint32_t r = l + 1;
+  Leaf& a = leaves_[parent.child[l]];
+  Leaf& b = leaves_[parent.child[r]];
+  uint32_t total = a.size + b.size;
+  if (total <= kFillBits) {
+    CopyBits(a.words, a.size, b.words, 0, b.size);
+    a.size = total;
+    LeafRecount(a);
+    leaves_.Free(parent.child[r]);
+    RemoveChildEntry(parent, r);
+    return;
+  }
+  uint64_t buf[2 * kLeafWords] = {};
+  CopyBits(buf, 0, a.words, 0, a.size);
+  CopyBits(buf, a.size, b.words, 0, b.size);
+  uint32_t half = total / 2;
+  LeafAssign(a, buf, 0, half);
+  LeafAssign(b, buf, half, total - half);
+  parent.bits[r] = parent.bits[l] + a.size;
+  parent.ones[r] = parent.ones[l] + a.ones;
+}
+
+void DynamicBitVector::RebalanceInnerChild(Inner& parent, uint32_t idx) {
+  DYNDEX_DCHECK(parent.n >= 2);
+  uint32_t l = idx > 0 ? idx - 1 : idx;
+  uint32_t r = l + 1;
+  Inner& a = inners_[parent.child[l]];
+  Inner& b = inners_[parent.child[r]];
+  uint32_t total = a.n + b.n;
+  Deltas da, db;
+  ToDeltas(a, &da);
+  ToDeltas(b, &db);
+  if (total <= kFillFanout) {
+    for (uint32_t k = 0; k < db.n; ++k) {
+      da.bits[da.n + k] = db.bits[k];
+      da.ones[da.n + k] = db.ones[k];
+      da.child[da.n + k] = db.child[k];
     }
-    return RotateLeft(std::move(n));
+    da.n = total;
+    FromDeltas(da, &a);
+    inners_.Free(parent.child[r]);
+    RemoveChildEntry(parent, r);
+    return;
   }
-  return n;
+  // Redistribute evenly through one concatenated delta list (can exceed a
+  // single node's capacity, so it gets its own double-width scratch).
+  uint64_t all_bits[2 * (kMaxFanout + 1)];
+  uint64_t all_ones[2 * (kMaxFanout + 1)];
+  uint32_t all_child[2 * (kMaxFanout + 1)];
+  for (uint32_t k = 0; k < da.n; ++k) {
+    all_bits[k] = da.bits[k];
+    all_ones[k] = da.ones[k];
+    all_child[k] = da.child[k];
+  }
+  for (uint32_t k = 0; k < db.n; ++k) {
+    all_bits[da.n + k] = db.bits[k];
+    all_ones[da.n + k] = db.ones[k];
+    all_child[da.n + k] = db.child[k];
+  }
+  uint32_t na = total / 2;
+  Deltas ra, rb;
+  ra.n = na;
+  rb.n = total - na;
+  for (uint32_t k = 0; k < na; ++k) {
+    ra.bits[k] = all_bits[k];
+    ra.ones[k] = all_ones[k];
+    ra.child[k] = all_child[k];
+  }
+  for (uint32_t k = 0; k < rb.n; ++k) {
+    rb.bits[k] = all_bits[na + k];
+    rb.ones[k] = all_ones[na + k];
+    rb.child[k] = all_child[na + k];
+  }
+  FromDeltas(ra, &a);
+  FromDeltas(rb, &b);
+  parent.bits[r] = parent.bits[l] + a.bits[a.n];
+  parent.ones[r] = parent.ones[l] + a.ones[a.n];
 }
 
-void DynamicBitVector::LeafInsert(Node* leaf, uint64_t i, bool bit) {
-  uint64_t n = leaf->size;
-  DYNDEX_DCHECK(i <= n);
-  if (CeilDiv(n + 1, 64) > leaf->words.size()) leaf->words.push_back(0);
-  // Shift everything at/after position i one bit towards the MSB end.
-  uint64_t w = i >> 6;
-  uint32_t off = static_cast<uint32_t>(i & 63);
-  uint64_t carry = (leaf->words[w] >> 63) & 1;
-  uint64_t low = leaf->words[w] & LowMask(off);
-  uint64_t high = leaf->words[w] & ~LowMask(off);
-  leaf->words[w] = low | (high << 1) | (static_cast<uint64_t>(bit) << off);
-  for (uint64_t k = w + 1; k <= (n >> 6) && k < leaf->words.size(); ++k) {
-    uint64_t next_carry = (leaf->words[k] >> 63) & 1;
-    leaf->words[k] = (leaf->words[k] << 1) | carry;
-    carry = next_carry;
-  }
-  ++leaf->size;
-  leaf->ones += bit ? 1 : 0;
-}
+// ---------------------------------------------------------------------------
+// Point updates.
+// ---------------------------------------------------------------------------
 
-void DynamicBitVector::LeafErase(Node* leaf, uint64_t i) {
-  uint64_t n = leaf->size;
-  DYNDEX_DCHECK(i < n);
-  uint64_t w = i >> 6;
-  uint32_t off = static_cast<uint32_t>(i & 63);
-  bool bit = (leaf->words[w] >> off) & 1;
-  uint64_t low = leaf->words[w] & LowMask(off);
-  uint64_t high = leaf->words[w] & ~LowMask(off + 1);
-  leaf->words[w] = low | (high >> 1);
-  uint64_t last_word = (n - 1) >> 6;
-  for (uint64_t k = w + 1; k <= last_word; ++k) {
-    // Move lowest bit of word k into the MSB of word k-1.
-    leaf->words[k - 1] |= (leaf->words[k] & 1) << 63;
-    leaf->words[k] >>= 1;
+DynamicBitVector::Entry DynamicBitVector::InsertRec(uint32_t id, uint32_t h,
+                                                    uint64_t i, bool bit) {
+  if (h == 0) {
+    if (leaves_[id].size == kLeafBits) {
+      Entry right = SplitLeafNode(id);
+      Leaf& l = leaves_[id];
+      if (i <= l.size) {
+        LeafInsertBit(l, static_cast<uint32_t>(i), bit);
+      } else {
+        Leaf& r = leaves_[right.id];
+        LeafInsertBit(r, static_cast<uint32_t>(i - l.size), bit);
+        right.bits = r.size;
+        right.ones = r.ones;
+      }
+      return right;
+    }
+    LeafInsertBit(leaves_[id], static_cast<uint32_t>(i), bit);
+    return {};
   }
-  --leaf->size;
-  leaf->ones -= bit ? 1 : 0;
-  // Clear any bits beyond the new size in the last word.
-  if (leaf->size > 0) {
-    uint64_t lw = (leaf->size - 1) >> 6;
-    uint32_t bits_in_last = static_cast<uint32_t>(leaf->size - lw * 64);
-    if (bits_in_last < 64) leaf->words[lw] &= LowMask(bits_in_last);
-    for (uint64_t k = lw + 1; k < leaf->words.size(); ++k) leaf->words[k] = 0;
-  } else {
-    for (auto& word : leaf->words) word = 0;
+  Inner& nd = inners_[id];
+  uint32_t c = ChildForRank(nd, i);
+  Entry split = InsertRec(nd.child[c], h - 1, i - nd.bits[c], bit);
+  uint32_t one = bit ? 1 : 0;
+  for (uint32_t k = c + 1; k <= nd.n; ++k) {
+    nd.bits[k] += 1;
+    nd.ones[k] += one;
   }
-}
-
-std::unique_ptr<DynamicBitVector::Node> DynamicBitVector::SplitLeaf(
-    std::unique_ptr<Node> leaf) {
-  // Split a full leaf into an internal node with two half leaves.
-  uint64_t n = leaf->size;
-  uint64_t half = n / 2;
-  auto left = std::make_unique<Node>();
-  auto right = std::make_unique<Node>();
-  left->words.assign(leaf->words.begin(),
-                     leaf->words.begin() + (half + 63) / 64);
-  left->size = half;
-  // Right gets bits [half, n).
-  uint64_t rn = n - half;
-  right->words.assign(CeilDiv(rn, 64), 0);
-  for (uint64_t i = 0; i < rn; ++i) {
-    uint64_t src = half + i;
-    uint64_t b = (leaf->words[src >> 6] >> (src & 63)) & 1;
-    right->words[i >> 6] |= b << (i & 63);
-  }
-  right->size = rn;
-  // Clear left's tail bits beyond `half`.
-  if (half > 0) {
-    uint64_t lw = (half - 1) >> 6;
-    uint32_t bits_in_last = static_cast<uint32_t>(half - lw * 64);
-    if (bits_in_last < 64) left->words[lw] &= LowMask(bits_in_last);
-  }
-  uint64_t lones = 0;
-  for (uint64_t word : left->words) lones += Popcount(word);
-  left->ones = lones;
-  right->ones = leaf->ones - lones;
-  auto parent = std::make_unique<Node>();
-  parent->left = std::move(left);
-  parent->right = std::move(right);
-  Update(parent.get());
-  return parent;
-}
-
-std::unique_ptr<DynamicBitVector::Node> DynamicBitVector::InsertRec(
-    std::unique_ptr<Node> n, uint64_t i, bool bit) {
-  if (n == nullptr) {
-    auto leaf = std::make_unique<Node>();
-    leaf->words.assign(1, 0);
-    LeafInsert(leaf.get(), 0, bit);
-    return leaf;
-  }
-  if (n->is_leaf()) {
-    LeafInsert(n.get(), i, bit);
-    if (n->size > kMaxLeafBits) return SplitLeaf(std::move(n));
-    return n;
-  }
-  if (i <= n->left->size) {
-    n->left = InsertRec(std::move(n->left), i, bit);
-  } else {
-    n->right = InsertRec(std::move(n->right), i - n->left->size, bit);
-  }
-  return Rebalance(std::move(n));
-}
-
-std::unique_ptr<DynamicBitVector::Node> DynamicBitVector::EraseRec(
-    std::unique_ptr<Node> n, uint64_t i) {
-  if (n->is_leaf()) {
-    LeafErase(n.get(), i);
-    if (n->size == 0) return nullptr;
-    return n;
-  }
-  if (i < n->left->size) {
-    n->left = EraseRec(std::move(n->left), i);
-    if (n->left == nullptr) return std::move(n->right);
-  } else {
-    n->right = EraseRec(std::move(n->right), i - n->left->size);
-    if (n->right == nullptr) return std::move(n->left);
-  }
-  return Rebalance(std::move(n));
+  if (split.id == kNil) return {};
+  InsertChildEntry(nd, c + 1, split);
+  if (nd.n > kMaxFanout) return SplitInnerNode(id);
+  return {};
 }
 
 void DynamicBitVector::Insert(uint64_t i, bool bit) {
-  DYNDEX_CHECK(i <= size());
-  root_ = InsertRec(std::move(root_), i, bit);
+  DYNDEX_CHECK(i <= size_);
+  if (root_ == kNil) {
+    root_ = leaves_.Alloc();
+    height_ = 0;
+  }
+  Entry split = InsertRec(root_, height_, i, bit);
+  ++size_;
+  ones_ += bit ? 1 : 0;
+  if (split.id != kNil) GrowRoot({split});
+}
+
+bool DynamicBitVector::EraseRec(uint32_t id, uint32_t h, uint64_t i) {
+  Inner& nd = inners_[id];
+  uint32_t c = ChildForPos(nd, i);
+  uint64_t ci = i - nd.bits[c];
+  bool bit;
+  if (h == 1) {
+    bit = LeafEraseBit(leaves_[nd.child[c]], static_cast<uint32_t>(ci));
+  } else {
+    bit = EraseRec(nd.child[c], h - 1, ci);
+  }
+  uint32_t one = bit ? 1 : 0;
+  for (uint32_t k = c + 1; k <= nd.n; ++k) {
+    nd.bits[k] -= 1;
+    nd.ones[k] -= one;
+  }
+  if (h == 1) {
+    if (leaves_[nd.child[c]].size < kMinLeafBits && nd.n > 1) {
+      RebalanceLeafChild(nd, c);
+    }
+  } else {
+    if (inners_[nd.child[c]].n < kMinFanout && nd.n > 1) {
+      RebalanceInnerChild(nd, c);
+    }
+  }
+  return bit;
 }
 
 void DynamicBitVector::Erase(uint64_t i) {
-  DYNDEX_CHECK(i < size());
-  root_ = EraseRec(std::move(root_), i);
-}
-
-bool DynamicBitVector::Get(uint64_t i) const {
-  DYNDEX_CHECK(i < size());
-  const Node* n = root_.get();
-  while (!n->is_leaf()) {
-    if (i < n->left->size) {
-      n = n->left.get();
-    } else {
-      i -= n->left->size;
-      n = n->right.get();
-    }
+  DYNDEX_CHECK(i < size_);
+  bool bit;
+  if (height_ == 0) {
+    bit = LeafEraseBit(leaves_[root_], static_cast<uint32_t>(i));
+  } else {
+    bit = EraseRec(root_, height_, i);
   }
-  return (n->words[i >> 6] >> (i & 63)) & 1;
+  --size_;
+  ones_ -= bit ? 1 : 0;
+  while (height_ > 0 && inners_[root_].n == 1) {
+    uint32_t only = inners_[root_].child[0];
+    inners_.Free(root_);
+    root_ = only;
+    --height_;
+  }
+  if (size_ == 0) {
+    DYNDEX_DCHECK(height_ == 0);
+    leaves_.Free(root_);
+    root_ = kNil;
+  }
 }
 
 void DynamicBitVector::Set(uint64_t i, bool bit) {
-  DYNDEX_CHECK(i < size());
-  // Walk down, fixing `ones` along the way once we know the delta.
-  bool old = Get(i);
+  DYNDEX_CHECK(i < size_);
+  DYNDEX_DCHECK(height_ < 16);
+  // One descent recording the path; counts are fixed only if the bit flips.
+  uint32_t path_node[16];
+  uint32_t path_child[16];
+  uint32_t id = root_;
+  uint64_t pos = i;
+  for (uint32_t h = height_; h > 0; --h) {
+    Inner& nd = inners_[id];
+    uint32_t c = ChildForPos(nd, pos);
+    pos -= nd.bits[c];
+    path_node[h - 1] = id;
+    path_child[h - 1] = c;
+    id = nd.child[c];
+  }
+  Leaf& lf = leaves_[id];
+  uint64_t mask = 1ull << (pos & 63);
+  bool old = (lf.words[pos >> 6] & mask) != 0;
   if (old == bit) return;
   int64_t delta = bit ? 1 : -1;
-  Node* n = root_.get();
-  while (!n->is_leaf()) {
-    n->ones += delta;
-    if (i < n->left->size) {
-      n = n->left.get();
-    } else {
-      i -= n->left->size;
-      n = n->right.get();
+  if (bit) {
+    lf.words[pos >> 6] |= mask;
+    ++lf.ones;
+    ++ones_;
+  } else {
+    lf.words[pos >> 6] &= ~mask;
+    --lf.ones;
+    --ones_;
+  }
+  for (uint32_t j = static_cast<uint32_t>(pos >> 7) + 1; j < kLeafWords / 2;
+       ++j) {
+    lf.cum[j] = static_cast<uint16_t>(lf.cum[j] + delta);
+  }
+  for (uint32_t h = height_; h > 0; --h) {
+    Inner& nd = inners_[path_node[h - 1]];
+    for (uint32_t k = path_child[h - 1] + 1; k <= nd.n; ++k) {
+      nd.ones[k] += delta;
     }
   }
-  uint64_t mask = 1ull << (i & 63);
-  if (bit) {
-    n->words[i >> 6] |= mask;
-  } else {
-    n->words[i >> 6] &= ~mask;
+}
+
+// ---------------------------------------------------------------------------
+// Queries.
+// ---------------------------------------------------------------------------
+
+bool DynamicBitVector::Get(uint64_t i) const {
+  DYNDEX_CHECK(i < size_);
+  uint32_t id = root_;
+  for (uint32_t h = height_; h > 0; --h) {
+    const Inner& nd = inners_[id];
+    uint32_t c = ChildForPos(nd, i);
+    i -= nd.bits[c];
+    id = nd.child[c];
   }
-  n->ones += delta;
+  const Leaf& lf = leaves_[id];
+  return (lf.words[i >> 6] >> (i & 63)) & 1;
+}
+
+uint64_t DynamicBitVector::RankFrom(uint32_t id, uint32_t h, uint64_t i) const {
+  uint64_t r = 0;
+  for (; h > 0; --h) {
+    const Inner& nd = inners_[id];
+    uint32_t c = ChildForRank(nd, i);
+    i -= nd.bits[c];
+    r += nd.ones[c];
+    id = nd.child[c];
+  }
+  return r + LeafRank1(leaves_[id], static_cast<uint32_t>(i));
 }
 
 uint64_t DynamicBitVector::Rank1(uint64_t i) const {
-  DYNDEX_CHECK(i <= size());
-  const Node* n = root_.get();
-  uint64_t r = 0;
-  if (n == nullptr) return 0;
-  while (!n->is_leaf()) {
-    if (i < n->left->size) {
-      n = n->left.get();
-    } else {
-      i -= n->left->size;
-      r += n->left->ones;
-      n = n->right.get();
+  DYNDEX_CHECK(i <= size_);
+  if (root_ == kNil) return 0;
+  return RankFrom(root_, height_, i);
+}
+
+std::pair<uint64_t, uint64_t> DynamicBitVector::RankPair(uint64_t i,
+                                                         uint64_t j) const {
+  DYNDEX_CHECK(i <= j && j <= size_);
+  if (root_ == kNil) return {0, 0};
+  uint32_t id = root_;
+  uint64_t acc = 0;  // ones before the shared child
+  uint32_t h = height_;
+  while (h > 0) {
+    const Inner& nd = inners_[id];
+    uint32_t ci = ChildForRank(nd, i);
+    uint32_t cj = ChildForRank(nd, j);
+    if (ci != cj) {
+      // The positions diverge here: finish each side independently.
+      uint64_t ri =
+          acc + nd.ones[ci] + RankFrom(nd.child[ci], h - 1, i - nd.bits[ci]);
+      uint64_t rj =
+          acc + nd.ones[cj] + RankFrom(nd.child[cj], h - 1, j - nd.bits[cj]);
+      return {ri, rj};
     }
+    acc += nd.ones[ci];
+    i -= nd.bits[ci];
+    j -= nd.bits[ci];
+    id = nd.child[ci];
+    --h;
   }
-  uint64_t full = i >> 6;
-  for (uint64_t w = 0; w < full; ++w) r += Popcount(n->words[w]);
-  uint32_t bits = static_cast<uint32_t>(i & 63);
-  if (bits != 0) r += Popcount(n->words[full] & LowMask(bits));
-  return r;
+  const Leaf& lf = leaves_[id];
+  return {acc + LeafRank1(lf, static_cast<uint32_t>(i)),
+          acc + LeafRank1(lf, static_cast<uint32_t>(j))};
 }
 
 uint64_t DynamicBitVector::Select1(uint64_t k) const {
-  DYNDEX_CHECK(k < ones());
-  const Node* n = root_.get();
+  DYNDEX_CHECK(k < ones_);
+  uint32_t id = root_;
   uint64_t pos = 0;
-  while (!n->is_leaf()) {
-    if (k < n->left->ones) {
-      n = n->left.get();
-    } else {
-      k -= n->left->ones;
-      pos += n->left->size;
-      n = n->right.get();
-    }
+  for (uint32_t h = height_; h > 0; --h) {
+    const Inner& nd = inners_[id];
+    uint32_t c = ChildForSelect1(nd, k);
+    k -= nd.ones[c];
+    pos += nd.bits[c];
+    id = nd.child[c];
   }
-  for (uint64_t w = 0;; ++w) {
-    uint32_t c = Popcount(n->words[w]);
-    if (k < c) {
-      return pos + w * 64 + SelectInWord(n->words[w], static_cast<uint32_t>(k));
-    }
-    k -= c;
-  }
+  return pos + LeafSelect1(leaves_[id], static_cast<uint32_t>(k));
 }
 
 uint64_t DynamicBitVector::Select0(uint64_t k) const {
   DYNDEX_CHECK(k < zeros());
-  const Node* n = root_.get();
+  uint32_t id = root_;
   uint64_t pos = 0;
-  while (!n->is_leaf()) {
-    uint64_t lzeros = n->left->size - n->left->ones;
-    if (k < lzeros) {
-      n = n->left.get();
-    } else {
-      k -= lzeros;
-      pos += n->left->size;
-      n = n->right.get();
-    }
+  for (uint32_t h = height_; h > 0; --h) {
+    const Inner& nd = inners_[id];
+    uint32_t c = ChildForSelect0(nd, k);
+    k -= nd.bits[c] - nd.ones[c];
+    pos += nd.bits[c];
+    id = nd.child[c];
   }
-  for (uint64_t w = 0;; ++w) {
-    uint64_t inv = ~n->words[w];
-    // Mask out bits beyond the leaf size in the last word.
-    uint64_t remaining = n->size - w * 64;
-    if (remaining < 64) inv &= LowMask(static_cast<uint32_t>(remaining));
-    uint32_t c = Popcount(inv);
-    if (k < c) {
-      return pos + w * 64 + SelectInWord(inv, static_cast<uint32_t>(k));
+  return pos + LeafSelect0(leaves_[id], static_cast<uint32_t>(k));
+}
+
+// ---------------------------------------------------------------------------
+// Bulk paths.
+// ---------------------------------------------------------------------------
+
+void DynamicBitVector::Clear() {
+  leaves_.Clear();
+  inners_.Clear();
+  root_ = kNil;
+  height_ = 0;
+  size_ = 0;
+  ones_ = 0;
+}
+
+void DynamicBitVector::PackEntries(const std::vector<Entry>& entries,
+                                   uint32_t reuse_id,
+                                   std::vector<Entry>* out) {
+  uint64_t n = entries.size();
+  uint64_t chunks = n <= kMaxFanout ? 1 : CeilDiv(n, kFillFanout);
+  out->reserve(out->size() + chunks);
+  uint64_t per = n / chunks, rem = n % chunks;
+  uint64_t pos = 0;
+  for (uint64_t k = 0; k < chunks; ++k) {
+    uint64_t cnt = per + (k < rem ? 1 : 0);
+    uint32_t id =
+        k == 0 && reuse_id != kNil ? reuse_id : inners_.Alloc();
+    Inner& nd = inners_[id];
+    nd.n = static_cast<uint32_t>(cnt);
+    nd.bits[0] = 0;
+    nd.ones[0] = 0;
+    for (uint64_t e = 0; e < cnt; ++e) {
+      const Entry& src = entries[pos + e];
+      nd.bits[e + 1] = nd.bits[e] + src.bits;
+      nd.ones[e + 1] = nd.ones[e] + src.ones;
+      nd.child[e] = src.id;
     }
-    k -= c;
+    out->push_back({id, nd.bits[cnt], nd.ones[cnt]});
+    pos += cnt;
   }
 }
 
-uint64_t DynamicBitVector::SpaceBytes() const {
-  uint64_t total = 0;
-  std::vector<const Node*> stack;
-  if (root_) stack.push_back(root_.get());
-  while (!stack.empty()) {
-    const Node* n = stack.back();
-    stack.pop_back();
-    total += sizeof(Node) + n->words.capacity() * sizeof(uint64_t);
-    if (!n->is_leaf()) {
-      stack.push_back(n->left.get());
-      stack.push_back(n->right.get());
-    }
+void DynamicBitVector::PackLevel(std::vector<Entry>* level) {
+  std::vector<Entry> parents;
+  PackEntries(*level, kNil, &parents);
+  *level = std::move(parents);
+}
+
+void DynamicBitVector::GrowRoot(std::vector<Entry> extra) {
+  if (extra.empty()) return;
+  uint64_t eb = 0, eo = 0;
+  for (const Entry& e : extra) {
+    eb += e.bits;
+    eo += e.ones;
   }
-  return total;
+  std::vector<Entry> level;
+  level.reserve(1 + extra.size());
+  level.push_back({root_, size_ - eb, ones_ - eo});
+  level.insert(level.end(), extra.begin(), extra.end());
+  while (level.size() > 1) {
+    PackLevel(&level);
+    ++height_;
+  }
+  root_ = level[0].id;
+}
+
+void DynamicBitVector::Build(const uint64_t* words, uint64_t nbits) {
+  Clear();
+  if (nbits == 0) return;
+  uint64_t nleaves = CeilDiv(nbits, kFillBits);
+  uint64_t per = nbits / nleaves, rem = nbits % nleaves;
+  std::vector<Entry> level;
+  level.reserve(nleaves);
+  uint64_t pos = 0;
+  for (uint64_t k = 0; k < nleaves; ++k) {
+    uint64_t cnt = per + (k < rem ? 1 : 0);
+    uint32_t id = leaves_.Alloc();
+    Leaf& lf = leaves_[id];
+    LeafAssign(lf, words, pos, static_cast<uint32_t>(cnt));
+    level.push_back({id, cnt, lf.ones});
+    ones_ += lf.ones;
+    pos += cnt;
+  }
+  while (level.size() > 1) {
+    PackLevel(&level);
+    ++height_;
+  }
+  root_ = level[0].id;
+  size_ = nbits;
+}
+
+void DynamicBitVector::LeafRangeInsert(uint32_t id, uint64_t i,
+                                       const uint64_t* words, uint64_t nbits,
+                                       std::vector<Entry>* extra) {
+  Leaf& lf = leaves_[id];
+  DYNDEX_DCHECK(i <= lf.size);
+  uint64_t total = lf.size + nbits;
+  if (total <= kLeafBits) {
+    uint64_t buf[kLeafWords] = {};
+    CopyBits(buf, 0, lf.words, 0, i);
+    CopyBits(buf, i, words, 0, nbits);
+    CopyBits(buf, i + nbits, lf.words, i, lf.size - i);
+    LeafAssign(lf, buf, 0, static_cast<uint32_t>(total));
+    return;
+  }
+  // Splice into a scratch buffer, then repack into evenly filled leaves; the
+  // first chunk reuses this leaf, the rest surface as new right siblings.
+  std::vector<uint64_t> buf(CeilDiv(total, 64) + 1, 0);
+  CopyBits(buf.data(), 0, lf.words, 0, i);
+  CopyBits(buf.data(), i, words, 0, nbits);
+  CopyBits(buf.data(), i + nbits, lf.words, i, lf.size - i);
+  uint64_t chunks = CeilDiv(total, kFillBits);
+  uint64_t per = total / chunks, rem = total % chunks;
+  uint64_t pos = 0;
+  for (uint64_t k = 0; k < chunks; ++k) {
+    uint64_t cnt = per + (k < rem ? 1 : 0);
+    uint32_t nid = k == 0 ? id : leaves_.Alloc();
+    Leaf& out = leaves_[nid];
+    LeafAssign(out, buf.data(), pos, static_cast<uint32_t>(cnt));
+    if (k > 0) extra->push_back({nid, cnt, out.ones});
+    pos += cnt;
+  }
+}
+
+void DynamicBitVector::InsertRangeRec(uint32_t id, uint32_t h, uint64_t i,
+                                      const uint64_t* words, uint64_t nbits,
+                                      uint64_t add_ones,
+                                      std::vector<Entry>* extra) {
+  Inner& nd = inners_[id];
+  uint32_t c = ChildForRank(nd, i);
+  std::vector<Entry> sub;
+  if (h == 1) {
+    LeafRangeInsert(nd.child[c], i - nd.bits[c], words, nbits, &sub);
+  } else {
+    InsertRangeRec(nd.child[c], h - 1, i - nd.bits[c], words, nbits, add_ones,
+                   &sub);
+  }
+  for (uint32_t k = c + 1; k <= nd.n; ++k) {
+    nd.bits[k] += nbits;
+    nd.ones[k] += add_ones;
+  }
+  if (sub.empty()) return;
+  if (nd.n + sub.size() <= kMaxFanout) {
+    // Carve the new right siblings off child c's tail, last first, so each
+    // insertion slices the correct suffix.
+    for (uint32_t k = static_cast<uint32_t>(sub.size()); k-- > 0;) {
+      InsertChildEntry(nd, c + 1, sub[k]);
+    }
+    return;
+  }
+  // Overflow: gather every entry (with the new siblings spliced in after c)
+  // and repack into evenly filled nodes; the first reuses this node, the
+  // rest surface as new right siblings of it.
+  std::vector<Entry> all;
+  all.reserve(nd.n + sub.size());
+  for (uint32_t k = 0; k < nd.n; ++k) {
+    uint64_t cb = nd.bits[k + 1] - nd.bits[k];
+    uint64_t co = nd.ones[k + 1] - nd.ones[k];
+    if (k == c) {
+      // Child c's prefix span still includes the content that moved into
+      // the new siblings; restore its own count before splicing them in.
+      for (const Entry& e : sub) {
+        cb -= e.bits;
+        co -= e.ones;
+      }
+    }
+    all.push_back({nd.child[k], cb, co});
+    if (k == c) all.insert(all.end(), sub.begin(), sub.end());
+  }
+  std::vector<Entry> packed;
+  PackEntries(all, id, &packed);
+  extra->insert(extra->end(), packed.begin() + 1, packed.end());
+}
+
+void DynamicBitVector::InsertRange(uint64_t i, const uint64_t* words,
+                                   uint64_t nbits) {
+  DYNDEX_CHECK(i <= size_);
+  if (nbits == 0) return;
+  if (root_ == kNil) {
+    Build(words, nbits);
+    return;
+  }
+  uint64_t add_ones = PopcountBits(words, nbits);
+  std::vector<Entry> extra;
+  if (height_ == 0) {
+    LeafRangeInsert(root_, i, words, nbits, &extra);
+  } else {
+    InsertRangeRec(root_, height_, i, words, nbits, add_ones, &extra);
+  }
+  size_ += nbits;
+  ones_ += add_ones;
+  GrowRoot(std::move(extra));
+}
+
+void DynamicBitVector::AppendRun(bool bit, uint64_t count) {
+  if (count == 0) return;
+  std::vector<uint64_t> words(CeilDiv(count, 64), bit ? ~0ull : 0ull);
+  InsertRange(size_, words.data(), count);
+}
+
+uint64_t DynamicBitVector::SpaceBytes() const {
+  return sizeof(*this) + leaves_.CapacityBytes() + inners_.CapacityBytes();
 }
 
 }  // namespace dyndex

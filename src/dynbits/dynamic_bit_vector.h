@@ -1,16 +1,33 @@
-// Dynamic bit vector: insert/delete/access/rank/select in O(log n).
+// Dynamic bit vector: insert/delete/access/rank/select in O(log n), plus
+// bulk paths (Build, InsertRange, AppendRun) and a two-position RankPair.
 //
 // This is the substrate of the *baseline* structures ([30]/[35]-style dynamic
 // wavelet trees): every operation routes through a balanced tree, which is
 // exactly the Fredman-Saks-bounded bottleneck the paper's framework avoids.
+// The engine keeps that asymptotic role but removes the constant-factor
+// slack, in the style of practical dynamic-succinct systems (Coimbra et al.
+// 2019; Brisaboa et al. 2017):
 //
-// Implementation: an AVL tree whose leaves hold packed bit blocks of up to
-// kMaxLeafBits bits; internal nodes cache (subtree bits, subtree ones, height).
+//  * Counted B-tree with fanout up to kMaxFanout (64): internal nodes hold
+//    exclusive (bits, ones) prefix counts in flat arrays, so choosing a
+//    child is a branch-free predicate count over a few cache lines — no
+//    serial subtract chain, no mispredicted early exit, no pointer chase.
+//  * Leaves are fixed-capacity kLeafBits (1024) bit blocks stored inline in
+//    the node — no per-leaf heap payload.
+//  * All nodes live in chunked pool allocators with freelist reuse; nodes are
+//    addressed by 32-bit ids and chunks never move, so there is no
+//    allocation churn on the update path and teardown is O(#chunks).
+//  * Leaf-internal rank/select is word-parallel popcount + table-driven
+//    in-word select (util/bits.h).
+//
+// All leaves sit at the same depth; `height_` counts the internal levels, so
+// a node id's type (leaf vs internal) is known from the descent depth alone.
 #ifndef DYNDEX_DYNBITS_DYNAMIC_BIT_VECTOR_H_
 #define DYNDEX_DYNBITS_DYNAMIC_BIT_VECTOR_H_
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "util/bits.h"
@@ -22,24 +39,57 @@ namespace dyndex {
 class DynamicBitVector {
  public:
   DynamicBitVector() = default;
-  ~DynamicBitVector();
-  DynamicBitVector(DynamicBitVector&&) noexcept;
-  DynamicBitVector& operator=(DynamicBitVector&&) noexcept;
+  ~DynamicBitVector() = default;
+  // Moved-from vectors are valid empty vectors (the historical contract).
+  DynamicBitVector(DynamicBitVector&& other) noexcept
+      : leaves_(std::move(other.leaves_)),
+        inners_(std::move(other.inners_)),
+        root_(other.root_),
+        height_(other.height_),
+        size_(other.size_),
+        ones_(other.ones_) {
+    other.ResetToEmpty();
+  }
+  DynamicBitVector& operator=(DynamicBitVector&& other) noexcept {
+    leaves_ = std::move(other.leaves_);
+    inners_ = std::move(other.inners_);
+    root_ = other.root_;
+    height_ = other.height_;
+    size_ = other.size_;
+    ones_ = other.ones_;
+    other.ResetToEmpty();
+    return *this;
+  }
   DynamicBitVector(const DynamicBitVector&) = delete;
   DynamicBitVector& operator=(const DynamicBitVector&) = delete;
 
-  uint64_t size() const { return root_ ? root_->size : 0; }
-  uint64_t ones() const { return root_ ? root_->ones : 0; }
-  uint64_t zeros() const { return size() - ones(); }
+  uint64_t size() const { return size_; }
+  uint64_t ones() const { return ones_; }
+  uint64_t zeros() const { return size_ - ones_; }
+
+  /// Discards all content and releases the node pools.
+  void Clear();
+
+  /// Bulk-loads from `nbits` LSB-first packed bits (replacing any previous
+  /// content): leaves are filled to kFillBits and internal levels are built
+  /// bottom-up, O(n/w) words moved — no per-bit tree descents.
+  void Build(const uint64_t* words, uint64_t nbits);
 
   /// Inserts `bit` before position i (i == size() appends). O(log n).
   void Insert(uint64_t i, bool bit);
+
+  /// Inserts `nbits` packed bits before position i in one descent: one leaf
+  /// splice plus O(nbits/w) leaf fills, instead of nbits full descents.
+  void InsertRange(uint64_t i, const uint64_t* words, uint64_t nbits);
+
+  /// Appends `count` copies of `bit` (bulk path).
+  void AppendRun(bool bit, uint64_t count);
 
   /// Removes the bit at position i. O(log n).
   void Erase(uint64_t i);
 
   /// Appends a bit.
-  void PushBack(bool bit) { Insert(size(), bit); }
+  void PushBack(bool bit) { Insert(size_, bit); }
 
   bool Get(uint64_t i) const;
 
@@ -50,43 +100,193 @@ class DynamicBitVector {
   uint64_t Rank1(uint64_t i) const;
   uint64_t Rank0(uint64_t i) const { return i - Rank1(i); }
 
+  /// {Rank1(i), Rank1(j)} sharing the descent while both positions fall into
+  /// the same child — the backward-search (LF-pair) primitive. Requires
+  /// i <= j <= size().
+  std::pair<uint64_t, uint64_t> RankPair(uint64_t i, uint64_t j) const;
+
   /// Position of the k-th (0-based) 1-bit. Requires k < ones(). O(log n).
   uint64_t Select1(uint64_t k) const;
 
   /// Position of the k-th (0-based) 0-bit. Requires k < zeros(). O(log n).
   uint64_t Select0(uint64_t k) const;
 
+  /// Arena-resident bytes: allocated pool chunks (capacity, not just live
+  /// payload) plus bookkeeping, so space/time trade-offs are reported
+  /// honestly.
   uint64_t SpaceBytes() const;
 
  private:
-  static constexpr uint32_t kMaxLeafWords = 12;  // 768 bits
-  static constexpr uint32_t kMaxLeafBits = kMaxLeafWords * 64;
+  static constexpr uint32_t kLeafWords = 16;               // 1024 bits
+  static constexpr uint32_t kLeafBits = kLeafWords * 64;
+  static constexpr uint32_t kMinLeafBits = kLeafBits / 4;  // merge below this
+  static constexpr uint32_t kFillBits = kLeafBits * 3 / 4;  // bulk-load fill
+  static constexpr uint32_t kMaxFanout = 64;
+  static constexpr uint32_t kMinFanout = 24;   // merge/borrow below this
+  static constexpr uint32_t kFillFanout = 48;  // bulk-load / repack fill
+  static constexpr uint32_t kNil = ~0u;
 
-  struct Node {
-    // Internal iff left != nullptr (then right != nullptr too).
-    std::unique_ptr<Node> left, right;
-    uint64_t size = 0;   // bits in subtree (or leaf)
-    uint64_t ones = 0;   // ones in subtree (or leaf)
-    int32_t height = 0;  // leaf height 0
-    std::vector<uint64_t> words;  // leaf payload
-
-    bool is_leaf() const { return left == nullptr; }
+  struct alignas(64) Leaf {
+    uint64_t words[kLeafWords];
+    uint32_t size = 0;  // bits; bits >= size are kept zero
+    uint32_t ones = 0;
+    // Rank directory at 2-word (128-bit) granularity, living in what would
+    // otherwise be alignment padding: cum[j] = ones in words[0, 2j). Makes
+    // leaf rank/select O(1) popcounts instead of a serial word scan.
+    uint16_t cum[kLeafWords / 2] = {};
   };
 
-  std::unique_ptr<Node> root_;
+  struct alignas(64) Inner {
+    // Exclusive prefix counts: bits[k]/ones[k] cover children [0, k), so
+    // bits[n] is the subtree total and child c spans [bits[c], bits[c+1]).
+    // One spare child slot holds the overflow entry between an insert and
+    // the split it triggers.
+    uint64_t bits[kMaxFanout + 2];
+    uint64_t ones[kMaxFanout + 2];
+    uint32_t child[kMaxFanout + 1];
+    uint32_t n = 0;
+  };
 
-  static void Update(Node* n);
-  static int Balance(const Node* n);
-  static std::unique_ptr<Node> RotateLeft(std::unique_ptr<Node> n);
-  static std::unique_ptr<Node> RotateRight(std::unique_ptr<Node> n);
-  static std::unique_ptr<Node> Rebalance(std::unique_ptr<Node> n);
-  static std::unique_ptr<Node> InsertRec(std::unique_ptr<Node> n, uint64_t i,
-                                         bool bit);
-  static std::unique_ptr<Node> EraseRec(std::unique_ptr<Node> n, uint64_t i);
+  /// Per-child (delta) view of an Inner, used by the rare structural ops
+  /// (splits, merges, redistributes) where list edits are simpler than
+  /// prefix-array surgery; the hot paths never materialize it.
+  struct Deltas {
+    uint64_t bits[kMaxFanout + 1];
+    uint64_t ones[kMaxFanout + 1];
+    uint32_t child[kMaxFanout + 1];
+    uint32_t n = 0;
+  };
 
-  static void LeafInsert(Node* leaf, uint64_t i, bool bit);
-  static void LeafErase(Node* leaf, uint64_t i);
-  static std::unique_ptr<Node> SplitLeaf(std::unique_ptr<Node> leaf);
+  /// Chunked arena with freelist reuse: ids are stable, chunks never move,
+  /// and freed slots are recycled before the bump pointer grows.
+  template <typename T>
+  class Pool {
+   public:
+    Pool() = default;
+    Pool(Pool&& other) noexcept
+        : chunks_(std::move(other.chunks_)),
+          free_(std::move(other.free_)),
+          used_(other.used_) {
+      other.used_ = 0;
+    }
+    Pool& operator=(Pool&& other) noexcept {
+      chunks_ = std::move(other.chunks_);
+      free_ = std::move(other.free_);
+      used_ = other.used_;
+      other.used_ = 0;
+      return *this;
+    }
+    uint32_t Alloc() {
+      if (!free_.empty()) {
+        uint32_t id = free_.back();
+        free_.pop_back();
+        (*this)[id] = T{};
+        return id;
+      }
+      if ((used_ >> kChunkLog) == chunks_.size()) {
+        chunks_.push_back(std::make_unique<T[]>(kChunkSize));
+      }
+      uint32_t id = used_++;
+      (*this)[id] = T{};
+      return id;
+    }
+    void Free(uint32_t id) { free_.push_back(id); }
+    T& operator[](uint32_t id) {
+      return chunks_[id >> kChunkLog][id & (kChunkSize - 1)];
+    }
+    const T& operator[](uint32_t id) const {
+      return chunks_[id >> kChunkLog][id & (kChunkSize - 1)];
+    }
+    void Clear() {
+      chunks_.clear();
+      free_.clear();
+      used_ = 0;
+    }
+    uint64_t CapacityBytes() const {
+      return chunks_.size() * kChunkSize * sizeof(T) +
+             chunks_.capacity() * sizeof(chunks_[0]) +
+             free_.capacity() * sizeof(uint32_t);
+    }
+
+   private:
+    static constexpr uint32_t kChunkLog = 6;
+    static constexpr uint32_t kChunkSize = 1u << kChunkLog;
+    std::vector<std::unique_ptr<T[]>> chunks_;
+    std::vector<uint32_t> free_;
+    uint32_t used_ = 0;
+  };
+
+  /// (node id, subtree bit count, subtree one count) handed up during
+  /// splits, bulk loads and range inserts.
+  struct Entry {
+    uint32_t id = kNil;
+    uint64_t bits = 0;
+    uint64_t ones = 0;
+  };
+
+  Pool<Leaf> leaves_;
+  Pool<Inner> inners_;
+  uint32_t root_ = kNil;
+  uint32_t height_ = 0;  // internal levels above the leaves
+  uint64_t size_ = 0;
+  uint64_t ones_ = 0;
+
+  void ResetToEmpty() {
+    root_ = kNil;
+    height_ = 0;
+    size_ = 0;
+    ones_ = 0;
+  }
+
+  // Leaf-local ops (word-parallel).
+  static void LeafInsertBit(Leaf& lf, uint32_t i, bool bit);
+  static bool LeafEraseBit(Leaf& lf, uint32_t i);
+  static uint64_t LeafRank1(const Leaf& lf, uint32_t i);
+  static uint32_t LeafSelect1(const Leaf& lf, uint32_t k);
+  static uint32_t LeafSelect0(const Leaf& lf, uint32_t k);
+  static void LeafAssign(Leaf& lf, const uint64_t* buf, uint64_t pos,
+                         uint32_t nbits);
+  static void LeafClearTail(Leaf& lf, uint32_t from);
+  static void LeafRecount(Leaf& lf);
+
+  // Branch-free child selection over the prefix arrays. "Rank" style sends
+  // a position equal to a child boundary left; "Pos" style requires
+  // i < subtree size.
+  static uint32_t ChildForRank(const Inner& nd, uint64_t i);
+  static uint32_t ChildForPos(const Inner& nd, uint64_t i);
+  static uint32_t ChildForSelect1(const Inner& nd, uint64_t k);
+  static uint32_t ChildForSelect0(const Inner& nd, uint64_t k);
+
+  // Structural helpers.
+  static void ToDeltas(const Inner& nd, Deltas* d);
+  static void FromDeltas(const Deltas& d, Inner* nd);
+  Entry SplitLeafNode(uint32_t id);
+  Entry SplitInnerNode(uint32_t id);
+  static void InsertChildEntry(Inner& nd, uint32_t idx, const Entry& e);
+  static void RemoveChildEntry(Inner& nd, uint32_t idx);
+  void RebalanceLeafChild(Inner& parent, uint32_t idx);
+  void RebalanceInnerChild(Inner& parent, uint32_t idx);
+
+  Entry InsertRec(uint32_t id, uint32_t h, uint64_t i, bool bit);
+  bool EraseRec(uint32_t id, uint32_t h, uint64_t i);
+  void LeafRangeInsert(uint32_t id, uint64_t i, const uint64_t* words,
+                       uint64_t nbits, std::vector<Entry>* extra);
+  void InsertRangeRec(uint32_t id, uint32_t h, uint64_t i,
+                      const uint64_t* words, uint64_t nbits,
+                      uint64_t add_ones, std::vector<Entry>* extra);
+  /// Packs `entries` into evenly filled Inner nodes (one node when they fit
+  /// kMaxFanout, else ceil(n/kFillFanout) nodes). The first node reuses
+  /// `reuse_id` when given (else allocates); one Entry per packed node is
+  /// appended to *out.
+  void PackEntries(const std::vector<Entry>& entries, uint32_t reuse_id,
+                   std::vector<Entry>* out);
+  /// Replaces `level` (entries of one tree level, left to right) with the
+  /// entries of a freshly built parent level.
+  void PackLevel(std::vector<Entry>* level);
+  /// Absorbs `extra` (new right siblings of the root) by growing new root
+  /// levels until a single root remains.
+  void GrowRoot(std::vector<Entry> extra);
+  uint64_t RankFrom(uint32_t id, uint32_t h, uint64_t i) const;
 };
 
 }  // namespace dyndex

@@ -13,6 +13,93 @@ DynamicWaveletTree::DynamicWaveletTree(uint32_t capacity) {
   root_ = std::make_unique<Node>();
 }
 
+DynamicWaveletTree::DynamicWaveletTree(uint32_t capacity,
+                                       std::vector<uint32_t> data)
+    : DynamicWaveletTree(capacity) {
+  for (uint32_t c : data) DYNDEX_CHECK(c < capacity_);
+  size_ = data.size();
+  if (!data.empty()) BuildRec(root_.get(), 0, data);
+}
+
+void DynamicWaveletTree::PackLevelBits(uint32_t level,
+                                       std::vector<uint32_t>& syms,
+                                       std::vector<uint64_t>* words,
+                                       std::vector<uint32_t>* left,
+                                       std::vector<uint32_t>* right) const {
+  uint64_t n = syms.size();
+  uint32_t shift = depth_ - 1 - level;
+  words->assign(CeilDiv(n, 64), 0);
+  uint64_t ones = 0;
+  for (uint64_t k = 0; k < n; ++k) {
+    uint64_t bit = (syms[k] >> shift) & 1;
+    (*words)[k >> 6] |= bit << (k & 63);
+    ones += bit;
+  }
+  if (level + 1 == depth_) return;
+  // Stable-partition by the current bit; `syms` is consumed.
+  left->reserve(n - ones);
+  right->reserve(ones);
+  for (uint32_t c : syms) {
+    if ((c >> shift) & 1) {
+      right->push_back(c);
+    } else {
+      left->push_back(c);
+    }
+  }
+  syms.clear();
+  syms.shrink_to_fit();
+}
+
+void DynamicWaveletTree::BuildRec(Node* node, uint32_t level,
+                                  std::vector<uint32_t>& syms) {
+  uint64_t n = syms.size();
+  std::vector<uint64_t> words;
+  std::vector<uint32_t> left, right;
+  PackLevelBits(level, syms, &words, &left, &right);
+  node->bits.Build(words.data(), n);
+  if (level + 1 == depth_) return;
+  if (!left.empty()) {
+    if (node->left == nullptr) node->left = std::make_unique<Node>();
+    BuildRec(node->left.get(), level + 1, left);
+  }
+  if (!right.empty()) {
+    if (node->right == nullptr) node->right = std::make_unique<Node>();
+    BuildRec(node->right.get(), level + 1, right);
+  }
+}
+
+void DynamicWaveletTree::InsertBatch(uint64_t i, const uint32_t* symbols,
+                                     uint64_t count) {
+  DYNDEX_CHECK(i <= size_);
+  if (count == 0) return;
+  std::vector<uint32_t> syms(symbols, symbols + count);
+  for (uint32_t c : syms) DYNDEX_CHECK(c < capacity_);
+  InsertBatchRec(root_.get(), 0, i, syms);
+  size_ += count;
+}
+
+void DynamicWaveletTree::InsertBatchRec(Node* node, uint32_t level, uint64_t i,
+                                        std::vector<uint32_t>& syms) {
+  uint64_t n = syms.size();
+  std::vector<uint64_t> words;
+  std::vector<uint32_t> left, right;
+  PackLevelBits(level, syms, &words, &left, &right);
+  // Child positions of the batch head, taken before the range lands (the
+  // batch is contiguous, so both children receive contiguous sub-batches).
+  uint64_t i0 = node->bits.Rank0(i);
+  uint64_t i1 = i - i0;
+  node->bits.InsertRange(i, words.data(), n);
+  if (level + 1 == depth_) return;
+  if (!left.empty()) {
+    if (node->left == nullptr) node->left = std::make_unique<Node>();
+    InsertBatchRec(node->left.get(), level + 1, i0, left);
+  }
+  if (!right.empty()) {
+    if (node->right == nullptr) node->right = std::make_unique<Node>();
+    InsertBatchRec(node->right.get(), level + 1, i1, right);
+  }
+}
+
 void DynamicWaveletTree::Insert(uint64_t i, uint32_t c) {
   DYNDEX_CHECK(c < capacity_);
   DYNDEX_CHECK(i <= size_);
@@ -80,6 +167,24 @@ uint64_t DynamicWaveletTree::Rank(uint32_t c, uint64_t i) const {
   return i;
 }
 
+std::pair<uint64_t, uint64_t> DynamicWaveletTree::RankPair(uint32_t c,
+                                                           uint64_t i,
+                                                           uint64_t j) const {
+  DYNDEX_CHECK(c < capacity_);
+  DYNDEX_CHECK(i <= j && j <= size_);
+  const Node* node = root_.get();
+  for (uint32_t level = 0; level < depth_; ++level) {
+    bool bit = (c >> (depth_ - 1 - level)) & 1;
+    auto [ri, rj] = node->bits.RankPair(i, j);
+    i = bit ? ri : i - ri;
+    j = bit ? rj : j - rj;
+    if (level + 1 == depth_) return {i, j};
+    node = bit ? node->right.get() : node->left.get();
+    if (node == nullptr) return {0, 0};
+  }
+  return {i, j};
+}
+
 std::pair<uint32_t, uint64_t> DynamicWaveletTree::InverseSelect(
     uint64_t i) const {
   DYNDEX_CHECK(i < size_);
@@ -120,7 +225,10 @@ uint64_t DynamicWaveletTree::SpaceBytes() const {
     const Node* n = stack.back();
     stack.pop_back();
     if (n == nullptr) continue;
-    total += sizeof(Node) + n->bits.SpaceBytes();
+    // bits.SpaceBytes() reports the arena-resident footprint including the
+    // engine object itself; count the Node's two child pointers on top
+    // (sizeof(Node) would double-count the embedded DynamicBitVector).
+    total += sizeof(Node) - sizeof(DynamicBitVector) + n->bits.SpaceBytes();
     stack.push_back(n->left.get());
     stack.push_back(n->right.get());
   }

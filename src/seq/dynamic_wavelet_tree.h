@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "dynbits/dynamic_bit_vector.h"
 
@@ -27,11 +28,22 @@ class DynamicWaveletTree {
   /// `capacity` bounds the largest symbol value + 1 ever inserted.
   explicit DynamicWaveletTree(uint32_t capacity);
 
+  /// Bulk constructor: loads `data` through per-node bulk bit loads
+  /// (one stable partition per level, O(n log sigma) total) instead of n
+  /// root-to-leaf insertions. Taken by value: pass an rvalue to avoid the
+  /// copy (the sequence is consumed by the partition).
+  DynamicWaveletTree(uint32_t capacity, std::vector<uint32_t> data);
+
   uint64_t size() const { return size_; }
   uint32_t capacity() const { return capacity_; }
 
   /// Inserts symbol c before position i (i == size() appends).
   void Insert(uint64_t i, uint32_t c);
+
+  /// Inserts `count` symbols before position i in one descent per wavelet
+  /// node: the batch's bits enter each level as a single range insert and the
+  /// batch is partitioned as it descends, instead of count full descents.
+  void InsertBatch(uint64_t i, const uint32_t* symbols, uint64_t count);
 
   /// Removes the symbol at position i and returns it.
   uint32_t Erase(uint64_t i);
@@ -41,6 +53,11 @@ class DynamicWaveletTree {
 
   /// Occurrences of c in [0, i).
   uint64_t Rank(uint32_t c, uint64_t i) const;
+
+  /// {Rank(c, i), Rank(c, j)} in one shared descent — the backward-search
+  /// primitive of the dynamic FM-index. Requires i <= j <= size().
+  std::pair<uint64_t, uint64_t> RankPair(uint32_t c, uint64_t i,
+                                         uint64_t j) const;
 
   /// Position of the k-th (0-based) occurrence of c; requires k < Count(c).
   uint64_t Select(uint32_t c, uint64_t k) const;
@@ -65,6 +82,14 @@ class DynamicWaveletTree {
 
   uint64_t SelectRec(const Node* node, uint32_t level, uint32_t c,
                      uint64_t k) const;
+  /// Packs `syms`' bits for `level` into `words`; unless this is the last
+  /// level, also stable-partitions `syms` into `left`/`right` (consuming it).
+  void PackLevelBits(uint32_t level, std::vector<uint32_t>& syms,
+                     std::vector<uint64_t>* words, std::vector<uint32_t>* left,
+                     std::vector<uint32_t>* right) const;
+  void BuildRec(Node* node, uint32_t level, std::vector<uint32_t>& syms);
+  void InsertBatchRec(Node* node, uint32_t level, uint64_t i,
+                      std::vector<uint32_t>& syms);
 };
 
 }  // namespace dyndex

@@ -89,7 +89,6 @@ HuffmanWaveletTree::HuffmanWaveletTree(const std::vector<uint32_t>& data,
   // Fill the per-node bitmaps level-wise: route every element down its code
   // path, appending one bit per internal node visited.
   std::vector<BitVector> raw(nodes_.size());
-  std::vector<std::vector<uint32_t>> node_seq(1);
   // Instead of materializing per-node sequences (O(nH0) space anyway), do a
   // two-pass: compute code paths per symbol, then append bits in data order
   // using per-node write cursors over pre-sized bit vectors.
@@ -113,14 +112,32 @@ HuffmanWaveletTree::HuffmanWaveletTree(const std::vector<uint32_t>& data,
   for (uint32_t v = 0; v < nodes_.size(); ++v) {
     if (nodes_[v].symbol < 0) raw[v].Reset(node_size[v]);
   }
-  std::vector<uint64_t> cursor(nodes_.size(), 0);
+  // Word-buffered appenders: bits accumulate in a register-resident word per
+  // node and land in the bitmap 64 at a time, instead of one read-modify-
+  // write per bit.
+  struct Cursor {
+    uint64_t word = 0;
+    uint32_t fill = 0;
+    uint64_t pos = 0;  // bits flushed so far (multiple of 64)
+  };
+  std::vector<Cursor> cur(nodes_.size());
   for (uint32_t c : data) {
     for (auto [node, bit] : code[c]) {
-      raw[node].Set(cursor[node]++, bit);
+      Cursor& cu = cur[node];
+      cu.word |= static_cast<uint64_t>(bit) << cu.fill;
+      if (++cu.fill == 64) {
+        raw[node].mutable_word(cu.pos >> 6) = cu.word;
+        cu.pos += 64;
+        cu.word = 0;
+        cu.fill = 0;
+      }
     }
   }
   for (uint32_t v = 0; v < nodes_.size(); ++v) {
-    if (nodes_[v].symbol < 0) nodes_[v].bits.Build(std::move(raw[v]));
+    if (nodes_[v].symbol < 0) {
+      if (cur[v].fill != 0) raw[v].mutable_word(cur[v].pos >> 6) = cur[v].word;
+      nodes_[v].bits.Build(std::move(raw[v]));
+    }
   }
 }
 

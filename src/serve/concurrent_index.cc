@@ -76,9 +76,9 @@ uint64_t ConcurrentIndex::epoch() const {
 std::vector<DocId> ConcurrentIndex::InsertBatch(
     std::vector<std::vector<Symbol>> docs) {
   WriteGuard lock(*this);
-  std::vector<DocId> ids;
-  ids.reserve(docs.size());
-  for (auto& doc : docs) ids.push_back(index_->Insert(std::move(doc)));
+  // One virtual call for the batch: cold-start backends with a bulk
+  // constructor load it in one pass instead of |batch| insertions.
+  std::vector<DocId> ids = index_->InsertBulk(std::move(docs));
   index_->PollPending();
   ++epoch_;
   return ids;

@@ -38,6 +38,16 @@ class DynamicIndex {
   virtual DocId Insert(std::vector<Symbol> symbols) = 0;
   virtual bool Erase(DocId id) = 0;
 
+  /// Inserts a batch of documents. Backends with a bulk constructor (the
+  /// baseline dynamic FM-index on a cold start) build once via SA-IS instead
+  /// of per-symbol dynamic-rank insertion; the default loops over Insert.
+  virtual std::vector<DocId> InsertBulk(std::vector<std::vector<Symbol>> docs) {
+    std::vector<DocId> ids;
+    ids.reserve(docs.size());
+    for (auto& doc : docs) ids.push_back(Insert(std::move(doc)));
+    return ids;
+  }
+
   // Queries (const end to end).
   virtual uint64_t Count(const std::vector<Symbol>& pattern) const = 0;
   virtual std::vector<Occurrence> Locate(
@@ -76,6 +86,18 @@ class CollectionIndex final : public DynamicIndex {
     return coll_.Insert(std::move(symbols));
   }
   bool Erase(DocId id) override { return coll_.Erase(id); }
+
+  std::vector<DocId> InsertBulk(
+      std::vector<std::vector<Symbol>> docs) override {
+    // The backend bulk path requires a cold structure; warm indexes (or
+    // backends without one) take the incremental loop.
+    if constexpr (requires(Coll& c) { c.InsertBulk(docs); }) {
+      if (coll_.num_docs() == 0 && coll_.live_symbols() == 0) {
+        return coll_.InsertBulk(docs);
+      }
+    }
+    return DynamicIndex::InsertBulk(std::move(docs));
+  }
 
   uint64_t Count(const std::vector<Symbol>& pattern) const override {
     return coll_.Count(pattern);

@@ -28,17 +28,47 @@ constexpr SelectTable kSelect{};
 
 uint32_t SelectInWord(uint64_t x, uint32_t k) {
   DYNDEX_DCHECK(k < Popcount(x));
-  uint32_t offset = 0;
-  for (int byte = 0; byte < 8; ++byte) {
-    uint32_t b = static_cast<uint32_t>(x & 0xFF);
-    uint32_t cnt = Popcount(b);
-    if (k < cnt) return offset + kSelect.pos[k][b];
-    k -= cnt;
-    x >>= 8;
-    offset += 8;
+  // Broadword (Vigna, "Broadword implementation of rank/select queries"):
+  // SWAR byte popcounts, prefix-summed by multiply; locate the byte with a
+  // parallel <= compare, then finish in the byte table. Branch-free.
+  constexpr uint64_t kOnesStep8 = 0x0101010101010101ull;
+  constexpr uint64_t kMsbsStep8 = 0x8080808080808080ull;
+  uint64_t s = x - ((x >> 1) & 0x5555555555555555ull);
+  s = (s & 0x3333333333333333ull) + ((s >> 2) & 0x3333333333333333ull);
+  s = (s + (s >> 4)) & 0x0f0f0f0f0f0f0f0full;
+  uint64_t byte_sums = s * kOnesStep8;  // inclusive cumulative per byte
+  uint64_t k_step = static_cast<uint64_t>(k) * kOnesStep8;
+  uint64_t geq = ((k_step | kMsbsStep8) - byte_sums) & kMsbsStep8;
+  uint32_t place = Popcount(geq) * 8;
+  uint32_t byte_rank =
+      k - static_cast<uint32_t>(((byte_sums << 8) >> place) & 0xFF);
+  return place + kSelect.pos[byte_rank][(x >> place) & 0xFF];
+}
+
+void CopyBits(uint64_t* dst, uint64_t dst_pos, const uint64_t* src,
+              uint64_t src_pos, uint64_t len) {
+  // Word-aligned fast path: plain word copies once both cursors line up.
+  if ((dst_pos & 63) == 0 && (src_pos & 63) == 0) {
+    uint64_t full = len >> 6;
+    uint64_t dw = dst_pos >> 6, sw = src_pos >> 6;
+    for (uint64_t k = 0; k < full; ++k) dst[dw + k] = src[sw + k];
+    uint32_t tail = static_cast<uint32_t>(len & 63);
+    if (tail != 0) {
+      WriteBits(dst, dst_pos + (full << 6), tail,
+                src[sw + full] & LowMask(tail));
+    }
+    return;
   }
-  DYNDEX_CHECK(false);  // unreachable: k < Popcount(x) was violated
-  return 64;
+  while (len >= 64) {
+    WriteBits(dst, dst_pos, 64, ReadBits(src, src_pos, 64));
+    dst_pos += 64;
+    src_pos += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    WriteBits(dst, dst_pos, static_cast<uint32_t>(len),
+              ReadBits(src, src_pos, static_cast<uint32_t>(len)));
+  }
 }
 
 }  // namespace dyndex

@@ -51,6 +51,50 @@ inline uint64_t LowMask(uint32_t n) {
   return n >= 64 ? ~0ull : ((1ull << n) - 1);
 }
 
+/// Reads `len` (0..64) bits starting at absolute bit `pos` from `words`,
+/// LSB-first. May touch the word after the one containing `pos`, but only
+/// when the range genuinely straddles it.
+inline uint64_t ReadBits(const uint64_t* words, uint64_t pos, uint32_t len) {
+  if (len == 0) return 0;
+  uint64_t w = pos >> 6;
+  uint32_t off = static_cast<uint32_t>(pos & 63);
+  uint64_t v = words[w] >> off;
+  if (off + len > 64) v |= words[w + 1] << (64 - off);
+  return v & LowMask(len);
+}
+
+/// Writes the low `len` (0..64) bits of `value` at absolute bit `pos`,
+/// preserving all surrounding bits.
+inline void WriteBits(uint64_t* words, uint64_t pos, uint32_t len,
+                      uint64_t value) {
+  if (len == 0) return;
+  value &= LowMask(len);
+  uint64_t w = pos >> 6;
+  uint32_t off = static_cast<uint32_t>(pos & 63);
+  words[w] = (words[w] & ~(LowMask(len) << off)) | (value << off);
+  if (off + len > 64) {
+    uint32_t hi = off + len - 64;
+    words[w + 1] = (words[w + 1] & ~LowMask(hi)) | (value >> (64 - off));
+  }
+}
+
+/// Copies `len` bits from `src` starting at bit `src_pos` into `dst` starting
+/// at bit `dst_pos`, 64 bits at a time. The ranges must not overlap (the
+/// callers that splice within one buffer stage through a scratch buffer).
+void CopyBits(uint64_t* dst, uint64_t dst_pos, const uint64_t* src,
+              uint64_t src_pos, uint64_t len);
+
+/// Number of 1-bits among the first `nbits` bits of `words` (bits of the last
+/// word beyond `nbits` are ignored).
+inline uint64_t PopcountBits(const uint64_t* words, uint64_t nbits) {
+  uint64_t full = nbits >> 6;
+  uint64_t ones = 0;
+  for (uint64_t w = 0; w < full; ++w) ones += Popcount(words[w]);
+  uint32_t tail = static_cast<uint32_t>(nbits & 63);
+  if (tail != 0) ones += Popcount(words[full] & LowMask(tail));
+  return ones;
+}
+
 /// log2(n)/log2(log2(n)) style helper used for default τ: returns
 /// max(4, log n / log log n) on the current size.
 inline uint32_t DefaultTau(uint64_t n) {

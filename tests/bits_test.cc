@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "util/rng.h"
 
 namespace dyndex {
@@ -69,6 +71,60 @@ TEST(BitsTest, CeilDiv) {
   EXPECT_EQ(CeilDiv(1, 64), 1u);
   EXPECT_EQ(CeilDiv(64, 64), 1u);
   EXPECT_EQ(CeilDiv(65, 64), 2u);
+}
+
+TEST(BitsTest, ReadWriteBitsRoundTrip) {
+  Rng rng(11);
+  std::vector<uint64_t> words(8);
+  for (int trial = 0; trial < 2000; ++trial) {
+    uint64_t pos = rng.Below(8 * 64 - 64);
+    uint32_t len = static_cast<uint32_t>(rng.Below(65));
+    uint64_t value = rng.Next();
+    uint64_t before0 = pos > 0 ? ReadBits(words.data(), 0,
+                                          static_cast<uint32_t>(
+                                              pos > 64 ? 64 : pos))
+                               : 0;
+    WriteBits(words.data(), pos, len, value);
+    EXPECT_EQ(ReadBits(words.data(), pos, len), value & LowMask(len));
+    // The prefix ahead of the write is untouched.
+    if (pos > 0) {
+      uint32_t plen = static_cast<uint32_t>(pos > 64 ? 64 : pos);
+      EXPECT_EQ(ReadBits(words.data(), 0, plen), before0);
+    }
+  }
+}
+
+TEST(BitsTest, CopyBitsMatchesNaive) {
+  Rng rng(13);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<uint64_t> src(10), dst(10), expect;
+    for (auto& w : src) w = rng.Next();
+    for (auto& w : dst) w = rng.Next();
+    expect = dst;
+    uint64_t len = rng.Below(9 * 64);
+    uint64_t sp = rng.Below(10 * 64 - len + 1);
+    uint64_t dp = rng.Below(10 * 64 - len + 1);
+    for (uint64_t k = 0; k < len; ++k) {
+      uint64_t bit = (src[(sp + k) >> 6] >> ((sp + k) & 63)) & 1;
+      uint64_t mask = 1ull << ((dp + k) & 63);
+      if (bit) {
+        expect[(dp + k) >> 6] |= mask;
+      } else {
+        expect[(dp + k) >> 6] &= ~mask;
+      }
+    }
+    CopyBits(dst.data(), dp, src.data(), sp, len);
+    EXPECT_EQ(dst, expect) << "sp=" << sp << " dp=" << dp << " len=" << len;
+  }
+}
+
+TEST(BitsTest, PopcountBitsMasksTail) {
+  std::vector<uint64_t> words{~0ull, ~0ull};
+  EXPECT_EQ(PopcountBits(words.data(), 0), 0u);
+  EXPECT_EQ(PopcountBits(words.data(), 1), 1u);
+  EXPECT_EQ(PopcountBits(words.data(), 64), 64u);
+  EXPECT_EQ(PopcountBits(words.data(), 65), 65u);
+  EXPECT_EQ(PopcountBits(words.data(), 128), 128u);
 }
 
 TEST(BitsTest, DefaultTauGrowsSlowly) {

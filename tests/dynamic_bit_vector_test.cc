@@ -129,6 +129,14 @@ TEST(DynamicBitVectorTest, MoveSemantics) {
   DynamicBitVector c;
   c = std::move(b);
   EXPECT_EQ(c.size(), 2u);
+  // Moved-from objects are valid empty vectors and fully reusable.
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(b.size(), 0u);
+  a.PushBack(true);
+  b.Insert(0, false);
+  EXPECT_EQ(a.ones(), 1u);
+  EXPECT_EQ(b.Rank1(1), 0u);
+  EXPECT_EQ(c.size(), 2u);
 }
 
 }  // namespace

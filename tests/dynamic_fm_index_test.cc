@@ -158,5 +158,87 @@ TEST(DynamicFmIndexTest, LargeAlphabet) {
   }
 }
 
+// The bulk SA-IS load must produce a structure indistinguishable from
+// incremental insertion: same handles, same query answers, same extraction,
+// and the same behavior under subsequent incremental churn.
+TEST(DynamicFmIndexBulkTest, BulkLoadMatchesIncremental) {
+  Rng rng(23);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::vector<Symbol>> docs;
+    uint32_t sigma = round % 2 == 0 ? 4 : 30;
+    for (int d = 0; d < 12; ++d) {
+      docs.push_back(UniformText(rng, rng.Below(60) + 1, sigma));
+    }
+    // Adversarial shapes: length-1 doc and an all-equal (sigma=1-style) run.
+    docs.push_back({2});
+    docs.push_back(std::vector<Symbol>(40, 2));
+
+    DynamicFmIndex inc;
+    DynamicFmIndex bulk;
+    std::vector<DocId> inc_ids;
+    for (const auto& d : docs) inc_ids.push_back(inc.Insert(d));
+    std::vector<DocId> bulk_ids = bulk.InsertBulk(docs);
+    ASSERT_EQ(inc_ids, bulk_ids);
+    ASSERT_EQ(inc.size(), bulk.size());
+    ASSERT_EQ(inc.num_docs(), bulk.num_docs());
+
+    std::vector<std::vector<Symbol>> flat = docs;
+    for (int q = 0; q < 30; ++q) {
+      auto p = SamplePattern(rng, flat, rng.Below(4) + 1, sigma);
+      ASSERT_EQ(bulk.Count(p), inc.Count(p)) << "round " << round;
+      auto got_b = bulk.Find(p);
+      auto got_i = inc.Find(p);
+      std::sort(got_b.begin(), got_b.end());
+      std::sort(got_i.begin(), got_i.end());
+      ASSERT_EQ(got_b, got_i) << "round " << round;
+    }
+    for (uint64_t d = 0; d < docs.size(); ++d) {
+      ASSERT_EQ(bulk.DocLenOf(bulk_ids[d]), docs[d].size());
+      ASSERT_EQ(bulk.Extract(bulk_ids[d], 0, docs[d].size()), docs[d]);
+    }
+  }
+}
+
+TEST(DynamicFmIndexBulkTest, BulkThenIncrementalChurn) {
+  Rng rng(31);
+  std::vector<std::vector<Symbol>> docs;
+  for (int d = 0; d < 10; ++d) {
+    docs.push_back(UniformText(rng, rng.Below(50) + 1, 6));
+  }
+  DynamicFmIndex idx;
+  std::map<DocId, std::vector<Symbol>> model;
+  std::vector<DocId> ids = idx.InsertBulk(docs);
+  for (uint64_t d = 0; d < docs.size(); ++d) model[ids[d]] = docs[d];
+  // Erase half the bulk docs, insert fresh ones incrementally, re-check.
+  for (uint64_t d = 0; d < docs.size(); d += 2) {
+    ASSERT_TRUE(idx.Erase(ids[d]));
+    model.erase(ids[d]);
+  }
+  for (int d = 0; d < 6; ++d) {
+    auto doc = UniformText(rng, rng.Below(40) + 1, 6);
+    model[idx.Insert(doc)] = doc;
+  }
+  for (int q = 0; q < 25; ++q) {
+    std::vector<std::vector<Symbol>> live;
+    for (const auto& [id, doc] : model) live.push_back(doc);
+    auto p = SamplePattern(rng, live, rng.Below(3) + 1, 6);
+    auto got = idx.Find(p);
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, NaiveFind(model, p)) << "q=" << q;
+    ASSERT_EQ(idx.Count(p), NaiveFind(model, p).size());
+  }
+}
+
+TEST(DynamicFmIndexBulkTest, BulkLoadEmptyAndSingle) {
+  DynamicFmIndex idx;
+  EXPECT_TRUE(idx.InsertBulk({}).empty());
+  EXPECT_EQ(idx.size(), 0u);
+  DynamicFmIndex one;
+  auto ids = one.InsertBulk({{2, 3, 2}});
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(one.Count({2}), 2u);
+  EXPECT_EQ(one.Extract(ids[0], 0, 3), (std::vector<Symbol>{2, 3, 2}));
+}
+
 }  // namespace
 }  // namespace dyndex

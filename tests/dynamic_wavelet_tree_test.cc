@@ -81,5 +81,75 @@ TEST(DynamicWaveletTreeBasic, CapacityOne) {
   EXPECT_EQ(wt.Count(0), 2u);
 }
 
+TEST(DynamicWaveletTreeBulk, BulkConstructorMatchesModel) {
+  for (uint32_t sigma : {1u, 2u, 5u, 16u, 64u, 200u}) {
+    Rng rng(sigma * 13 + 1);
+    std::vector<uint32_t> data(3000);
+    for (auto& c : data) c = static_cast<uint32_t>(rng.Below(sigma));
+    DynamicWaveletTree wt(sigma, data);
+    CheckModel(wt, data, sigma);
+  }
+}
+
+TEST(DynamicWaveletTreeBulk, BulkConstructorThenChurn) {
+  uint32_t sigma = 20;
+  Rng rng(99);
+  std::vector<uint32_t> model(2000);
+  for (auto& c : model) c = static_cast<uint32_t>(rng.Below(sigma));
+  DynamicWaveletTree wt(sigma, model);
+  for (int step = 0; step < 1500; ++step) {
+    if (rng.Below(2) == 0 || model.empty()) {
+      uint64_t pos = rng.Below(model.size() + 1);
+      uint32_t c = static_cast<uint32_t>(rng.Below(sigma));
+      wt.Insert(pos, c);
+      model.insert(model.begin() + static_cast<int64_t>(pos), c);
+    } else {
+      uint64_t pos = rng.Below(model.size());
+      ASSERT_EQ(wt.Erase(pos), model[pos]);
+      model.erase(model.begin() + static_cast<int64_t>(pos));
+    }
+  }
+  CheckModel(wt, model, sigma);
+}
+
+TEST(DynamicWaveletTreeBulk, InsertBatchMatchesPointInserts) {
+  for (uint32_t sigma : {2u, 7u, 64u}) {
+    Rng rng(sigma * 31 + 5);
+    DynamicWaveletTree wt(sigma);
+    std::vector<uint32_t> model;
+    for (int step = 0; step < 60; ++step) {
+      uint64_t len = rng.Below(400) + 1;
+      std::vector<uint32_t> batch(len);
+      bool constant = rng.Chance(0.25);  // sigma=1-style run
+      uint32_t fill = static_cast<uint32_t>(rng.Below(sigma));
+      for (auto& c : batch) {
+        c = constant ? fill : static_cast<uint32_t>(rng.Below(sigma));
+      }
+      uint64_t pos = rng.Below(model.size() + 1);
+      wt.InsertBatch(pos, batch.data(), batch.size());
+      model.insert(model.begin() + static_cast<int64_t>(pos), batch.begin(),
+                   batch.end());
+      if (step % 20 == 19) CheckModel(wt, model, sigma);
+    }
+    CheckModel(wt, model, sigma);
+  }
+}
+
+TEST(DynamicWaveletTreeBulk, RankPairMatchesRank) {
+  uint32_t sigma = 48;
+  Rng rng(7);
+  std::vector<uint32_t> data(5000);
+  for (auto& c : data) c = static_cast<uint32_t>(rng.Below(sigma));
+  DynamicWaveletTree wt(sigma, data);
+  for (int probe = 0; probe < 2000; ++probe) {
+    uint32_t c = static_cast<uint32_t>(rng.Below(sigma));
+    uint64_t i = rng.Below(data.size() + 1);
+    uint64_t j = i + rng.Below(data.size() + 1 - i);
+    auto [ri, rj] = wt.RankPair(c, i, j);
+    ASSERT_EQ(ri, wt.Rank(c, i)) << "c=" << c << " i=" << i;
+    ASSERT_EQ(rj, wt.Rank(c, j)) << "c=" << c << " j=" << j;
+  }
+}
+
 }  // namespace
 }  // namespace dyndex

@@ -1,0 +1,231 @@
+// Seeded differential fuzzing of the B-tree dynamic-bits engine against a
+// naive std::vector<uint8_t> model: mixed Insert/Erase/Set/Rank/Select/Get plus
+// the bulk paths (Build, InsertRange, AppendRun) and RankPair, including
+// sigma=1-style all-zeros/all-ones runs and leaf-boundary sizes. Every
+// failure message carries the seed that produced it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "dynbits/dynamic_bit_vector.h"
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+std::vector<uint64_t> PackBits(const std::vector<uint8_t>& bits) {
+  std::vector<uint64_t> words((bits.size() + 63) / 64, 0);
+  for (uint64_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) words[i >> 6] |= 1ull << (i & 63);
+  }
+  return words;
+}
+
+void CheckFull(const DynamicBitVector& dbv, const std::vector<uint8_t>& model,
+               uint64_t seed) {
+  ASSERT_EQ(dbv.size(), model.size()) << "seed=" << seed;
+  uint64_t ones = 0, k1 = 0, k0 = 0;
+  for (uint64_t i = 0; i < model.size(); ++i) {
+    ASSERT_EQ(dbv.Get(i), model[i]) << "seed=" << seed << " i=" << i;
+    ASSERT_EQ(dbv.Rank1(i), ones) << "seed=" << seed << " i=" << i;
+    if (model[i]) {
+      ASSERT_EQ(dbv.Select1(k1), i) << "seed=" << seed << " k=" << k1;
+      ++k1;
+      ++ones;
+    } else {
+      ASSERT_EQ(dbv.Select0(k0), i) << "seed=" << seed << " k=" << k0;
+      ++k0;
+    }
+  }
+  ASSERT_EQ(dbv.ones(), ones) << "seed=" << seed;
+  ASSERT_EQ(dbv.Rank1(model.size()), ones) << "seed=" << seed;
+}
+
+// O(window) spot checks so churn rounds stay fast even on large models: the
+// end-of-round CheckFull is the exhaustive pass.
+void CheckSampled(const DynamicBitVector& dbv,
+                  const std::vector<uint8_t>& model, Rng& rng, uint64_t seed) {
+  ASSERT_EQ(dbv.size(), model.size()) << "seed=" << seed;
+  if (model.empty()) {
+    ASSERT_EQ(dbv.ones(), 0u) << "seed=" << seed;
+    return;
+  }
+  for (int probe = 0; probe < 6; ++probe) {
+    // Rank over a small window, pinned to the model by counting bits in it.
+    uint64_t i = rng.Below(model.size() + 1);
+    uint64_t w = std::min<uint64_t>(model.size() - i, rng.Below(512) + 1);
+    uint64_t expect = 0;
+    for (uint64_t p = i; p < i + w; ++p) expect += model[p] ? 1 : 0;
+    ASSERT_EQ(dbv.Rank1(i + w) - dbv.Rank1(i), expect)
+        << "seed=" << seed << " i=" << i << " w=" << w;
+    // RankPair agrees with two independent ranks across any distance.
+    uint64_t j = i + rng.Below(model.size() + 1 - i);
+    auto [ri, rj] = dbv.RankPair(i, j);
+    ASSERT_EQ(ri, dbv.Rank1(i)) << "seed=" << seed << " i=" << i;
+    ASSERT_EQ(rj, dbv.Rank1(j)) << "seed=" << seed << " j=" << j;
+    // Get matches the model pointwise.
+    uint64_t g = rng.Below(model.size());
+    ASSERT_EQ(dbv.Get(g), model[g]) << "seed=" << seed << " i=" << g;
+  }
+  // Select inverts rank and lands on the right bit value.
+  if (dbv.ones() > 0) {
+    uint64_t k = rng.Below(dbv.ones());
+    uint64_t p = dbv.Select1(k);
+    ASSERT_TRUE(model[p]) << "seed=" << seed << " k=" << k;
+    ASSERT_EQ(dbv.Rank1(p), k) << "seed=" << seed << " k=" << k;
+  }
+  if (dbv.zeros() > 0) {
+    uint64_t k = rng.Below(dbv.zeros());
+    uint64_t p = dbv.Select0(k);
+    ASSERT_FALSE(model[p]) << "seed=" << seed << " k=" << k;
+    ASSERT_EQ(p - dbv.Rank1(p), k) << "seed=" << seed << " k=" << k;
+  }
+}
+
+// One churn round: random ops against the model, periodically verified.
+void FuzzRound(uint64_t seed, uint64_t steps, double bias) {
+  Rng rng(seed);
+  DynamicBitVector dbv;
+  std::vector<uint8_t> model;
+  // Occasionally start from a bulk load at an adversarial size: around leaf
+  // capacity (1024), fill size (768), min size (256) and word boundaries.
+  static constexpr uint64_t kBoundary[] = {0,   1,   63,   64,   65,   255,
+                                           256, 512, 767,  768,  769,  1023,
+                                           1024, 1025, 2048, 12288};
+  if (rng.Chance(0.5)) {
+    uint64_t n = kBoundary[rng.Below(std::size(kBoundary))] + rng.Below(3);
+    model.assign(n, false);
+    for (uint64_t i = 0; i < n; ++i) model[i] = rng.Chance(bias);
+    dbv.Build(PackBits(model).data(), n);
+  }
+  for (uint64_t step = 0; step < steps; ++step) {
+    uint64_t op = rng.Below(100);
+    // Cap growth so model memmoves stay cheap; past the cap the
+    // round keeps churning erase-side (merge/borrow paths).
+    if (model.size() > 40000 && op < 80) op = 85 + op % 15;
+    if (op < 35 || model.empty()) {
+      uint64_t pos = rng.Below(model.size() + 1);
+      bool b = rng.Chance(bias);
+      dbv.Insert(pos, b);
+      model.insert(model.begin() + static_cast<int64_t>(pos), b);
+    } else if (op < 60) {
+      uint64_t pos = rng.Below(model.size());
+      dbv.Erase(pos);
+      model.erase(model.begin() + static_cast<int64_t>(pos));
+    } else if (op < 70) {
+      uint64_t pos = rng.Below(model.size());
+      bool b = rng.Chance(bias);
+      dbv.Set(pos, b);
+      model[pos] = b;
+    } else if (op < 80) {
+      // Bulk range insert of up to ~3 leaves of bits, possibly constant
+      // (sigma=1-style run).
+      uint64_t len = rng.Below(3000) + 1;
+      uint64_t pos = rng.Below(model.size() + 1);
+      std::vector<uint8_t> chunk(len);
+      bool constant = rng.Chance(0.3);
+      bool fill = rng.Chance(0.5);
+      for (uint64_t k = 0; k < len; ++k) {
+        chunk[k] = constant ? fill : rng.Chance(bias);
+      }
+      dbv.InsertRange(pos, PackBits(chunk).data(), len);
+      model.insert(model.begin() + static_cast<int64_t>(pos), chunk.begin(),
+                   chunk.end());
+    } else if (op < 85) {
+      uint64_t len = rng.Below(2000) + 1;
+      bool fill = rng.Chance(0.5);
+      dbv.AppendRun(fill, len);
+      model.insert(model.end(), len, fill);
+    } else if (op < 90 && !model.empty()) {
+      // Burst of point erases (drives leaf merges/borrows).
+      uint64_t burst = rng.Below(200) + 1;
+      for (uint64_t k = 0; k < burst && !model.empty(); ++k) {
+        uint64_t pos = rng.Below(model.size());
+        dbv.Erase(pos);
+        model.erase(model.begin() + static_cast<int64_t>(pos));
+      }
+    } else {
+      CheckSampled(dbv, model, rng, seed);
+    }
+    if (step % 977 == 976) CheckSampled(dbv, model, rng, seed);
+  }
+  CheckFull(dbv, model, seed);
+}
+
+TEST(DynBitsFuzzTest, MixedChurnSeedSweep) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) FuzzRound(seed, 4000, 0.5);
+}
+
+TEST(DynBitsFuzzTest, SparseAndDenseBias) {
+  // All-zeros-ish and all-ones-ish content stresses Select0/Select1
+  // asymmetrically and produces long constant runs.
+  for (uint64_t seed = 100; seed < 104; ++seed) FuzzRound(seed, 2500, 0.02);
+  for (uint64_t seed = 200; seed < 204; ++seed) FuzzRound(seed, 2500, 0.98);
+}
+
+TEST(DynBitsFuzzTest, BuildMatchesModelAtBoundarySizes) {
+  for (uint64_t n : {0ull, 1ull, 63ull, 64ull, 65ull, 255ull, 256ull, 511ull,
+                     512ull, 767ull, 768ull, 769ull, 1023ull, 1024ull,
+                     1025ull, 1536ull, 2047ull, 2048ull, 4096ull, 100000ull}) {
+    Rng rng(n * 31 + 7);
+    std::vector<uint8_t> model(n);
+    for (uint64_t i = 0; i < n; ++i) model[i] = rng.Chance(0.5);
+    DynamicBitVector dbv;
+    dbv.Build(PackBits(model).data(), n);
+    CheckSampled(dbv, model, rng, n);
+    if (n <= 4096) CheckFull(dbv, model, n);
+  }
+}
+
+TEST(DynBitsFuzzTest, AllOnesAllZerosRuns) {
+  DynamicBitVector dbv;
+  dbv.AppendRun(false, 5000);
+  dbv.AppendRun(true, 5000);
+  EXPECT_EQ(dbv.size(), 10000u);
+  EXPECT_EQ(dbv.ones(), 5000u);
+  EXPECT_EQ(dbv.Rank1(5000), 0u);
+  EXPECT_EQ(dbv.Rank1(10000), 5000u);
+  EXPECT_EQ(dbv.Select1(0), 5000u);
+  EXPECT_EQ(dbv.Select0(4999), 4999u);
+  auto [a, b] = dbv.RankPair(2500, 7500);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 2500u);
+  // Erase the whole thing back down through the merge paths.
+  Rng rng(42);
+  while (dbv.size() > 0) dbv.Erase(rng.Below(dbv.size()));
+  EXPECT_EQ(dbv.ones(), 0u);
+  // And the emptied structure is reusable.
+  dbv.PushBack(true);
+  EXPECT_EQ(dbv.Select1(0), 0u);
+}
+
+TEST(DynBitsFuzzTest, ClearReleasesAndRebuilds) {
+  DynamicBitVector dbv;
+  dbv.AppendRun(true, 100000);
+  uint64_t full = dbv.SpaceBytes();
+  dbv.Clear();
+  EXPECT_EQ(dbv.size(), 0u);
+  EXPECT_LT(dbv.SpaceBytes(), full);
+  dbv.PushBack(false);
+  EXPECT_EQ(dbv.size(), 1u);
+  EXPECT_FALSE(dbv.Get(0));
+}
+
+// SpaceBytes must report arena-resident bytes: capacity does not shrink when
+// content does (freelist keeps the chunks), and a populated vector accounts
+// at least its payload.
+TEST(DynBitsFuzzTest, SpaceBytesIsArenaResident) {
+  DynamicBitVector dbv;
+  Rng rng(7);
+  for (int i = 0; i < 200000; ++i) dbv.PushBack(rng.Chance(0.5));
+  uint64_t populated = dbv.SpaceBytes();
+  EXPECT_GE(populated, 200000 / 8u);
+  while (dbv.size() > 64) dbv.Erase(dbv.size() - 1);
+  // Freed nodes stay arena-resident (freelist), and the accounting says so.
+  EXPECT_GE(dbv.SpaceBytes(), populated / 2);
+}
+
+}  // namespace
+}  // namespace dyndex
