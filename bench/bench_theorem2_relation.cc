@@ -140,6 +140,45 @@ void BM_Thm2_Update_Baseline(benchmark::State& state) {
 BENCHMARK(BM_Thm2_Update_Ours);
 BENCHMARK(BM_Thm2_Update_Baseline);
 
+// Construction: the cold-start bulk path (one sub-collection build) vs the
+// pairwise merge cascade, for ours and the baseline.
+void BM_Thm2_Build_Pairwise_Ours(benchmark::State& state) {
+  Rng rng(21);
+  auto pairs = GenPairs(rng, kPairs, kObjects, kLabels, 0.8);
+  for (auto _ : state) {
+    DynamicRelation r;
+    for (auto [o, a] : pairs) r.AddPair(o, a);
+    benchmark::DoNotOptimize(r.num_pairs());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kPairs));
+}
+void BM_Thm2_Build_Bulk_Ours(benchmark::State& state) {
+  Rng rng(21);
+  auto pairs = GenPairs(rng, kPairs, kObjects, kLabels, 0.8);
+  for (auto _ : state) {
+    DynamicRelation r;
+    r.AddPairsBulk(pairs);
+    benchmark::DoNotOptimize(r.num_pairs());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kPairs));
+}
+void BM_Thm2_Build_Bulk_Baseline(benchmark::State& state) {
+  Rng rng(21);
+  auto pairs = GenPairs(rng, kPairs, kObjects, kLabels, 0.8);
+  for (auto _ : state) {
+    BaselineRelation r(kObjects, kLabels);
+    r.AddPairsBulk(pairs);
+    benchmark::DoNotOptimize(r.num_pairs());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kPairs));
+}
+BENCHMARK(BM_Thm2_Build_Pairwise_Ours)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Thm2_Build_Bulk_Ours)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Thm2_Build_Bulk_Baseline)->Unit(benchmark::kMillisecond);
+
 void BM_Thm2_Space(benchmark::State& state) {
   auto* ours = GetOurs();
   auto* base = GetBase();

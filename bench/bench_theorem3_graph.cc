@@ -4,8 +4,13 @@
 // degree counting, and edge churn on the compressed dynamic graph.
 #include <benchmark/benchmark.h>
 
+#include <thread>
+#include <vector>
+
 #include "gen/relation_gen.h"
 #include "relation/dynamic_graph.h"
+#include "serve/concurrent_relation.h"
+#include "serve/relation_index.h"
 #include "util/rng.h"
 
 namespace dyndex {
@@ -84,6 +89,73 @@ void BM_Thm3_EdgeChurn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Thm3_EdgeChurn);
+
+// Bulk edge loading (Coimbra et al.: batched construction is where dynamic
+// succinct graphs win or lose) vs pairwise AddEdge.
+void BM_Thm3_Build_Pairwise(benchmark::State& state) {
+  Rng rng(31);
+  auto edges = GenEdges(rng, kEdges, kNodes, /*zipf=*/0.8);
+  for (auto _ : state) {
+    DynamicGraph g;
+    for (auto [u, v] : edges) g.AddEdge(u, v);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kEdges));
+}
+void BM_Thm3_Build_Bulk(benchmark::State& state) {
+  Rng rng(31);
+  auto edges = GenEdges(rng, kEdges, kNodes, /*zipf=*/0.8);
+  for (auto _ : state) {
+    DynamicGraph g;
+    g.AddEdgesBulk(edges);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kEdges));
+}
+BENCHMARK(BM_Thm3_Build_Pairwise)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Thm3_Build_Bulk)->Unit(benchmark::kMillisecond);
+
+// Concurrent neighbor queries over the graph view of ConcurrentRelation
+// (the shared epoch core), scaling reader threads.
+void BM_Thm3_ConcurrentNeighbors(benchmark::State& state) {
+  static ConcurrentRelation* shared = [] {
+    auto* r = new ConcurrentRelation(
+        MakeRelationIndex(RelationBackend::kGraph));
+    Rng rng(31);
+    r->AddPairsBatch(GenEdges(rng, kEdges, kNodes, /*zipf=*/0.8));
+    return r;
+  }();
+  const int readers = static_cast<int>(state.range(0));
+  constexpr uint64_t kQueries = 2048;
+  uint64_t round = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> pool;
+    for (int r = 0; r < readers; ++r) {
+      pool.emplace_back([seed = round * 131 + r] {
+        Rng rng(seed);
+        for (uint64_t q = 0; q < kQueries; ++q) {
+          benchmark::DoNotOptimize(shared->Neighbors(
+              static_cast<uint32_t>(rng.Below(kNodes))));
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    ++round;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * readers *
+                          static_cast<int64_t>(kQueries));
+  state.counters["readers"] = readers;
+}
+BENCHMARK(BM_Thm3_ConcurrentNeighbors)
+    ->ArgName("readers")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Thm3_Space(benchmark::State& state) {
   auto* g = GetGraph();

@@ -1,19 +1,26 @@
 #!/usr/bin/env python3
-"""Diffs two google-benchmark JSON files and prints a per-benchmark speedup
-table.
+"""Diffs two google-benchmark JSON files (or two directories of them) and
+prints a per-benchmark speedup table.
 
 Usage:
   scripts/compare_benchmarks.py BEFORE.json AFTER.json
+  scripts/compare_benchmarks.py BEFORE_DIR/ AFTER_DIR/
 
 BEFORE/AFTER are files written by scripts/run_benchmarks.sh (or any
 --benchmark_out=... --benchmark_out_format=json run). Benchmarks are matched
 by name; speedup = before_time / after_time, so > 1.0 means AFTER is faster.
 Aggregate rows (mean/median/stddev repetitions) are skipped. Exits non-zero
 if the two files share no benchmark names.
+
+Directory mode matches BENCH_*.json files by filename (so two
+run_benchmarks.sh output trees — e.g. the CI bench-json artifacts of two
+commits — diff in one invocation) and prints one table per shared file plus
+an overall geomean.
 """
 
 import json
 import math
+import os
 import sys
 
 
@@ -32,15 +39,15 @@ def load(path):
 TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
-def main(argv):
-    if len(argv) != 3:
-        sys.stderr.write(__doc__)
-        return 2
-    before, after = load(argv[1]), load(argv[2])
+def compare_files(before_path, after_path):
+    """Prints one speedup table; returns the per-benchmark speedups."""
+    before, after = load(before_path), load(after_path)
     shared = [name for name in before if name in after]
     if not shared:
-        sys.stderr.write("error: no benchmark names in common\n")
-        return 1
+        sys.stderr.write(
+            f"error: no benchmark names in common between {before_path} "
+            f"and {after_path}\n")
+        return None
     rows = []
     for name in shared:
         b_ns = before[name][0] * TO_NS[before[name][1]]
@@ -68,10 +75,46 @@ def main(argv):
     only_before = sorted(set(before) - set(after))
     only_after = sorted(set(after) - set(before))
     if only_before:
-        print(f"only in {argv[1]}: {', '.join(only_before)}")
+        print(f"only in {before_path}: {', '.join(only_before)}")
     if only_after:
-        print(f"only in {argv[2]}: {', '.join(only_after)}")
-    return 0
+        print(f"only in {after_path}: {', '.join(only_after)}")
+    return [r[3] for r in rows]
+
+
+def compare_dirs(before_dir, after_dir):
+    before_files = {f for f in os.listdir(before_dir) if f.endswith(".json")}
+    after_files = {f for f in os.listdir(after_dir) if f.endswith(".json")}
+    shared = sorted(before_files & after_files)
+    if not shared:
+        sys.stderr.write("error: no .json files in common\n")
+        return 1
+    all_speedups = []
+    for name in shared:
+        print(f"== {name}")
+        speedups = compare_files(os.path.join(before_dir, name),
+                                 os.path.join(after_dir, name))
+        if speedups:
+            all_speedups.extend(speedups)
+        print()
+    for name in sorted(before_files - after_files):
+        print(f"only in {before_dir}: {name}")
+    for name in sorted(after_files - before_files):
+        print(f"only in {after_dir}: {name}")
+    finite = [s for s in all_speedups if math.isfinite(s) and s > 0]
+    if finite:
+        geomean = math.exp(sum(math.log(s) for s in finite) / len(finite))
+        print(f"overall geomean ({len(finite)} benchmarks): {geomean:.2f}x")
+    # Mirror single-file mode: nothing comparable at all is a failure.
+    return 0 if all_speedups else 1
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    if os.path.isdir(argv[1]) and os.path.isdir(argv[2]):
+        return compare_dirs(argv[1], argv[2])
+    return 0 if compare_files(argv[1], argv[2]) is not None else 1
 
 
 if __name__ == "__main__":

@@ -1,5 +1,8 @@
 #include "relation/baseline_relation.h"
 
+#include <algorithm>
+#include <unordered_set>
+
 #include "util/check.h"
 
 namespace dyndex {
@@ -10,7 +13,40 @@ BaselineRelation::BaselineRelation(uint32_t max_objects, uint32_t max_labels)
       max_labels_(max_labels) {
   DYNDEX_CHECK(max_objects >= 1);
   // N starts as one 0 per object (every object initially unrelated).
-  for (uint32_t o = 0; o < max_objects; ++o) n_.PushBack(false);
+  n_.AppendRun(false, max_objects);
+}
+
+BaselineRelation::BaselineRelation(uint32_t max_objects, uint32_t max_labels,
+                                   std::vector<Pair> pairs)
+    : BaselineRelation(max_objects, max_labels) {
+  Build(std::move(pairs));
+}
+
+void BaselineRelation::Build(std::vector<Pair> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  // S = labels listed object by object, loaded through the wavelet-tree bulk
+  // constructor; N = 1^{deg(0)} 0 1^{deg(1)} 0 ... packed into words and
+  // bulk-loaded in one pass.
+  std::vector<uint32_t> labels;
+  labels.reserve(pairs.size());
+  uint64_t nbits = pairs.size() + max_objects_;
+  std::vector<uint64_t> nwords((nbits + 63) / 64, 0);
+  uint64_t bit = 0;
+  uint64_t next = 0;
+  for (uint32_t o = 0; o < max_objects_; ++o) {
+    while (next < pairs.size() && pairs[next].object == o) {
+      DYNDEX_CHECK(pairs[next].label < max_labels_);
+      labels.push_back(pairs[next].label);
+      nwords[bit >> 6] |= 1ull << (bit & 63);
+      ++bit;
+      ++next;
+    }
+    ++bit;  // the 0 terminating object o's run
+  }
+  DYNDEX_CHECK(next == pairs.size());  // all objects within range
+  s_ = DynamicWaveletTree(max_labels_ == 0 ? 1 : max_labels_,
+                          std::move(labels));
+  n_.Build(nwords.data(), nbits);
 }
 
 bool BaselineRelation::AddPair(uint32_t o, uint32_t a) {
@@ -24,13 +60,33 @@ bool BaselineRelation::AddPair(uint32_t o, uint32_t a) {
   return true;
 }
 
+uint64_t BaselineRelation::AddPairsBulk(
+    const std::vector<std::pair<uint32_t, uint32_t>>& ps) {
+  if (num_pairs() != 0) {
+    uint64_t added = 0;
+    for (auto [o, a] : ps) added += AddPair(o, a);
+    return added;
+  }
+  std::vector<Pair> fresh;
+  fresh.reserve(ps.size());
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(ps.size());
+  for (auto [o, a] : ps) {
+    DYNDEX_CHECK(o < max_objects_ && a < max_labels_);
+    if (!seen.insert(PairKey(o, a)).second) continue;
+    fresh.push_back({o, a});
+  }
+  uint64_t added = fresh.size();
+  Build(std::move(fresh));
+  return added;
+}
+
 bool BaselineRelation::RemovePair(uint32_t o, uint32_t a) {
   DYNDEX_CHECK(o < max_objects_ && a < max_labels_);
   auto [l, r] = SRange(o);
-  uint64_t k = s_.Rank(a, l);
-  if (k >= s_.Count(a)) return false;
-  uint64_t pos = s_.Select(a, k);
-  if (pos >= r) return false;
+  auto [kl, kr] = s_.RankPair(a, l, r);  // one descent for both boundaries
+  if (kl == kr) return false;
+  uint64_t pos = s_.Select(a, kl);
   n_.Erase(n_.Select1(pos));
   s_.Erase(pos);
   return true;
@@ -38,7 +94,8 @@ bool BaselineRelation::RemovePair(uint32_t o, uint32_t a) {
 
 bool BaselineRelation::Related(uint32_t o, uint32_t a) const {
   auto [l, r] = SRange(o);
-  return s_.Rank(a, r) > s_.Rank(a, l);
+  auto [kl, kr] = s_.RankPair(a, l, r);
+  return kr > kl;
 }
 
 }  // namespace dyndex

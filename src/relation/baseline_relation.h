@@ -2,13 +2,20 @@
 // (Navarro-Nekrich [35]): S in a dynamic wavelet tree, N in a dynamic bit
 // vector. Every reported datum and every update pays a dynamic rank/select
 // chain — the Fredman-Saks-bounded approach Theorem 2 improves on.
+//
+// Bulk paths ride the dynamic-bits engine: Build() loads S through the
+// wavelet-tree bulk constructor and N through one packed-word bulk load, and
+// AddPairsBulk routes a cold start onto Build instead of per-pair dynamic
+// insertion.
 #ifndef DYNDEX_RELATION_BASELINE_RELATION_H_
 #define DYNDEX_RELATION_BASELINE_RELATION_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "dynbits/dynamic_bit_vector.h"
+#include "relation/static_relation.h"
 #include "seq/dynamic_wavelet_tree.h"
 
 namespace dyndex {
@@ -19,8 +26,21 @@ class BaselineRelation {
  public:
   BaselineRelation(uint32_t max_objects, uint32_t max_labels);
 
+  /// Bulk constructor: Build(pairs) over an otherwise empty relation.
+  BaselineRelation(uint32_t max_objects, uint32_t max_labels,
+                   std::vector<Pair> pairs);
+
+  /// Replaces the content with `pairs` (duplicate-free) in one bulk load:
+  /// S via the wavelet-tree bulk constructor (one stable partition per
+  /// level), N via one packed-word Build — no per-pair dynamic insertions.
+  void Build(std::vector<Pair> pairs);
+
   /// Adds (o, a); returns false if present.
   bool AddPair(uint32_t o, uint32_t a);
+
+  /// Adds a batch; returns how many were new. A cold relation takes the
+  /// Build path (one bulk load); a warm one falls back to per-pair AddPair.
+  uint64_t AddPairsBulk(const std::vector<std::pair<uint32_t, uint32_t>>& ps);
 
   /// Removes (o, a); returns false if absent.
   bool RemovePair(uint32_t o, uint32_t a);

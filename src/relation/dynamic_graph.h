@@ -6,6 +6,7 @@
 #define DYNDEX_RELATION_DYNAMIC_GRAPH_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "relation/dynamic_relation.h"
@@ -21,6 +22,12 @@ class DynamicGraph {
 
   /// Adds edge u -> v. Returns false if already present.
   bool AddEdge(uint32_t u, uint32_t v) { return rel_.AddPair(u, v); }
+
+  /// Adds a batch of edges in one bulk relation load (cold-start batches
+  /// build one compressed sub-collection); returns how many were new.
+  uint64_t AddEdgesBulk(const std::vector<std::pair<uint32_t, uint32_t>>& es) {
+    return rel_.AddPairsBulk(es);
+  }
 
   /// Removes edge u -> v. Returns false if absent.
   bool RemoveEdge(uint32_t u, uint32_t v) { return rel_.RemovePair(u, v); }

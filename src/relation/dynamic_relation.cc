@@ -123,24 +123,63 @@ bool DynamicRelation::AddPair(uint32_t object, uint32_t label) {
   ++label_pair_count_[ls];
   ++num_pairs_;
   if (nf_ == 0) nf_ = std::max<uint64_t>(num_pairs_, opt_.min_c0);
-  if (num_pairs_ >= 2 * nf_) {
-    C0Add(os, ls);
-    GlobalRebase();
+  if (num_pairs_ < 2 * nf_ && c0_pairs_ + 1 <= MaxSize(0)) {
+    C0Add(os, ls);  // hot path: no batch vector
     return true;
   }
-  if (c0_pairs_ + 1 <= MaxSize(0)) {
-    C0Add(os, ls);
-    return true;
+  PlaceFresh({{os, ls}});
+  return true;
+}
+
+uint64_t DynamicRelation::AddPairsBulk(
+    const std::vector<std::pair<uint32_t, uint32_t>>& ps) {
+  std::vector<Pair> fresh;
+  fresh.reserve(ps.size());
+  std::unordered_set<uint64_t> batch_seen;
+  batch_seen.reserve(ps.size());
+  for (auto [object, label] : ps) {
+    if (!batch_seen.insert(PairKey(object, label)).second) {
+      continue;  // duplicate within the batch
+    }
+    if (Related(object, label)) continue;          // already present
+    fresh.push_back({InternObject(object), InternLabel(label)});
+  }
+  if (fresh.empty()) return 0;
+  for (const Pair& p : fresh) {
+    ++obj_pair_count_[p.object];
+    ++label_pair_count_[p.label];
+  }
+  num_pairs_ += fresh.size();
+  if (nf_ == 0) nf_ = std::max<uint64_t>(num_pairs_, opt_.min_c0);
+  uint64_t added = fresh.size();
+  PlaceFresh(std::move(fresh));
+  return added;
+}
+
+// Routes new pairs per the Transformation-1 schedule. A batch that fits C0
+// lands there pairwise; anything larger triggers exactly one merge into the
+// smallest level whose capacity holds the prefix — so a cold-start bulk load
+// costs one BuildSub over the whole batch instead of |batch| C0 inserts
+// cascading through merge after merge.
+void DynamicRelation::PlaceFresh(std::vector<Pair> fresh) {
+  if (num_pairs_ >= 2 * nf_) {
+    for (const Pair& p : fresh) C0Add(p.object, p.label);
+    GlobalRebase();
+    return;
+  }
+  if (c0_pairs_ + fresh.size() <= MaxSize(0)) {
+    for (const Pair& p : fresh) C0Add(p.object, p.label);
+    return;
   }
   // Merge cascade: smallest level j with the prefix fitting below max_j.
-  uint64_t prefix = c0_pairs_ + 1;
+  uint64_t prefix = c0_pairs_ + fresh.size();
   for (uint32_t j = 0;; ++j) {
     if (j < subs_.size() && subs_[j] != nullptr) {
       prefix += subs_[j]->rel.live_pairs();
     }
     if (prefix <= MaxSize(j + 1)) {
-      MergeThrough(j, Pair{os, ls});
-      return true;
+      MergeThrough(j, std::move(fresh));
+      return;
     }
     DYNDEX_CHECK(j <= subs_.size() + 64);
   }
@@ -245,9 +284,8 @@ void DynamicRelation::ExportSub(const Sub& sub, std::vector<Pair>* out) const {
   }
 }
 
-void DynamicRelation::MergeThrough(uint32_t j, Pair extra_slot_pair) {
-  std::vector<Pair> pairs;
-  pairs.push_back(extra_slot_pair);
+void DynamicRelation::MergeThrough(uint32_t j, std::vector<Pair> seed_pairs) {
+  std::vector<Pair> pairs = std::move(seed_pairs);
   for (const auto& [os, labels] : c0_by_object_) {
     for (uint32_t ls : labels) pairs.push_back({os, ls});
   }
@@ -302,18 +340,50 @@ void DynamicRelation::GlobalRebase() {
   subs_[j] = BuildSub(pairs);
 }
 
+namespace {
+
+// Node-based unordered containers cost one heap node per element (payload
+// rounded up to the allocator's 16-byte quantum plus the chain pointer and
+// cached hash) and one pointer per bucket. Estimated, not measured, but
+// per-element faithful, so relation space rows track reality as C0 grows.
+uint64_t UnorderedBytes(uint64_t elems, uint64_t buckets,
+                        uint64_t payload_bytes) {
+  uint64_t node = ((payload_bytes + 15) & ~uint64_t{15}) + 2 * sizeof(void*);
+  return elems * node + buckets * sizeof(void*);
+}
+
+}  // namespace
+
 uint64_t DynamicRelation::SpaceBytes() const {
   uint64_t total = 0;
   for (const auto& s : subs_) {
     if (s == nullptr) continue;
     total += s->rel.SpaceBytes() + s->objects.SpaceBytes() +
-             s->labels.SpaceBytes();
+             s->labels.SpaceBytes() + sizeof(Sub);
   }
-  total += c0_pairs_ * 16 + c0_pairs_set_.size() * 16;
+  // C0 buffers: the adjacency vectors' heap capacity hanging off both hash
+  // maps, the map nodes/buckets themselves, and the pair-membership set.
+  for (const auto& [os, v] : c0_by_object_) {
+    total += v.capacity() * sizeof(uint32_t);
+  }
+  for (const auto& [ls, v] : c0_by_label_) {
+    total += v.capacity() * sizeof(uint32_t);
+  }
+  total += UnorderedBytes(c0_by_object_.size(), c0_by_object_.bucket_count(),
+                          sizeof(uint32_t) + sizeof(std::vector<uint32_t>));
+  total += UnorderedBytes(c0_by_label_.size(), c0_by_label_.bucket_count(),
+                          sizeof(uint32_t) + sizeof(std::vector<uint32_t>));
+  total += UnorderedBytes(c0_pairs_set_.size(), c0_pairs_set_.bucket_count(),
+                          sizeof(uint64_t));
+  // Slot registries: SN/NS id<->slot maps, dense side tables, free lists.
+  total += UnorderedBytes(obj_slot_.size(), obj_slot_.bucket_count(),
+                          2 * sizeof(uint32_t));
+  total += UnorderedBytes(label_slot_.size(), label_slot_.bucket_count(),
+                          2 * sizeof(uint32_t));
   total += (slot_obj_.capacity() + slot_label_.capacity() +
-            obj_pair_count_.capacity() + label_pair_count_.capacity()) *
+            obj_pair_count_.capacity() + label_pair_count_.capacity() +
+            free_obj_slots_.capacity() + free_label_slots_.capacity()) *
            sizeof(uint32_t);
-  total += (obj_slot_.size() + label_slot_.size()) * 16;
   return total;
 }
 

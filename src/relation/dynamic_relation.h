@@ -21,6 +21,7 @@
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "bits/rank_select.h"
@@ -45,6 +46,13 @@ class DynamicRelation {
 
   /// Adds (object, label). Returns false if the pair already exists.
   bool AddPair(uint32_t object, uint32_t label);
+
+  /// Adds a batch of (object, label) pairs; returns how many were new.
+  /// Batches that do not fit in C0 are built directly into one compressed
+  /// sub-collection at the right level of the schedule (one static build)
+  /// instead of per-pair C0 inserts cascading through merge after merge —
+  /// the cold-start path costs one BuildSub over the whole batch.
+  uint64_t AddPairsBulk(const std::vector<std::pair<uint32_t, uint32_t>>& ps);
 
   /// Removes (object, label). Returns false if absent.
   bool RemovePair(uint32_t object, uint32_t label);
@@ -148,9 +156,7 @@ class DynamicRelation {
   uint64_t num_pairs_ = 0;
   uint64_t nf_ = 0;
 
-  static uint64_t Key(uint32_t os, uint32_t ls) {
-    return (static_cast<uint64_t>(os) << 32) | ls;
-  }
+  static uint64_t Key(uint32_t os, uint32_t ls) { return PairKey(os, ls); }
 
   uint32_t Tau() const;
   uint64_t MaxSize(uint32_t level) const;
@@ -169,8 +175,11 @@ class DynamicRelation {
   /// Builds a Sub from pairs given in *slot* space.
   std::unique_ptr<Sub> BuildSub(const std::vector<Pair>& slot_pairs) const;
 
-  /// Drains C0 and levels 0..j into a rebuilt level j, plus `extra`.
-  void MergeThrough(uint32_t j, Pair extra_slot_pair);
+  /// Drains C0 and levels 0..j into a rebuilt level j, plus `seed_pairs`.
+  void MergeThrough(uint32_t j, std::vector<Pair> seed_pairs);
+  /// Places `fresh` (new slot pairs, already interned and counted) into C0 or
+  /// a merged level per the schedule. Shared by AddPair and AddPairsBulk.
+  void PlaceFresh(std::vector<Pair> fresh);
   void PurgeIfNeeded(uint32_t level);
   void GlobalRebase();
 

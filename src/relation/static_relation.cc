@@ -9,7 +9,11 @@ namespace dyndex {
 StaticRelation::StaticRelation(std::vector<Pair> pairs, uint32_t num_objects,
                                uint32_t num_labels)
     : num_objects_(num_objects), num_labels_(num_labels) {
-  std::sort(pairs.begin(), pairs.end());
+  // Purge/merge rebuilds feed pairs back in S order; the O(n) sortedness
+  // check makes those batch constructions skip the sort entirely.
+  if (!std::is_sorted(pairs.begin(), pairs.end())) {
+    std::sort(pairs.begin(), pairs.end());
+  }
   std::vector<uint32_t> labels;
   labels.reserve(pairs.size());
   BitVector n(pairs.size() + num_objects);

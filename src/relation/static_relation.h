@@ -18,6 +18,12 @@
 
 namespace dyndex {
 
+/// Packs two 32-bit ids into the canonical 64-bit set/map key used by every
+/// pair-membership structure in the layer (C0 buffers, bulk dedupe).
+inline uint64_t PairKey(uint32_t a, uint32_t b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
 /// An (object, label) pair with dense local ids.
 struct Pair {
   uint32_t object = 0;

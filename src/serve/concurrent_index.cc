@@ -1,109 +1,62 @@
 #include "serve/concurrent_index.h"
 
-#include <thread>
 #include <utility>
-
-#include "util/check.h"
 
 namespace dyndex {
 
-// Readers stand aside while a writer is queued (writer-priority gate): the
-// platform rwlock prefers readers, so without the gate a saturating read
-// workload starves the writer indefinitely. The gate is advisory — a reader
-// that raced past it still holds a correct shared lock; it only bounds how
-// long writer_waiting_ can stay hot.
-ConcurrentIndex::ReadGuard::ReadGuard(const ConcurrentIndex& idx) : idx_(idx) {
-  for (;;) {
-    while (idx_.writer_waiting_.load(std::memory_order_acquire) != 0) {
-      std::this_thread::yield();
-    }
-    idx_.mu_.lock_shared();
-    if (idx_.writer_waiting_.load(std::memory_order_acquire) == 0) return;
-    idx_.mu_.unlock_shared();  // a writer queued meanwhile: let it in
-  }
-}
-
-ConcurrentIndex::ReadGuard::~ReadGuard() { idx_.mu_.unlock_shared(); }
-
-ConcurrentIndex::WriteGuard::WriteGuard(ConcurrentIndex& idx) : idx_(idx) {
-  idx_.writer_waiting_.fetch_add(1, std::memory_order_acq_rel);
-  idx_.mu_.lock();
-  idx_.writer_waiting_.fetch_sub(1, std::memory_order_acq_rel);
-}
-
-ConcurrentIndex::WriteGuard::~WriteGuard() { idx_.mu_.unlock(); }
-
-ConcurrentIndex::ConcurrentIndex(std::unique_ptr<DynamicIndex> index)
-    : index_(std::move(index)) {
-  DYNDEX_CHECK(index_ != nullptr);
-}
-
 uint64_t ConcurrentIndex::Count(const std::vector<Symbol>& pattern,
                                 uint64_t* epoch) const {
-  ReadGuard lock(*this);
-  if (epoch != nullptr) *epoch = epoch_;
-  return index_->Count(pattern);
+  return core_.Read(
+      epoch, [&](const DynamicIndex& idx) { return idx.Count(pattern); });
 }
 
 std::vector<Occurrence> ConcurrentIndex::Locate(
     const std::vector<Symbol>& pattern, uint64_t* epoch) const {
-  ReadGuard lock(*this);
-  if (epoch != nullptr) *epoch = epoch_;
-  return index_->Locate(pattern);
+  return core_.Read(
+      epoch, [&](const DynamicIndex& idx) { return idx.Locate(pattern); });
 }
 
 bool ConcurrentIndex::Extract(DocId id, uint64_t from, uint64_t len,
                               std::vector<Symbol>* out,
                               uint64_t* epoch) const {
-  ReadGuard lock(*this);
-  if (epoch != nullptr) *epoch = epoch_;
-  if (!index_->Contains(id)) return false;
-  *out = index_->Extract(id, from, len);
-  return true;
+  return core_.Read(epoch, [&](const DynamicIndex& idx) {
+    if (!idx.Contains(id)) return false;
+    *out = idx.Extract(id, from, len);
+    return true;
+  });
 }
 
 uint64_t ConcurrentIndex::num_docs(uint64_t* epoch) const {
-  ReadGuard lock(*this);
-  if (epoch != nullptr) *epoch = epoch_;
-  return index_->num_docs();
-}
-
-uint64_t ConcurrentIndex::epoch() const {
-  ReadGuard lock(*this);
-  return epoch_;
+  return core_.Read(epoch,
+                    [](const DynamicIndex& idx) { return idx.num_docs(); });
 }
 
 std::vector<DocId> ConcurrentIndex::InsertBatch(
     std::vector<std::vector<Symbol>> docs) {
-  WriteGuard lock(*this);
   // One virtual call for the batch: cold-start backends with a bulk
   // constructor load it in one pass instead of |batch| insertions.
-  std::vector<DocId> ids = index_->InsertBulk(std::move(docs));
-  index_->PollPending();
-  ++epoch_;
-  return ids;
+  return core_.Write([&](DynamicIndex& idx) {
+    return idx.InsertBulk(std::move(docs));
+  });
 }
 
 uint64_t ConcurrentIndex::EraseBatch(const std::vector<DocId>& ids) {
-  WriteGuard lock(*this);
-  uint64_t erased = 0;
-  for (DocId id : ids) erased += index_->Erase(id);
-  index_->PollPending();
-  ++epoch_;
-  return erased;
+  return core_.Write([&](DynamicIndex& idx) {
+    uint64_t erased = 0;
+    for (DocId id : ids) erased += idx.Erase(id);
+    return erased;
+  });
 }
 
 // Poll/Flush publish internal rebuilds only; the logical document set is
-// unchanged, so the epoch must not move — queries before and after a swap
-// see identical answers, which is exactly what the harness asserts.
+// unchanged, so the epoch must not move (Maintain) — queries before and after
+// a swap see identical answers, which is exactly what the harness asserts.
 void ConcurrentIndex::Poll() {
-  WriteGuard lock(*this);
-  index_->PollPending();
+  core_.Maintain([](DynamicIndex& idx) { idx.PollPending(); });
 }
 
 void ConcurrentIndex::Flush() {
-  WriteGuard lock(*this);
-  index_->ForceAllPending();
+  core_.Maintain([](DynamicIndex& idx) { idx.ForceAllPending(); });
 }
 
 }  // namespace dyndex

@@ -2,44 +2,29 @@
 // Count/Locate/Extract against a consistent snapshot while one writer thread
 // applies batched updates.
 //
-// Concurrency model (documented in README.md):
-//  * Readers take the shared side of a std::shared_mutex for the duration of
-//    one query; any number may run in parallel. A writer-priority gate
-//    (writer_waiting_) makes new readers stand aside while a writer is
-//    queued: glibc's rwlock prefers readers by default, and a saturating
-//    read workload would otherwise starve the writer forever (observed as a
-//    livelock in serve_concurrent_test before the gate existed).
-//  * The single writer takes the exclusive side per *batch*: it applies every
-//    update of the batch, publishes any finished background builds
-//    (DynamicIndex::PollPending — Transformation 2's swap step), bumps the
-//    epoch, and releases. Readers therefore never observe a half-applied
-//    batch or a half-swapped level.
-//  * Transformation 2's builder threads keep running outside the lock: they
-//    touch only their private document snapshots (see transformation2.h), so
-//    a rebuild costs readers nothing until its O(1)-ish publication.
-//
-// The epoch is the linearization point: every query reports the epoch of the
-// snapshot it ran against, and two queries reporting the same epoch saw the
-// same collection state. The differential model-checking harness keys its
-// per-state expectations on exactly this value.
+// The lock discipline (shared_mutex readers, writer-priority gate, epoch as
+// the linearization point, publication of Transformation 2's background
+// builds under the exclusive lock) lives in the shared serving core,
+// serve/epoch_guard.h; this class only maps the document API onto it. The
+// relation/graph analogue is serve/concurrent_relation.h.
 #ifndef DYNDEX_SERVE_CONCURRENT_INDEX_H_
 #define DYNDEX_SERVE_CONCURRENT_INDEX_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <vector>
 
 #include "core/occurrence.h"
 #include "serve/dynamic_index.h"
+#include "serve/epoch_guard.h"
 #include "text/concat_text.h"
 
 namespace dyndex {
 
 class ConcurrentIndex {
  public:
-  explicit ConcurrentIndex(std::unique_ptr<DynamicIndex> index);
+  explicit ConcurrentIndex(std::unique_ptr<DynamicIndex> index)
+      : core_(std::move(index)) {}
 
   // --- reader API (any thread) ---------------------------------------------
   // Every query optionally reports the epoch of the snapshot it observed.
@@ -54,7 +39,7 @@ class ConcurrentIndex {
   uint64_t num_docs(uint64_t* epoch = nullptr) const;
 
   /// Number of applied write batches so far.
-  uint64_t epoch() const;
+  uint64_t epoch() const { return core_.epoch(); }
 
   // --- writer API (one thread at a time) -----------------------------------
 
@@ -67,35 +52,15 @@ class ConcurrentIndex {
   /// Blocks until all background builds are published (test barrier).
   void Flush();
 
-  const char* backend_name() const { return index_->backend_name(); }
+  const char* backend_name() const {
+    return core_.unsynchronized().backend_name();
+  }
 
   /// The wrapped index, with no locking. Callers must guarantee quiescence.
-  DynamicIndex& unsynchronized() { return *index_; }
+  DynamicIndex& unsynchronized() { return core_.unsynchronized(); }
 
  private:
-  /// Shared lock with the writer-priority gate applied.
-  class ReadGuard {
-   public:
-    explicit ReadGuard(const ConcurrentIndex& idx);
-    ~ReadGuard();
-
-   private:
-    const ConcurrentIndex& idx_;
-  };
-  /// Exclusive lock that raises writer_waiting_ while queueing.
-  class WriteGuard {
-   public:
-    explicit WriteGuard(ConcurrentIndex& idx);
-    ~WriteGuard();
-
-   private:
-    ConcurrentIndex& idx_;
-  };
-
-  mutable std::shared_mutex mu_;
-  std::atomic<uint32_t> writer_waiting_{0};  // queued writers
-  std::unique_ptr<DynamicIndex> index_;      // guarded by mu_
-  uint64_t epoch_ = 0;                       // guarded by mu_
+  EpochGuard<DynamicIndex> core_;
 };
 
 }  // namespace dyndex

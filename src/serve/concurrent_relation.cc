@@ -1,0 +1,58 @@
+#include "serve/concurrent_relation.h"
+
+namespace dyndex {
+
+bool ConcurrentRelation::Related(uint32_t object, uint32_t label,
+                                 uint64_t* epoch) const {
+  return core_.Read(epoch, [&](const RelationIndex& rel) {
+    return rel.Related(object, label);
+  });
+}
+
+std::vector<uint32_t> ConcurrentRelation::LabelsOf(uint32_t object,
+                                                   uint64_t* epoch) const {
+  return core_.Read(
+      epoch, [&](const RelationIndex& rel) { return rel.LabelsOf(object); });
+}
+
+std::vector<uint32_t> ConcurrentRelation::ObjectsOf(uint32_t label,
+                                                    uint64_t* epoch) const {
+  return core_.Read(
+      epoch, [&](const RelationIndex& rel) { return rel.ObjectsOf(label); });
+}
+
+uint64_t ConcurrentRelation::CountLabelsOf(uint32_t object,
+                                           uint64_t* epoch) const {
+  return core_.Read(epoch, [&](const RelationIndex& rel) {
+    return rel.CountLabelsOf(object);
+  });
+}
+
+uint64_t ConcurrentRelation::CountObjectsOf(uint32_t label,
+                                            uint64_t* epoch) const {
+  return core_.Read(epoch, [&](const RelationIndex& rel) {
+    return rel.CountObjectsOf(label);
+  });
+}
+
+uint64_t ConcurrentRelation::num_pairs(uint64_t* epoch) const {
+  return core_.Read(epoch,
+                    [](const RelationIndex& rel) { return rel.num_pairs(); });
+}
+
+uint64_t ConcurrentRelation::AddPairsBatch(const RelationPairs& pairs) {
+  // One virtual call for the batch: backends route cold-start batches onto
+  // their bulk build instead of |batch| pairwise insertions.
+  return core_.Write(
+      [&](RelationIndex& rel) { return rel.AddPairsBulk(pairs); });
+}
+
+uint64_t ConcurrentRelation::RemovePairsBatch(const RelationPairs& pairs) {
+  return core_.Write([&](RelationIndex& rel) {
+    uint64_t removed = 0;
+    for (auto [o, a] : pairs) removed += rel.RemovePair(o, a);
+    return removed;
+  });
+}
+
+}  // namespace dyndex

@@ -1,0 +1,78 @@
+// Concurrent query serving over a RelationIndex: N reader threads run
+// Related/LabelsOf/ObjectsOf/counting queries against a consistent snapshot
+// while one writer thread applies batched pair updates — the Theorem 2/3
+// analogue of serve/concurrent_index.h, on the same serving core.
+//
+// The lock discipline (shared_mutex readers, writer-priority gate, epoch as
+// the linearization point) lives in serve/epoch_guard.h and is shared with
+// the document ConcurrentIndex; this class only maps the relation API onto
+// it. Relation backends have no background builders, so the core's
+// PollPending hook is a no-op here — batches are applied synchronously under
+// the exclusive lock and the epoch bumps once per batch.
+#ifndef DYNDEX_SERVE_CONCURRENT_RELATION_H_
+#define DYNDEX_SERVE_CONCURRENT_RELATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/epoch_guard.h"
+#include "serve/relation_index.h"
+
+namespace dyndex {
+
+class ConcurrentRelation {
+ public:
+  explicit ConcurrentRelation(std::unique_ptr<RelationIndex> relation)
+      : core_(std::move(relation)) {}
+
+  // --- reader API (any thread) ---------------------------------------------
+  // Every query optionally reports the epoch of the snapshot it observed.
+
+  bool Related(uint32_t object, uint32_t label,
+               uint64_t* epoch = nullptr) const;
+  std::vector<uint32_t> LabelsOf(uint32_t object,
+                                 uint64_t* epoch = nullptr) const;
+  std::vector<uint32_t> ObjectsOf(uint32_t label,
+                                  uint64_t* epoch = nullptr) const;
+  uint64_t CountLabelsOf(uint32_t object, uint64_t* epoch = nullptr) const;
+  uint64_t CountObjectsOf(uint32_t label, uint64_t* epoch = nullptr) const;
+  uint64_t num_pairs(uint64_t* epoch = nullptr) const;
+
+  // Graph view (Theorem 3): edge u -> v is the pair (u, v).
+  bool HasEdge(uint32_t u, uint32_t v, uint64_t* epoch = nullptr) const {
+    return Related(u, v, epoch);
+  }
+  std::vector<uint32_t> Neighbors(uint32_t u, uint64_t* epoch = nullptr) const {
+    return LabelsOf(u, epoch);
+  }
+  std::vector<uint32_t> Reverse(uint32_t v, uint64_t* epoch = nullptr) const {
+    return ObjectsOf(v, epoch);
+  }
+
+  /// Number of applied write batches so far.
+  uint64_t epoch() const { return core_.epoch(); }
+
+  // --- writer API (one thread at a time) -----------------------------------
+
+  /// Applies the batch atomically w.r.t. readers (bulk path for backends
+  /// that have one); returns how many pairs were new.
+  uint64_t AddPairsBatch(const RelationPairs& pairs);
+  /// Returns how many of `pairs` were present and removed.
+  uint64_t RemovePairsBatch(const RelationPairs& pairs);
+
+  const char* backend_name() const {
+    return core_.unsynchronized().backend_name();
+  }
+
+  /// The wrapped relation, with no locking. Callers must guarantee
+  /// quiescence.
+  RelationIndex& unsynchronized() { return core_.unsynchronized(); }
+
+ private:
+  EpochGuard<RelationIndex> core_;
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_SERVE_CONCURRENT_RELATION_H_

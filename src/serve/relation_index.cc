@@ -1,0 +1,49 @@
+#include "serve/relation_index.h"
+
+#include "util/check.h"
+
+namespace dyndex {
+
+const char* RelationBackendName(RelationBackend backend) {
+  switch (backend) {
+    case RelationBackend::kTheorem2:
+      return "theorem2";
+    case RelationBackend::kBaseline:
+      return "baseline";
+    case RelationBackend::kGraph:
+      return "graph";
+  }
+  DYNDEX_CHECK(false);
+  return "?";
+}
+
+std::unique_ptr<RelationIndex> MakeRelationIndex(
+    RelationBackend backend, const RelationIndexOptions& opt) {
+  switch (backend) {
+    case RelationBackend::kTheorem2: {
+      DynamicRelationOptions o;
+      o.tau = opt.tau;
+      o.epsilon = opt.epsilon;
+      o.min_c0 = opt.min_c0;
+      return std::make_unique<RelationAdapter<DynamicRelation>>(
+          RelationBackendName(backend), o);
+    }
+    case RelationBackend::kBaseline: {
+      return std::make_unique<RelationAdapter<BaselineRelation>>(
+          RelationBackendName(backend), opt.baseline_max_objects,
+          opt.baseline_max_labels);
+    }
+    case RelationBackend::kGraph: {
+      DynamicRelationOptions o;
+      o.tau = opt.tau;
+      o.epsilon = opt.epsilon;
+      o.min_c0 = opt.min_c0;
+      return std::make_unique<RelationAdapter<DynamicGraph>>(
+          RelationBackendName(backend), o);
+    }
+  }
+  DYNDEX_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace dyndex

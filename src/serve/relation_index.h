@@ -1,0 +1,217 @@
+// The relation-serving facade: one polymorphic interface over every dynamic
+// binary-relation structure in the repo, so servers, tests and benchmarks can
+// swap backends without recompiling against a different template — the
+// Theorem 2/3 analogue of serve/dynamic_index.h.
+//
+// Three families implement it (via one duck-typed adapter):
+//  * DynamicRelation  -- Theorem 2: the paper's framework (C0 + deletion-only
+//                        compressed sub-collections on the T1 schedule)
+//  * BaselineRelation -- Navarro-Nekrich [35]: dynamic wavelet tree + dynamic
+//                        bit vector, the structure Theorem 2 improves on
+//  * DynamicGraph     -- Theorem 3: a digraph served as the relation
+//                        edge u -> v == pair (u, v)
+//
+// All query methods are const: the adapter stores the relation by value and
+// calls through from const members, so any mutation hiding in a backend's
+// query path fails to compile here. This is the single-threaded facade;
+// serve/concurrent_relation.h adds the reader/writer discipline on top.
+#ifndef DYNDEX_SERVE_RELATION_INDEX_H_
+#define DYNDEX_SERVE_RELATION_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "relation/baseline_relation.h"
+#include "relation/dynamic_graph.h"
+#include "relation/dynamic_relation.h"
+
+namespace dyndex {
+
+/// Batched (object, label) pairs — or (source, target) edges — in external
+/// id space, as produced by gen/relation_gen.h.
+using RelationPairs = std::vector<std::pair<uint32_t, uint32_t>>;
+
+/// Polymorphic fully-dynamic binary relation / digraph.
+class RelationIndex {
+ public:
+  virtual ~RelationIndex() = default;
+
+  // Mutations (writer thread only; see concurrent_relation.h).
+  virtual bool AddPair(uint32_t object, uint32_t label) = 0;
+  virtual bool RemovePair(uint32_t object, uint32_t label) = 0;
+
+  /// Adds a batch; returns how many pairs were new. Backends with a bulk
+  /// path (all three) load cold-start batches in one build instead of
+  /// |batch| pairwise dynamic insertions; the default loops over AddPair.
+  virtual uint64_t AddPairsBulk(const RelationPairs& pairs) {
+    uint64_t added = 0;
+    for (auto [o, a] : pairs) added += AddPair(o, a);
+    return added;
+  }
+
+  // Queries (const end to end).
+  virtual bool Related(uint32_t object, uint32_t label) const = 0;
+  virtual std::vector<uint32_t> LabelsOf(uint32_t object) const = 0;
+  virtual std::vector<uint32_t> ObjectsOf(uint32_t label) const = 0;
+  virtual uint64_t CountLabelsOf(uint32_t object) const = 0;
+  virtual uint64_t CountObjectsOf(uint32_t label) const = 0;
+  virtual uint64_t num_pairs() const = 0;
+  virtual uint64_t SpaceBytes() const = 0;
+
+  /// Structural self-check (no-op where the backend offers none).
+  virtual void CheckInvariants() const {}
+
+  virtual const char* backend_name() const = 0;
+
+  // Graph view (Theorem 3): edge u -> v is the pair (u, v), so out-neighbors
+  // are labels-of-u and reverse (in-)neighbors are objects-of-v.
+  bool AddEdge(uint32_t u, uint32_t v) { return AddPair(u, v); }
+  bool RemoveEdge(uint32_t u, uint32_t v) { return RemovePair(u, v); }
+  uint64_t AddEdgesBulk(const RelationPairs& edges) {
+    return AddPairsBulk(edges);
+  }
+  bool HasEdge(uint32_t u, uint32_t v) const { return Related(u, v); }
+  std::vector<uint32_t> Neighbors(uint32_t u) const { return LabelsOf(u); }
+  std::vector<uint32_t> Reverse(uint32_t v) const { return ObjectsOf(v); }
+  uint64_t OutDegree(uint32_t u) const { return CountLabelsOf(u); }
+  uint64_t InDegree(uint32_t v) const { return CountObjectsOf(v); }
+  uint64_t num_edges() const { return num_pairs(); }
+};
+
+/// Adapter over any relation-shaped backend. Pair-named members
+/// (AddPair/RemovePair/Related/ForEach*/Count*) and edge-named members
+/// (AddEdge/RemoveEdge/HasEdge/ForEach*Neighbor/Degrees) are both accepted,
+/// detected with `requires`; optional capabilities (AddPairsBulk,
+/// CheckInvariants) are forwarded when present.
+template <typename Rel>
+class RelationAdapter final : public RelationIndex {
+ public:
+  template <typename... Args>
+  explicit RelationAdapter(const char* name, Args&&... args)
+      : name_(name), rel_(std::forward<Args>(args)...) {}
+
+  bool AddPair(uint32_t object, uint32_t label) override {
+    if constexpr (requires(Rel& r) { r.AddPair(object, label); }) {
+      return rel_.AddPair(object, label);
+    } else {
+      return rel_.AddEdge(object, label);
+    }
+  }
+
+  bool RemovePair(uint32_t object, uint32_t label) override {
+    if constexpr (requires(Rel& r) { r.RemovePair(object, label); }) {
+      return rel_.RemovePair(object, label);
+    } else {
+      return rel_.RemoveEdge(object, label);
+    }
+  }
+
+  uint64_t AddPairsBulk(const RelationPairs& pairs) override {
+    if constexpr (requires(Rel& r) { r.AddPairsBulk(pairs); }) {
+      return rel_.AddPairsBulk(pairs);
+    } else if constexpr (requires(Rel& r) { r.AddEdgesBulk(pairs); }) {
+      return rel_.AddEdgesBulk(pairs);
+    } else {
+      return RelationIndex::AddPairsBulk(pairs);
+    }
+  }
+
+  bool Related(uint32_t object, uint32_t label) const override {
+    if constexpr (requires(const Rel& r) { r.Related(object, label); }) {
+      return rel_.Related(object, label);
+    } else {
+      return rel_.HasEdge(object, label);
+    }
+  }
+
+  std::vector<uint32_t> LabelsOf(uint32_t object) const override {
+    std::vector<uint32_t> out;
+    if constexpr (requires(const Rel& r) {
+                    r.ForEachLabelOfObject(object, [](uint32_t) {});
+                  }) {
+      rel_.ForEachLabelOfObject(object,
+                                [&](uint32_t a) { out.push_back(a); });
+    } else {
+      rel_.ForEachOutNeighbor(object, [&](uint32_t a) { out.push_back(a); });
+    }
+    return out;
+  }
+
+  std::vector<uint32_t> ObjectsOf(uint32_t label) const override {
+    std::vector<uint32_t> out;
+    if constexpr (requires(const Rel& r) {
+                    r.ForEachObjectOfLabel(label, [](uint32_t) {});
+                  }) {
+      rel_.ForEachObjectOfLabel(label, [&](uint32_t o) { out.push_back(o); });
+    } else {
+      rel_.ForEachInNeighbor(label, [&](uint32_t o) { out.push_back(o); });
+    }
+    return out;
+  }
+
+  uint64_t CountLabelsOf(uint32_t object) const override {
+    if constexpr (requires(const Rel& r) { r.CountLabelsOf(object); }) {
+      return rel_.CountLabelsOf(object);
+    } else {
+      return rel_.OutDegree(object);
+    }
+  }
+
+  uint64_t CountObjectsOf(uint32_t label) const override {
+    if constexpr (requires(const Rel& r) { r.CountObjectsOf(label); }) {
+      return rel_.CountObjectsOf(label);
+    } else {
+      return rel_.InDegree(label);
+    }
+  }
+
+  uint64_t num_pairs() const override {
+    if constexpr (requires(const Rel& r) { r.num_pairs(); }) {
+      return rel_.num_pairs();
+    } else {
+      return rel_.num_edges();
+    }
+  }
+
+  uint64_t SpaceBytes() const override { return rel_.SpaceBytes(); }
+
+  void CheckInvariants() const override {
+    if constexpr (requires(const Rel& r) { r.CheckInvariants(); }) {
+      rel_.CheckInvariants();
+    }
+  }
+
+  const char* backend_name() const override { return name_; }
+
+  Rel& relation() { return rel_; }
+  const Rel& relation() const { return rel_; }
+
+ private:
+  const char* name_;
+  Rel rel_;
+};
+
+/// Which structure backs the relation facade.
+enum class RelationBackend { kTheorem2, kBaseline, kGraph };
+
+const char* RelationBackendName(RelationBackend backend);
+
+/// One options bag for every backend; fields irrelevant to the chosen
+/// backend are ignored (e.g. `baseline_*` outside kBaseline).
+struct RelationIndexOptions {
+  uint32_t tau = 0;        // dead-fraction purge knob; 0 = auto
+  double epsilon = 0.5;    // Transformation-1 growth exponent
+  uint64_t min_c0 = 1024;  // C0 capacity floor in pairs
+  uint32_t baseline_max_objects = 4096;  // fixed capacities of [35]
+  uint32_t baseline_max_labels = 4096;
+};
+
+/// Builds a facade over the requested backend.
+std::unique_ptr<RelationIndex> MakeRelationIndex(
+    RelationBackend backend, const RelationIndexOptions& opt = {});
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_SERVE_RELATION_INDEX_H_

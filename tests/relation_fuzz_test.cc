@@ -1,0 +1,214 @@
+// Seeded differential fuzzing of the dynamic relation stack against a
+// std::set<pair> model: mixed point + bulk AddPair/RemovePair driven through
+// the RelationIndex facade for every backend (Theorem 2, the Navarro-Nekrich
+// baseline, and the Theorem 3 graph view), with C0 sized so rounds keep
+// crossing the purge, merge-cascade and sub-collection-promotion boundaries.
+// Every failure message carries the seed that produced it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "serve/relation_index.h"
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+using PairSet = std::set<std::pair<uint32_t, uint32_t>>;
+
+constexpr uint32_t kObjects = 48;
+constexpr uint32_t kLabels = 40;
+
+RelationIndexOptions TightOptions() {
+  RelationIndexOptions opt;
+  // A tiny C0 and aggressive purge knob force frequent merges, purges and
+  // level promotions; the baseline capacities bound the id universe.
+  opt.min_c0 = 16;
+  opt.tau = 3;
+  opt.baseline_max_objects = kObjects;
+  opt.baseline_max_labels = kLabels;
+  return opt;
+}
+
+void CheckSampled(const RelationIndex& rel, const PairSet& model, Rng& rng,
+                  uint64_t seed) {
+  ASSERT_EQ(rel.num_pairs(), model.size()) << "seed=" << seed;
+  for (int probe = 0; probe < 12; ++probe) {
+    uint32_t o = static_cast<uint32_t>(rng.Below(kObjects));
+    uint32_t a = static_cast<uint32_t>(rng.Below(kLabels));
+    ASSERT_EQ(rel.Related(o, a), model.count({o, a}) > 0)
+        << "seed=" << seed << " o=" << o << " a=" << a;
+  }
+  uint32_t o = static_cast<uint32_t>(rng.Below(kObjects));
+  std::vector<uint32_t> labels = rel.LabelsOf(o);
+  std::sort(labels.begin(), labels.end());
+  std::vector<uint32_t> expect_labels;
+  for (auto [oo, aa] : model) {
+    if (oo == o) expect_labels.push_back(aa);
+  }
+  ASSERT_EQ(labels, expect_labels) << "seed=" << seed << " o=" << o;
+  ASSERT_EQ(rel.CountLabelsOf(o), expect_labels.size())
+      << "seed=" << seed << " o=" << o;
+  uint32_t a = static_cast<uint32_t>(rng.Below(kLabels));
+  std::vector<uint32_t> objects = rel.ObjectsOf(a);
+  std::sort(objects.begin(), objects.end());
+  std::vector<uint32_t> expect_objects;
+  for (auto [oo, aa] : model) {
+    if (aa == a) expect_objects.push_back(oo);
+  }
+  ASSERT_EQ(objects, expect_objects) << "seed=" << seed << " a=" << a;
+  ASSERT_EQ(rel.CountObjectsOf(a), expect_objects.size())
+      << "seed=" << seed << " a=" << a;
+}
+
+void CheckFull(const RelationIndex& rel, const PairSet& model, uint64_t seed) {
+  ASSERT_EQ(rel.num_pairs(), model.size()) << "seed=" << seed;
+  for (uint32_t o = 0; o < kObjects; ++o) {
+    std::vector<uint32_t> labels = rel.LabelsOf(o);
+    std::sort(labels.begin(), labels.end());
+    std::vector<uint32_t> expect;
+    for (auto [oo, aa] : model) {
+      if (oo == o) expect.push_back(aa);
+    }
+    ASSERT_EQ(labels, expect) << "seed=" << seed << " o=" << o;
+    ASSERT_EQ(rel.CountLabelsOf(o), expect.size())
+        << "seed=" << seed << " o=" << o;
+  }
+  for (uint32_t a = 0; a < kLabels; ++a) {
+    std::vector<uint32_t> objects = rel.ObjectsOf(a);
+    std::sort(objects.begin(), objects.end());
+    std::vector<uint32_t> expect;
+    for (auto [oo, aa] : model) {
+      if (aa == a) expect.push_back(oo);
+    }
+    ASSERT_EQ(objects, expect) << "seed=" << seed << " a=" << a;
+    ASSERT_EQ(rel.CountObjectsOf(a), expect.size())
+        << "seed=" << seed << " a=" << a;
+  }
+  rel.CheckInvariants();
+}
+
+// One churn round: random point + bulk ops against the model, periodically
+// verified; an exhaustive end-of-round pass.
+void FuzzRound(RelationBackend backend, uint64_t seed, uint64_t steps) {
+  Rng rng(seed);
+  std::unique_ptr<RelationIndex> rel =
+      MakeRelationIndex(backend, TightOptions());
+  PairSet model;
+  // Half the rounds start from a cold bulk load large enough to promote the
+  // whole batch straight into a compressed sub-collection.
+  if (rng.Chance(0.5)) {
+    RelationPairs batch;
+    uint64_t n = rng.Below(600) + 50;
+    for (uint64_t i = 0; i < n; ++i) {
+      uint32_t o = static_cast<uint32_t>(rng.Below(kObjects));
+      uint32_t a = static_cast<uint32_t>(rng.Below(kLabels));
+      batch.push_back({o, a});  // duplicates intentionally kept
+      model.insert({o, a});
+    }
+    ASSERT_EQ(rel->AddPairsBulk(batch), model.size()) << "seed=" << seed;
+  }
+  for (uint64_t step = 0; step < steps; ++step) {
+    uint64_t op = rng.Below(100);
+    uint32_t o = static_cast<uint32_t>(rng.Below(kObjects));
+    uint32_t a = static_cast<uint32_t>(rng.Below(kLabels));
+    if (op < 40) {
+      ASSERT_EQ(rel->AddPair(o, a), model.insert({o, a}).second)
+          << "seed=" << seed << " step=" << step;
+    } else if (op < 70) {
+      ASSERT_EQ(rel->RemovePair(o, a), model.erase({o, a}) > 0)
+          << "seed=" << seed << " step=" << step;
+    } else if (op < 80) {
+      // Bulk add: big enough to overflow C0 regularly (promotion boundary),
+      // with duplicates both within the batch and against live pairs.
+      RelationPairs batch;
+      uint64_t n = rng.Below(120) + 1;
+      uint64_t fresh = 0;
+      for (uint64_t i = 0; i < n; ++i) {
+        uint32_t bo = static_cast<uint32_t>(rng.Below(kObjects));
+        uint32_t ba = static_cast<uint32_t>(rng.Below(kLabels));
+        batch.push_back({bo, ba});
+        fresh += model.insert({bo, ba}).second ? 1 : 0;
+      }
+      ASSERT_EQ(rel->AddPairsBulk(batch), fresh)
+          << "seed=" << seed << " step=" << step;
+    } else if (op < 88) {
+      // Burst of removes (drives dead-fraction purges and rebuilds).
+      uint64_t burst = rng.Below(40) + 1;
+      for (uint64_t k = 0; k < burst && !model.empty(); ++k) {
+        auto it = model.begin();
+        std::advance(it, static_cast<int64_t>(rng.Below(model.size())));
+        ASSERT_TRUE(rel->RemovePair(it->first, it->second))
+            << "seed=" << seed << " step=" << step;
+        model.erase(it);
+      }
+    } else {
+      CheckSampled(*rel, model, rng, seed);
+    }
+    if (step % 251 == 250) {
+      CheckSampled(*rel, model, rng, seed);
+      rel->CheckInvariants();
+    }
+  }
+  CheckFull(*rel, model, seed);
+}
+
+TEST(RelationFuzzTest, Theorem2MixedChurnSeedSweep) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    FuzzRound(RelationBackend::kTheorem2, seed, 1500);
+  }
+}
+
+TEST(RelationFuzzTest, BaselineMixedChurnSeedSweep) {
+  for (uint64_t seed = 100; seed <= 105; ++seed) {
+    FuzzRound(RelationBackend::kBaseline, seed, 1200);
+  }
+}
+
+TEST(RelationFuzzTest, GraphViewMixedChurnSeedSweep) {
+  for (uint64_t seed = 200; seed <= 205; ++seed) {
+    FuzzRound(RelationBackend::kGraph, seed, 1200);
+  }
+}
+
+// The cold-start bulk path at sizes that land the batch 1..3 levels up the
+// schedule, checked pair-for-pair against a pairwise-built twin.
+TEST(RelationFuzzTest, BulkColdStartMatchesPairwiseTwin) {
+  for (uint64_t n : {10ull, 100ull, 1000ull, 5000ull, 20000ull}) {
+    Rng rng(n * 17 + 3);
+    RelationPairs batch;
+    for (uint64_t i = 0; i < n; ++i) {
+      batch.push_back({static_cast<uint32_t>(rng.Below(200)),
+                       static_cast<uint32_t>(rng.Below(150))});
+    }
+    RelationIndexOptions opt;
+    opt.min_c0 = 64;
+    auto bulk = MakeRelationIndex(RelationBackend::kTheorem2, opt);
+    auto pairwise = MakeRelationIndex(RelationBackend::kTheorem2, opt);
+    uint64_t bulk_added = bulk->AddPairsBulk(batch);
+    uint64_t pair_added = 0;
+    for (auto [o, a] : batch) pair_added += pairwise->AddPair(o, a);
+    ASSERT_EQ(bulk_added, pair_added) << "n=" << n;
+    ASSERT_EQ(bulk->num_pairs(), pairwise->num_pairs()) << "n=" << n;
+    bulk->CheckInvariants();
+    for (uint32_t o = 0; o < 200; ++o) {
+      std::vector<uint32_t> lb = bulk->LabelsOf(o);
+      std::vector<uint32_t> lp = pairwise->LabelsOf(o);
+      std::sort(lb.begin(), lb.end());
+      std::sort(lp.begin(), lp.end());
+      ASSERT_EQ(lb, lp) << "n=" << n << " o=" << o;
+    }
+    // And the bulk-loaded structure keeps mutating correctly.
+    ASSERT_TRUE(bulk->RemovePair(batch[0].first, batch[0].second));
+    ASSERT_FALSE(bulk->Related(batch[0].first, batch[0].second));
+    ASSERT_TRUE(bulk->AddPair(batch[0].first, batch[0].second));
+    bulk->CheckInvariants();
+  }
+}
+
+}  // namespace
+}  // namespace dyndex
