@@ -1,0 +1,184 @@
+// Sharded serving throughput: the single-writer bottleneck vs K shards with
+// parallel write fan-out (the tentpole scaling axis of the sharded layer).
+//
+// Three rows per shard count (1/2/4/8):
+//  * ColdBulkLoad  -- one InsertBatch of the whole corpus into a cold index:
+//    K independent SA-IS bulk builds running in parallel.
+//  * WriteBatches  -- warm mixed insert+erase batches against the dynamic
+//    baseline backend: per-shard sub-batches apply under K independent
+//    exclusive locks instead of serializing on one.
+//  * ReadersWithWriter -- 4 reader threads hammer fanned-out Count while one
+//    writer churns batches; sharding narrows the write lock to one shard at
+//    a time, so readers stall less.
+//
+// Scaling expectation: the fan-out is real OS-thread parallelism, so the
+// >= 2x write-batch speedup at 4 shards materializes on machines with >= 4
+// cores (CI runners, dev boxes). On a single-core container the rows still
+// measure the fan-out overhead honestly — expect ~flat trajectories there.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "serve/sharded_index.h"
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+constexpr uint64_t kCorpusSymbols = 1 << 17;
+constexpr uint64_t kDocLen = 256;
+constexpr uint32_t kSigma = 8;
+constexpr uint64_t kPatternLen = 4;
+constexpr uint32_t kNumPatterns = 64;
+constexpr uint64_t kBatchDocs = 32;
+constexpr uint64_t kQueriesPerReader = 256;
+constexpr int kBenchReaders = 4;
+
+DynamicIndexOptions BaselineOptions() {
+  DynamicIndexOptions opt;
+  opt.baseline_max_docs = 8192;
+  return opt;
+}
+
+// --- cold bulk load --------------------------------------------------------
+
+void BM_ShardedColdBulkLoad(benchmark::State& state) {
+  const uint32_t shards = static_cast<uint32_t>(state.range(0));
+  const bench::Corpus& corpus =
+      bench::GetCorpus(kCorpusSymbols, kSigma, kDocLen);
+  for (auto _ : state) {
+    ShardedIndex index(shards, Backend::kBaseline, BaselineOptions());
+    std::vector<DocId> ids = index.InsertBatch(corpus.docs);
+    benchmark::DoNotOptimize(ids.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(corpus.total_symbols));
+  state.counters["shards"] = shards;
+}
+
+BENCHMARK(BM_ShardedColdBulkLoad)
+    ->ArgName("shards")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// --- warm write batches ----------------------------------------------------
+
+/// Warm sharded index + a pool of update docs, built once per shard count.
+struct WriteFixture {
+  std::unique_ptr<ShardedIndex> index;
+  std::vector<std::vector<Symbol>> update_docs;
+  uint64_t batch_symbols = 0;
+};
+
+WriteFixture* GetWriteFixture(uint32_t shards) {
+  static std::map<uint32_t, std::unique_ptr<WriteFixture>> cache;
+  auto it = cache.find(shards);
+  if (it != cache.end()) return it->second.get();
+  auto f = std::make_unique<WriteFixture>();
+  const bench::Corpus& corpus =
+      bench::GetCorpus(kCorpusSymbols, kSigma, kDocLen);
+  f->index = std::make_unique<ShardedIndex>(shards, Backend::kBaseline,
+                                            BaselineOptions());
+  f->index->InsertBatch(corpus.docs);
+  Rng rng(bench::kPatternSeed + 7);
+  for (uint64_t i = 0; i < kBatchDocs; ++i) {
+    f->update_docs.push_back(MarkovText(rng, kDocLen, kSigma, 4));
+    f->batch_symbols += kDocLen;
+  }
+  WriteFixture* out = f.get();
+  cache[shards] = std::move(f);
+  return out;
+}
+
+/// One timed unit: insert a batch of kBatchDocs docs (fanned out across the
+/// shards), then erase exactly those ids (fanned out again) — the collection
+/// returns to its pre-iteration size, so iterations are comparable.
+void BM_ShardedWriteBatches(benchmark::State& state) {
+  const uint32_t shards = static_cast<uint32_t>(state.range(0));
+  WriteFixture* f = GetWriteFixture(shards);
+  for (auto _ : state) {
+    std::vector<DocId> ids = f->index->InsertBatch(f->update_docs);
+    uint64_t erased = f->index->EraseBatch(ids);
+    benchmark::DoNotOptimize(erased);
+  }
+  // Symbols written per iteration: the batch in, then the batch back out.
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * f->batch_symbols));
+  state.counters["shards"] = shards;
+}
+
+BENCHMARK(BM_ShardedWriteBatches)
+    ->ArgName("shards")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// --- readers vs writer -----------------------------------------------------
+
+void ReaderWork(const ShardedIndex& index,
+                const std::vector<std::vector<Symbol>>& patterns,
+                uint64_t seed, uint64_t queries) {
+  Rng rng(seed);
+  for (uint64_t q = 0; q < queries; ++q) {
+    uint64_t c = index.Count(patterns[rng.Below(patterns.size())]);
+    benchmark::DoNotOptimize(c);
+  }
+}
+
+void BM_ShardedReadersWithWriter(benchmark::State& state) {
+  const uint32_t shards = static_cast<uint32_t>(state.range(0));
+  WriteFixture* f = GetWriteFixture(shards);
+  const bench::Corpus& corpus =
+      bench::GetCorpus(kCorpusSymbols, kSigma, kDocLen);
+  auto patterns = bench::MakePatterns(corpus, kPatternLen, kNumPatterns);
+  uint64_t round = 0;
+  for (auto _ : state) {
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        std::vector<DocId> ids = f->index->InsertBatch(f->update_docs);
+        f->index->EraseBatch(ids);
+      }
+    });
+    std::vector<std::thread> pool;
+    for (int r = 0; r < kBenchReaders; ++r) {
+      pool.emplace_back(ReaderWork, std::cref(*f->index), std::cref(patterns),
+                        round * 131 + r, kQueriesPerReader);
+    }
+    for (auto& t : pool) t.join();
+    stop.store(true, std::memory_order_release);
+    writer.join();
+    ++round;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kBenchReaders *
+                          static_cast<int64_t>(kQueriesPerReader));
+  state.counters["shards"] = shards;
+}
+
+BENCHMARK(BM_ShardedReadersWithWriter)
+    ->ArgName("shards")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dyndex
+
+BENCHMARK_MAIN();

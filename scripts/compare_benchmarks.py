@@ -3,8 +3,8 @@
 prints a per-benchmark speedup table.
 
 Usage:
-  scripts/compare_benchmarks.py BEFORE.json AFTER.json
-  scripts/compare_benchmarks.py BEFORE_DIR/ AFTER_DIR/
+  scripts/compare_benchmarks.py [--fail-below=X] BEFORE.json AFTER.json
+  scripts/compare_benchmarks.py [--fail-below=X] BEFORE_DIR/ AFTER_DIR/
 
 BEFORE/AFTER are files written by scripts/run_benchmarks.sh (or any
 --benchmark_out=... --benchmark_out_format=json run). Benchmarks are matched
@@ -16,6 +16,12 @@ Directory mode matches BENCH_*.json files by filename (so two
 run_benchmarks.sh output trees — e.g. the CI bench-json artifacts of two
 commits — diff in one invocation) and prints one table per shared file plus
 an overall geomean.
+
+--fail-below=X turns the diff into an advisory regression gate: exit code 3
+when the overall geomean speedup falls below X. Use a *loose* threshold
+(e.g. 0.25 = "4x slower") when BEFORE is a committed baseline measured on a
+different machine — absolute times are not portable, so only gross
+regressions are actionable across hosts.
 """
 
 import json
@@ -81,13 +87,39 @@ def compare_files(before_path, after_path):
     return [r[3] for r in rows]
 
 
+def geomean_of(speedups):
+    finite = [s for s in speedups if math.isfinite(s) and s > 0]
+    if not finite:
+        return None
+    return math.exp(sum(math.log(s) for s in finite) / len(finite))
+
+
+def apply_gate(speedups, fail_below):
+    """Exit status for the optional --fail-below regression gate."""
+    if fail_below is None:
+        return 0
+    geomean = geomean_of(speedups)
+    if geomean is None:
+        sys.stderr.write("error: nothing comparable for --fail-below\n")
+        return 1
+    if geomean < fail_below:
+        sys.stderr.write(
+            f"FAIL: geomean speedup {geomean:.2f}x is below the "
+            f"--fail-below={fail_below} threshold\n")
+        return 3
+    print(f"gate ok: geomean {geomean:.2f}x >= {fail_below}")
+    return 0
+
+
 def compare_dirs(before_dir, after_dir):
+    """Prints one table per shared file; returns all speedups (None if no
+    comparable files at all)."""
     before_files = {f for f in os.listdir(before_dir) if f.endswith(".json")}
     after_files = {f for f in os.listdir(after_dir) if f.endswith(".json")}
     shared = sorted(before_files & after_files)
     if not shared:
         sys.stderr.write("error: no .json files in common\n")
-        return 1
+        return None
     all_speedups = []
     for name in shared:
         print(f"== {name}")
@@ -100,21 +132,35 @@ def compare_dirs(before_dir, after_dir):
         print(f"only in {before_dir}: {name}")
     for name in sorted(after_files - before_files):
         print(f"only in {after_dir}: {name}")
-    finite = [s for s in all_speedups if math.isfinite(s) and s > 0]
-    if finite:
-        geomean = math.exp(sum(math.log(s) for s in finite) / len(finite))
+    geomean = geomean_of(all_speedups)
+    if geomean is not None:
+        finite = [s for s in all_speedups if math.isfinite(s) and s > 0]
         print(f"overall geomean ({len(finite)} benchmarks): {geomean:.2f}x")
     # Mirror single-file mode: nothing comparable at all is a failure.
-    return 0 if all_speedups else 1
+    return all_speedups if all_speedups else None
 
 
 def main(argv):
-    if len(argv) != 3:
+    args = list(argv[1:])
+    fail_below = None
+    for arg in list(args):
+        if arg.startswith("--fail-below="):
+            try:
+                fail_below = float(arg.split("=", 1)[1])
+            except ValueError:
+                sys.stderr.write(f"error: bad threshold in '{arg}'\n")
+                return 2
+            args.remove(arg)
+    if len(args) != 2:
         sys.stderr.write(__doc__)
         return 2
-    if os.path.isdir(argv[1]) and os.path.isdir(argv[2]):
-        return compare_dirs(argv[1], argv[2])
-    return 0 if compare_files(argv[1], argv[2]) is not None else 1
+    if os.path.isdir(args[0]) and os.path.isdir(args[1]):
+        speedups = compare_dirs(args[0], args[1])
+    else:
+        speedups = compare_files(args[0], args[1])
+    if speedups is None:
+        return 1
+    return apply_gate(speedups, fail_below)
 
 
 if __name__ == "__main__":

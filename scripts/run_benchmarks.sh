@@ -1,9 +1,19 @@
 #!/usr/bin/env bash
-# Runs every bench_* binary in a build tree and writes one BENCH_<name>.json
-# per benchmark. Corpora and patterns use fixed seeds (see bench/bench_util.h),
+# Runs every bench_* binary in a build tree (bench_serve_sharded and friends
+# are picked up automatically) and writes one BENCH_<name>.json per
+# benchmark. Corpora and patterns use fixed seeds (see bench/bench_util.h),
 # so JSON trajectories are comparable run-to-run and commit-to-commit.
 #
 # Usage: scripts/run_benchmarks.sh [BUILD_DIR] [OUT_DIR] [EXTRA_BENCH_ARGS...]
+#
+# With DYNDEX_BASELINE_DIR set, the run finishes with an advisory
+# scripts/compare_benchmarks.py diff against it; DYNDEX_BASELINE_FAIL_BELOW
+# (default: unset = report only) turns that into a gate on the geomean.
+# Directory diffs match by *filename*, so point it at the OUT_DIR of a
+# previous full sweep (e.g. another commit's bench-json CI artifact). The
+# committed bench/baselines holds the CI perf-smoke set (BENCH_*_smoke.json
+# names) and pairs with the smoke step in ci.yml, not with a full sweep.
+# Keep thresholds loose across machines.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -34,3 +44,15 @@ if [[ "${ran}" -eq 0 ]]; then
   exit 1
 fi
 echo "done: ${ran} benchmarks."
+
+if [[ -n "${DYNDEX_BASELINE_DIR:-}" ]]; then
+  echo "== comparing against baseline ${DYNDEX_BASELINE_DIR}"
+  gate=()
+  if [[ -n "${DYNDEX_BASELINE_FAIL_BELOW:-}" ]]; then
+    gate=("--fail-below=${DYNDEX_BASELINE_FAIL_BELOW}")
+  fi
+  # ${gate[@]+...}: empty-array expansion is an unbound-variable error under
+  # `set -u` on bash < 4.4 (macOS ships 3.2).
+  "$(dirname "$0")/compare_benchmarks.py" ${gate[@]+"${gate[@]}"} \
+      "${DYNDEX_BASELINE_DIR}" "${OUT_DIR}"
+fi

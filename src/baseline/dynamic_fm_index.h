@@ -79,6 +79,9 @@ class DynamicFmIndex {
   uint64_t DocLenOf(DocId id) const;
 
   bool Contains(DocId id) const { return docs_.find(id) != docs_.end(); }
+  /// Exclusive upper bound on storable symbol values (the serving facade
+  /// screens documents against it; Insert's own precondition stays strict).
+  uint32_t max_symbol() const { return opt_.max_symbol; }
   uint64_t num_docs() const { return docs_.size(); }
   /// Total stored symbols (including one separator per document).
   uint64_t size() const { return bwt_.size(); }

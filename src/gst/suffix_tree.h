@@ -69,9 +69,13 @@ class SuffixTreeCollection {
 
   uint64_t SpaceBytes() const;
 
+  /// Base of the per-document terminator symbols (terminator = kTermBase +
+  /// slot). User symbols must stay below it; the serving facade screens
+  /// patterns and documents against this bound.
+  static constexpr Symbol kTermBase = 1u << 31;
+
  private:
   static constexpr uint32_t kNil = ~0u;
-  static constexpr Symbol kTermBase = 1u << 31;
 
   struct Node {
     std::unordered_map<Symbol, uint32_t> children;

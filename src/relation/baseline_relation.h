@@ -72,6 +72,12 @@ class BaselineRelation {
   uint64_t num_pairs() const { return s_.size(); }
   uint64_t SpaceBytes() const { return s_.SpaceBytes() + n_.SpaceBytes(); }
 
+  /// Fixed id capacities: objects in [0, max_objects()), labels in
+  /// [0, max_labels()). Ids outside are preconditions violations on this
+  /// class; the serving facade screens them out.
+  uint32_t max_objects() const { return max_objects_; }
+  uint32_t max_labels() const { return max_labels_; }
+
  private:
   DynamicWaveletTree s_;
   DynamicBitVector n_;  // 1 per pair, 0 terminating each object's run

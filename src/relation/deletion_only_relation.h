@@ -39,8 +39,12 @@ class DeletionOnlyRelation {
   bool Related(uint32_t o, uint32_t a) const;
 
   /// fn(label) for each live label of object o, O(log sigma_l) per datum.
+  /// Objects outside [0, num_objects) have no pairs (ObjectRange's
+  /// precondition is strict, so the guard lives here — standalone servers
+  /// pass arbitrary ids, unlike DynamicRelation's dense local slots).
   template <typename Fn>
   void ForEachLabelOfObject(uint32_t o, Fn fn) const {
+    if (o >= rel_.num_objects()) return;
     auto [l, r] = rel_.ObjectRange(o);
     live_.ForEachLive(l, r, [&](uint64_t pos) { fn(rel_.LabelAt(pos)); });
   }
@@ -59,6 +63,7 @@ class DeletionOnlyRelation {
 
   /// Live labels related to object o: O(log n) via the counting reporter.
   uint64_t CountLabelsOf(uint32_t o) const {
+    if (o >= rel_.num_objects()) return 0;
     auto [l, r] = rel_.ObjectRange(o);
     return live_.CountLive(l, r);
   }

@@ -1,0 +1,82 @@
+#include "relation/deletion_only_shell.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dyndex {
+
+DeletionOnlyShell::DeletionOnlyShell(const DeletionOnlyShellOptions& opt)
+    : opt_(opt) {}
+
+uint32_t DeletionOnlyShell::tau() const {
+  return opt_.tau != 0 ? opt_.tau : 4;
+}
+
+void DeletionOnlyShell::Rebuild(std::vector<Pair> live) {
+  uint32_t num_objects = 0;
+  uint32_t num_labels = 0;
+  for (const Pair& p : live) {
+    num_objects = std::max(num_objects, p.object + 1);
+    num_labels = std::max(num_labels, p.label + 1);
+  }
+  rel_ = DeletionOnlyRelation(std::move(live), num_objects, num_labels);
+  ++rebuilds_;
+}
+
+bool DeletionOnlyShell::AddPair(uint32_t o, uint32_t a) {
+  if (o >= opt_.max_objects || a >= opt_.max_labels) return false;
+  if (rel_.Related(o, a)) return false;
+  std::vector<Pair> live;
+  live.reserve(rel_.live_pairs() + 1);
+  rel_.ExportLivePairs(&live);
+  live.push_back({o, a});
+  Rebuild(std::move(live));
+  return true;
+}
+
+uint64_t DeletionOnlyShell::AddPairsBulk(
+    const std::vector<std::pair<uint32_t, uint32_t>>& ps) {
+  std::vector<Pair> live;
+  live.reserve(rel_.live_pairs() + ps.size());
+  rel_.ExportLivePairs(&live);
+  uint64_t old_live = live.size();
+  for (auto [o, a] : ps) {
+    if (o >= opt_.max_objects || a >= opt_.max_labels) continue;
+    if (!rel_.Related(o, a)) live.push_back({o, a});
+  }
+  if (live.size() == old_live) return 0;  // nothing new: skip the rebuild
+  // Dedupe within the batch (the live export is already duplicate-free and
+  // disjoint from the appended fresh pairs).
+  std::sort(live.begin(), live.end());
+  live.erase(std::unique(live.begin(), live.end()), live.end());
+  uint64_t added = live.size() - old_live;
+  Rebuild(std::move(live));
+  return added;
+}
+
+bool DeletionOnlyShell::RemovePair(uint32_t o, uint32_t a) {
+  if (!rel_.DeletePair(o, a)) return false;
+  if (rel_.NeedsPurge(tau())) {
+    std::vector<Pair> live;
+    live.reserve(rel_.live_pairs());
+    rel_.ExportLivePairs(&live);
+    Rebuild(std::move(live));
+  }
+  return true;
+}
+
+void DeletionOnlyShell::CheckInvariants() const {
+  std::vector<Pair> live;
+  rel_.ExportLivePairs(&live);
+  DYNDEX_CHECK(live.size() == rel_.live_pairs());
+  DYNDEX_CHECK(rel_.live_pairs() + rel_.dead_pairs() == rel_.total_pairs());
+  uint64_t by_label = 0;
+  for (uint32_t a = 0; a < rel_.num_labels(); ++a) {
+    by_label += rel_.CountObjectsOf(a);
+  }
+  DYNDEX_CHECK(by_label == rel_.live_pairs());
+  for (const Pair& p : live) DYNDEX_CHECK(rel_.Related(p.object, p.label));
+}
+
+}  // namespace dyndex

@@ -1,0 +1,91 @@
+// DeletionOnlyRelation behind the fully-dynamic relation contract: the
+// deletion-only structure of Section 5 (first half) made servable by the
+// classic static-to-dynamic fallback — insertions rebuild the static core
+// from its exported live pairs, deletions stay lazy until the dead fraction
+// reaches 1/tau and a purge rebuilds.
+//
+// This is deliberately the *un*-amortized end of the design space: one flat
+// structure, O(live) work per insertion batch, no sub-collection schedule.
+// It exists so the serving facade (serve/relation_index.h) and the
+// differential fuzz harness exercise DeletionOnlyRelation's purge/export
+// boundaries directly, not only through DynamicRelation's dense local slots.
+#ifndef DYNDEX_RELATION_DELETION_ONLY_SHELL_H_
+#define DYNDEX_RELATION_DELETION_ONLY_SHELL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "relation/deletion_only_relation.h"
+
+namespace dyndex {
+
+struct DeletionOnlyShellOptions {
+  /// Dead-fraction purge knob: purge when dead * tau >= total. 0 = default.
+  uint32_t tau = 0;
+  /// Id capacity caps. The static core is *dense* over [0, max live id], so
+  /// an unbounded hostile id would cost O(id) space on the next rebuild;
+  /// pairs at or above these caps are rejected instead.
+  uint32_t max_objects = 1u << 20;
+  uint32_t max_labels = 1u << 20;
+};
+
+/// Fully-dynamic facade-shaped shell over one DeletionOnlyRelation.
+class DeletionOnlyShell {
+ public:
+  explicit DeletionOnlyShell(const DeletionOnlyShellOptions& opt = {});
+
+  /// Adds (o, a) by rebuilding the static core over live pairs + the new
+  /// pair. Returns false if already live. O(live pairs).
+  bool AddPair(uint32_t o, uint32_t a);
+
+  /// Adds a batch in ONE rebuild (duplicates within the batch and against
+  /// live pairs are dropped); returns how many pairs were new.
+  uint64_t AddPairsBulk(const std::vector<std::pair<uint32_t, uint32_t>>& ps);
+
+  /// Lazy deletion; purges (rebuild over exported live pairs) once the dead
+  /// fraction reaches 1/tau. Returns false if absent.
+  bool RemovePair(uint32_t o, uint32_t a);
+
+  bool Related(uint32_t o, uint32_t a) const { return rel_.Related(o, a); }
+
+  template <typename Fn>
+  void ForEachLabelOfObject(uint32_t o, Fn fn) const {
+    rel_.ForEachLabelOfObject(o, fn);
+  }
+
+  template <typename Fn>
+  void ForEachObjectOfLabel(uint32_t a, Fn fn) const {
+    rel_.ForEachObjectOfLabel(a, fn);
+  }
+
+  uint64_t CountLabelsOf(uint32_t o) const { return rel_.CountLabelsOf(o); }
+  uint64_t CountObjectsOf(uint32_t a) const { return rel_.CountObjectsOf(a); }
+
+  uint64_t num_pairs() const { return rel_.live_pairs(); }
+  uint64_t SpaceBytes() const { return rel_.SpaceBytes(); }
+
+  /// Id capacities (dense universe bound; see DeletionOnlyShellOptions).
+  /// The serving facade screens out-of-range ids against these.
+  uint32_t max_objects() const { return opt_.max_objects; }
+  uint32_t max_labels() const { return opt_.max_labels; }
+
+  /// Rebuilds performed so far (insertions + purges); test introspection.
+  uint64_t rebuilds() const { return rebuilds_; }
+  uint32_t tau() const;
+
+  /// Test hook: the exported live view must agree with the counters.
+  void CheckInvariants() const;
+
+ private:
+  /// Replaces the core with one built over exactly `live` (duplicate-free).
+  void Rebuild(std::vector<Pair> live);
+
+  DeletionOnlyRelation rel_;
+  DeletionOnlyShellOptions opt_;
+  uint64_t rebuilds_ = 0;
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_RELATION_DELETION_ONLY_SHELL_H_

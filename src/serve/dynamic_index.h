@@ -16,6 +16,7 @@
 #ifndef DYNDEX_SERVE_DYNAMIC_INDEX_H_
 #define DYNDEX_SERVE_DYNAMIC_INDEX_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <utility>
@@ -29,7 +30,37 @@
 
 namespace dyndex {
 
+/// Exclusive upper bound on symbols a query pattern or stored document may
+/// contain. Values at or above this are reserved for internal terminators
+/// (the C0 suffix tree hands out kTermBase + slot), so a hostile pattern
+/// containing one could otherwise match document boundaries.
+inline constexpr Symbol kMaxPatternSymbol = 1u << 31;
+static_assert(kMaxPatternSymbol == SuffixTreeCollection::kTermBase,
+              "facade symbol screening must match the C0 terminator base");
+
+/// True iff every symbol is a representable user symbol. Patterns failing
+/// this (and empty patterns) match nothing by facade contract — they never
+/// reach a backend, whose preconditions stay strict.
+inline bool IsQueryablePattern(const std::vector<Symbol>& pattern) {
+  if (pattern.empty()) return false;
+  for (Symbol s : pattern) {
+    if (s < kMinSymbol || s >= kMaxPatternSymbol) return false;
+  }
+  return true;
+}
+
 /// Polymorphic fully-dynamic document-collection index.
+///
+/// Degenerate inputs have uniform, total semantics at this facade for every
+/// backend (the backends themselves keep strict DYNDEX_CHECK preconditions):
+///  * Count/Locate of an empty or non-representable pattern: 0 / no matches.
+///  * Extract/DocLenOf of an unknown id: empty / 0 (no abort).
+///  * Extract beyond the end of a document: clamped to the stored suffix.
+///  * Insert/InsertBulk of an empty document, or of one containing a
+///    reserved symbol or a symbol beyond the backend's alphabet capacity:
+///    rejected with kInvalidDocId.
+/// (Resource exhaustion — e.g. the baseline's max_docs separator pool — is a
+/// capacity limit, not input screening, and stays a strict precondition.)
 class DynamicIndex {
  public:
   virtual ~DynamicIndex() = default;
@@ -83,16 +114,22 @@ class CollectionIndex final : public DynamicIndex {
       : name_(name), coll_(std::forward<Args>(args)...) {}
 
   DocId Insert(std::vector<Symbol> symbols) override {
+    if (!Storable(symbols)) return kInvalidDocId;
     return coll_.Insert(std::move(symbols));
   }
   bool Erase(DocId id) override { return coll_.Erase(id); }
 
   std::vector<DocId> InsertBulk(
       std::vector<std::vector<Symbol>> docs) override {
-    // The backend bulk path requires a cold structure; warm indexes (or
-    // backends without one) take the incremental loop.
+    // The backend bulk path requires a cold structure and non-degenerate
+    // documents; warm indexes, batches containing unstorable documents, and
+    // backends without a bulk path take the incremental loop (which rejects
+    // the unstorable documents one by one).
     if constexpr (requires(Coll& c) { c.InsertBulk(docs); }) {
-      if (coll_.num_docs() == 0 && coll_.live_symbols() == 0) {
+      bool all_storable = true;
+      for (const auto& doc : docs) all_storable &= Storable(doc);
+      if (all_storable && coll_.num_docs() == 0 &&
+          coll_.live_symbols() == 0) {
         return coll_.InsertBulk(docs);
       }
     }
@@ -100,18 +137,27 @@ class CollectionIndex final : public DynamicIndex {
   }
 
   uint64_t Count(const std::vector<Symbol>& pattern) const override {
+    if (!IsQueryablePattern(pattern)) return 0;
     return coll_.Count(pattern);
   }
   std::vector<Occurrence> Locate(
       const std::vector<Symbol>& pattern) const override {
+    if (!IsQueryablePattern(pattern)) return {};
     return coll_.Find(pattern);
   }
   std::vector<Symbol> Extract(DocId id, uint64_t from,
                               uint64_t len) const override {
+    if (!coll_.Contains(id)) return {};
+    uint64_t doc_len = coll_.DocLenOf(id);
+    if (from >= doc_len) return {};
+    len = std::min(len, doc_len - from);
+    if (len == 0) return {};
     return coll_.Extract(id, from, len);
   }
   bool Contains(DocId id) const override { return coll_.Contains(id); }
-  uint64_t DocLenOf(DocId id) const override { return coll_.DocLenOf(id); }
+  uint64_t DocLenOf(DocId id) const override {
+    return coll_.Contains(id) ? coll_.DocLenOf(id) : 0;
+  }
   uint64_t num_docs() const override { return coll_.num_docs(); }
   uint64_t live_symbols() const override { return coll_.live_symbols(); }
 
@@ -137,6 +183,22 @@ class CollectionIndex final : public DynamicIndex {
   const Coll& collection() const { return coll_; }
 
  private:
+  /// Whether the facade accepts `doc` for this backend: non-empty, no
+  /// reserved symbols, and within the backend's alphabet capacity when it
+  /// advertises one (the dynamic FM baseline's fixed max_symbol; the
+  /// transformation backends remap any symbol below the terminator range).
+  bool Storable(const std::vector<Symbol>& doc) const {
+    if (doc.empty()) return false;
+    Symbol bound = kMaxPatternSymbol;
+    if constexpr (requires(const Coll& c) { c.max_symbol(); }) {
+      bound = std::min<Symbol>(bound, coll_.max_symbol());
+    }
+    for (Symbol s : doc) {
+      if (s < kMinSymbol || s >= bound) return false;
+    }
+    return true;
+  }
+
   const char* name_;
   Coll coll_;
 };

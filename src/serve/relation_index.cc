@@ -12,6 +12,8 @@ const char* RelationBackendName(RelationBackend backend) {
       return "baseline";
     case RelationBackend::kGraph:
       return "graph";
+    case RelationBackend::kDeletionOnly:
+      return "deletion_only";
   }
   DYNDEX_CHECK(false);
   return "?";
@@ -39,6 +41,12 @@ std::unique_ptr<RelationIndex> MakeRelationIndex(
       o.epsilon = opt.epsilon;
       o.min_c0 = opt.min_c0;
       return std::make_unique<RelationAdapter<DynamicGraph>>(
+          RelationBackendName(backend), o);
+    }
+    case RelationBackend::kDeletionOnly: {
+      DeletionOnlyShellOptions o;
+      o.tau = opt.tau;
+      return std::make_unique<RelationAdapter<DeletionOnlyShell>>(
           RelationBackendName(backend), o);
     }
   }

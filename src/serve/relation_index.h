@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "relation/baseline_relation.h"
+#include "relation/deletion_only_shell.h"
 #include "relation/dynamic_graph.h"
 #include "relation/dynamic_relation.h"
 
@@ -34,6 +35,12 @@ namespace dyndex {
 using RelationPairs = std::vector<std::pair<uint32_t, uint32_t>>;
 
 /// Polymorphic fully-dynamic binary relation / digraph.
+///
+/// Degenerate inputs have uniform, total semantics at this facade for every
+/// backend (backends with fixed capacities keep strict DYNDEX_CHECK
+/// preconditions): ids a backend cannot represent never reach it — AddPair /
+/// RemovePair / Related report false, LabelsOf / ObjectsOf report empty, the
+/// counting queries report 0, and nothing aborts.
 class RelationIndex {
  public:
   virtual ~RelationIndex() = default;
@@ -93,6 +100,7 @@ class RelationAdapter final : public RelationIndex {
       : name_(name), rel_(std::forward<Args>(args)...) {}
 
   bool AddPair(uint32_t object, uint32_t label) override {
+    if (!Representable(object, label)) return false;
     if constexpr (requires(Rel& r) { r.AddPair(object, label); }) {
       return rel_.AddPair(object, label);
     } else {
@@ -101,6 +109,7 @@ class RelationAdapter final : public RelationIndex {
   }
 
   bool RemovePair(uint32_t object, uint32_t label) override {
+    if (!Representable(object, label)) return false;
     if constexpr (requires(Rel& r) { r.RemovePair(object, label); }) {
       return rel_.RemovePair(object, label);
     } else {
@@ -109,16 +118,31 @@ class RelationAdapter final : public RelationIndex {
   }
 
   uint64_t AddPairsBulk(const RelationPairs& pairs) override {
+    // Screen out unrepresentable pairs once, so backend bulk builds see only
+    // ids within capacity (fixed-capacity backends abort otherwise).
+    const RelationPairs* effective = &pairs;
+    RelationPairs kept;
+    if constexpr (HasCapacity()) {
+      bool all_ok = true;
+      for (auto [o, a] : pairs) all_ok &= Representable(o, a);
+      if (!all_ok) {
+        for (auto [o, a] : pairs) {
+          if (Representable(o, a)) kept.push_back({o, a});
+        }
+        effective = &kept;
+      }
+    }
     if constexpr (requires(Rel& r) { r.AddPairsBulk(pairs); }) {
-      return rel_.AddPairsBulk(pairs);
+      return rel_.AddPairsBulk(*effective);
     } else if constexpr (requires(Rel& r) { r.AddEdgesBulk(pairs); }) {
-      return rel_.AddEdgesBulk(pairs);
+      return rel_.AddEdgesBulk(*effective);
     } else {
-      return RelationIndex::AddPairsBulk(pairs);
+      return RelationIndex::AddPairsBulk(*effective);
     }
   }
 
   bool Related(uint32_t object, uint32_t label) const override {
+    if (!Representable(object, label)) return false;
     if constexpr (requires(const Rel& r) { r.Related(object, label); }) {
       return rel_.Related(object, label);
     } else {
@@ -127,6 +151,7 @@ class RelationAdapter final : public RelationIndex {
   }
 
   std::vector<uint32_t> LabelsOf(uint32_t object) const override {
+    if (!ObjectInRange(object)) return {};
     std::vector<uint32_t> out;
     if constexpr (requires(const Rel& r) {
                     r.ForEachLabelOfObject(object, [](uint32_t) {});
@@ -140,6 +165,7 @@ class RelationAdapter final : public RelationIndex {
   }
 
   std::vector<uint32_t> ObjectsOf(uint32_t label) const override {
+    if (!LabelInRange(label)) return {};
     std::vector<uint32_t> out;
     if constexpr (requires(const Rel& r) {
                     r.ForEachObjectOfLabel(label, [](uint32_t) {});
@@ -152,6 +178,7 @@ class RelationAdapter final : public RelationIndex {
   }
 
   uint64_t CountLabelsOf(uint32_t object) const override {
+    if (!ObjectInRange(object)) return 0;
     if constexpr (requires(const Rel& r) { r.CountLabelsOf(object); }) {
       return rel_.CountLabelsOf(object);
     } else {
@@ -160,6 +187,7 @@ class RelationAdapter final : public RelationIndex {
   }
 
   uint64_t CountObjectsOf(uint32_t label) const override {
+    if (!LabelInRange(label)) return 0;
     if constexpr (requires(const Rel& r) { r.CountObjectsOf(label); }) {
       return rel_.CountObjectsOf(label);
     } else {
@@ -189,12 +217,38 @@ class RelationAdapter final : public RelationIndex {
   const Rel& relation() const { return rel_; }
 
  private:
+  /// Whether the backend advertises fixed id capacities (the Navarro-Nekrich
+  /// baseline does; the Theorem 2/3 structures accept any uint32 id).
+  static constexpr bool HasCapacity() {
+    return requires(const Rel& r) {
+      r.max_objects();
+      r.max_labels();
+    };
+  }
+
+  bool ObjectInRange(uint32_t object) const {
+    if constexpr (HasCapacity()) return object < rel_.max_objects();
+    return true;
+  }
+  bool LabelInRange(uint32_t label) const {
+    if constexpr (HasCapacity()) return label < rel_.max_labels();
+    return true;
+  }
+  bool Representable(uint32_t object, uint32_t label) const {
+    return ObjectInRange(object) && LabelInRange(label);
+  }
+
   const char* name_;
   Rel rel_;
 };
 
 /// Which structure backs the relation facade.
-enum class RelationBackend { kTheorem2, kBaseline, kGraph };
+///  * kTheorem2     -- the paper's framework (DynamicRelation)
+///  * kBaseline     -- Navarro-Nekrich dynamic rank/select (BaselineRelation)
+///  * kGraph        -- Theorem 3 digraph view (DynamicGraph)
+///  * kDeletionOnly -- Section 5's deletion-only structure behind the
+///                     rebuild-on-insert shell (DeletionOnlyShell)
+enum class RelationBackend { kTheorem2, kBaseline, kGraph, kDeletionOnly };
 
 const char* RelationBackendName(RelationBackend backend);
 

@@ -1,0 +1,196 @@
+#include "serve/sharded_index.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace dyndex {
+
+ShardedIndex::ShardedIndex(
+    uint32_t num_shards,
+    const std::function<std::unique_ptr<DynamicIndex>()>& shard_factory)
+    : pool_(num_shards > 0 ? num_shards - 1 : 0) {
+  DYNDEX_CHECK(num_shards >= 1);
+  shards_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(
+        std::make_unique<EpochGuard<DynamicIndex>>(shard_factory()));
+  }
+}
+
+ShardedIndex::ShardedIndex(uint32_t num_shards, Backend backend,
+                           const DynamicIndexOptions& opt)
+    : ShardedIndex(num_shards,
+                   [&] { return MakeDynamicIndex(backend, opt); }) {}
+
+uint64_t ShardedIndex::Count(const std::vector<Symbol>& pattern,
+                             ShardEpochs* epochs) const {
+  return shard_internal::SumOf(shard_internal::FanOutRead<uint64_t>(
+      pool_, num_shards(), epochs, [&](uint32_t s, uint64_t* epoch) {
+        return shards_[s]->Read(epoch, [&](const DynamicIndex& idx) {
+          return idx.Count(pattern);
+        });
+      }));
+}
+
+std::vector<Occurrence> ShardedIndex::Locate(
+    const std::vector<Symbol>& pattern, ShardEpochs* epochs) const {
+  const uint32_t k = num_shards();
+  return shard_internal::Flatten(
+      shard_internal::FanOutRead<std::vector<Occurrence>>(
+          pool_, k, epochs, [&](uint32_t s, uint64_t* epoch) {
+            std::vector<Occurrence> occs =
+                shards_[s]->Read(epoch, [&](const DynamicIndex& idx) {
+                  return idx.Locate(pattern);
+                });
+            // Shard-local ids -> global ids.
+            for (Occurrence& occ : occs) occ.doc = occ.doc * k + s;
+            return occs;
+          }));
+}
+
+bool ShardedIndex::Extract(DocId id, uint64_t from, uint64_t len,
+                           std::vector<Symbol>* out, uint64_t* epoch) const {
+  if (id == kInvalidDocId) {
+    if (epoch != nullptr) *epoch = shards_[0]->epoch();
+    return false;
+  }
+  const uint32_t s = shard_of(id);
+  const DocId local = id / num_shards();
+  return shards_[s]->Read(epoch, [&](const DynamicIndex& idx) {
+    if (!idx.Contains(local)) return false;
+    *out = idx.Extract(local, from, len);
+    return true;
+  });
+}
+
+bool ShardedIndex::Contains(DocId id, uint64_t* epoch) const {
+  if (id == kInvalidDocId) {
+    if (epoch != nullptr) *epoch = shards_[0]->epoch();
+    return false;
+  }
+  const uint32_t s = shard_of(id);
+  const DocId local = id / num_shards();
+  return shards_[s]->Read(
+      epoch, [&](const DynamicIndex& idx) { return idx.Contains(local); });
+}
+
+uint64_t ShardedIndex::DocLenOf(DocId id, uint64_t* epoch) const {
+  if (id == kInvalidDocId) {
+    if (epoch != nullptr) *epoch = shards_[0]->epoch();
+    return 0;
+  }
+  const uint32_t s = shard_of(id);
+  const DocId local = id / num_shards();
+  return shards_[s]->Read(
+      epoch, [&](const DynamicIndex& idx) { return idx.DocLenOf(local); });
+}
+
+uint64_t ShardedIndex::num_docs(ShardEpochs* epochs) const {
+  return shard_internal::SumOf(shard_internal::FanOutRead<uint64_t>(
+      pool_, num_shards(), epochs, [&](uint32_t s, uint64_t* epoch) {
+        return shards_[s]->Read(
+            epoch, [](const DynamicIndex& idx) { return idx.num_docs(); });
+      }));
+}
+
+uint64_t ShardedIndex::live_symbols(ShardEpochs* epochs) const {
+  return shard_internal::SumOf(shard_internal::FanOutRead<uint64_t>(
+      pool_, num_shards(), epochs, [&](uint32_t s, uint64_t* epoch) {
+        return shards_[s]->Read(epoch, [](const DynamicIndex& idx) {
+          return idx.live_symbols();
+        });
+      }));
+}
+
+ShardEpochs ShardedIndex::epochs() const {
+  ShardEpochs eps(num_shards(), 0);
+  for (uint32_t s = 0; s < num_shards(); ++s) eps[s] = shards_[s]->epoch();
+  return eps;
+}
+
+std::vector<DocId> ShardedIndex::InsertBatch(
+    std::vector<std::vector<Symbol>> docs) {
+  const uint32_t k = num_shards();
+  std::vector<DocId> out(docs.size(), kInvalidDocId);
+  if (docs.empty()) return out;
+  // Round-robin placement from a shared cursor: deterministic for a single
+  // writer, balanced under concurrent writers.
+  const uint64_t start =
+      next_place_.fetch_add(docs.size(), std::memory_order_relaxed);
+  std::vector<std::vector<std::vector<Symbol>>> sub(k);
+  std::vector<std::vector<uint64_t>> positions(k);
+  for (uint64_t i = 0; i < docs.size(); ++i) {
+    const uint32_t s = static_cast<uint32_t>((start + i) % k);
+    sub[s].push_back(std::move(docs[i]));
+    positions[s].push_back(i);
+  }
+  std::vector<std::function<void()>> tasks;
+  for (uint32_t s = 0; s < k; ++s) {
+    if (sub[s].empty()) continue;  // untouched shards keep their epoch
+    tasks.push_back([this, s, k, &sub, &positions, &out] {
+      std::vector<DocId> local =
+          shards_[s]->Write([&](DynamicIndex& idx) {
+            return idx.InsertBulk(std::move(sub[s]));
+          });
+      // Distinct batch positions per shard: no write races on `out`.
+      for (uint64_t j = 0; j < local.size(); ++j) {
+        out[positions[s][j]] =
+            local[j] == kInvalidDocId ? kInvalidDocId : local[j] * k + s;
+      }
+    });
+  }
+  pool_.RunAll(std::move(tasks));
+  return out;
+}
+
+uint64_t ShardedIndex::EraseBatch(const std::vector<DocId>& ids) {
+  const uint32_t k = num_shards();
+  std::vector<std::vector<DocId>> sub(k);
+  for (DocId id : ids) {
+    if (id == kInvalidDocId) continue;
+    sub[shard_of(id)].push_back(id / k);
+  }
+  std::vector<uint64_t> erased(k, 0);
+  std::vector<std::function<void()>> tasks;
+  for (uint32_t s = 0; s < k; ++s) {
+    if (sub[s].empty()) continue;
+    tasks.push_back([this, s, &sub, &erased] {
+      erased[s] = shards_[s]->Write([&](DynamicIndex& idx) {
+        uint64_t n = 0;
+        for (DocId local : sub[s]) n += idx.Erase(local);
+        return n;
+      });
+    });
+  }
+  pool_.RunAll(std::move(tasks));
+  uint64_t total = 0;
+  for (uint64_t e : erased) total += e;
+  return total;
+}
+
+void ShardedIndex::Poll() {
+  for (auto& shard : shards_) {
+    shard->Maintain([](DynamicIndex& idx) { idx.PollPending(); });
+  }
+}
+
+void ShardedIndex::Flush() {
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    tasks.push_back([&shard] {
+      shard->Maintain([](DynamicIndex& idx) { idx.ForceAllPending(); });
+    });
+  }
+  pool_.RunAll(std::move(tasks));
+}
+
+void ShardedIndex::CheckInvariants() const {
+  for (const auto& shard : shards_) {
+    shard->Read(nullptr,
+                [](const DynamicIndex& idx) { idx.CheckInvariants(); });
+  }
+}
+
+}  // namespace dyndex

@@ -1,0 +1,146 @@
+#include "serve/sharded_relation.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace dyndex {
+
+namespace {
+
+/// SplitMix64 finalizer: a stable, well-mixed hash so consecutive object ids
+/// (the common external id pattern) spread evenly across shards.
+uint64_t MixId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardedRelation::ShardedRelation(
+    uint32_t num_shards,
+    const std::function<std::unique_ptr<RelationIndex>()>& shard_factory)
+    : pool_(num_shards > 0 ? num_shards - 1 : 0) {
+  DYNDEX_CHECK(num_shards >= 1);
+  shards_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(
+        std::make_unique<EpochGuard<RelationIndex>>(shard_factory()));
+  }
+}
+
+ShardedRelation::ShardedRelation(uint32_t num_shards, RelationBackend backend,
+                                 const RelationIndexOptions& opt)
+    : ShardedRelation(num_shards,
+                      [&] { return MakeRelationIndex(backend, opt); }) {}
+
+uint32_t ShardedRelation::shard_of_object(uint32_t object) const {
+  return static_cast<uint32_t>(MixId(object) % shards_.size());
+}
+
+bool ShardedRelation::Related(uint32_t object, uint32_t label,
+                              uint64_t* epoch) const {
+  return shards_[shard_of_object(object)]->Read(
+      epoch,
+      [&](const RelationIndex& rel) { return rel.Related(object, label); });
+}
+
+std::vector<uint32_t> ShardedRelation::LabelsOf(uint32_t object,
+                                                uint64_t* epoch) const {
+  return shards_[shard_of_object(object)]->Read(
+      epoch, [&](const RelationIndex& rel) { return rel.LabelsOf(object); });
+}
+
+uint64_t ShardedRelation::CountLabelsOf(uint32_t object,
+                                        uint64_t* epoch) const {
+  return shards_[shard_of_object(object)]->Read(
+      epoch,
+      [&](const RelationIndex& rel) { return rel.CountLabelsOf(object); });
+}
+
+std::vector<uint32_t> ShardedRelation::ObjectsOf(uint32_t label,
+                                                 ShardEpochs* epochs) const {
+  return shard_internal::Flatten(
+      shard_internal::FanOutRead<std::vector<uint32_t>>(
+          pool_, num_shards(), epochs, [&](uint32_t s, uint64_t* epoch) {
+            return shards_[s]->Read(epoch, [&](const RelationIndex& rel) {
+              return rel.ObjectsOf(label);
+            });
+          }));
+}
+
+uint64_t ShardedRelation::CountObjectsOf(uint32_t label,
+                                         ShardEpochs* epochs) const {
+  return shard_internal::SumOf(shard_internal::FanOutRead<uint64_t>(
+      pool_, num_shards(), epochs, [&](uint32_t s, uint64_t* epoch) {
+        return shards_[s]->Read(epoch, [&](const RelationIndex& rel) {
+          return rel.CountObjectsOf(label);
+        });
+      }));
+}
+
+uint64_t ShardedRelation::num_pairs(ShardEpochs* epochs) const {
+  return shard_internal::SumOf(shard_internal::FanOutRead<uint64_t>(
+      pool_, num_shards(), epochs, [&](uint32_t s, uint64_t* epoch) {
+        return shards_[s]->Read(
+            epoch, [](const RelationIndex& rel) { return rel.num_pairs(); });
+      }));
+}
+
+ShardEpochs ShardedRelation::epochs() const {
+  ShardEpochs eps(num_shards(), 0);
+  for (uint32_t s = 0; s < num_shards(); ++s) eps[s] = shards_[s]->epoch();
+  return eps;
+}
+
+uint64_t ShardedRelation::AddPairsBatch(const RelationPairs& pairs) {
+  const uint32_t k = num_shards();
+  std::vector<RelationPairs> sub(k);
+  for (auto [o, a] : pairs) sub[shard_of_object(o)].push_back({o, a});
+  std::vector<uint64_t> added(k, 0);
+  std::vector<std::function<void()>> tasks;
+  for (uint32_t s = 0; s < k; ++s) {
+    if (sub[s].empty()) continue;  // untouched shards keep their epoch
+    tasks.push_back([this, s, &sub, &added] {
+      added[s] = shards_[s]->Write(
+          [&](RelationIndex& rel) { return rel.AddPairsBulk(sub[s]); });
+    });
+  }
+  pool_.RunAll(std::move(tasks));
+  uint64_t total = 0;
+  for (uint64_t a : added) total += a;
+  return total;
+}
+
+uint64_t ShardedRelation::RemovePairsBatch(const RelationPairs& pairs) {
+  const uint32_t k = num_shards();
+  std::vector<RelationPairs> sub(k);
+  for (auto [o, a] : pairs) sub[shard_of_object(o)].push_back({o, a});
+  std::vector<uint64_t> removed(k, 0);
+  std::vector<std::function<void()>> tasks;
+  for (uint32_t s = 0; s < k; ++s) {
+    if (sub[s].empty()) continue;
+    tasks.push_back([this, s, &sub, &removed] {
+      removed[s] = shards_[s]->Write([&](RelationIndex& rel) {
+        uint64_t n = 0;
+        for (auto [o, a] : sub[s]) n += rel.RemovePair(o, a);
+        return n;
+      });
+    });
+  }
+  pool_.RunAll(std::move(tasks));
+  uint64_t total = 0;
+  for (uint64_t r : removed) total += r;
+  return total;
+}
+
+void ShardedRelation::CheckInvariants() const {
+  for (const auto& shard : shards_) {
+    shard->Read(nullptr,
+                [](const RelationIndex& rel) { rel.CheckInvariants(); });
+  }
+}
+
+}  // namespace dyndex

@@ -1,0 +1,102 @@
+#include "serve/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace dyndex {
+
+namespace {
+
+/// Per-RunAll completion state. Shared-owned by every enqueued closure and
+/// the joining caller: the caller may return the instant `remaining` hits
+/// zero, while the last worker is still inside notify_one() — with stack
+/// storage that would destroy the condvar under the notifier (a real race
+/// TSan caught in an earlier revision).
+struct Join {
+  explicit Join(uint32_t n) : remaining(n) {}
+  std::atomic<uint32_t> remaining;
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(uint32_t workers) {
+  threads_.reserve(workers);
+  for (uint32_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (threads_.empty() || tasks.size() == 1) {
+    for (auto& task : tasks) task();
+    return;
+  }
+  // Scatter tasks[1..] to the workers. Completion is tracked per call, so
+  // concurrent RunAll batches interleave freely in one queue; the notify
+  // runs under join->mu, which makes the final wait lost-wakeup-free. The
+  // closures reference `tasks` on this stack — safe because this frame
+  // outlives remaining > 0 — but only shared-own the Join (see Join).
+  auto join = std::make_shared<Join>(static_cast<uint32_t>(tasks.size() - 1));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 1; i < tasks.size(); ++i) {
+      queue_.push_back([&tasks, i, join] {
+        tasks[i]();
+        if (join->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> done_lock(join->mu);
+          join->cv.notify_one();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+  tasks[0]();
+  // Help drain while waiting: running queued closures (possibly another
+  // caller's) keeps batches progressing when every worker is busy.
+  for (;;) {
+    if (join->remaining.load(std::memory_order_acquire) == 0) return;
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+    }
+    if (!task) break;  // nothing left to steal: block on completion
+    task();
+  }
+  std::unique_lock<std::mutex> lock(join->mu);
+  join->cv.wait(lock, [&] {
+    return join->remaining.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace dyndex

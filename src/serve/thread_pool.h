@@ -1,0 +1,57 @@
+// Small scatter-join thread pool for the sharded serving layer: a sharded
+// facade fans one batch (or one read) out across its shards and joins before
+// returning, so the only primitive needed is "run these K closures, one of
+// them inline on the caller, and wait for all of them".
+//
+// Deadlock discipline: submitted closures may block on shard locks
+// (EpochGuard's shared_mutex) but must never wait on this pool themselves —
+// locks are only ever held by closures that are already running, and running
+// closures finish without queueing more work, so the wait graph stays
+// acyclic even with concurrent RunAll callers (parallel writers + fanned-out
+// readers sharing one pool).
+#ifndef DYNDEX_SERVE_THREAD_POOL_H_
+#define DYNDEX_SERVE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dyndex {
+
+/// Fixed-size worker pool with a blocking scatter-join entry point.
+/// Thread-safe: any number of threads may call RunAll concurrently.
+class ThreadPool {
+ public:
+  /// With 0 workers every RunAll degenerates to an inline loop (the natural
+  /// single-shard configuration).
+  explicit ThreadPool(uint32_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs every closure in `tasks`: tasks[0] inline on the calling thread,
+  /// the rest on workers (the caller helps drain its own leftovers when all
+  /// workers are busy). Returns once all of them have finished. Closures
+  /// must not throw and must not call back into this pool.
+  void RunAll(std::vector<std::function<void()>> tasks);
+
+  uint32_t workers() const { return static_cast<uint32_t>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;  // guarded by mu_
+  bool stop_ = false;                        // guarded by mu_
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_SERVE_THREAD_POOL_H_

@@ -175,6 +175,17 @@ TEST(RelationFuzzTest, GraphViewMixedChurnSeedSweep) {
   }
 }
 
+// Section 5's deletion-only structure behind the rebuild-on-insert shell:
+// every point insert is a full export + rebuild and every purge crosses the
+// ExportLivePairs boundary, so this sweep hammers exactly the purge/export
+// edges DynamicRelation's dense-slot usage never reaches (empty relations,
+// shrinking id universes, queries beyond num_objects after a purge).
+TEST(RelationFuzzTest, DeletionOnlyMixedChurnSeedSweep) {
+  for (uint64_t seed = 300; seed <= 305; ++seed) {
+    FuzzRound(RelationBackend::kDeletionOnly, seed, 600);
+  }
+}
+
 // The cold-start bulk path at sizes that land the batch 1..3 levels up the
 // schedule, checked pair-for-pair against a pairwise-built twin.
 TEST(RelationFuzzTest, BulkColdStartMatchesPairwiseTwin) {
