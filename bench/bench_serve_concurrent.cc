@@ -1,6 +1,16 @@
 // Concurrent serving throughput: queries/second at 1/2/4/8 reader threads
 // against a ConcurrentIndex over Transformation 2 (threaded rebuilds), with
-// and without a live writer applying batched updates.
+// and without a live writer applying batched updates, and with the
+// optimistic seqlock read path on (optimistic:1, the default policy) vs
+// pinned to the shared lock (optimistic:0, the locked baseline). Rows also
+// report the read-path outcome counters (validated / retries / fallbacks /
+// locked_reads) and the writer's batch count, so the JSON shows both sides
+// of the tradeoff: lock-free readers stop throttling the writer, so
+// writer_batches rises under optimistic:1 — and on few-core machines the
+// now-unthrottled writer competes with readers for CPU, which can depress
+// reader items/s even though no reader ever waits on the lock. Compare
+// adjacent optimistic:1/optimistic:0 rows (same fixture state) and read
+// both items_per_second and writer_batches.
 //
 // This is the serving-path headline the dynamic-graph literature reports
 // (concurrent-reader scaling): the paper's Figure 3 background-rebuild story
@@ -75,7 +85,8 @@ void ReaderWork(const ConcurrentIndex& index,
 
 /// Writer loop: balanced insert/erase batches so collection size stays flat
 /// while levels keep churning (locks, background builds, swaps, replays).
-void WriterWork(ServeFixture* f, const std::atomic<bool>& stop) {
+void WriterWork(ServeFixture* f, const std::atomic<bool>& stop,
+                uint64_t* batches) {
   uint64_t n = 0;
   while (!stop.load(std::memory_order_acquire)) {
     std::vector<DocId> ids = f->index->InsertBatch(
@@ -89,18 +100,29 @@ void WriterWork(ServeFixture* f, const std::atomic<bool>& stop) {
     }
     ++n;
   }
+  *batches = n;
 }
 
 void BM_ServeConcurrentCount(benchmark::State& state) {
   ServeFixture* f = GetFixture();
   const int readers = static_cast<int>(state.range(0));
   const bool with_writer = state.range(1) != 0;
+  const bool optimistic = state.range(2) != 0;
+  // optimistic:0 pins every read to the shared lock — the locked baseline
+  // the seqlock read path is compared against. Set while quiesced (no
+  // reader/writer threads are running between iterations).
+  OptimisticPolicy policy;
+  policy.max_attempts = optimistic ? 3 : 0;
+  f->index->set_optimistic_policy(policy);
+  const OptimisticStats before = f->index->optimistic_stats();
   uint64_t round = 0;
+  uint64_t writer_batches = 0;
   for (auto _ : state) {
     std::atomic<bool> stop{false};
     std::thread writer;
+    uint64_t batches = 0;
     if (with_writer) {
-      writer = std::thread(WriterWork, f, std::cref(stop));
+      writer = std::thread(WriterWork, f, std::cref(stop), &batches);
     }
     std::vector<std::thread> pool;
     for (int r = 0; r < readers; ++r) {
@@ -111,24 +133,48 @@ void BM_ServeConcurrentCount(benchmark::State& state) {
     for (auto& t : pool) t.join();
     stop.store(true, std::memory_order_release);
     if (writer.joinable()) writer.join();
+    writer_batches += batches;
     ++round;
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * readers *
                           static_cast<int64_t>(kQueriesPerReader));
   state.counters["readers"] = readers;
   state.counters["writer"] = with_writer ? 1 : 0;
+  state.counters["optimistic"] = optimistic ? 1 : 0;
+  state.counters["writer_batches"] = static_cast<double>(writer_batches);
+  // Read-path outcome counters for this run (validated = lock-free
+  // successes; locked_reads covers fallbacks and the locked baseline).
+  const OptimisticStats after = f->index->optimistic_stats();
+  state.counters["validated"] =
+      static_cast<double>(after.validated - before.validated);
+  state.counters["retries"] =
+      static_cast<double>(after.retries - before.retries);
+  state.counters["fallbacks"] =
+      static_cast<double>(after.fallbacks - before.fallbacks);
+  state.counters["locked_reads"] =
+      static_cast<double>(after.locked_reads - before.locked_reads);
 }
 
+// Each optimistic/locked pair runs back-to-back: the fixture index drifts as
+// writer rows churn it, so adjacent rows are the comparable ones.
 BENCHMARK(BM_ServeConcurrentCount)
-    ->ArgNames({"readers", "writer"})
-    ->Args({1, 0})
-    ->Args({2, 0})
-    ->Args({4, 0})
-    ->Args({8, 0})
-    ->Args({1, 1})
-    ->Args({2, 1})
-    ->Args({4, 1})
-    ->Args({8, 1})
+    ->ArgNames({"readers", "writer", "optimistic"})
+    ->Args({1, 0, 1})
+    ->Args({1, 0, 0})
+    ->Args({2, 0, 1})
+    ->Args({2, 0, 0})
+    ->Args({4, 0, 1})
+    ->Args({4, 0, 0})
+    ->Args({8, 0, 1})
+    ->Args({8, 0, 0})
+    ->Args({1, 1, 1})
+    ->Args({1, 1, 0})
+    ->Args({2, 1, 1})
+    ->Args({2, 1, 0})
+    ->Args({4, 1, 1})
+    ->Args({4, 1, 0})
+    ->Args({8, 1, 1})
+    ->Args({8, 1, 0})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

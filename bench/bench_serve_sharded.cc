@@ -9,7 +9,10 @@
 //    exclusive locks instead of serializing on one.
 //  * ReadersWithWriter -- 4 reader threads hammer fanned-out Count while one
 //    writer churns batches; sharding narrows the write lock to one shard at
-//    a time, so readers stall less.
+//    a time, so readers stall less. Runs both with the optimistic seqlock
+//    read path (optimistic:1) and pinned to the shared lock (optimistic:0),
+//    and reports the per-shard read-path outcome counters so the JSON carries
+//    the optimistic-vs-locked comparison per shard count.
 //
 // Scaling expectation: the fan-out is real OS-thread parallelism, so the
 // >= 2x write-batch speedup at 4 shards materializes on machines with >= 4
@@ -140,17 +143,27 @@ void ReaderWork(const ShardedIndex& index,
 
 void BM_ShardedReadersWithWriter(benchmark::State& state) {
   const uint32_t shards = static_cast<uint32_t>(state.range(0));
+  const bool optimistic = state.range(1) != 0;
   WriteFixture* f = GetWriteFixture(shards);
   const bench::Corpus& corpus =
       bench::GetCorpus(kCorpusSymbols, kSigma, kDocLen);
   auto patterns = bench::MakePatterns(corpus, kPatternLen, kNumPatterns);
+  // optimistic:0 pins every read to the shared lock — the locked baseline.
+  // Set while quiesced (no threads run between iterations).
+  OptimisticPolicy policy;
+  policy.max_attempts = optimistic ? 3 : 0;
+  f->index->set_optimistic_policy(policy);
+  const OptimisticStats before = f->index->optimistic_stats();
   uint64_t round = 0;
+  uint64_t writer_batches = 0;
   for (auto _ : state) {
     std::atomic<bool> stop{false};
+    uint64_t batches = 0;
     std::thread writer([&] {
       while (!stop.load(std::memory_order_acquire)) {
         std::vector<DocId> ids = f->index->InsertBatch(f->update_docs);
         f->index->EraseBatch(ids);
+        ++batches;
       }
     });
     std::vector<std::thread> pool;
@@ -161,20 +174,40 @@ void BM_ShardedReadersWithWriter(benchmark::State& state) {
     for (auto& t : pool) t.join();
     stop.store(true, std::memory_order_release);
     writer.join();
+    writer_batches += batches;
     ++round;
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           kBenchReaders *
                           static_cast<int64_t>(kQueriesPerReader));
   state.counters["shards"] = shards;
+  state.counters["optimistic"] = optimistic ? 1 : 0;
+  state.counters["writer_batches"] = static_cast<double>(writer_batches);
+  // Read-path outcomes summed over shards (validated = lock-free successes;
+  // locked_reads covers fallbacks and the locked baseline).
+  const OptimisticStats after = f->index->optimistic_stats();
+  state.counters["validated"] =
+      static_cast<double>(after.validated - before.validated);
+  state.counters["retries"] =
+      static_cast<double>(after.retries - before.retries);
+  state.counters["fallbacks"] =
+      static_cast<double>(after.fallbacks - before.fallbacks);
+  state.counters["locked_reads"] =
+      static_cast<double>(after.locked_reads - before.locked_reads);
 }
 
+// Optimistic/locked pairs run back-to-back: the warm fixture drifts as the
+// writer churns it, so adjacent rows are the comparable ones.
 BENCHMARK(BM_ShardedReadersWithWriter)
-    ->ArgName("shards")
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
+    ->ArgNames({"shards", "optimistic"})
+    ->Args({1, 1})
+    ->Args({1, 0})
+    ->Args({2, 1})
+    ->Args({2, 0})
+    ->Args({4, 1})
+    ->Args({4, 0})
+    ->Args({8, 1})
+    ->Args({8, 0})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -149,6 +149,9 @@ std::vector<DocId> DynamicFmIndex::InsertBulk(
   for (uint32_t sym = 0; sym + 1 < sigma; ++sym) {
     if (freq[sym] != 0) counts_.Add(sym, static_cast<int64_t>(freq[sym]));
   }
+  // Park the old (empty, but possibly node-bearing) wavelet tree for
+  // in-flight optimistic readers instead of freeing it under the assignment.
+  Retire(std::move(bwt_));
   bwt_ = DynamicWaveletTree(opt_.max_docs + (opt_.max_symbol - kMinSymbol),
                             std::move(bwt_syms));
   sampled_.Build(sampled_words.data(), n_rows);
@@ -156,16 +159,16 @@ std::vector<DocId> DynamicFmIndex::InsertBulk(
 }
 
 bool DynamicFmIndex::Erase(DocId id) {
-  auto it = docs_.find(id);
-  if (it == docs_.end()) return false;
-  uint32_t sep = it->second.sep;
-  live_symbols_ -= it->second.len;
+  const DocInfo* info = docs_.Find(id);
+  if (info == nullptr) return false;
+  uint32_t sep = info->sep;
+  live_symbols_ -= info->len;
   // Walk the complete structure first, collecting the rows of all |T|+1
   // suffixes of the document; then delete them in descending row order so
   // earlier deletions never shift later targets. This avoids the off-by-one
   // bookkeeping of interleaved LF-steps and deletions.
   std::vector<uint64_t> rows;
-  rows.reserve(it->second.len + 1);
+  rows.reserve(info->len + 1);
   uint64_t row = static_cast<uint64_t>(counts_.PrefixSum(sep));
   while (true) {
     rows.push_back(row);
@@ -179,7 +182,7 @@ bool DynamicFmIndex::Erase(DocId id) {
     EraseRow(r, c);
   }
   free_seps_.push_back(sep);
-  docs_.erase(it);
+  docs_.Erase(id);
   return true;
 }
 
@@ -221,9 +224,14 @@ std::vector<Occurrence> DynamicFmIndex::Find(
     while (!sampled_.Get(row)) {
       uint32_t c = bwt_.Access(row);
       row = LfStep(c, row);
-      ++steps;
+      // Samples sit every sample_rate offsets along each document, so a
+      // consistent walk hits one within sample_rate steps; a torn read
+      // (optimistic serve-layer readers) could otherwise cycle forever.
+      DYNDEX_CHECK(++steps <= opt_.sample_rate);
     }
-    const Sample& s = samples_[sampled_.Rank1(row)];
+    uint64_t k = sampled_.Rank1(row);
+    DYNDEX_CHECK(k < samples_.size());
+    const Sample& s = samples_[k];
     out.push_back({s.doc, s.offset + steps});
   }
   return out;
@@ -231,14 +239,14 @@ std::vector<Occurrence> DynamicFmIndex::Find(
 
 std::vector<Symbol> DynamicFmIndex::Extract(DocId id, uint64_t from,
                                             uint64_t len) const {
-  auto it = docs_.find(id);
-  DYNDEX_CHECK(it != docs_.end());
-  uint64_t m = it->second.len;
+  const DocInfo* info = docs_.Find(id);
+  DYNDEX_CHECK(info != nullptr);
+  uint64_t m = info->len;
   DYNDEX_CHECK(from + len <= m);
   // Walking LF from the "$_d" row yields T[m-1], T[m-2], ...; stop once the
   // walk passes `from` — positions below it are never needed.
   std::vector<Symbol> out(len);
-  uint32_t sep = it->second.sep;
+  uint32_t sep = info->sep;
   uint64_t row = static_cast<uint64_t>(counts_.PrefixSum(sep));
   for (uint64_t i = m; i-- > from;) {
     uint32_t c = bwt_.Access(row);
@@ -250,14 +258,14 @@ std::vector<Symbol> DynamicFmIndex::Extract(DocId id, uint64_t from,
 }
 
 uint64_t DynamicFmIndex::DocLenOf(DocId id) const {
-  auto it = docs_.find(id);
-  DYNDEX_CHECK(it != docs_.end());
-  return it->second.len;
+  const DocInfo* info = docs_.Find(id);
+  DYNDEX_CHECK(info != nullptr);
+  return info->len;
 }
 
 uint64_t DynamicFmIndex::SpaceBytes() const {
   return bwt_.SpaceBytes() + counts_.SpaceBytes() + sampled_.SpaceBytes() +
-         samples_.capacity() * sizeof(Sample) + docs_.size() * 32 +
+         samples_.capacity() * sizeof(Sample) + docs_.MemoryBytes() +
          free_seps_.capacity() * sizeof(uint32_t);
 }
 

@@ -26,6 +26,8 @@
 #include "seq/dynamic_wavelet_tree.h"
 #include "text/concat_text.h"
 #include "util/fenwick.h"
+#include "util/retire.h"
+#include "util/seq_hash_map.h"
 
 namespace dyndex {
 
@@ -78,7 +80,7 @@ class DynamicFmIndex {
   /// Length of a stored document. Requires Contains(id).
   uint64_t DocLenOf(DocId id) const;
 
-  bool Contains(DocId id) const { return docs_.find(id) != docs_.end(); }
+  bool Contains(DocId id) const { return docs_.Contains(id); }
   /// Exclusive upper bound on storable symbol values (the serving facade
   /// screens documents against it; Insert's own precondition stays strict).
   uint32_t max_symbol() const { return opt_.max_symbol; }
@@ -103,8 +105,11 @@ class DynamicFmIndex {
   DynamicWaveletTree bwt_;
   Fenwick counts_;  // symbol counts -> dynamic C array
   DynamicBitVector sampled_;
-  std::vector<Sample> samples_;  // aligned with 1-bits of sampled_
-  std::unordered_map<DocId, DocInfo> docs_;
+  // Reader-reachable containers: reallocs and replaced hash tables under a
+  // serve-layer exclusive section park abandoned buffers for in-flight
+  // optimistic readers (util/retire.h, util/seq_hash_map.h).
+  retire_vector<Sample> samples_;  // aligned with 1-bits of sampled_
+  SeqHashMap<DocId, DocInfo> docs_;
   std::vector<uint32_t> free_seps_;
   DocId next_id_ = 0;
   uint64_t live_symbols_ = 0;

@@ -25,7 +25,9 @@ class BitVector {
   uint64_t size() const { return size_; }
 
   bool Get(uint64_t i) const {
-    DYNDEX_DCHECK(i < size_);
+    // Full check, not DCHECK: optimistic serve-layer readers can arrive with
+    // a torn index; fault into the retry path instead of past words_.
+    DYNDEX_CHECK(i < size_);
     return (words_[i >> 6] >> (i & 63)) & 1;
   }
 

@@ -24,6 +24,7 @@
 #include "bits/bit_vector.h"
 #include "bits/mark_tree.h"
 #include "util/fenwick.h"
+#include "util/seq_hash_map.h"
 
 namespace dyndex {
 
@@ -125,9 +126,9 @@ class LiveBitsSparse {
 
   bool IsLive(uint64_t i) const {
     DYNDEX_DCHECK(i < size_);
-    auto it = dead_words_.find(i >> 6);
-    if (it == dead_words_.end()) return true;
-    return ((it->second >> (i & 63)) & 1) == 0;
+    const uint64_t* mask = dead_words_.Find(i >> 6);
+    if (mask == nullptr) return true;
+    return ((*mask >> (i & 63)) & 1) == 0;
   }
 
   template <typename Fn>
@@ -135,8 +136,7 @@ class LiveBitsSparse {
     if (s >= e) return;
     for (uint64_t w = s >> 6, last = (e - 1) >> 6; w <= last; ++w) {
       uint64_t word = ~0ull;
-      auto it = dead_words_.find(w);
-      if (it != dead_words_.end()) word = ~it->second;
+      if (const uint64_t* dead = dead_words_.Find(w)) word = ~*dead;
       if (w == s >> 6) word &= ~LowMask(static_cast<uint32_t>(s & 63));
       uint64_t base = w * 64;
       uint64_t limit = e < base + 64 ? e : base + 64;
@@ -160,14 +160,14 @@ class LiveBitsSparse {
   bool counting_enabled() const { return counting_; }
 
   uint64_t SpaceBytes() const {
-    // ~48 bytes per occupied hash bucket is a fair estimate for the node-based
-    // unordered_map; report bucket storage + Fenwick.
-    return dead_words_.size() * 48 + dead_fenwick_.SpaceBytes();
+    return dead_words_.MemoryBytes() + dead_fenwick_.SpaceBytes();
   }
 
  private:
-  // word index -> dead mask
-  std::unordered_map<uint64_t, uint64_t> dead_words_;
+  // word index -> dead mask. Kill() inserts while optimistic serve-layer
+  // readers probe concurrently: SeqHashMap keeps the probe's view
+  // self-consistent and parks replaced tables (util/seq_hash_map.h).
+  SeqHashMap<uint64_t, uint64_t> dead_words_;
   Fenwick dead_fenwick_;
   uint64_t size_ = 0;
   uint64_t dead_ = 0;
@@ -175,9 +175,9 @@ class LiveBitsSparse {
 
   uint64_t DeadInWordPrefix(uint64_t word, uint32_t bits) const {
     if (bits == 0) return 0;
-    auto it = dead_words_.find(word);
-    if (it == dead_words_.end()) return 0;
-    return Popcount(it->second & LowMask(bits));
+    const uint64_t* mask = dead_words_.Find(word);
+    if (mask == nullptr) return 0;
+    return Popcount(*mask & LowMask(bits));
   }
 };
 

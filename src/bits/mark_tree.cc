@@ -40,7 +40,8 @@ void MarkTree::Unmark(uint64_t i) {
 }
 
 bool MarkTree::IsMarked(uint64_t i) const {
-  DYNDEX_DCHECK(i < universe_);
+  // Full check: optimistic serve-layer readers can pass a torn index.
+  DYNDEX_CHECK(i < universe_);
   return (levels_[0][i >> 6] >> (i & 63)) & 1;
 }
 
@@ -60,6 +61,9 @@ uint64_t MarkTree::NextMarked(uint64_t i) const {
       // Descend back to level 0.
       while (lvl > 0) {
         --lvl;
+        // Torn upper-level word (optimistic readers): keep the descent
+        // inside the level instead of indexing past it.
+        DYNDEX_CHECK(pos < levels_[lvl].size());
         uint64_t child = levels_[lvl][pos];
         DYNDEX_DCHECK(child != 0);
         pos = pos * 64 + Ctz(child);

@@ -24,7 +24,8 @@ void RankSelect::Build(BitVector bits) {
 }
 
 uint64_t RankSelect::Rank1(uint64_t i) const {
-  DYNDEX_DCHECK(i <= bits_.size());
+  // Full check: optimistic serve-layer readers can pass a torn index.
+  DYNDEX_CHECK(i <= bits_.size());
   if (i == 0) return 0;
   uint64_t word = i >> 6;
   uint64_t sb = word >> 3;
@@ -36,7 +37,9 @@ uint64_t RankSelect::Rank1(uint64_t i) const {
 }
 
 uint64_t RankSelect::Select1(uint64_t k) const {
-  DYNDEX_DCHECK(k < ones_);
+  // Full check: a torn rank (k >= ones_) would land the superblock search
+  // on the sentinel and read words past the bit storage.
+  DYNDEX_CHECK(k < ones_);
   // Binary search over superblocks on absolute rank.
   uint64_t nsuper = counts_.size() / 2;
   uint64_t lo = 0, hi = nsuper - 1;
@@ -60,7 +63,7 @@ uint64_t RankSelect::Select1(uint64_t k) const {
 }
 
 uint64_t RankSelect::Select0(uint64_t k) const {
-  DYNDEX_DCHECK(k < zeros());
+  DYNDEX_CHECK(k < zeros());  // torn rank; see Select1
   uint64_t nsuper = counts_.size() / 2;
   uint64_t lo = 0, hi = nsuper - 1;
   // Zeros before superblock sb = 512*sb - SuperRank(sb).

@@ -33,6 +33,7 @@
 #include "text/concat_text.h"
 #include "util/bits.h"
 #include "util/check.h"
+#include "util/retire.h"
 
 namespace dyndex {
 
@@ -107,9 +108,9 @@ class DynamicCollectionT1 {
 
   /// Erases a document. Returns false for unknown handles.
   bool Erase(DocId id) {
-    auto it = where_.find(id);
-    if (it == where_.end()) return false;
-    int32_t loc = it->second;
+    const int32_t* found = where_.Find(id);
+    if (found == nullptr) return false;
+    int32_t loc = *found;
     if (loc == kInC0) {
       c0_.Erase(id);
     } else {
@@ -117,7 +118,7 @@ class DynamicCollectionT1 {
       DYNDEX_CHECK(s != nullptr && s->EraseDoc(id));
       PurgeIfNeeded(static_cast<uint32_t>(loc));
     }
-    where_.erase(it);
+    where_.Erase(id);
     // Global shrink rule keeps n_f = Theta(n).
     uint64_t total = live_symbols();
     if (nf_ > 2 * opt_.min_c0 && total * 2 <= nf_) {
@@ -132,7 +133,11 @@ class DynamicCollectionT1 {
   template <typename Fn>
   void ForEachOccurrence(const std::vector<Symbol>& pattern, Fn fn) const {
     if (c0_.num_live_docs() > 0) c0_.ForEachOccurrence(pattern, fn);
-    for (const auto& s : subs_) {
+    // Load each sub pointer exactly once: a writer retiring the level nulls
+    // the unique_ptr element in place, so re-dereferencing it mid-traversal
+    // would fault even though the parked Semi itself stays alive.
+    for (const auto& sub : subs_) {
+      const Semi* s = sub.get();
       if (s != nullptr && s->num_live_docs() > 0) {
         s->ForEachOccurrence(pattern, fn);
       }
@@ -148,7 +153,8 @@ class DynamicCollectionT1 {
 
   uint64_t Count(const std::vector<Symbol>& pattern) const {
     uint64_t c = c0_.num_live_docs() > 0 ? c0_.Count(pattern) : 0;
-    for (const auto& s : subs_) {
+    for (const auto& sub : subs_) {
+      const Semi* s = sub.get();  // one load; see ForEachOccurrence
       if (s != nullptr && s->num_live_docs() > 0) c += s->Count(pattern);
     }
     return c;
@@ -156,31 +162,42 @@ class DynamicCollectionT1 {
 
   /// doc[from, from+len).
   std::vector<Symbol> Extract(DocId id, uint64_t from, uint64_t len) const {
-    auto it = where_.find(id);
-    DYNDEX_CHECK(it != where_.end());
+    const int32_t* found = where_.Find(id);
+    DYNDEX_CHECK(found != nullptr);
     std::vector<Symbol> out;
-    if (it->second == kInC0) {
+    if (*found == kInC0) {
       c0_.Extract(id, from, len, &out);
     } else {
-      subs_[static_cast<uint32_t>(it->second)]->Extract(id, from, len, &out);
+      // A torn where_ value must not index past subs_ (optimistic readers;
+      // the checks throw TornReadError mid-attempt, abort otherwise).
+      const uint32_t j = static_cast<uint32_t>(*found);
+      DYNDEX_CHECK(j < subs_.size());
+      const Semi* s = subs_[j].get();  // one load; see ForEachOccurrence
+      DYNDEX_CHECK(s != nullptr);
+      s->Extract(id, from, len, &out);
     }
     return out;
   }
 
-  bool Contains(DocId id) const { return where_.find(id) != where_.end(); }
+  bool Contains(DocId id) const { return where_.Contains(id); }
 
   uint64_t DocLenOf(DocId id) const {
-    auto it = where_.find(id);
-    DYNDEX_CHECK(it != where_.end());
-    if (it->second == kInC0) return c0_.DocLen(id);
-    return subs_[static_cast<uint32_t>(it->second)]->DocLenOf(id);
+    const int32_t* found = where_.Find(id);
+    DYNDEX_CHECK(found != nullptr);
+    if (*found == kInC0) return c0_.DocLen(id);
+    const uint32_t j = static_cast<uint32_t>(*found);
+    DYNDEX_CHECK(j < subs_.size());
+    const Semi* s = subs_[j].get();  // one load; see ForEachOccurrence
+    DYNDEX_CHECK(s != nullptr);
+    return s->DocLenOf(id);
   }
 
   // --- introspection -------------------------------------------------------
 
   uint64_t live_symbols() const {
     uint64_t t = c0_.live_symbols();
-    for (const auto& s : subs_) {
+    for (const auto& sub : subs_) {
+      const Semi* s = sub.get();  // one load; see ForEachOccurrence
       if (s != nullptr) t += s->live_symbols();
     }
     return t;
@@ -191,14 +208,15 @@ class DynamicCollectionT1 {
 
   uint32_t num_levels() const {
     uint32_t n = 0;
-    for (const auto& s : subs_) n += s != nullptr;
+    for (const auto& s : subs_) n += s.get() != nullptr;
     return n;
   }
 
   /// Live symbols per level (empty levels reported as 0) — Figure 1 data.
   std::vector<uint64_t> LevelSizes() const {
     std::vector<uint64_t> v;
-    for (const auto& s : subs_) {
+    for (const auto& sub : subs_) {
+      const Semi* s = sub.get();  // one load; see ForEachOccurrence
       v.push_back(s == nullptr ? 0 : s->live_symbols());
     }
     return v;
@@ -210,7 +228,8 @@ class DynamicCollectionT1 {
   SpaceBreakdown Space() const {
     SpaceBreakdown sp;
     sp.uncompressed = c0_.SpaceBytes();
-    for (const auto& s : subs_) {
+    for (const auto& sub : subs_) {
+      const Semi* s = sub.get();  // one load; see ForEachOccurrence
       if (s == nullptr) continue;
       sp.static_indexes += s->IndexSpaceBytes();
       sp.reporters += s->ReporterSpaceBytes();
@@ -225,15 +244,16 @@ class DynamicCollectionT1 {
   void CheckInvariants() const {
     uint64_t docs = c0_.num_live_docs();
     for (uint32_t j = 0; j < subs_.size(); ++j) {
-      if (subs_[j] == nullptr) continue;
-      docs += subs_[j]->num_live_docs();
+      const Semi* s = subs_[j].get();  // one load; see ForEachOccurrence
+      if (s == nullptr) continue;
+      docs += s->num_live_docs();
       // A sub-collection never exceeds its capacity (single oversized docs
       // are the allowed exception, as in the paper's top collections).
-      if (subs_[j]->num_live_docs() > 1) {
-        DYNDEX_CHECK(subs_[j]->total_symbols() <=
-                     2 * MaxSize(j + 1) + subs_[j]->dead_symbols());
+      if (s->num_live_docs() > 1) {
+        DYNDEX_CHECK(s->total_symbols() <=
+                     2 * MaxSize(j + 1) + s->dead_symbols());
       }
-      DYNDEX_CHECK(!subs_[j]->NeedsPurge(Tau()));
+      DYNDEX_CHECK(!s->NeedsPurge(Tau()));
     }
     DYNDEX_CHECK(docs == where_.size());
   }
@@ -244,8 +264,10 @@ class DynamicCollectionT1 {
   DynamicCollectionOptions opt_;
   typename Semi::Options semi_opt_;
   SuffixTreeCollection c0_;
-  std::vector<std::unique_ptr<Semi>> subs_;  // subs_[j] holds C_{j+1}
-  std::unordered_map<DocId, int32_t> where_;
+  // retire_* containers: growth/rehash under an exclusive section parks the
+  // abandoned buffers for in-flight optimistic readers (util/retire.h).
+  retire_vector<std::unique_ptr<Semi>> subs_;  // subs_[j] holds C_{j+1}
+  SeqHashMap<DocId, int32_t> where_;
   DocId next_id_ = 0;
   uint64_t nf_ = 0;
 
@@ -273,7 +295,8 @@ class DynamicCollectionT1 {
 
   int32_t FindLevelOf(DocId id) const {
     for (uint32_t j = 0; j < subs_.size(); ++j) {
-      if (subs_[j] != nullptr && subs_[j]->ContainsLive(id)) {
+      const Semi* s = subs_[j].get();
+      if (s != nullptr && s->ContainsLive(id)) {
         return static_cast<int32_t>(j);
       }
     }
@@ -287,7 +310,7 @@ class DynamicCollectionT1 {
     for (uint32_t i = 0; i <= j && i < subs_.size(); ++i) {
       if (subs_[i] != nullptr) {
         subs_[i]->ExportLiveDocs(&docs);
-        subs_[i].reset();
+        Retire(std::move(subs_[i]));  // readers may still be traversing it
       }
     }
     DocId id = extra.id;
@@ -316,7 +339,7 @@ class DynamicCollectionT1 {
     for (auto& s : subs_) {
       if (s != nullptr) {
         s->ExportLiveDocs(docs);
-        s.reset();
+        Retire(std::move(s));  // readers may still be traversing it
       }
     }
     subs_.clear();
@@ -351,7 +374,7 @@ class DynamicCollectionT1 {
     if (s == nullptr || !s->NeedsPurge(Tau())) return;
     std::vector<Document> docs;
     s->ExportLiveDocs(&docs);
-    subs_[level].reset();
+    Retire(std::move(subs_[level]));  // readers may still be traversing it
     if (docs.empty()) return;
     subs_[level] = std::make_unique<Semi>(docs, semi_opt_);
     for (const Document& d : docs) {

@@ -24,6 +24,7 @@
 #include "text/concat_text.h"
 #include "text/row_range.h"
 #include "util/check.h"
+#include "util/seq_hash_map.h"
 
 namespace dyndex {
 
@@ -59,9 +60,7 @@ class SemiStaticIndex {
   }
   bool counting_enabled() const { return counting_; }
 
-  bool ContainsLive(DocId id) const {
-    return local_of_.find(id) != local_of_.end();
-  }
+  bool ContainsLive(DocId id) const { return local_of_.Contains(id); }
 
   /// True once the dead fraction reaches 1/tau (the paper's purge trigger).
   bool NeedsPurge(uint32_t tau) const {
@@ -71,15 +70,15 @@ class SemiStaticIndex {
   /// Lazy deletion: kills the doc's suffix rows via an LF/ISA walk
   /// (the paper's tSA-per-symbol step). Returns false if id is not live here.
   bool EraseDoc(DocId id) {
-    auto it = local_of_.find(id);
-    if (it == local_of_.end()) return false;
-    uint32_t local = it->second;
+    const uint32_t* found = local_of_.Find(id);
+    if (found == nullptr) return false;
+    uint32_t local = *found;
     index_.ForEachDocRow(local, [&](uint64_t row) { live_.Kill(row); });
     doc_dead_[local] = true;
     uint64_t len = index_.doc_len(local);
     live_symbols_ -= len;
     dead_symbols_ += len;
-    local_of_.erase(it);
+    local_of_.Erase(id);
     return true;
   }
 
@@ -111,17 +110,17 @@ class SemiStaticIndex {
   /// Appends doc[from, from+len) to out. Requires the doc to be live here.
   void Extract(DocId id, uint64_t from, uint64_t len,
                std::vector<Symbol>* out) const {
-    auto it = local_of_.find(id);
-    DYNDEX_CHECK(it != local_of_.end());
-    uint32_t local = it->second;
+    const uint32_t* found = local_of_.Find(id);
+    DYNDEX_CHECK(found != nullptr);
+    uint32_t local = *found;
     DYNDEX_CHECK(from + len <= index_.doc_len(local));
     index_.Extract(index_.doc_start(local) + from, len, out);
   }
 
   uint64_t DocLenOf(DocId id) const {
-    auto it = local_of_.find(id);
-    DYNDEX_CHECK(it != local_of_.end());
-    return index_.doc_len(it->second);
+    const uint32_t* found = local_of_.Find(id);
+    DYNDEX_CHECK(found != nullptr);
+    return index_.doc_len(*found);
   }
 
   /// Reconstructs all live documents (via Extract) and appends them to out.
@@ -148,7 +147,7 @@ class SemiStaticIndex {
   uint64_t IndexSpaceBytes() const { return index_.SpaceBytes(); }
   uint64_t ReporterSpaceBytes() const { return live_.SpaceBytes(); }
   uint64_t BookkeepingSpaceBytes() const {
-    return ids_.capacity() * sizeof(DocId) + local_of_.size() * 24 +
+    return ids_.capacity() * sizeof(DocId) + local_of_.MemoryBytes() +
            doc_dead_.capacity() / 8;
   }
 
@@ -157,7 +156,10 @@ class SemiStaticIndex {
   LiveBitsSparse live_;
   std::vector<DocId> ids_;
   std::vector<bool> doc_dead_;
-  std::unordered_map<DocId, uint32_t> local_of_;
+  // EraseDoc tombstones entries while optimistic serve-layer readers probe
+  // the map; SeqHashMap keeps their view self-consistent and parks replaced
+  // tables for the grace period (util/seq_hash_map.h).
+  SeqHashMap<DocId, uint32_t> local_of_;
   uint64_t live_symbols_ = 0;
   uint64_t dead_symbols_ = 0;
   bool counting_ = false;

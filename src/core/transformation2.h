@@ -52,6 +52,8 @@
 #include "text/concat_text.h"
 #include "util/bits.h"
 #include "util/check.h"
+#include "util/retire.h"
+#include "util/seq_hash_map.h"
 
 namespace dyndex {
 
@@ -125,10 +127,10 @@ class DynamicCollectionT2 {
 
   bool Erase(DocId id) {
     AdvancePending();
-    auto it = where_.find(id);
-    if (it == where_.end()) return false;
-    Holder h = it->second;
-    where_.erase(it);
+    const Holder* found = where_.Find(id);
+    if (found == nullptr) return false;
+    Holder h = *found;
+    where_.Erase(id);
     uint64_t len = 0;
     switch (h.kind) {
       case Kind::kC0:
@@ -188,7 +190,11 @@ class DynamicCollectionT2 {
     if (c0_locked_.num_live_docs() > 0) {
       c0_locked_.ForEachOccurrence(pattern, fn);
     }
-    auto visit = [&](const std::unique_ptr<Semi>& s) {
+    // Load each pointer exactly once: a writer retiring the slot nulls the
+    // unique_ptr in place, so re-dereferencing it mid-traversal would fault
+    // even though the parked Semi itself stays alive.
+    auto visit = [&](const std::unique_ptr<Semi>& sp) {
+      const Semi* s = sp.get();
       if (s != nullptr && s->num_live_docs() > 0) {
         s->ForEachOccurrence(pattern, fn);
       }
@@ -213,7 +219,8 @@ class DynamicCollectionT2 {
   uint64_t Count(const std::vector<Symbol>& pattern) const {
     uint64_t c = c0_.num_live_docs() > 0 ? c0_.Count(pattern) : 0;
     if (c0_locked_.num_live_docs() > 0) c += c0_locked_.Count(pattern);
-    auto visit = [&](const std::unique_ptr<Semi>& s) {
+    auto visit = [&](const std::unique_ptr<Semi>& sp) {
+      const Semi* s = sp.get();  // one load; see ForEachOccurrence
       if (s != nullptr && s->num_live_docs() > 0) c += s->Count(pattern);
     };
     for (const Level& lv : levels_) {
@@ -228,10 +235,10 @@ class DynamicCollectionT2 {
   }
 
   std::vector<Symbol> Extract(DocId id, uint64_t from, uint64_t len) const {
-    auto it = where_.find(id);
-    DYNDEX_CHECK(it != where_.end());
+    const Holder* found = where_.Find(id);
+    DYNDEX_CHECK(found != nullptr);
     std::vector<Symbol> out;
-    const Holder& h = it->second;
+    const Holder h = *found;
     switch (h.kind) {
       case Kind::kC0:
         c0_.Extract(id, from, len, &out);
@@ -245,12 +252,12 @@ class DynamicCollectionT2 {
     return out;
   }
 
-  bool Contains(DocId id) const { return where_.find(id) != where_.end(); }
+  bool Contains(DocId id) const { return where_.Contains(id); }
 
   uint64_t DocLenOf(DocId id) const {
-    auto it = where_.find(id);
-    DYNDEX_CHECK(it != where_.end());
-    const Holder& h = it->second;
+    const Holder* found = where_.Find(id);
+    DYNDEX_CHECK(found != nullptr);
+    const Holder h = *found;
     if (h.kind == Kind::kC0) return c0_.DocLen(id);
     if (h.kind == Kind::kC0Locked) return c0_locked_.DocLen(id);
     return HolderSemi(h)->DocLenOf(id);
@@ -260,7 +267,8 @@ class DynamicCollectionT2 {
 
   uint64_t live_symbols() const {
     uint64_t t = c0_.live_symbols() + c0_locked_.live_symbols();
-    auto add = [&](const std::unique_ptr<Semi>& s) {
+    auto add = [&](const std::unique_ptr<Semi>& sp) {
+      const Semi* s = sp.get();  // one load; see ForEachOccurrence
       if (s != nullptr) t += s->live_symbols();
     };
     for (const Level& lv : levels_) {
@@ -277,7 +285,7 @@ class DynamicCollectionT2 {
   uint64_t num_docs() const { return where_.size(); }
   uint32_t num_tops() const {
     uint32_t n = 0;
-    for (const auto& t : tops_) n += t != nullptr;
+    for (const auto& t : tops_) n += t.get() != nullptr;
     return n;
   }
   uint32_t num_pending() const {
@@ -304,7 +312,8 @@ class DynamicCollectionT2 {
   SpaceBreakdown Space() const {
     SpaceBreakdown sp;
     sp.uncompressed = c0_.SpaceBytes() + c0_locked_.SpaceBytes();
-    auto add = [&](const std::unique_ptr<Semi>& s) {
+    auto add = [&](const std::unique_ptr<Semi>& semi_ptr) {
+      const Semi* s = semi_ptr.get();  // one load; see ForEachOccurrence
       if (s == nullptr) return;
       sp.static_indexes += s->IndexSpaceBytes();
       sp.reporters += s->ReporterSpaceBytes();
@@ -324,7 +333,8 @@ class DynamicCollectionT2 {
 
   void CheckInvariants() const {
     uint64_t docs = c0_.num_live_docs() + c0_locked_.num_live_docs();
-    auto add = [&](const std::unique_ptr<Semi>& s) {
+    auto add = [&](const std::unique_ptr<Semi>& sp) {
+      const Semi* s = sp.get();  // one load; see ForEachOccurrence
       if (s != nullptr) docs += s->num_live_docs();
     };
     for (const Level& lv : levels_) {
@@ -374,14 +384,16 @@ class DynamicCollectionT2 {
   typename Semi::Options semi_opt_;
   SuffixTreeCollection c0_;         // C_0
   SuffixTreeCollection c0_locked_;  // L_0
-  std::vector<Level> levels_;
+  // retire_* containers: growth/rehash under an exclusive section parks the
+  // abandoned buffers for in-flight optimistic readers (util/retire.h).
+  retire_vector<Level> levels_;
   std::unique_ptr<Semi> top_locked_;  // L_r (bound for a new top)
   std::unique_ptr<Semi> top_temp_;    // Temp_{r+1}
   Pending top_pending_;               // building N_{r+1} -> new top
   Pending top_purge_;                 // background purge of tops_[slot]
   uint32_t top_purge_slot_ = 0;
-  std::vector<std::unique_ptr<Semi>> tops_;
-  std::unordered_map<DocId, Holder> where_;
+  retire_vector<std::unique_ptr<Semi>> tops_;
+  SeqHashMap<DocId, Holder> where_;
   DocId next_id_ = 0;
   uint64_t nf_ = 0;
   uint64_t deletion_credit_ = 0;
@@ -426,23 +438,38 @@ class DynamicCollectionT2 {
   }
 
   Semi* HolderSemi(const Holder& h) const {
+    // Queries reach here through where_, possibly with a torn Holder
+    // (optimistic readers): bound every index and reject null slots — the
+    // checks throw TornReadError mid-attempt, abort on real corruption.
+    Semi* s = nullptr;
     switch (h.kind) {
       case Kind::kLevelC:
-        return levels_[h.idx].c.get();
+        DYNDEX_CHECK(h.idx < levels_.size());
+        s = levels_[h.idx].c.get();
+        break;
       case Kind::kLevelLocked:
-        return levels_[h.idx].locked.get();
+        DYNDEX_CHECK(h.idx < levels_.size());
+        s = levels_[h.idx].locked.get();
+        break;
       case Kind::kLevelTemp:
-        return levels_[h.idx].temp.get();
+        DYNDEX_CHECK(h.idx < levels_.size());
+        s = levels_[h.idx].temp.get();
+        break;
       case Kind::kTopLocked:
-        return top_locked_.get();
+        s = top_locked_.get();
+        break;
       case Kind::kTopTemp:
-        return top_temp_.get();
+        s = top_temp_.get();
+        break;
       case Kind::kTop:
-        return tops_[h.idx].get();
+        DYNDEX_CHECK(h.idx < tops_.size());
+        s = tops_[h.idx].get();
+        break;
       default:
         DYNDEX_CHECK(false);
-        return nullptr;
     }
+    DYNDEX_CHECK(s != nullptr);
+    return s;
   }
 
   void Register(const Semi& s, Kind kind, uint32_t idx) {
@@ -504,13 +531,16 @@ class DynamicCollectionT2 {
   void FinishLevelPending(uint32_t j, bool block) {
     std::unique_ptr<Semi> built = Collect(&levels_[j].pending, block);
     if (built == nullptr) return;
-    levels_[j].locked.reset();
-    levels_[j].temp.reset();
+    // The swap: every structure replaced here may still be under an
+    // optimistic reader, so park instead of free (util/retire.h).
+    Retire(std::move(levels_[j].locked));
+    Retire(std::move(levels_[j].temp));
     if (j == 0) c0_locked_.Clear();
     if (built->num_live_docs() == 0) {
-      levels_[j].c.reset();
+      Retire(std::move(levels_[j].c));
       return;
     }
+    Retire(std::move(levels_[j].c));
     levels_[j].c = std::move(built);
     Register(*levels_[j].c, Kind::kLevelC, j);
   }
@@ -518,18 +548,16 @@ class DynamicCollectionT2 {
   void FinishTopPending(bool block) {
     std::unique_ptr<Semi> built = Collect(&top_pending_, block);
     if (built == nullptr) return;
-    top_locked_.reset();
-    top_temp_.reset();
+    Retire(std::move(top_locked_));
+    Retire(std::move(top_temp_));
     if (built->num_live_docs() > 0) InstallTop(std::move(built));
   }
 
   void FinishTopPurge(bool block) {
     std::unique_ptr<Semi> built = Collect(&top_purge_, block);
     if (built == nullptr) return;
-    if (built->num_live_docs() == 0) {
-      tops_[top_purge_slot_].reset();
-      return;
-    }
+    Retire(std::move(tops_[top_purge_slot_]));
+    if (built->num_live_docs() == 0) return;
     tops_[top_purge_slot_] = std::move(built);
     Register(*tops_[top_purge_slot_], Kind::kTop, top_purge_slot_);
   }
@@ -567,7 +595,7 @@ class DynamicCollectionT2 {
       DrainCj(j, &docs);
       if (lv.c) {
         lv.c->ExportLiveDocs(&docs);
-        lv.c.reset();
+        Retire(std::move(lv.c));  // readers may still be traversing it
       }
       docs.push_back(std::move(doc));
       lv.c = std::make_unique<Semi>(docs, semi_opt_);
@@ -637,7 +665,7 @@ class DynamicCollectionT2 {
     Level& below = levels_[j - 1];
     if (below.c) {
       below.c->ExportLiveDocs(docs);
-      below.c.reset();
+      Retire(std::move(below.c));  // readers may still be traversing it
     }
   }
 
@@ -680,7 +708,7 @@ class DynamicCollectionT2 {
     Level& lv = levels_[j];
     if (lv.c == nullptr || lv.pending.active) return;
     if (lv.c->num_live_docs() == 0) {
-      lv.c.reset();
+      Retire(std::move(lv.c));  // readers may still be traversing it
       return;
     }
     if (lv.c->dead_symbols() * 2 < MaxSize(j + 1)) return;
@@ -738,8 +766,8 @@ class DynamicCollectionT2 {
     }
     if (best == ~0u || best_dead == 0) return;
     if (tops_[best]->num_live_docs() == 0) {
-      // Wholly dead top: drop it outright.
-      tops_[best].reset();
+      // Wholly dead top: drop it outright (parked for in-flight readers).
+      Retire(std::move(tops_[best]));
       return;
     }
     top_purge_slot_ = best;
@@ -767,7 +795,7 @@ class DynamicCollectionT2 {
     auto drain = [&](std::unique_ptr<Semi>& s) {
       if (s != nullptr) {
         s->ExportLiveDocs(docs);
-        s.reset();
+        Retire(std::move(s));  // readers may still be traversing it
       }
     };
     for (Level& lv : levels_) {

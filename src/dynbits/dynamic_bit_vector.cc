@@ -96,7 +96,10 @@ uint64_t DynamicBitVector::LeafRank1(const Leaf& lf, uint32_t i) {
   DYNDEX_DCHECK(i <= lf.size);
   // Jump via the 128-bit rank directory, then at most one full popcount
   // plus the partial word — no serial word scan.
-  if (i == kLeafBits) return lf.ones;  // full-leaf boundary: cum[8] absent
+  // Full-leaf boundary: cum[8] absent. >= rather than ==: a torn descent
+  // (optimistic serve-layer readers) can pass i past the leaf, and the
+  // directory probe below must stay inside the struct.
+  if (i >= kLeafBits) return lf.ones;
   uint32_t full = i >> 6;
   uint32_t w = (i >> 7) * 2;
   uint64_t r = lf.cum[i >> 7];
@@ -163,7 +166,10 @@ uint32_t DynamicBitVector::LeafSelect0(const Leaf& lf, uint32_t k) {
 // ---------------------------------------------------------------------------
 
 uint32_t DynamicBitVector::ChildForRank(const Inner& nd, uint64_t i) {
-  uint32_t n = nd.n;
+  // Clamp keeps a torn fanout from walking the prefix arrays out of bounds
+  // (no-op for valid nodes); with n <= kMaxFanout + 1 the result c stays
+  // <= kMaxFanout, so the caller's bits/ones/child probes are in bounds too.
+  uint32_t n = nd.n <= kMaxFanout + 1 ? nd.n : kMaxFanout + 1;
   uint32_t c = 0;
   for (uint32_t k = 8; k < n; k += 8) c += nd.bits[k] < i ? 8 : 0;
   // The final index lands within 8 of the coarse count: pull the companion
@@ -178,7 +184,10 @@ uint32_t DynamicBitVector::ChildForRank(const Inner& nd, uint64_t i) {
 
 uint32_t DynamicBitVector::ChildForPos(const Inner& nd, uint64_t i) {
   DYNDEX_DCHECK(i < nd.bits[nd.n]);
-  uint32_t n = nd.n;
+  // Clamp keeps a torn fanout from walking the prefix arrays out of bounds
+  // (no-op for valid nodes); with n <= kMaxFanout + 1 the result c stays
+  // <= kMaxFanout, so the caller's bits/ones/child probes are in bounds too.
+  uint32_t n = nd.n <= kMaxFanout + 1 ? nd.n : kMaxFanout + 1;
   uint32_t c = 0;
   for (uint32_t k = 8; k < n; k += 8) c += nd.bits[k] <= i ? 8 : 0;
   __builtin_prefetch(&nd.child[c]);
@@ -190,7 +199,10 @@ uint32_t DynamicBitVector::ChildForPos(const Inner& nd, uint64_t i) {
 
 uint32_t DynamicBitVector::ChildForSelect1(const Inner& nd, uint64_t k) {
   DYNDEX_DCHECK(k < nd.ones[nd.n]);
-  uint32_t n = nd.n;
+  // Clamp keeps a torn fanout from walking the prefix arrays out of bounds
+  // (no-op for valid nodes); with n <= kMaxFanout + 1 the result c stays
+  // <= kMaxFanout, so the caller's bits/ones/child probes are in bounds too.
+  uint32_t n = nd.n <= kMaxFanout + 1 ? nd.n : kMaxFanout + 1;
   uint32_t c = 0;
   for (uint32_t j = 8; j < n; j += 8) c += nd.ones[j] <= k ? 8 : 0;
   __builtin_prefetch(&nd.bits[c]);
@@ -203,7 +215,10 @@ uint32_t DynamicBitVector::ChildForSelect1(const Inner& nd, uint64_t k) {
 
 uint32_t DynamicBitVector::ChildForSelect0(const Inner& nd, uint64_t k) {
   DYNDEX_DCHECK(k < nd.bits[nd.n] - nd.ones[nd.n]);
-  uint32_t n = nd.n;
+  // Clamp keeps a torn fanout from walking the prefix arrays out of bounds
+  // (no-op for valid nodes); with n <= kMaxFanout + 1 the result c stays
+  // <= kMaxFanout, so the caller's bits/ones/child probes are in bounds too.
+  uint32_t n = nd.n <= kMaxFanout + 1 ? nd.n : kMaxFanout + 1;
   uint32_t c = 0;
   for (uint32_t j = 8; j < n; j += 8) {
     c += nd.bits[j] - nd.ones[j] <= k ? 8 : 0;
@@ -541,6 +556,8 @@ bool DynamicBitVector::Get(uint64_t i) const {
     id = nd.child[c];
   }
   const Leaf& lf = leaves_[id];
+  // Mask keeps a torn descent position inside the leaf (no-op for valid i).
+  i &= kLeafBits - 1;
   return (lf.words[i >> 6] >> (i & 63)) & 1;
 }
 

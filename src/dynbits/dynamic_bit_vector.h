@@ -25,6 +25,7 @@
 #ifndef DYNDEX_DYNBITS_DYNAMIC_BIT_VECTOR_H_
 #define DYNDEX_DYNBITS_DYNAMIC_BIT_VECTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <utility>
@@ -32,6 +33,7 @@
 
 #include "util/bits.h"
 #include "util/check.h"
+#include "util/retire.h"
 
 namespace dyndex {
 
@@ -159,21 +161,42 @@ class DynamicBitVector {
 
   /// Chunked arena with freelist reuse: ids are stable, chunks never move,
   /// and freed slots are recycled before the bump pointer grows.
+  ///
+  /// The chunk directory is published the way SeqHashMap publishes its slot
+  /// array: one acquire load of `dir_` yields an immutable Dir whose slot
+  /// array never reallocates, so an optimistic reader's bounds check and
+  /// probe can never disagree, and slots hold plain chunk pointers (null
+  /// until the chunk exists), so a stale view lands in DYNDEX_CHECK rather
+  /// than on a dangling pointer. A vector of unique_ptr chunks is NOT safe
+  /// here: growing it moves the elements, which nulls the old buffer's
+  /// pointers in place under a reader mid-descent.
   template <typename T>
   class Pool {
    public:
     Pool() = default;
+    ~Pool() { Clear(); }
     Pool(Pool&& other) noexcept
-        : chunks_(std::move(other.chunks_)),
+        : owner_(std::move(other.owner_)),
           free_(std::move(other.free_)),
-          used_(other.used_) {
+          used_(other.used_),
+          num_chunks_(other.num_chunks_) {
+      dir_.store(owner_.get(), std::memory_order_release);
+      other.dir_.store(nullptr, std::memory_order_release);
       other.used_ = 0;
+      other.num_chunks_ = 0;
     }
     Pool& operator=(Pool&& other) noexcept {
-      chunks_ = std::move(other.chunks_);
-      free_ = std::move(other.free_);
-      used_ = other.used_;
-      other.used_ = 0;
+      if (this != &other) {
+        Clear();
+        owner_ = std::move(other.owner_);
+        free_ = std::move(other.free_);
+        used_ = other.used_;
+        num_chunks_ = other.num_chunks_;
+        dir_.store(owner_.get(), std::memory_order_release);
+        other.dir_.store(nullptr, std::memory_order_release);
+        other.used_ = 0;
+        other.num_chunks_ = 0;
+      }
       return *this;
     }
     uint32_t Alloc() {
@@ -183,37 +206,104 @@ class DynamicBitVector {
         (*this)[id] = T{};
         return id;
       }
-      if ((used_ >> kChunkLog) == chunks_.size()) {
-        chunks_.push_back(std::make_unique<T[]>(kChunkSize));
-      }
+      if ((used_ >> kChunkLog) == num_chunks_) AddChunk();
       uint32_t id = used_++;
       (*this)[id] = T{};
       return id;
     }
     void Free(uint32_t id) { free_.push_back(id); }
     T& operator[](uint32_t id) {
-      return chunks_[id >> kChunkLog][id & (kChunkSize - 1)];
+      return owner_->ptrs[id >> kChunkLog].load(
+          std::memory_order_relaxed)[id & (kChunkSize - 1)];
     }
     const T& operator[](uint32_t id) const {
-      return chunks_[id >> kChunkLog][id & (kChunkSize - 1)];
+      // Read paths may run optimistically (serve/epoch_guard.h) and descend
+      // with a torn node id, or against a pool being cleared; the checks keep
+      // the access inside live chunks (throwing TornReadError mid-attempt)
+      // instead of chasing a stale or null pointer.
+      const Dir* d = dir_.load(std::memory_order_acquire);
+      DYNDEX_CHECK(d != nullptr && (id >> kChunkLog) < d->ptrs.size());
+      const T* chunk = d->ptrs[id >> kChunkLog].load(std::memory_order_acquire);
+      DYNDEX_CHECK(chunk != nullptr);
+      return chunk[id & (kChunkSize - 1)];
     }
     void Clear() {
-      chunks_.clear();
+      // Park the chunks and the directory instead of freeing while an
+      // optimistic reader may be mid-descent; without an active retire sink
+      // this destroys them here, as before.
+      if (owner_ != nullptr) {
+        dir_.store(nullptr, std::memory_order_release);
+        Garbage g;
+        g.num_chunks = num_chunks_;
+        g.dir = std::move(owner_);
+        Retire(std::move(g));
+      }
       free_.clear();
       used_ = 0;
+      num_chunks_ = 0;
     }
     uint64_t CapacityBytes() const {
-      return chunks_.size() * kChunkSize * sizeof(T) +
-             chunks_.capacity() * sizeof(chunks_[0]) +
+      const Dir* d = owner_.get();
+      return uint64_t{num_chunks_} * kChunkSize * sizeof(T) +
+             (d != nullptr ? d->ptrs.size() * sizeof(d->ptrs[0]) : 0) +
              free_.capacity() * sizeof(uint32_t);
     }
 
    private:
     static constexpr uint32_t kChunkLog = 6;
     static constexpr uint32_t kChunkSize = 1u << kChunkLog;
-    std::vector<std::unique_ptr<T[]>> chunks_;
+    static constexpr uint64_t kMinDirSlots = 8;
+
+    /// Immutable chunk directory: slot count and storage are fixed at
+    /// construction, so one `dir_` load gives a self-consistent
+    /// (bounds, data) pair. Slots fill monotonically as chunks are
+    /// allocated. Does not own the chunks — growth shares them with the
+    /// replacement Dir; Garbage owns them at teardown.
+    struct Dir {
+      explicit Dir(uint64_t cap) : ptrs(cap) {}
+      retire_vector<std::atomic<T*>> ptrs;
+    };
+
+    /// Owns a retired directory plus its chunks; frees both when destroyed
+    /// (at reclaim time, or immediately when no sink is active).
+    struct Garbage {
+      std::unique_ptr<Dir> dir;
+      uint64_t num_chunks = 0;
+      Garbage() = default;
+      Garbage(Garbage&&) = default;
+      Garbage& operator=(Garbage&&) = default;
+      ~Garbage() {
+        if (dir == nullptr) return;
+        for (uint64_t k = 0; k < num_chunks; ++k) {
+          delete[] dir->ptrs[k].load(std::memory_order_relaxed);
+        }
+      }
+    };
+
+    void AddChunk() {
+      if (owner_ == nullptr || num_chunks_ == owner_->ptrs.size()) {
+        uint64_t cap =
+            owner_ == nullptr ? kMinDirSlots : owner_->ptrs.size() * 2;
+        auto grown = std::make_unique<Dir>(cap);
+        for (uint64_t k = 0; k < num_chunks_; ++k) {
+          grown->ptrs[k].store(owner_->ptrs[k].load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+        }
+        Dir* raw = grown.get();
+        if (owner_ != nullptr) Retire(std::move(owner_));
+        owner_ = std::move(grown);
+        dir_.store(raw, std::memory_order_release);
+      }
+      owner_->ptrs[num_chunks_].store(new T[kChunkSize](),
+                                      std::memory_order_release);
+      ++num_chunks_;
+    }
+
+    std::unique_ptr<Dir> owner_;
+    std::atomic<Dir*> dir_{nullptr};
     std::vector<uint32_t> free_;
     uint32_t used_ = 0;
+    uint32_t num_chunks_ = 0;
   };
 
   /// (node id, subtree bit count, subtree one count) handed up during

@@ -36,13 +36,15 @@ uint64_t SuffixTreeCollection::EdgeLength(const Node& n, uint32_t cur_slot,
 
 void SuffixTreeCollection::Insert(DocId id, std::vector<Symbol> symbols) {
   DYNDEX_CHECK(!symbols.empty());
-  DYNDEX_CHECK(slot_of_.find(id) == slot_of_.end());
+  DYNDEX_CHECK(!slot_of_.Contains(id));
   for (Symbol s : symbols) DYNDEX_CHECK(s >= kMinSymbol && s < kTermBase);
   uint32_t slot = static_cast<uint32_t>(docs_.size());
   docs_.emplace_back();
   DocRecord& rec = docs_.back();
   rec.id = id;
-  rec.text = std::move(symbols);
+  // Copy into the retire-backed buffer (allocators differ, so no move).
+  rec.text.reserve(symbols.size() + 1);
+  rec.text.assign(symbols.begin(), symbols.end());
   rec.text.push_back(kTermBase + slot);
   slot_of_[id] = slot;
   live_symbols_ += rec.text.size() - 1;
@@ -51,7 +53,7 @@ void SuffixTreeCollection::Insert(DocId id, std::vector<Symbol> symbols) {
 }
 
 void SuffixTreeCollection::InsertIntoTree(uint32_t slot) {
-  const std::vector<Symbol>& t = docs_[slot].text;
+  const retire_vector<Symbol>& t = docs_[slot].text;
   uint64_t L = t.size();
   uint32_t active_node = 0;
   uint64_t active_edge = 0;  // index into t
@@ -70,8 +72,8 @@ void SuffixTreeCollection::InsertIntoTree(uint32_t slot) {
     while (remainder > 0) {
       if (active_len == 0) active_edge = i;
       Symbol edge_sym = t[active_edge];
-      auto it = nodes_[active_node].children.find(edge_sym);
-      if (it == nodes_[active_node].children.end()) {
+      const uint32_t* child = nodes_[active_node].children.Find(edge_sym);
+      if (child == nullptr) {
         // Rule 2: new leaf directly under active_node.
         uint32_t leaf = NewNode();
         Node& ln = nodes_[leaf];
@@ -83,7 +85,7 @@ void SuffixTreeCollection::InsertIntoTree(uint32_t slot) {
         nodes_[active_node].children[edge_sym] = leaf;
         add_slink(active_node);
       } else {
-        uint32_t nxt = it->second;
+        uint32_t nxt = *child;
         uint64_t elen = EdgeLength(nodes_[nxt], slot, i);
         if (active_len >= elen) {
           // Walk down.
@@ -137,16 +139,16 @@ void SuffixTreeCollection::InsertIntoTree(uint32_t slot) {
 }
 
 bool SuffixTreeCollection::Erase(DocId id) {
-  auto it = slot_of_.find(id);
-  if (it == slot_of_.end()) return false;
-  DocRecord& rec = docs_[it->second];
+  const uint32_t* slot = slot_of_.Find(id);
+  if (slot == nullptr) return false;
+  DocRecord& rec = docs_[*slot];
   DYNDEX_CHECK(!rec.dead);
   rec.dead = true;
   uint64_t len = rec.text.size() - 1;
   live_symbols_ -= len;
   dead_symbols_ += len;
   --num_live_docs_;
-  slot_of_.erase(it);
+  slot_of_.Erase(id);
   RebuildIfNeeded();
   return true;
 }
@@ -156,17 +158,22 @@ void SuffixTreeCollection::RebuildIfNeeded() {
 }
 
 void SuffixTreeCollection::Rebuild() {
-  std::vector<DocRecord> old = std::move(docs_);
+  retire_vector<DocRecord> old = std::move(docs_);
   Clear();
   for (DocRecord& rec : old) {
     if (rec.dead) continue;
-    rec.text.pop_back();  // strip the old terminator
-    Insert(rec.id, std::move(rec.text));
+    // Copy (terminator stripped): the old buffer must stay intact in `old`
+    // for readers still traversing the pre-rebuild tree.
+    std::vector<Symbol> t(rec.text.begin(), rec.text.end() - 1);
+    Insert(rec.id, std::move(t));
   }
+  // Optimistic readers may still be traversing the pre-rebuild records (the
+  // dead texts in particular); park the old array instead of freeing it.
+  Retire(std::move(old));
 }
 
 bool SuffixTreeCollection::Contains(DocId id) const {
-  return slot_of_.find(id) != slot_of_.end();
+  return slot_of_.Contains(id);
 }
 
 uint32_t SuffixTreeCollection::Locus(const std::vector<Symbol>& pattern) const {
@@ -174,13 +181,18 @@ uint32_t SuffixTreeCollection::Locus(const std::vector<Symbol>& pattern) const {
   uint32_t node = 0;
   uint64_t matched = 0;
   while (matched < pattern.size()) {
-    auto it = nodes_[node].children.find(pattern[matched]);
-    if (it == nodes_[node].children.end()) return kNil;
-    uint32_t nxt = it->second;
+    const uint32_t* child = nodes_[node].children.Find(pattern[matched]);
+    if (child == nullptr) return kNil;
+    uint32_t nxt = *child;
+    // Torn-read clamps (optimistic serve-layer readers): a child id or edge
+    // descriptor read mid-mutation must not index out of bounds.
+    DYNDEX_CHECK(nxt < nodes_.size());
     const Node& nn = nodes_[nxt];
+    DYNDEX_CHECK(nn.edge_doc < docs_.size());
+    const retire_vector<Symbol>& label_text = docs_[nn.edge_doc].text;
     uint64_t end = nn.edge_end >= 0 ? static_cast<uint64_t>(nn.edge_end)
-                                    : docs_[nn.edge_doc].text.size();
-    const std::vector<Symbol>& label_text = docs_[nn.edge_doc].text;
+                                    : label_text.size();
+    DYNDEX_CHECK(end <= label_text.size());
     for (uint64_t p = nn.edge_start; p < end && matched < pattern.size(); ++p) {
       if (label_text[p] != pattern[matched]) return kNil;
       ++matched;
@@ -196,24 +208,27 @@ uint64_t SuffixTreeCollection::Count(const std::vector<Symbol>& pattern) const {
   return count;
 }
 
-const std::vector<Symbol>& SuffixTreeCollection::DocSymbols(DocId id) const {
-  auto it = slot_of_.find(id);
-  DYNDEX_CHECK(it != slot_of_.end());
+const retire_vector<Symbol>& SuffixTreeCollection::DocSymbols(DocId id) const {
+  const uint32_t* slot = slot_of_.Find(id);
+  DYNDEX_CHECK(slot != nullptr);
+  DYNDEX_CHECK(*slot < docs_.size());
   // Note: includes the trailing terminator; callers use Extract for slices.
-  return docs_[it->second].text;
+  return docs_[*slot].text;
 }
 
 uint64_t SuffixTreeCollection::DocLen(DocId id) const {
-  auto it = slot_of_.find(id);
-  DYNDEX_CHECK(it != slot_of_.end());
-  return docs_[it->second].text.size() - 1;
+  const uint32_t* slot = slot_of_.Find(id);
+  DYNDEX_CHECK(slot != nullptr);
+  DYNDEX_CHECK(*slot < docs_.size());
+  return docs_[*slot].text.size() - 1;
 }
 
 void SuffixTreeCollection::Extract(DocId id, uint64_t from, uint64_t len,
                                    std::vector<Symbol>* out) const {
-  auto it = slot_of_.find(id);
-  DYNDEX_CHECK(it != slot_of_.end());
-  const std::vector<Symbol>& t = docs_[it->second].text;
+  const uint32_t* slot = slot_of_.Find(id);
+  DYNDEX_CHECK(slot != nullptr);
+  DYNDEX_CHECK(*slot < docs_.size());
+  const retire_vector<Symbol>& t = docs_[*slot].text;
   DYNDEX_CHECK(from + len + 1 <= t.size());
   out->insert(out->end(), t.begin() + static_cast<int64_t>(from),
               t.begin() + static_cast<int64_t>(from + len));
@@ -222,15 +237,19 @@ void SuffixTreeCollection::Extract(DocId id, uint64_t from, uint64_t len,
 void SuffixTreeCollection::ExportLiveDocs(std::vector<Document>* out) {
   for (DocRecord& rec : docs_) {
     if (rec.dead) continue;
-    rec.text.pop_back();
-    out->push_back(Document{rec.id, std::move(rec.text)});
+    // Copy (terminator stripped) rather than move: the exported Documents are
+    // writer-local and die inside the exclusive section, while readers may
+    // still chase edge labels into the original buffers. Those buffers are
+    // parked by the retire allocator when Clear() drops the records.
+    out->push_back(Document{
+        rec.id, std::vector<Symbol>(rec.text.begin(), rec.text.end() - 1)});
   }
   Clear();
 }
 
 uint64_t SuffixTreeCollection::SpaceBytes() const {
-  uint64_t total = nodes_.capacity() * sizeof(Node);
-  for (const Node& n : nodes_) total += n.children.size() * 24;
+  uint64_t total = nodes_.capacity() * sizeof(Node) + slot_of_.MemoryBytes();
+  for (const Node& n : nodes_) total += n.children.MemoryBytes();
   for (const DocRecord& d : docs_) {
     total += sizeof(DocRecord) + d.text.capacity() * sizeof(Symbol);
   }

@@ -18,6 +18,9 @@
 #include <vector>
 
 #include "text/concat_text.h"
+#include "util/check.h"
+#include "util/retire.h"
+#include "util/seq_hash_map.h"
 
 namespace dyndex {
 
@@ -48,7 +51,7 @@ class SuffixTreeCollection {
 
   /// Document content. NOTE: includes the internal terminator as the last
   /// element; prefer Extract/DocLen for slicing.
-  const std::vector<Symbol>& DocSymbols(DocId id) const;
+  const retire_vector<Symbol>& DocSymbols(DocId id) const;
 
   /// Length of the document (excluding the terminator). Requires Contains.
   uint64_t DocLen(DocId id) const;
@@ -77,8 +80,15 @@ class SuffixTreeCollection {
  private:
   static constexpr uint32_t kNil = ~0u;
 
+  // Optimistic readers (serve-layer seqlock) may traverse the tree while a
+  // writer mutates it, so every reader-reachable container parks abandoned
+  // buffers on the thread-local retire sink instead of freeing them
+  // (util/retire.h): nodes_/docs_ reallocs and retired hash tables all defer
+  // until no reader can still hold them. The hash maps are SeqHashMap — a
+  // probe's bounds come from a single pointer load, so a reader mid-rehash
+  // never indexes out of the (parked) old table (util/seq_hash_map.h).
   struct Node {
-    std::unordered_map<Symbol, uint32_t> children;
+    SeqHashMap<Symbol, uint32_t> children;
     uint32_t slink = kNil;
     uint32_t edge_doc = 0;    // slot whose text labels the incoming edge
     uint64_t edge_start = 0;  // label = text[edge_start, edge_end)
@@ -89,13 +99,16 @@ class SuffixTreeCollection {
 
   struct DocRecord {
     DocId id = kInvalidDocId;
-    std::vector<Symbol> text;  // includes the terminator
+    // Includes the terminator. Retire-backed: edge labels point into these
+    // buffers, and readers may still chase them after the record is dropped
+    // (Clear() post-export, rebuilds), so frees must wait out the grace period.
+    retire_vector<Symbol> text;
     bool dead = false;
   };
 
-  std::vector<Node> nodes_;
-  std::vector<DocRecord> docs_;
-  std::unordered_map<DocId, uint32_t> slot_of_;
+  retire_vector<Node> nodes_;
+  retire_vector<DocRecord> docs_;
+  SeqHashMap<DocId, uint32_t> slot_of_;
   uint64_t live_symbols_ = 0;  // excludes terminators
   uint64_t dead_symbols_ = 0;
   uint32_t num_live_docs_ = 0;
@@ -112,13 +125,20 @@ class SuffixTreeCollection {
 
   template <typename Fn>
   void CollectLeaves(uint32_t node, Fn fn) const {
-    // Iterative DFS.
+    // Iterative DFS. The bounds checks double as torn-read detectors for
+    // optimistic readers: a node id or leaf slot read mid-mutation may point
+    // anywhere, and a torn tree may even contain cycles — the step budget
+    // (a valid tree visits each node at most once) breaks out of those.
     std::vector<uint32_t> stack{node};
+    uint64_t steps = 0;
     while (!stack.empty()) {
+      DYNDEX_CHECK(++steps <= nodes_.size());
       uint32_t v = stack.back();
       stack.pop_back();
+      DYNDEX_CHECK(v < nodes_.size());
       const Node& n = nodes_[v];
       if (n.leaf_slot >= 0) {
+        DYNDEX_CHECK(static_cast<uint32_t>(n.leaf_slot) < docs_.size());
         const DocRecord& d = docs_[static_cast<uint32_t>(n.leaf_slot)];
         if (!d.dead && n.suffix_start + 1 < d.text.size()) {
           // Exclude the terminator-only suffix (never matches a pattern, but
@@ -127,10 +147,8 @@ class SuffixTreeCollection {
         }
         continue;
       }
-      for (const auto& [sym, child] : n.children) {
-        (void)sym;
-        stack.push_back(child);
-      }
+      n.children.ForEach(
+          [&](Symbol, uint32_t child) { stack.push_back(child); });
     }
   }
 

@@ -4,21 +4,23 @@
 #include <unordered_set>
 
 #include "util/check.h"
+#include "util/retire.h"
 
 namespace dyndex {
 
-BaselineRelation::BaselineRelation(uint32_t max_objects, uint32_t max_labels)
-    : s_(max_labels == 0 ? 1 : max_labels),
-      max_objects_(max_objects),
-      max_labels_(max_labels) {
-  DYNDEX_CHECK(max_objects >= 1);
+BaselineRelation::BaselineRelation(uint32_t initial_objects,
+                                   uint32_t initial_labels)
+    : s_(initial_labels == 0 ? 1 : initial_labels),
+      max_objects_(initial_objects == 0 ? 1 : initial_objects),
+      max_labels_(initial_labels) {
   // N starts as one 0 per object (every object initially unrelated).
-  n_.AppendRun(false, max_objects);
+  n_.AppendRun(false, max_objects_);
 }
 
-BaselineRelation::BaselineRelation(uint32_t max_objects, uint32_t max_labels,
+BaselineRelation::BaselineRelation(uint32_t initial_objects,
+                                   uint32_t initial_labels,
                                    std::vector<Pair> pairs)
-    : BaselineRelation(max_objects, max_labels) {
+    : BaselineRelation(initial_objects, initial_labels) {
   Build(std::move(pairs));
 }
 
@@ -33,7 +35,7 @@ void BaselineRelation::Build(std::vector<Pair> pairs) {
   std::vector<uint64_t> nwords((nbits + 63) / 64, 0);
   uint64_t bit = 0;
   uint64_t next = 0;
-  for (uint32_t o = 0; o < max_objects_; ++o) {
+  for (uint64_t o = 0; o < max_objects_; ++o) {
     while (next < pairs.size() && pairs[next].object == o) {
       DYNDEX_CHECK(pairs[next].label < max_labels_);
       labels.push_back(pairs[next].label);
@@ -44,13 +46,57 @@ void BaselineRelation::Build(std::vector<Pair> pairs) {
     ++bit;  // the 0 terminating object o's run
   }
   DYNDEX_CHECK(next == pairs.size());  // all objects within range
-  s_ = DynamicWaveletTree(max_labels_ == 0 ? 1 : max_labels_,
-                          std::move(labels));
+  // Optimistic serve-layer readers may still be descending the old wavelet
+  // tree: park it instead of freeing it under the move-assignment. N's
+  // Build() goes through Pool::Clear, which parks its own chunks.
+  Retire(std::move(s_));
+  s_ = DynamicWaveletTree(
+      static_cast<uint32_t>(max_labels_ == 0 ? 1 : max_labels_),
+      std::move(labels));
   n_.Build(nwords.data(), nbits);
 }
 
+bool BaselineRelation::EnsureCapacity(uint32_t o, uint32_t a) {
+  uint64_t need_o = static_cast<uint64_t>(o) + 1;
+  uint64_t need_a = static_cast<uint64_t>(a) + 1;
+  if (need_o > kMaxCapacity || need_a > kMaxCapacity) return false;
+  if (need_o <= max_objects_ && need_a <= max_labels_) return true;
+  uint64_t new_objects = max_objects_;
+  while (new_objects < need_o) {
+    new_objects = std::min(new_objects * 2, kMaxCapacity);
+  }
+  uint64_t new_labels = max_labels_ == 0 ? 1 : max_labels_;
+  while (new_labels < need_a) {
+    new_labels = std::min(new_labels * 2, kMaxCapacity);
+  }
+  if (new_labels != max_labels_) {
+    // Label alphabet growth: the wavelet alphabet is fixed at construction,
+    // so rebuild S (and N) over the live pairs at the doubled capacities.
+    std::vector<Pair> pairs;
+    ExportPairs(&pairs);
+    max_objects_ = new_objects;
+    max_labels_ = new_labels;
+    Build(std::move(pairs));
+  } else if (new_objects != max_objects_) {
+    // Object-only growth: fresh objects are one appended 0-run in N.
+    n_.AppendRun(false, new_objects - max_objects_);
+    max_objects_ = new_objects;
+  }
+  return true;
+}
+
+void BaselineRelation::ExportPairs(std::vector<Pair>* out) const {
+  out->reserve(out->size() + num_pairs());
+  for (uint64_t o = 0; o < max_objects_; ++o) {
+    auto [l, r] = SRange(static_cast<uint32_t>(o));
+    for (uint64_t p = l; p < r; ++p) {
+      out->push_back({static_cast<uint32_t>(o), s_.Access(p)});
+    }
+  }
+}
+
 bool BaselineRelation::AddPair(uint32_t o, uint32_t a) {
-  DYNDEX_CHECK(o < max_objects_ && a < max_labels_);
+  if (!EnsureCapacity(o, a)) return false;
   if (Related(o, a)) return false;
   auto [l, r] = SRange(o);
   (void)l;
@@ -72,7 +118,7 @@ uint64_t BaselineRelation::AddPairsBulk(
   std::unordered_set<uint64_t> seen;
   seen.reserve(ps.size());
   for (auto [o, a] : ps) {
-    DYNDEX_CHECK(o < max_objects_ && a < max_labels_);
+    if (!EnsureCapacity(o, a)) continue;  // the UINT32_MAX corner
     if (!seen.insert(PairKey(o, a)).second) continue;
     fresh.push_back({o, a});
   }
@@ -82,7 +128,7 @@ uint64_t BaselineRelation::AddPairsBulk(
 }
 
 bool BaselineRelation::RemovePair(uint32_t o, uint32_t a) {
-  DYNDEX_CHECK(o < max_objects_ && a < max_labels_);
+  if (o >= max_objects_ || a >= max_labels_) return false;
   auto [l, r] = SRange(o);
   auto [kl, kr] = s_.RankPair(a, l, r);  // one descent for both boundaries
   if (kl == kr) return false;
@@ -93,6 +139,7 @@ bool BaselineRelation::RemovePair(uint32_t o, uint32_t a) {
 }
 
 bool BaselineRelation::Related(uint32_t o, uint32_t a) const {
+  if (o >= max_objects_ || a >= max_labels_) return false;
   auto [l, r] = SRange(o);
   auto [kl, kr] = s_.RankPair(a, l, r);
   return kr > kl;

@@ -7,6 +7,15 @@
 // wavelet-tree bulk constructor and N through one packed-word bulk load, and
 // AddPairsBulk routes a cold start onto Build instead of per-pair dynamic
 // insertion.
+//
+// Capacities grow on demand: AddPair / AddPairsBulk double the object or
+// label capacity (geometric, so growth amortizes to O(1) rebuilds per
+// doubling) when an id lands beyond the current bound. Object growth is an
+// append of fresh 0-runs to N; label growth rebuilds S over the live pairs
+// because the wavelet alphabet is fixed at construction. Queries never grow:
+// ids beyond the current capacities answer false/empty/0. The only
+// unrepresentable id is UINT32_MAX (it would need capacity 2^32, one past
+// what the wavelet alphabet addresses); updates on it report false.
 #ifndef DYNDEX_RELATION_BASELINE_RELATION_H_
 #define DYNDEX_RELATION_BASELINE_RELATION_H_
 
@@ -20,29 +29,31 @@
 
 namespace dyndex {
 
-/// Dynamic relation with fixed capacities: objects in [0, max_objects),
-/// labels in [0, max_labels).
+/// Dynamic relation over uint32 object and label ids; capacities start at
+/// the constructor arguments and double on demand.
 class BaselineRelation {
  public:
-  BaselineRelation(uint32_t max_objects, uint32_t max_labels);
+  BaselineRelation(uint32_t initial_objects, uint32_t initial_labels);
 
   /// Bulk constructor: Build(pairs) over an otherwise empty relation.
-  BaselineRelation(uint32_t max_objects, uint32_t max_labels,
+  BaselineRelation(uint32_t initial_objects, uint32_t initial_labels,
                    std::vector<Pair> pairs);
 
-  /// Replaces the content with `pairs` (duplicate-free) in one bulk load:
-  /// S via the wavelet-tree bulk constructor (one stable partition per
-  /// level), N via one packed-word Build — no per-pair dynamic insertions.
+  /// Replaces the content with `pairs` (duplicate-free, within the current
+  /// capacities) in one bulk load: S via the wavelet-tree bulk constructor
+  /// (one stable partition per level), N via one packed-word Build — no
+  /// per-pair dynamic insertions.
   void Build(std::vector<Pair> pairs);
 
-  /// Adds (o, a); returns false if present.
+  /// Adds (o, a); returns false if present or unrepresentable (UINT32_MAX).
+  /// Grows capacities as needed.
   bool AddPair(uint32_t o, uint32_t a);
 
   /// Adds a batch; returns how many were new. A cold relation takes the
   /// Build path (one bulk load); a warm one falls back to per-pair AddPair.
   uint64_t AddPairsBulk(const std::vector<std::pair<uint32_t, uint32_t>>& ps);
 
-  /// Removes (o, a); returns false if absent.
+  /// Removes (o, a); returns false if absent (including out of range).
   bool RemovePair(uint32_t o, uint32_t a);
 
   bool Related(uint32_t o, uint32_t a) const;
@@ -55,6 +66,7 @@ class BaselineRelation {
 
   template <typename Fn>
   void ForEachObjectOfLabel(uint32_t a, Fn fn) const {
+    if (a >= max_labels_) return;
     uint64_t total = s_.Count(a);
     for (uint64_t k = 0; k < total; ++k) {
       uint64_t pos = s_.Select(a, k);
@@ -67,26 +79,39 @@ class BaselineRelation {
     return r - l;
   }
 
-  uint64_t CountObjectsOf(uint32_t a) const { return s_.Count(a); }
+  uint64_t CountObjectsOf(uint32_t a) const {
+    return a < max_labels_ ? s_.Count(a) : 0;
+  }
 
   uint64_t num_pairs() const { return s_.size(); }
   uint64_t SpaceBytes() const { return s_.SpaceBytes() + n_.SpaceBytes(); }
 
-  /// Fixed id capacities: objects in [0, max_objects()), labels in
-  /// [0, max_labels()). Ids outside are preconditions violations on this
-  /// class; the serving facade screens them out.
-  uint32_t max_objects() const { return max_objects_; }
-  uint32_t max_labels() const { return max_labels_; }
+  /// Current id capacities: objects in [0, object_capacity()), labels in
+  /// [0, label_capacity()). Informational — updates grow them on demand.
+  uint64_t object_capacity() const { return max_objects_; }
+  uint64_t label_capacity() const { return max_labels_; }
 
  private:
+  /// The wavelet alphabet parameter is uint32, so capacity tops out at
+  /// 2^32 - 1; only id UINT32_MAX is ever unrepresentable.
+  static constexpr uint64_t kMaxCapacity = 0xFFFFFFFFull;
+
   DynamicWaveletTree s_;
   DynamicBitVector n_;  // 1 per pair, 0 terminating each object's run
-  uint32_t max_objects_;
-  uint32_t max_labels_;
+  uint64_t max_objects_;
+  uint64_t max_labels_;
+
+  /// Grows capacities (doubling) so (o, a) is in range. Returns false iff
+  /// the pair is unrepresentable (an id of UINT32_MAX).
+  bool EnsureCapacity(uint32_t o, uint32_t a);
+
+  /// Appends every live pair (slot space == id space here) to out.
+  void ExportPairs(std::vector<Pair>* out) const;
 
   /// S-positions [begin, end) of object o's labels: the ones of N between
-  /// the (o-1)-th and o-th zeros.
+  /// the (o-1)-th and o-th zeros. Out-of-range objects have an empty range.
   std::pair<uint64_t, uint64_t> SRange(uint32_t o) const {
+    if (o >= max_objects_) return {0, 0};
     uint64_t begin = o == 0 ? 0 : n_.Select0(o - 1) - (o - 1);
     uint64_t end = n_.Select0(o) - o;
     return {begin, end};

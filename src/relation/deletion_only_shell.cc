@@ -1,8 +1,10 @@
 #include "relation/deletion_only_shell.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.h"
+#include "util/retire.h"
 
 namespace dyndex {
 
@@ -20,6 +22,9 @@ void DeletionOnlyShell::Rebuild(std::vector<Pair> live) {
     num_objects = std::max(num_objects, p.object + 1);
     num_labels = std::max(num_labels, p.label + 1);
   }
+  // Optimistic serve-layer readers may still be probing the old core: park
+  // it for the grace period instead of freeing it under the assignment.
+  Retire(std::move(rel_));
   rel_ = DeletionOnlyRelation(std::move(live), num_objects, num_labels);
   ++rebuilds_;
 }

@@ -30,8 +30,7 @@ uint64_t DynamicRelation::MaxSize(uint32_t level) const {
 }
 
 uint32_t DynamicRelation::InternObject(uint32_t object) {
-  auto it = obj_slot_.find(object);
-  if (it != obj_slot_.end()) return it->second;
+  if (const uint32_t* found = obj_slot_.Find(object)) return *found;
   uint32_t slot;
   if (!free_obj_slots_.empty()) {
     slot = free_obj_slots_.back();
@@ -48,8 +47,7 @@ uint32_t DynamicRelation::InternObject(uint32_t object) {
 }
 
 uint32_t DynamicRelation::InternLabel(uint32_t label) {
-  auto it = label_slot_.find(label);
-  if (it != label_slot_.end()) return it->second;
+  if (const uint32_t* found = label_slot_.Find(label)) return *found;
   uint32_t slot;
   if (!free_label_slots_.empty()) {
     slot = free_label_slots_.back();
@@ -66,18 +64,28 @@ uint32_t DynamicRelation::InternLabel(uint32_t label) {
 }
 
 void DynamicRelation::ReleaseObject(uint32_t slot) {
-  obj_slot_.erase(slot_obj_[slot]);
+  obj_slot_.Erase(slot_obj_[slot]);
   free_obj_slots_.push_back(slot);
 }
 
 void DynamicRelation::ReleaseLabel(uint32_t slot) {
-  label_slot_.erase(slot_label_[slot]);
+  label_slot_.Erase(slot_label_[slot]);
   free_label_slots_.push_back(slot);
 }
 
+// C0 adjacency lists are copy-on-write: in-flight optimistic readers iterate
+// the published snapshot, so inserts/removals build a new list and Store() it
+// (the old one is parked for the grace period). Amortized cost stays within
+// the schedule: C0 holds at most MaxSize(0) pairs before a merge drains it.
 void DynamicRelation::C0Add(uint32_t os, uint32_t ls) {
-  c0_by_object_[os].push_back(ls);
-  c0_by_label_[ls].push_back(os);
+  C0List& by_obj = c0_by_object_[os];
+  std::vector<uint32_t> labels = by_obj.Copy();
+  labels.push_back(ls);
+  by_obj.Store(std::move(labels));
+  C0List& by_label = c0_by_label_[ls];
+  std::vector<uint32_t> objects = by_label.Copy();
+  objects.push_back(os);
+  by_label.Store(std::move(objects));
   c0_pairs_set_.insert(Key(os, ls));
   ++c0_pairs_;
 }
@@ -90,23 +98,36 @@ bool DynamicRelation::C0Remove(uint32_t os, uint32_t ls) {
     *it = v.back();
     v.pop_back();
   };
-  auto o = c0_by_object_.find(os);
-  drop(o->second, ls);
-  if (o->second.empty()) c0_by_object_.erase(o);
-  auto l = c0_by_label_.find(ls);
-  drop(l->second, os);
-  if (l->second.empty()) c0_by_label_.erase(l);
+  C0List* by_obj = c0_by_object_.Find(os);
+  std::vector<uint32_t> labels = by_obj->Copy();
+  drop(labels, ls);
+  if (labels.empty()) {
+    c0_by_object_.Erase(os);
+  } else {
+    by_obj->Store(std::move(labels));
+  }
+  C0List* by_label = c0_by_label_.Find(ls);
+  std::vector<uint32_t> objects = by_label->Copy();
+  drop(objects, os);
+  if (objects.empty()) {
+    c0_by_label_.Erase(ls);
+  } else {
+    by_label->Store(std::move(objects));
+  }
   --c0_pairs_;
   return true;
 }
 
 bool DynamicRelation::Related(uint32_t object, uint32_t label) const {
-  auto oi = obj_slot_.find(object);
-  auto li = label_slot_.find(label);
-  if (oi == obj_slot_.end() || li == label_slot_.end()) return false;
-  uint32_t os = oi->second, ls = li->second;
+  const uint32_t* oi = obj_slot_.Find(object);
+  const uint32_t* li = label_slot_.Find(label);
+  if (oi == nullptr || li == nullptr) return false;
+  uint32_t os = *oi, ls = *li;
   if (C0Related(os, ls)) return true;
-  for (const auto& sub : subs_) {
+  // One load per sub: a concurrent writer nulls retired slots in place, so
+  // the pointer must not be re-read mid-traversal (see ForEachLabelOfObject).
+  for (const auto& sub_ptr : subs_) {
+    const Sub* sub = sub_ptr.get();
     if (sub == nullptr) continue;
     uint32_t lo, la;
     if (!sub->LocalObject(os, &lo) || !sub->LocalLabel(ls, &la)) continue;
@@ -186,10 +207,10 @@ void DynamicRelation::PlaceFresh(std::vector<Pair> fresh) {
 }
 
 bool DynamicRelation::RemovePair(uint32_t object, uint32_t label) {
-  auto oi = obj_slot_.find(object);
-  auto li = label_slot_.find(label);
-  if (oi == obj_slot_.end() || li == label_slot_.end()) return false;
-  uint32_t os = oi->second, ls = li->second;
+  const uint32_t* oi = obj_slot_.Find(object);
+  const uint32_t* li = label_slot_.Find(label);
+  if (oi == nullptr || li == nullptr) return false;
+  uint32_t os = *oi, ls = *li;
   bool removed = C0Remove(os, ls);
   if (!removed) {
     for (uint32_t j = 0; j < subs_.size() && !removed; ++j) {
@@ -213,13 +234,15 @@ bool DynamicRelation::RemovePair(uint32_t object, uint32_t label) {
 }
 
 uint64_t DynamicRelation::CountLabelsOf(uint32_t object) const {
-  auto it = obj_slot_.find(object);
-  if (it == obj_slot_.end()) return 0;
-  uint32_t os = it->second;
+  const uint32_t* slot = obj_slot_.Find(object);
+  if (slot == nullptr) return 0;
+  uint32_t os = *slot;
   uint64_t count = 0;
-  auto c0 = c0_by_object_.find(os);
-  if (c0 != c0_by_object_.end()) count += c0->second.size();
-  for (const auto& sub : subs_) {
+  if (const C0List* box = c0_by_object_.Find(os)) {
+    if (const std::vector<uint32_t>* adj = box->Load()) count += adj->size();
+  }
+  for (const auto& sub_ptr : subs_) {
+    const Sub* sub = sub_ptr.get();
     if (sub == nullptr) continue;
     uint32_t lo;
     if (sub->LocalObject(os, &lo)) count += sub->rel.CountLabelsOf(lo);
@@ -228,13 +251,15 @@ uint64_t DynamicRelation::CountLabelsOf(uint32_t object) const {
 }
 
 uint64_t DynamicRelation::CountObjectsOf(uint32_t label) const {
-  auto it = label_slot_.find(label);
-  if (it == label_slot_.end()) return 0;
-  uint32_t ls = it->second;
+  const uint32_t* slot = label_slot_.Find(label);
+  if (slot == nullptr) return 0;
+  uint32_t ls = *slot;
   uint64_t count = 0;
-  auto c0 = c0_by_label_.find(ls);
-  if (c0 != c0_by_label_.end()) count += c0->second.size();
-  for (const auto& sub : subs_) {
+  if (const C0List* box = c0_by_label_.Find(ls)) {
+    if (const std::vector<uint32_t>* adj = box->Load()) count += adj->size();
+  }
+  for (const auto& sub_ptr : subs_) {
+    const Sub* sub = sub_ptr.get();
     if (sub == nullptr) continue;
     uint32_t la;
     if (sub->LocalLabel(ls, &la)) count += sub->rel.CountObjectsOf(la);
@@ -244,7 +269,7 @@ uint64_t DynamicRelation::CountObjectsOf(uint32_t label) const {
 
 uint32_t DynamicRelation::num_subcollections() const {
   uint32_t n = 0;
-  for (const auto& s : subs_) n += s != nullptr;
+  for (const auto& s : subs_) n += s.get() != nullptr;
   return n;
 }
 
@@ -286,9 +311,11 @@ void DynamicRelation::ExportSub(const Sub& sub, std::vector<Pair>* out) const {
 
 void DynamicRelation::MergeThrough(uint32_t j, std::vector<Pair> seed_pairs) {
   std::vector<Pair> pairs = std::move(seed_pairs);
-  for (const auto& [os, labels] : c0_by_object_) {
-    for (uint32_t ls : labels) pairs.push_back({os, ls});
-  }
+  c0_by_object_.ForEach([&](uint32_t os, const C0List& box) {
+    if (const std::vector<uint32_t>* labels = box.Load()) {
+      for (uint32_t ls : *labels) pairs.push_back({os, ls});
+    }
+  });
   c0_by_object_.clear();
   c0_by_label_.clear();
   c0_pairs_set_.clear();
@@ -296,7 +323,8 @@ void DynamicRelation::MergeThrough(uint32_t j, std::vector<Pair> seed_pairs) {
   for (uint32_t i = 0; i <= j && i < subs_.size(); ++i) {
     if (subs_[i] != nullptr) {
       ExportSub(*subs_[i], &pairs);
-      subs_[i].reset();
+      // Optimistic readers may still be walking the sub: park, don't free.
+      Retire(std::move(subs_[i]));
     }
   }
   if (subs_.size() <= j) subs_.resize(j + 1);
@@ -308,15 +336,17 @@ void DynamicRelation::PurgeIfNeeded(uint32_t level) {
   if (s == nullptr || !s->rel.NeedsPurge(Tau())) return;
   std::vector<Pair> pairs;
   ExportSub(*s, &pairs);
-  subs_[level].reset();
+  Retire(std::move(subs_[level]));  // readers may still be walking it
   if (!pairs.empty()) subs_[level] = BuildSub(pairs);
 }
 
 void DynamicRelation::GlobalRebase() {
   std::vector<Pair> pairs;
-  for (const auto& [os, labels] : c0_by_object_) {
-    for (uint32_t ls : labels) pairs.push_back({os, ls});
-  }
+  c0_by_object_.ForEach([&](uint32_t os, const C0List& box) {
+    if (const std::vector<uint32_t>* labels = box.Load()) {
+      for (uint32_t ls : *labels) pairs.push_back({os, ls});
+    }
+  });
   c0_by_object_.clear();
   c0_by_label_.clear();
   c0_pairs_set_.clear();
@@ -324,7 +354,7 @@ void DynamicRelation::GlobalRebase() {
   for (auto& s : subs_) {
     if (s != nullptr) {
       ExportSub(*s, &pairs);
-      s.reset();
+      Retire(std::move(s));  // readers may still be walking it
     }
   }
   subs_.clear();
@@ -340,46 +370,27 @@ void DynamicRelation::GlobalRebase() {
   subs_[j] = BuildSub(pairs);
 }
 
-namespace {
-
-// Node-based unordered containers cost one heap node per element (payload
-// rounded up to the allocator's 16-byte quantum plus the chain pointer and
-// cached hash) and one pointer per bucket. Estimated, not measured, but
-// per-element faithful, so relation space rows track reality as C0 grows.
-uint64_t UnorderedBytes(uint64_t elems, uint64_t buckets,
-                        uint64_t payload_bytes) {
-  uint64_t node = ((payload_bytes + 15) & ~uint64_t{15}) + 2 * sizeof(void*);
-  return elems * node + buckets * sizeof(void*);
-}
-
-}  // namespace
-
 uint64_t DynamicRelation::SpaceBytes() const {
   uint64_t total = 0;
-  for (const auto& s : subs_) {
+  for (const auto& sub_ptr : subs_) {
+    const Sub* s = sub_ptr.get();
     if (s == nullptr) continue;
     total += s->rel.SpaceBytes() + s->objects.SpaceBytes() +
              s->labels.SpaceBytes() + sizeof(Sub);
   }
   // C0 buffers: the adjacency vectors' heap capacity hanging off both hash
   // maps, the map nodes/buckets themselves, and the pair-membership set.
-  for (const auto& [os, v] : c0_by_object_) {
-    total += v.capacity() * sizeof(uint32_t);
-  }
-  for (const auto& [ls, v] : c0_by_label_) {
-    total += v.capacity() * sizeof(uint32_t);
-  }
-  total += UnorderedBytes(c0_by_object_.size(), c0_by_object_.bucket_count(),
-                          sizeof(uint32_t) + sizeof(std::vector<uint32_t>));
-  total += UnorderedBytes(c0_by_label_.size(), c0_by_label_.bucket_count(),
-                          sizeof(uint32_t) + sizeof(std::vector<uint32_t>));
-  total += UnorderedBytes(c0_pairs_set_.size(), c0_pairs_set_.bucket_count(),
-                          sizeof(uint64_t));
+  auto c0_bytes = [&](uint32_t, const C0List& box) {
+    if (const std::vector<uint32_t>* v = box.Load()) {
+      total += sizeof(std::vector<uint32_t>) + v->capacity() * sizeof(uint32_t);
+    }
+  };
+  c0_by_object_.ForEach(c0_bytes);
+  c0_by_label_.ForEach(c0_bytes);
+  total += c0_by_object_.MemoryBytes() + c0_by_label_.MemoryBytes() +
+           c0_pairs_set_.MemoryBytes();
   // Slot registries: SN/NS id<->slot maps, dense side tables, free lists.
-  total += UnorderedBytes(obj_slot_.size(), obj_slot_.bucket_count(),
-                          2 * sizeof(uint32_t));
-  total += UnorderedBytes(label_slot_.size(), label_slot_.bucket_count(),
-                          2 * sizeof(uint32_t));
+  total += obj_slot_.MemoryBytes() + label_slot_.MemoryBytes();
   total += (slot_obj_.capacity() + slot_label_.capacity() +
             obj_pair_count_.capacity() + label_pair_count_.capacity() +
             free_obj_slots_.capacity() + free_label_slots_.capacity()) *
@@ -389,12 +400,14 @@ uint64_t DynamicRelation::SpaceBytes() const {
 
 void DynamicRelation::CheckInvariants() const {
   uint64_t pairs = c0_pairs_;
-  for (const auto& s : subs_) {
+  for (const auto& sub_ptr : subs_) {
+    const Sub* s = sub_ptr.get();
     if (s != nullptr) pairs += s->rel.live_pairs();
   }
   DYNDEX_CHECK(pairs == num_pairs_);
   DYNDEX_CHECK(c0_pairs_set_.size() == c0_pairs_);
-  for (const auto& s : subs_) {
+  for (const auto& sub_ptr : subs_) {
+    const Sub* s = sub_ptr.get();
     if (s != nullptr) DYNDEX_CHECK(!s->rel.NeedsPurge(Tau()));
   }
 }

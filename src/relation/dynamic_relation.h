@@ -26,6 +26,9 @@
 
 #include "bits/rank_select.h"
 #include "relation/deletion_only_relation.h"
+#include "util/check.h"
+#include "util/retire.h"
+#include "util/seq_hash_map.h"
 
 namespace dyndex {
 
@@ -63,38 +66,60 @@ class DynamicRelation {
   /// fn(label) for every label related to `object`.
   template <typename Fn>
   void ForEachLabelOfObject(uint32_t object, Fn fn) const {
-    auto it = obj_slot_.find(object);
-    if (it == obj_slot_.end()) return;
-    uint32_t os = it->second;
-    auto c0 = c0_by_object_.find(os);
-    if (c0 != c0_by_object_.end()) {
-      for (uint32_t ls : c0->second) fn(slot_label_[ls]);
+    const uint32_t* slot = obj_slot_.Find(object);
+    if (slot == nullptr) return;
+    uint32_t os = *slot;
+    // C0 adjacency is a SeqBox snapshot: one acquire load, then iterate a
+    // list no writer will ever mutate (updates republish wholesale).
+    if (const C0List* box = c0_by_object_.Find(os)) {
+      if (const std::vector<uint32_t>* adj = box->Load()) {
+        for (uint32_t ls : *adj) {
+          // Torn-read clamp: a stale snapshot must not index OOB.
+          DYNDEX_CHECK(ls < slot_label_.size());
+          fn(slot_label_[ls]);
+        }
+      }
     }
-    for (const auto& sub : subs_) {
+    // Load each sub pointer exactly once: a writer retiring the level nulls
+    // the unique_ptr element in place, so re-dereferencing it mid-traversal
+    // would fault even though the parked Sub itself stays alive.
+    for (const auto& sub_ptr : subs_) {
+      const Sub* sub = sub_ptr.get();
       if (sub == nullptr) continue;
       uint32_t local_o;
       if (!sub->LocalObject(os, &local_o)) continue;
-      sub->rel.ForEachLabelOfObject(
-          local_o, [&](uint32_t ll) { fn(slot_label_[sub->GlobalLabel(ll)]); });
+      sub->rel.ForEachLabelOfObject(local_o, [&](uint32_t ll) {
+        uint32_t gl = sub->GlobalLabel(ll);
+        DYNDEX_CHECK(gl < slot_label_.size());
+        fn(slot_label_[gl]);
+      });
     }
   }
 
   /// fn(object) for every object related to `label`.
   template <typename Fn>
   void ForEachObjectOfLabel(uint32_t label, Fn fn) const {
-    auto it = label_slot_.find(label);
-    if (it == label_slot_.end()) return;
-    uint32_t ls = it->second;
-    auto c0 = c0_by_label_.find(ls);
-    if (c0 != c0_by_label_.end()) {
-      for (uint32_t os : c0->second) fn(slot_obj_[os]);
+    const uint32_t* slot = label_slot_.Find(label);
+    if (slot == nullptr) return;
+    uint32_t ls = *slot;
+    if (const C0List* box = c0_by_label_.Find(ls)) {
+      if (const std::vector<uint32_t>* adj = box->Load()) {
+        for (uint32_t os : *adj) {
+          DYNDEX_CHECK(os < slot_obj_.size());
+          fn(slot_obj_[os]);
+        }
+      }
     }
-    for (const auto& sub : subs_) {
+    for (const auto& sub_ptr : subs_) {
+      const Sub* sub = sub_ptr.get();  // one load; see ForEachLabelOfObject
       if (sub == nullptr) continue;
       uint32_t local_a;
       if (!sub->LocalLabel(ls, &local_a)) continue;
-      sub->rel.ForEachObjectOfLabel(
-          local_a, [&](uint32_t lo) { fn(slot_obj_[sub->GlobalObject(lo)]); });
+      sub->rel.ForEachObjectOfLabel(local_a, [&](uint32_t lo) {
+        uint32_t go = sub->GlobalObject(lo);
+        DYNDEX_CHECK(go < slot_obj_.size());
+        fn(slot_obj_[go]);
+      });
     }
   }
 
@@ -140,19 +165,27 @@ class DynamicRelation {
   };
 
   DynamicRelationOptions opt_;
-  // SN/NS tables: external id <-> dense slot.
-  std::unordered_map<uint32_t, uint32_t> obj_slot_, label_slot_;
-  std::vector<uint32_t> slot_obj_, slot_label_;
+  // Reader-reachable containers use SeqHashMap / the retire_* aliases
+  // (util/seq_hash_map.h, util/retire.h): under the serve layer's optimistic
+  // seqlock a writer's realloc, rehash, or erase parks abandoned buffers for
+  // in-flight readers, and hash probes derive their bounds from a single
+  // pointer load. Write-only bookkeeping (free lists, pair counts) stays
+  // plain. SN/NS tables: external id <-> dense slot.
+  SeqHashMap<uint32_t, uint32_t> obj_slot_, label_slot_;
+  retire_vector<uint32_t> slot_obj_, slot_label_;
   std::vector<uint32_t> free_obj_slots_, free_label_slots_;
   std::vector<uint32_t> obj_pair_count_, label_pair_count_;
 
-  // C0: uncompressed adjacency lists over slots.
-  std::unordered_map<uint32_t, std::vector<uint32_t>> c0_by_object_;
-  std::unordered_map<uint32_t, std::vector<uint32_t>> c0_by_label_;
-  std::unordered_set<uint64_t> c0_pairs_set_;
+  // C0: uncompressed adjacency lists over slots. Each list is an immutable
+  // SeqBox snapshot so lock-free readers iterate it without coordination;
+  // writers copy-modify-Store (amortized fine: C0 lists are schedule-bounded).
+  using C0List = SeqBox<std::vector<uint32_t>>;
+  SeqHashMap<uint32_t, C0List> c0_by_object_;
+  SeqHashMap<uint32_t, C0List> c0_by_label_;
+  SeqHashSet<uint64_t> c0_pairs_set_;
   uint64_t c0_pairs_ = 0;
 
-  std::vector<std::unique_ptr<Sub>> subs_;
+  retire_vector<std::unique_ptr<Sub>> subs_;
   uint64_t num_pairs_ = 0;
   uint64_t nf_ = 0;
 

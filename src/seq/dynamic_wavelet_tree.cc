@@ -144,6 +144,9 @@ uint32_t DynamicWaveletTree::Access(uint64_t i) const {
   const Node* node = root_.get();
   uint32_t c = 0;
   for (uint32_t level = 0; level < depth_; ++level) {
+    // Torn descent (optimistic serve-layer readers): a garbage bit can step
+    // into an absent child; fault into the retry path, not through null.
+    DYNDEX_CHECK(node != nullptr);
     bool bit = node->bits.Get(i);
     c = (c << 1) | (bit ? 1 : 0);
     if (level + 1 == depth_) break;
@@ -158,6 +161,7 @@ uint64_t DynamicWaveletTree::Rank(uint32_t c, uint64_t i) const {
   DYNDEX_CHECK(i <= size_);
   const Node* node = root_.get();
   for (uint32_t level = 0; level < depth_; ++level) {
+    DYNDEX_CHECK(node != nullptr);  // torn state: root can lag depth_
     bool bit = (c >> (depth_ - 1 - level)) & 1;
     i = bit ? node->bits.Rank1(i) : node->bits.Rank0(i);
     if (level + 1 == depth_) return i;
@@ -174,6 +178,7 @@ std::pair<uint64_t, uint64_t> DynamicWaveletTree::RankPair(uint32_t c,
   DYNDEX_CHECK(i <= j && j <= size_);
   const Node* node = root_.get();
   for (uint32_t level = 0; level < depth_; ++level) {
+    DYNDEX_CHECK(node != nullptr);  // torn state: root can lag depth_
     bool bit = (c >> (depth_ - 1 - level)) & 1;
     auto [ri, rj] = node->bits.RankPair(i, j);
     i = bit ? ri : i - ri;
@@ -191,6 +196,7 @@ std::pair<uint32_t, uint64_t> DynamicWaveletTree::InverseSelect(
   const Node* node = root_.get();
   uint32_t c = 0;
   for (uint32_t level = 0; level < depth_; ++level) {
+    DYNDEX_CHECK(node != nullptr);  // torn descent; see Access
     bool bit = node->bits.Get(i);
     c = (c << 1) | (bit ? 1 : 0);
     i = bit ? node->bits.Rank1(i) : node->bits.Rank0(i);
@@ -202,6 +208,7 @@ std::pair<uint32_t, uint64_t> DynamicWaveletTree::InverseSelect(
 
 uint64_t DynamicWaveletTree::SelectRec(const Node* node, uint32_t level,
                                        uint32_t c, uint64_t k) const {
+  DYNDEX_CHECK(node != nullptr);  // torn state: root/child can be absent
   bool bit = (c >> (depth_ - 1 - level)) & 1;
   if (level + 1 == depth_) {
     return bit ? node->bits.Select1(k) : node->bits.Select0(k);

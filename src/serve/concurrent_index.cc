@@ -19,11 +19,18 @@ std::vector<Occurrence> ConcurrentIndex::Locate(
 bool ConcurrentIndex::Extract(DocId id, uint64_t from, uint64_t len,
                               std::vector<Symbol>* out,
                               uint64_t* epoch) const {
-  return core_.Read(epoch, [&](const DynamicIndex& idx) {
-    if (!idx.Contains(id)) return false;
-    *out = idx.Extract(id, from, len);
-    return true;
-  });
+  // Buffer into the lambda's return value, never into *out directly: a
+  // discarded optimistic attempt re-runs the lambda, and the contract is
+  // that *out stays untouched on false (and on any abandoned attempt).
+  auto result =
+      core_.Read(epoch, [&](const DynamicIndex& idx)
+                            -> std::pair<bool, std::vector<Symbol>> {
+        if (!idx.Contains(id)) return {false, {}};
+        return {true, idx.Extract(id, from, len)};
+      });
+  if (!result.first) return false;
+  *out = std::move(result.second);
+  return true;
 }
 
 uint64_t ConcurrentIndex::num_docs(uint64_t* epoch) const {

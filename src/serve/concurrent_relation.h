@@ -50,8 +50,21 @@ class ConcurrentRelation {
     return ObjectsOf(v, epoch);
   }
 
-  /// Number of applied write batches so far.
+  /// Number of applied write batches so far (plain atomic load).
   uint64_t epoch() const { return core_.epoch(); }
+  /// Current seqlock word of the serving core (even = quiescent).
+  uint64_t sequence() const { return core_.sequence(); }
+
+  /// Optimistic read-path knobs / counters (see serve/epoch_guard.h).
+  /// set_optimistic_policy must be called while quiesced.
+  void set_optimistic_policy(const OptimisticPolicy& policy) {
+    core_.set_optimistic_policy(policy);
+  }
+  OptimisticStats optimistic_stats() const {
+    return core_.optimistic_stats();
+  }
+  /// Retired-but-not-yet-reclaimed batches (grace period still open).
+  uint64_t retired_pending() const { return core_.retired_pending(); }
 
   // --- writer API (one thread at a time) -----------------------------------
 

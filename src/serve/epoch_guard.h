@@ -1,29 +1,62 @@
 // The reusable concurrent-serving core: every concurrent facade in the repo
-// (documents in concurrent_index.h, relations/graphs in concurrent_relation.h)
-// is a thin wrapper over one EpochGuard<Backend>, so the lock discipline,
-// the writer-priority gate, the epoch, and the PollPending publication hook
-// exist exactly once.
+// (documents in concurrent_index.h, relations/graphs in concurrent_relation.h,
+// and every shard under the sharded facades) is a thin wrapper over one
+// EpochGuard<Backend>, so the read protocol, the writer-priority gate, the
+// epoch, the reclamation contract, and the PollPending publication hook exist
+// exactly once.
 //
 // Concurrency model (documented in README.md):
-//  * Readers take the shared side of a std::shared_mutex for the duration of
-//    one Read(); any number may run in parallel. A writer-priority gate
-//    (writer_waiting_) makes new readers stand aside while a writer is
-//    queued: glibc's rwlock prefers readers by default, and a saturating
-//    read workload would otherwise starve the writer forever (observed as a
-//    livelock in serve_concurrent_test before the gate existed).
+//
+//  * The read hot path is OPTIMISTIC — no lock at all. A sequence word
+//    (seq_) is even while the backend is quiescent; the writer bumps it to
+//    odd before mutating and back to even after publishing. A reader
+//    captures an even sequence, runs the query against the live backend,
+//    and validates that the sequence is unchanged afterwards; on mismatch
+//    the result is discarded and the attempt retried. After
+//    OptimisticPolicy::max_attempts failed attempts (or when a writer storm
+//    keeps the sequence odd past spin_limit iterations) the reader falls
+//    back to the shared-lock path, so saturating writers can never starve
+//    readers.
+//
+//  * Torn reads are memory-safe, not merely detectable. Before capturing a
+//    sequence the reader publishes its snapshot in one of kReaderSlots
+//    per-reader slots; everything a writer frees while mutating (replaced
+//    sub-collection levels, swapped Transformation-2 structures, cleared
+//    dynbits arenas, reallocated container buffers) is parked on a
+//    retire-list via util/retire.h instead of freed, tagged with the even
+//    sequence that preceded the write. A parked batch is reclaimed only
+//    when every active reader slot holds a strictly newer snapshot — no
+//    reader that could still be traversing the freed memory remains. The
+//    slot-publish / sequence-revalidate handshake pairs seq_cst accesses
+//    with the writer's publish / slot-scan (a Dekker-style store-load
+//    pattern), so a reader the scan missed is guaranteed to re-capture a
+//    post-publication sequence before touching any data.
+//
+//  * A torn attempt may still read type-stable-but-garbage values, so the
+//    backends clamp loop bounds on their read paths and every DYNDEX_CHECK
+//    tripped during an optimistic attempt throws TornReadError (see
+//    util/check.h) instead of aborting; the attempt catches, discards, and
+//    retries. Under TSan/ASan the attempt body additionally holds the
+//    shared lock (released before validation), trading the lock-free hot
+//    path for instrumentable, race-free execution while keeping the retry,
+//    fallback, slot, and reclamation machinery fully exercised.
+//
 //  * The single writer takes the exclusive side per Write(): it applies the
 //    whole batch, publishes any finished background builds (the PollPending
 //    hook — Transformation 2's swap step), bumps the epoch, and releases.
-//    Readers therefore never observe a half-applied batch or a half-swapped
-//    level.
-//  * Maintain() takes the exclusive side without bumping the epoch:
-//    publishing an internal rebuild leaves the logical state unchanged, and
-//    queries before and after a swap must see identical answers.
+//    Locked readers therefore never observe a half-applied batch, and
+//    optimistic readers never *validate* one. Maintain() is the same
+//    exclusive section without the epoch bump: publishing an internal
+//    rebuild leaves the logical state unchanged. A writer-priority gate
+//    (writer_waiting_) keeps the fallback path live under glibc's
+//    reader-preferring rwlock.
 //
 // The epoch is the linearization point: every Read() reports the epoch of
-// the snapshot it ran against, and two reads reporting the same epoch saw
-// the same logical state. The differential model-checking harnesses key
-// their per-state expectations on exactly this value.
+// the snapshot it ran against (captured inside the validated window), and
+// two reads reporting the same epoch saw the same logical state. The
+// differential model-checking harnesses key their per-state expectations on
+// exactly this value — the optimistic protocol changes how a snapshot is
+// obtained, not what it means.
 //
 // Backend is any class; the hooks are detected with `requires`:
 //  * b.PollPending()     -- called after every Write() body (optional)
@@ -31,15 +64,38 @@
 #ifndef DYNDEX_SERVE_EPOCH_GUARD_H_
 #define DYNDEX_SERVE_EPOCH_GUARD_H_
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
+#include <variant>
+#include <vector>
 
 #include "util/check.h"
+#include "util/retire.h"
+
+// Under TSan/ASan the optimistic attempt holds the shared lock while the
+// query body runs (released before validation): the sanitizers would
+// otherwise flag the by-design benign races of a validated-and-discarded
+// torn read, drowning real reports. The plain build runs the true lock-free
+// path.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define DYNDEX_LOCK_ASSISTED_OPTIMISTIC_READS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define DYNDEX_LOCK_ASSISTED_OPTIMISTIC_READS 1
+#endif
+#endif
+#ifndef DYNDEX_LOCK_ASSISTED_OPTIMISTIC_READS
+#define DYNDEX_LOCK_ASSISTED_OPTIMISTIC_READS 0
+#endif
 
 namespace dyndex {
 
@@ -49,8 +105,36 @@ namespace dyndex {
 template <typename B>
 concept EpochServable = std::is_object_v<B> && !std::is_const_v<B>;
 
-/// Shared epoch/locking core. Owns the backend; all access goes through
-/// Read / Write / Maintain (or unsynchronized(), caller-quiesced).
+/// Knobs of the optimistic read path. Set while quiesced (no readers in
+/// flight); readers copy the fields at the top of each Read().
+struct OptimisticPolicy {
+  /// Optimistic attempts per Read() before falling back to the shared lock.
+  /// 0 disables the optimistic path entirely (every read takes the lock) —
+  /// the benchmarks use this as the locked baseline.
+  uint32_t max_attempts = 3;
+  /// Sequence-capture iterations (spins past an odd/moving sequence) before
+  /// the reader gives up on the optimistic path for this Read(). Deliberately
+  /// impatient: a writer applying batched updates holds the sequence odd for
+  /// the whole exclusive section, and a reader is far better off falling
+  /// back to the shared lock (where the writer-priority gate alternates
+  /// fairly) than yielding through a multi-millisecond rebuild. Saturating
+  /// writers therefore drive readers onto the locked path; quiescent and
+  /// read-mostly phases stay lock-free.
+  uint32_t spin_limit = 64;
+};
+
+/// Aggregate counters of the optimistic read path (summed over the
+/// per-reader slots, so hot readers never share a counter cache line).
+struct OptimisticStats {
+  uint64_t attempts = 0;   // optimistic attempts started
+  uint64_t validated = 0;  // attempts that validated (lock-free successes)
+  uint64_t retries = 0;    // attempts discarded by validation or torn reads
+  uint64_t fallbacks = 0;  // Reads that gave up and took the shared lock
+  uint64_t locked_reads = 0;  // Reads served under the shared lock (any cause)
+};
+
+/// Shared epoch/sequence/reclamation core. Owns the backend; all access goes
+/// through Read / Write / Maintain (or unsynchronized(), caller-quiesced).
 template <EpochServable Backend>
 class EpochGuard {
  public:
@@ -59,47 +143,108 @@ class EpochGuard {
     DYNDEX_CHECK(backend_ != nullptr);
   }
 
-  /// Runs fn(const Backend&) under the shared lock. If `epoch` is non-null it
-  /// receives the epoch of the snapshot fn observed.
-  template <typename Fn>
-  decltype(auto) Read(uint64_t* epoch, Fn&& fn) const {
-    ReadLock lock(*this);
-    if (epoch != nullptr) *epoch = epoch_;
-    return std::forward<Fn>(fn)(
-        static_cast<const Backend&>(*backend_));
+  ~EpochGuard() {
+    // No readers may be in flight at destruction; everything still parked
+    // is reclaimable.
+    retired_.clear();
   }
 
-  /// Runs fn(Backend&) under the exclusive lock, then publishes finished
-  /// background builds (PollPending, when the backend has it) and bumps the
-  /// epoch — all before the lock drops, so the batch is atomic to readers.
+  /// Runs fn(const Backend&), optimistically when the policy allows it,
+  /// under the shared lock otherwise. If `epoch` is non-null it receives
+  /// the epoch of the snapshot fn observed. fn may run more than once (a
+  /// discarded attempt is re-executed), so it must be restartable: no side
+  /// effects other than through its return value.
+  template <typename Fn>
+  decltype(auto) Read(uint64_t* epoch, Fn&& fn) const {
+    using R = std::invoke_result_t<Fn&, const Backend&>;
+    if constexpr (std::is_void_v<R>) {
+      ReadImpl(epoch, [&fn](const Backend& b) {
+        fn(b);
+        return std::monostate{};
+      });
+    } else {
+      return ReadImpl(epoch, std::forward<Fn>(fn));
+    }
+  }
+
+  /// Runs fn(Backend&) under the exclusive lock inside an odd sequence
+  /// window, then publishes finished background builds (PollPending, when
+  /// the backend has it) and bumps the epoch — all before the sequence
+  /// returns to even, so the batch is atomic to readers. Everything the
+  /// body frees is parked (util/retire.h) and reclaimed only after the
+  /// grace period.
   template <typename Fn>
   decltype(auto) Write(Fn&& fn) {
     WriteLock lock(*this);
+    ExclusiveSection section(*this);
     if constexpr (std::is_void_v<decltype(fn(*backend_))>) {
       std::forward<Fn>(fn)(*backend_);
       PollPendingHook();
-      ++epoch_;
+      epoch_.store(epoch_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
     } else {
       decltype(auto) result = std::forward<Fn>(fn)(*backend_);
       PollPendingHook();
-      ++epoch_;
+      epoch_.store(epoch_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
       return result;
     }
   }
 
   /// Runs fn(Backend&) under the exclusive lock *without* bumping the epoch:
   /// internal maintenance (publishing rebuilds, test barriers) leaves the
-  /// logical state unchanged and must be invisible to queries.
+  /// logical state unchanged and must be invisible to queries. The sequence
+  /// still cycles odd/even — a swap mid-read must fail validation even
+  /// though the answers are unchanged, because the bytes moved.
   template <typename Fn>
   decltype(auto) Maintain(Fn&& fn) {
     WriteLock lock(*this);
+    ExclusiveSection section(*this);
     return std::forward<Fn>(fn)(*backend_);
   }
 
-  /// Number of applied Write() batches so far.
-  uint64_t epoch() const {
-    ReadLock lock(*this);
-    return epoch_;
+  /// Number of applied Write() batches so far (plain atomic load — the
+  /// cheap snapshot-token poll).
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Current sequence word (even = quiescent, odd = writer mutating).
+  uint64_t sequence() const { return seq_.load(std::memory_order_acquire); }
+
+  void set_optimistic_policy(const OptimisticPolicy& policy) {
+    policy_ = policy;
+  }
+  const OptimisticPolicy& optimistic_policy() const { return policy_; }
+
+  OptimisticStats optimistic_stats() const {
+    OptimisticStats total;
+    for (const ReaderSlot& s : slots_) {
+      total.attempts += s.attempts.load(std::memory_order_relaxed);
+      total.validated += s.validated.load(std::memory_order_relaxed);
+      total.retries += s.retries.load(std::memory_order_relaxed);
+      total.fallbacks += s.fallbacks.load(std::memory_order_relaxed);
+    }
+    total.locked_reads = locked_reads_.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  /// Retired batches not yet reclaimed (their grace period is still open).
+  uint64_t retired_pending() const {
+    return retired_pending_.load(std::memory_order_acquire);
+  }
+
+  /// Takes the exclusive lock and reclaims every batch whose grace period
+  /// has closed (writers do this opportunistically; tests and idle loops
+  /// can force it).
+  void ReclaimRetired() {
+    WriteLock lock(*this);
+    DrainRetiredLocked();
+  }
+
+  /// Test hook: runs after every optimistic attempt, before validation
+  /// (with no lock held), so tests can deterministically interleave a
+  /// write into the validation window. Set while quiesced.
+  void set_read_interlope(std::function<void()> hook) {
+    read_interlope_ = std::move(hook);
   }
 
   /// The wrapped backend, with no locking. Callers must guarantee quiescence.
@@ -107,6 +252,24 @@ class EpochGuard {
   const Backend& unsynchronized() const { return *backend_; }
 
  private:
+  static constexpr std::size_t kReaderSlots = 64;
+  /// Slot is unclaimed.
+  static constexpr uint64_t kIdleSnapshot = ~uint64_t{0};
+  /// Slot is claimed but its owner has not captured a sequence yet, so it
+  /// constrains nothing: the capture handshake guarantees the owner's first
+  /// data access happens under a re-validated, post-publication sequence.
+  static constexpr uint64_t kClaimedSnapshot = ~uint64_t{0} - 1;
+
+  /// One optimistic reader's published snapshot plus its share of the
+  /// stats, padded to a cache line so readers never false-share.
+  struct alignas(64) ReaderSlot {
+    std::atomic<uint64_t> snapshot{kIdleSnapshot};
+    std::atomic<uint64_t> attempts{0};
+    std::atomic<uint64_t> validated{0};
+    std::atomic<uint64_t> retries{0};
+    std::atomic<uint64_t> fallbacks{0};
+  };
+
   /// Shared lock with the writer-priority gate applied. The gate is advisory:
   /// a reader that raced past it still holds a correct shared lock; it only
   /// bounds how long writer_waiting_ can stay hot.
@@ -148,6 +311,193 @@ class EpochGuard {
     EpochGuard& guard_;
   };
 
+  /// The writer-side sequence discipline for one exclusive section:
+  /// constructor bumps the sequence odd and installs the retire sink;
+  /// destructor returns the sequence to even (publication), parks the
+  /// sink's contents tagged with the pre-section sequence, and reclaims
+  /// whatever batches have aged out. Caller must hold the exclusive lock.
+  class ExclusiveSection {
+   public:
+    explicit ExclusiveSection(EpochGuard& guard)
+        : guard_(guard),
+          pre_(guard.seq_.load(std::memory_order_relaxed)),
+          scope_(std::in_place, &sink_) {
+      guard_.seq_.store(pre_ + 1, std::memory_order_seq_cst);
+      // Full barrier: the odd store must be visible before any mutation
+      // is (the store-store half of the seqlock protocol).
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
+
+    ~ExclusiveSection() {
+      // Uninstall the sink *before* publishing, so reclamation below frees
+      // for real instead of re-parking onto the sink being reclaimed.
+      scope_.reset();
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      guard_.seq_.store(pre_ + 2, std::memory_order_seq_cst);
+      if (!sink_.empty()) {
+        guard_.retired_.push_back({pre_, std::move(sink_)});
+      }
+      guard_.DrainRetiredLocked();
+    }
+
+    ExclusiveSection(const ExclusiveSection&) = delete;
+    ExclusiveSection& operator=(const ExclusiveSection&) = delete;
+
+   private:
+    EpochGuard& guard_;
+    uint64_t pre_;  // even sequence before this section
+    RetireSink sink_;
+    std::optional<RetireScope> scope_;
+  };
+
+  struct RetiredBatch {
+    uint64_t tag;  // even sequence under which the parked objects were live
+    RetireSink sink;
+  };
+
+  /// Releases the slot on every exit path of ReadImpl.
+  struct SlotRelease {
+    ReaderSlot* slot;
+    ~SlotRelease() {
+      if (slot != nullptr) {
+        slot->snapshot.store(kIdleSnapshot, std::memory_order_release);
+      }
+    }
+  };
+
+  template <typename Fn>
+  auto ReadImpl(uint64_t* epoch, Fn&& fn) const
+      -> std::invoke_result_t<Fn&, const Backend&> {
+    using R = std::invoke_result_t<Fn&, const Backend&>;
+    static_assert(!std::is_reference_v<R>,
+                  "Read lambdas must return by value");
+    const OptimisticPolicy policy = policy_;
+    if (policy.max_attempts > 0) {
+      if (ReaderSlot* slot = ClaimSlot()) {
+        SlotRelease release{slot};
+        for (uint32_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+          uint64_t s;
+          if (!CaptureSnapshot(slot, policy.spin_limit, &s)) break;
+          slot->attempts.fetch_add(1, std::memory_order_relaxed);
+          // Epoch of snapshot s: epoch_ only moves inside odd windows, so
+          // if validation passes this load belongs to the window.
+          const uint64_t e = epoch_.load(std::memory_order_acquire);
+          std::optional<R> result;
+          const bool completed = RunAttempt(fn, &result);
+          if (read_interlope_) read_interlope_();
+          if (completed && seq_.load(std::memory_order_seq_cst) == s) {
+            slot->validated.fetch_add(1, std::memory_order_relaxed);
+            if (epoch != nullptr) *epoch = e;
+            return std::move(*result);
+          }
+          slot->retries.fetch_add(1, std::memory_order_relaxed);
+        }
+        slot->fallbacks.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return LockedRead(epoch, fn);
+  }
+
+  /// One optimistic attempt. Returns false when the attempt was abandoned
+  /// (a torn value tripped a CHECK, or any other throw mid-query); the
+  /// caller discards and retries. Under sanitizers the body runs with the
+  /// shared lock held (released before the caller validates).
+  template <typename Fn, typename R>
+  bool RunAttempt(Fn& fn, std::optional<R>* result) const {
+#if DYNDEX_LOCK_ASSISTED_OPTIMISTIC_READS
+    ReadLock lock(*this);
+    result->emplace(fn(static_cast<const Backend&>(*backend_)));
+    return true;
+#else
+    OptimisticReadScope torn_scope;
+    try {
+      result->emplace(fn(static_cast<const Backend&>(*backend_)));
+      return true;
+    } catch (const TornReadError&) {
+      return false;
+    } catch (...) {
+      // Anything else thrown mid-attempt (e.g. bad_alloc off a torn length)
+      // is treated as torn; a genuine failure recurs on the locked path,
+      // where it propagates normally.
+      return false;
+    }
+#endif
+  }
+
+  /// Claims a reader slot, probing from a thread-hashed start index.
+  /// nullptr when all slots are busy (the caller takes the locked path).
+  ReaderSlot* ClaimSlot() const {
+    const std::size_t start =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    for (std::size_t i = 0; i < kReaderSlots; ++i) {
+      ReaderSlot& slot = slots_[(start + i) % kReaderSlots];
+      uint64_t expect = kIdleSnapshot;
+      if (slot.snapshot.compare_exchange_strong(expect, kClaimedSnapshot,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed)) {
+        return &slot;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Publishes an even sequence snapshot in `slot` and re-validates that it
+  /// is still current — the reader half of the Dekker handshake with the
+  /// writer's publish/scan (see file comment). False when the sequence
+  /// would not settle within `spin_limit` iterations.
+  bool CaptureSnapshot(ReaderSlot* slot, uint32_t spin_limit,
+                       uint64_t* out) const {
+    uint64_t s = seq_.load(std::memory_order_acquire);
+    for (uint32_t spins = 0; spins <= spin_limit; ++spins) {
+      if ((s & 1) != 0) {  // writer mid-mutation: wait for publication
+        std::this_thread::yield();
+        s = seq_.load(std::memory_order_acquire);
+        continue;
+      }
+      slot->snapshot.store(s, std::memory_order_seq_cst);
+      const uint64_t s2 = seq_.load(std::memory_order_seq_cst);
+      if (s2 == s) {
+        *out = s;
+        return true;
+      }
+      s = s2;  // a writer published meanwhile: re-capture
+    }
+    slot->snapshot.store(kClaimedSnapshot, std::memory_order_seq_cst);
+    return false;
+  }
+
+  template <typename Fn>
+  auto LockedRead(uint64_t* epoch, Fn& fn) const
+      -> std::invoke_result_t<Fn&, const Backend&> {
+    locked_reads_.fetch_add(1, std::memory_order_relaxed);
+    ReadLock lock(*this);
+    if (epoch != nullptr) *epoch = epoch_.load(std::memory_order_relaxed);
+    return fn(static_cast<const Backend&>(*backend_));
+  }
+
+  /// Reclaims every retired batch whose grace period has closed: a batch
+  /// tagged S is freed once no active reader slot publishes a snapshot
+  /// <= S. Caller must hold the exclusive lock.
+  void DrainRetiredLocked() {
+    if (retired_.empty()) {
+      retired_pending_.store(0, std::memory_order_release);
+      return;
+    }
+    uint64_t min_active = kIdleSnapshot;
+    for (const ReaderSlot& slot : slots_) {
+      min_active =
+          std::min(min_active, slot.snapshot.load(std::memory_order_seq_cst));
+    }
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < retired_.size(); ++i) {
+      if (retired_[i].tag < min_active) continue;  // grace closed: freed below
+      if (kept != i) retired_[kept] = std::move(retired_[i]);
+      ++kept;
+    }
+    retired_.resize(kept);
+    retired_pending_.store(kept, std::memory_order_release);
+  }
+
   void PollPendingHook() {
     if constexpr (requires(Backend& b) { b.PollPending(); }) {
       backend_->PollPending();
@@ -156,8 +506,15 @@ class EpochGuard {
 
   mutable std::shared_mutex mu_;
   std::atomic<uint32_t> writer_waiting_{0};  // queued writers
-  std::unique_ptr<Backend> backend_;         // guarded by mu_
-  uint64_t epoch_ = 0;                       // guarded by mu_
+  std::unique_ptr<Backend> backend_;  // mutated only under mu_ exclusive
+  std::atomic<uint64_t> seq_{0};      // even = quiescent, odd = mutating
+  std::atomic<uint64_t> epoch_{0};    // applied Write() batches
+  OptimisticPolicy policy_;           // set while quiesced
+  mutable std::array<ReaderSlot, kReaderSlots> slots_;
+  mutable std::atomic<uint64_t> locked_reads_{0};
+  std::vector<RetiredBatch> retired_;  // guarded by mu_ exclusive
+  std::atomic<uint64_t> retired_pending_{0};
+  std::function<void()> read_interlope_;  // test-only, set while quiesced
 };
 
 }  // namespace dyndex

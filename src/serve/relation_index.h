@@ -217,8 +217,9 @@ class RelationAdapter final : public RelationIndex {
   const Rel& relation() const { return rel_; }
 
  private:
-  /// Whether the backend advertises fixed id capacities (the Navarro-Nekrich
-  /// baseline does; the Theorem 2/3 structures accept any uint32 id).
+  /// Whether the backend advertises fixed id capacities (the deletion-only
+  /// shell does; the Theorem 2/3 structures accept any uint32 id and the
+  /// Navarro-Nekrich baseline grows its capacities on demand).
   static constexpr bool HasCapacity() {
     return requires(const Rel& r) {
       r.max_objects();
@@ -258,8 +259,8 @@ struct RelationIndexOptions {
   uint32_t tau = 0;        // dead-fraction purge knob; 0 = auto
   double epsilon = 0.5;    // Transformation-1 growth exponent
   uint64_t min_c0 = 1024;  // C0 capacity floor in pairs
-  uint32_t baseline_max_objects = 4096;  // fixed capacities of [35]
-  uint32_t baseline_max_labels = 4096;
+  uint32_t baseline_max_objects = 4096;  // initial capacities of [35];
+  uint32_t baseline_max_labels = 4096;   // they double on demand
 };
 
 /// Builds a facade over the requested backend.

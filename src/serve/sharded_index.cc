@@ -57,11 +57,18 @@ bool ShardedIndex::Extract(DocId id, uint64_t from, uint64_t len,
   }
   const uint32_t s = shard_of(id);
   const DocId local = id / num_shards();
-  return shards_[s]->Read(epoch, [&](const DynamicIndex& idx) {
-    if (!idx.Contains(local)) return false;
-    *out = idx.Extract(local, from, len);
-    return true;
-  });
+  // Buffer into the lambda's return value, never into *out directly: a
+  // discarded optimistic attempt re-runs the lambda, and the contract is
+  // that *out stays untouched on false (and on any abandoned attempt).
+  auto result =
+      shards_[s]->Read(epoch, [&](const DynamicIndex& idx)
+                                  -> std::pair<bool, std::vector<Symbol>> {
+        if (!idx.Contains(local)) return {false, {}};
+        return {true, idx.Extract(local, from, len)};
+      });
+  if (!result.first) return false;
+  *out = std::move(result.second);
+  return true;
 }
 
 bool ShardedIndex::Contains(DocId id, uint64_t* epoch) const {
@@ -107,6 +114,35 @@ ShardEpochs ShardedIndex::epochs() const {
   ShardEpochs eps(num_shards(), 0);
   for (uint32_t s = 0; s < num_shards(); ++s) eps[s] = shards_[s]->epoch();
   return eps;
+}
+
+ShardSeqs ShardedIndex::seqs() const {
+  ShardSeqs sq(num_shards(), 0);
+  for (uint32_t s = 0; s < num_shards(); ++s) sq[s] = shards_[s]->sequence();
+  return sq;
+}
+
+void ShardedIndex::set_optimistic_policy(const OptimisticPolicy& policy) {
+  for (auto& shard : shards_) shard->set_optimistic_policy(policy);
+}
+
+OptimisticStats ShardedIndex::optimistic_stats() const {
+  OptimisticStats total;
+  for (const auto& shard : shards_) {
+    const OptimisticStats s = shard->optimistic_stats();
+    total.attempts += s.attempts;
+    total.validated += s.validated;
+    total.retries += s.retries;
+    total.fallbacks += s.fallbacks;
+    total.locked_reads += s.locked_reads;
+  }
+  return total;
+}
+
+uint64_t ShardedIndex::retired_pending() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->retired_pending();
+  return total;
 }
 
 std::vector<DocId> ShardedIndex::InsertBatch(

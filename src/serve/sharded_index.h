@@ -46,6 +46,11 @@ namespace dyndex {
 /// Per-shard epochs observed by one fanned-out query (index = shard).
 using ShardEpochs = std::vector<uint64_t>;
 
+/// Per-shard seqlock words (index = shard; even = quiescent). The cheap
+/// change-detection poll of the sharded facades: a shard whose sequence is
+/// unchanged between two polls served no write in between.
+using ShardSeqs = std::vector<uint64_t>;
+
 namespace shard_internal {
 
 /// The single fan-out implementation behind every merged query in
@@ -132,6 +137,16 @@ class ShardedIndex {
   /// Current per-shard epochs (not a consistent cross-shard snapshot; use
   /// the per-query epoch outputs for linearization).
   ShardEpochs epochs() const;
+  /// Current per-shard sequence words (plain atomic loads).
+  ShardSeqs seqs() const;
+
+  /// Optimistic read-path knobs / counters, fanned to every shard's core
+  /// (see serve/epoch_guard.h). set_optimistic_policy while quiesced.
+  void set_optimistic_policy(const OptimisticPolicy& policy);
+  /// Counters summed across shards.
+  OptimisticStats optimistic_stats() const;
+  /// Retired-but-not-yet-reclaimed batches summed across shards.
+  uint64_t retired_pending() const;
 
   // --- writer API (any number of concurrent callers) -----------------------
 

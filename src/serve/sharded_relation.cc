@@ -95,6 +95,35 @@ ShardEpochs ShardedRelation::epochs() const {
   return eps;
 }
 
+ShardSeqs ShardedRelation::seqs() const {
+  ShardSeqs sq(num_shards(), 0);
+  for (uint32_t s = 0; s < num_shards(); ++s) sq[s] = shards_[s]->sequence();
+  return sq;
+}
+
+void ShardedRelation::set_optimistic_policy(const OptimisticPolicy& policy) {
+  for (auto& shard : shards_) shard->set_optimistic_policy(policy);
+}
+
+OptimisticStats ShardedRelation::optimistic_stats() const {
+  OptimisticStats total;
+  for (const auto& shard : shards_) {
+    const OptimisticStats s = shard->optimistic_stats();
+    total.attempts += s.attempts;
+    total.validated += s.validated;
+    total.retries += s.retries;
+    total.fallbacks += s.fallbacks;
+    total.locked_reads += s.locked_reads;
+  }
+  return total;
+}
+
+uint64_t ShardedRelation::retired_pending() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->retired_pending();
+  return total;
+}
+
 uint64_t ShardedRelation::AddPairsBatch(const RelationPairs& pairs) {
   const uint32_t k = num_shards();
   std::vector<RelationPairs> sub(k);

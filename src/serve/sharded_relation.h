@@ -86,6 +86,16 @@ class ShardedRelation {
 
   /// Current per-shard epochs (not a consistent cross-shard snapshot).
   ShardEpochs epochs() const;
+  /// Current per-shard sequence words (plain atomic loads).
+  ShardSeqs seqs() const;
+
+  /// Optimistic read-path knobs / counters, fanned to every shard's core
+  /// (see serve/epoch_guard.h). set_optimistic_policy while quiesced.
+  void set_optimistic_policy(const OptimisticPolicy& policy);
+  /// Counters summed across shards.
+  OptimisticStats optimistic_stats() const;
+  /// Retired-but-not-yet-reclaimed batches summed across shards.
+  uint64_t retired_pending() const;
 
   // --- writer API (any number of concurrent callers) -----------------------
 

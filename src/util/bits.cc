@@ -40,9 +40,14 @@ uint32_t SelectInWord(uint64_t x, uint32_t k) {
   uint64_t k_step = static_cast<uint64_t>(k) * kOnesStep8;
   uint64_t geq = ((k_step | kMsbsStep8) - byte_sums) & kMsbsStep8;
   uint32_t place = Popcount(geq) * 8;
+  // Torn-input clamps: optimistic serve-layer readers can reach this with
+  // k >= Popcount(x) (the DCHECK above is compiled out), which would drive
+  // place to 64 (undefined shift) and wrap byte_rank past the table. Mask
+  // both; the garbage result is discarded by the seqlock validation.
+  place &= 63;
   uint32_t byte_rank =
       k - static_cast<uint32_t>(((byte_sums << 8) >> place) & 0xFF);
-  return place + kSelect.pos[byte_rank][(x >> place) & 0xFF];
+  return place + kSelect.pos[byte_rank & 7][(x >> place) & 0xFF];
 }
 
 void CopyBits(uint64_t* dst, uint64_t dst_pos, const uint64_t* src,

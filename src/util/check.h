@@ -1,6 +1,12 @@
-// Lightweight CHECK macros (the library does not use exceptions; invariant and
-// precondition violations abort with a message, following the Google style the
-// project adopts).
+// Lightweight CHECK macros. Invariant and precondition violations abort with
+// a message (following the Google style the project adopts) — with one narrow
+// exception: inside an *optimistic read attempt* (serve/epoch_guard.h), a
+// failed check throws TornReadError instead. An optimistic reader runs
+// against a backend that a writer may be mutating, so a tripped CHECK there
+// usually means the reader observed a torn value, not that the structure is
+// corrupt; the serving layer catches the throw, discards the attempt, and
+// retries or falls back to the locked path. Outside an optimistic attempt
+// the behavior is unchanged: fprintf + abort, no exceptions anywhere.
 #ifndef DYNDEX_UTIL_CHECK_H_
 #define DYNDEX_UTIL_CHECK_H_
 
@@ -9,8 +15,45 @@
 
 namespace dyndex {
 
+/// Thrown (instead of aborting) when a CHECK fails during an optimistic read
+/// attempt. Deliberately not a std::exception subclass: nothing outside the
+/// serving layer should ever catch it by a generic handler.
+struct TornReadError {
+  const char* file;
+  int line;
+  const char* expr;
+};
+
+namespace check_internal {
+/// True while the calling thread is running an optimistic (unlocked,
+/// validate-after) read attempt. Set only by serve/epoch_guard.h.
+inline thread_local bool tl_in_optimistic_read = false;
+}  // namespace check_internal
+
+/// Marks the calling thread as inside an optimistic read attempt, converting
+/// CHECK failures into recoverable TornReadError throws for its lifetime.
+class OptimisticReadScope {
+ public:
+  OptimisticReadScope() : prev_(check_internal::tl_in_optimistic_read) {
+    check_internal::tl_in_optimistic_read = true;
+  }
+  ~OptimisticReadScope() { check_internal::tl_in_optimistic_read = prev_; }
+  OptimisticReadScope(const OptimisticReadScope&) = delete;
+  OptimisticReadScope& operator=(const OptimisticReadScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+inline bool InOptimisticRead() {
+  return check_internal::tl_in_optimistic_read;
+}
+
 [[noreturn]] inline void CheckFail(const char* file, int line,
                                    const char* expr) {
+  if (check_internal::tl_in_optimistic_read) {
+    throw TornReadError{file, line, expr};
+  }
   std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
   std::abort();
 }

@@ -35,7 +35,9 @@ class Fenwick {
 
   /// Sum of slots [0, i).
   int64_t PrefixSum(uint64_t i) const {
-    DYNDEX_DCHECK(i <= size_);
+    // Full check, not DCHECK: optimistic serve-layer readers can pass an
+    // index derived from a torn read; keep the scan inside tree_.
+    DYNDEX_CHECK(i <= size_);
     int64_t s = 0;
     for (uint64_t p = i; p > 0; p -= p & (~p + 1)) s += tree_[p];
     return s;

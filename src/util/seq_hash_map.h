@@ -1,0 +1,381 @@
+// Hash maps that optimistic (seqlock-validated) readers can probe while a
+// single writer mutates them, without ever touching unmapped or
+// inconsistently-sized memory.
+//
+// Why std::unordered_map is not enough even with RetireAllocator: the
+// libstdc++ hashtable keeps its bucket-array pointer and bucket count in two
+// separate members. A reader that loads the old pointer and the new count
+// during a concurrent rehash indexes past the end of the (parked but smaller)
+// old array, picks up a garbage node pointer, and faults — the retire
+// allocator keeps freed buckets mapped, but it cannot make the probe's view
+// of (pointer, size) self-consistent.
+//
+// SeqHashMap fixes that structurally:
+//
+//  * Open addressing over a power-of-two slot array. The probe sequence
+//    touches only the slot array, never a node chain.
+//  * The capacity lives in the same heap block as the slots (an immutable
+//    Table header). A reader obtains its entire view — bounds and data —
+//    from ONE atomic pointer load, so the view is self-consistent by
+//    construction no matter what the writer does next.
+//  * Slot keys are std::atomic<uint64_t>: a reader never sees a torn key, so
+//    probes terminate within one table sweep. Values are plain storage; a
+//    torn value read is memory-safe and is caught by the serve layer's
+//    sequence validation (plus the callers' bounds clamps).
+//  * Growth builds a fresh Table and publishes it with one release store;
+//    the old Table is Retire()d (util/retire.h) so in-flight readers keep a
+//    mapped, coherent — merely stale — view for the grace period.
+//
+// Single-writer contract: all mutating calls must be externally synchronized
+// (the serve layer's exclusive section). Any number of concurrent readers may
+// call the const members. Without a serve layer the containers behave like
+// ordinary maps and Retire() frees eagerly.
+//
+// Keys must be unsigned integers that fit in 64 bits; the top two encodings
+// (~0ull and ~0ull - 1) are reserved as empty/tombstone sentinels.
+#ifndef DYNDEX_UTIL_SEQ_HASH_MAP_H_
+#define DYNDEX_UTIL_SEQ_HASH_MAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "util/check.h"
+#include "util/retire.h"
+
+namespace dyndex {
+
+/// Atomically published immutable snapshot, for SeqHashMap slot values whose
+/// payload is a container. A plain vector in a slot is NOT reader-safe: the
+/// writer's push_back / move-out mutates begin/end in place under a reader
+/// mid-iteration. SeqBox readers take ONE acquire load and iterate a
+/// snapshot that is never mutated afterwards; writers replace the snapshot
+/// wholesale (copy-on-write) and Retire the old one for in-flight readers.
+template <typename V>
+class SeqBox {
+ public:
+  SeqBox() = default;
+
+  ~SeqBox() {
+    // May run inside an exclusive section (slot overwrite, temporary):
+    // park the snapshot for in-flight readers; frees immediately otherwise.
+    if (owner_ != nullptr) Retire(std::move(owner_));
+  }
+
+  SeqBox(SeqBox&& o) noexcept : owner_(std::move(o.owner_)) {
+    ptr_.store(owner_.get(), std::memory_order_release);
+    o.ptr_.store(nullptr, std::memory_order_release);
+  }
+
+  SeqBox& operator=(SeqBox&& o) noexcept {
+    if (this != &o) {
+      ptr_.store(nullptr, std::memory_order_release);
+      if (owner_ != nullptr) Retire(std::move(owner_));
+      owner_ = std::move(o.owner_);
+      ptr_.store(owner_.get(), std::memory_order_release);
+      o.ptr_.store(nullptr, std::memory_order_release);
+    }
+    return *this;
+  }
+
+  SeqBox(const SeqBox& o) {
+    if (o.owner_ != nullptr) {
+      owner_ = std::make_unique<V>(*o.owner_);
+      ptr_.store(owner_.get(), std::memory_order_release);
+    }
+  }
+
+  SeqBox& operator=(const SeqBox& o) {
+    if (this != &o) *this = SeqBox(o);
+    return *this;
+  }
+
+  /// Reader-safe: the current snapshot, or nullptr when empty. The snapshot
+  /// stays mapped and bit-stable for the reader's whole grace period.
+  const V* Load() const { return ptr_.load(std::memory_order_acquire); }
+
+  /// Writer-side copy of the current snapshot (default V when empty), for
+  /// copy-on-write updates: mutate the copy, then Store() it.
+  V Copy() const { return owner_ != nullptr ? *owner_ : V{}; }
+
+  /// Writer-only: publishes `v` as the new snapshot, parks the old one.
+  void Store(V v) {
+    auto next = std::make_unique<V>(std::move(v));
+    ptr_.store(next.get(), std::memory_order_release);
+    if (owner_ != nullptr) Retire(std::move(owner_));
+    owner_ = std::move(next);
+  }
+
+ private:
+  std::unique_ptr<V> owner_;
+  std::atomic<V*> ptr_{nullptr};  // readers' view; mirrors owner_
+};
+
+namespace seq_hash_internal {
+template <typename T>
+struct IsSeqBox : std::false_type {};
+template <typename T>
+struct IsSeqBox<SeqBox<T>> : std::true_type {};
+}  // namespace seq_hash_internal
+
+template <typename K, typename V>
+class SeqHashMap {
+  static_assert(std::is_unsigned_v<K> && sizeof(K) <= sizeof(uint64_t),
+                "SeqHashMap keys must be unsigned integers up to 64 bits");
+  static_assert(std::is_trivially_copyable_v<V> ||
+                    seq_hash_internal::IsSeqBox<V>::value,
+                "SeqHashMap slot values are read in place by optimistic "
+                "readers while the writer assigns/moves them; only trivially "
+                "copyable payloads tear harmlessly. Wrap containers in "
+                "SeqBox<V> so readers iterate an immutable snapshot.");
+
+ public:
+  SeqHashMap() = default;
+
+  ~SeqHashMap() {
+    // Park the whole table: a concurrent reader may still probe the header.
+    if (owner_ != nullptr) Retire(std::move(owner_));
+  }
+
+  SeqHashMap(SeqHashMap&& o) noexcept
+      : owner_(std::move(o.owner_)), size_(o.size_), used_(o.used_) {
+    table_.store(owner_.get(), std::memory_order_release);
+    o.table_.store(nullptr, std::memory_order_release);
+    o.size_ = o.used_ = 0;
+  }
+
+  SeqHashMap& operator=(SeqHashMap&& o) noexcept {
+    if (this != &o) {
+      table_.store(nullptr, std::memory_order_release);
+      if (owner_ != nullptr) Retire(std::move(owner_));
+      owner_ = std::move(o.owner_);
+      table_.store(owner_.get(), std::memory_order_release);
+      o.table_.store(nullptr, std::memory_order_release);
+      size_ = o.size_;
+      used_ = o.used_;
+      o.size_ = o.used_ = 0;
+    }
+    return *this;
+  }
+
+  SeqHashMap(const SeqHashMap& o) : size_(o.size_), used_(o.used_) {
+    if (const Table* t = o.owner_.get()) {
+      owner_ = std::make_unique<Table>(t->mask + 1);
+      for (uint64_t i = 0; i <= t->mask; ++i) {
+        owner_->slots[i].key.store(
+            t->slots[i].key.load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+        owner_->slots[i].value = t->slots[i].value;
+      }
+      table_.store(owner_.get(), std::memory_order_release);
+    }
+  }
+
+  SeqHashMap& operator=(const SeqHashMap& o) {
+    if (this != &o) *this = SeqHashMap(o);
+    return *this;
+  }
+
+  /// Reader-safe point lookup; nullptr if absent.
+  const V* Find(K k) const {
+    const Table* t = table_.load(std::memory_order_acquire);
+    if (t == nullptr) return nullptr;
+    const uint64_t key = static_cast<uint64_t>(k);
+    uint64_t idx = Mix(key) & t->mask;
+    // Bounded by the table size: terminates even on a fully-used sweep.
+    for (uint64_t probes = 0; probes <= t->mask; ++probes) {
+      const Slot& s = t->slots[idx];
+      uint64_t sk = s.key.load(std::memory_order_acquire);
+      if (sk == kEmptyKey) return nullptr;
+      if (sk == key) return &s.value;
+      idx = (idx + 1) & t->mask;
+    }
+    return nullptr;
+  }
+
+  V* Find(K k) {
+    return const_cast<V*>(static_cast<const SeqHashMap*>(this)->Find(k));
+  }
+
+  bool Contains(K k) const { return Find(k) != nullptr; }
+
+  /// Writer-only: value reference for `k`, default-constructed if absent.
+  /// A reader racing the insert sees either no key or the key with a
+  /// default/partially-assigned value — memory-safe; the seqlock retries.
+  V& operator[](K k) {
+    if (V* v = Find(k)) return *v;
+    const uint64_t key = static_cast<uint64_t>(k);
+    DYNDEX_DCHECK(key < kTombstoneKey);
+    ReserveOne();
+    Table* t = owner_.get();
+    uint64_t idx = Mix(key) & t->mask;
+    while (true) {
+      Slot& s = t->slots[idx];
+      uint64_t sk = s.key.load(std::memory_order_relaxed);
+      if (sk >= kTombstoneKey) {  // empty or tombstone
+        if (sk == kEmptyKey) ++used_;
+        ++size_;
+        s.value = V{};
+        // Publish the key after the (default) value so a reader matching the
+        // key never reads pre-construction garbage.
+        s.key.store(key, std::memory_order_release);
+        return s.value;
+      }
+      idx = (idx + 1) & t->mask;
+    }
+  }
+
+  /// Writer-only. Retires the value (readers may still be reading it) and
+  /// tombstones the slot. Returns false if absent.
+  bool Erase(K k) {
+    Table* t = owner_.get();
+    if (t == nullptr) return false;
+    const uint64_t key = static_cast<uint64_t>(k);
+    uint64_t idx = Mix(key) & t->mask;
+    for (uint64_t probes = 0; probes <= t->mask; ++probes) {
+      Slot& s = t->slots[idx];
+      uint64_t sk = s.key.load(std::memory_order_relaxed);
+      if (sk == kEmptyKey) return false;
+      if (sk == key) {
+        s.key.store(kTombstoneKey, std::memory_order_release);
+        if constexpr (!std::is_trivially_destructible_v<V>) {
+          // Park the value's owned memory for in-flight readers, then leave
+          // a benign empty value in the slot.
+          Retire(std::move(s.value));
+          s.value = V{};
+        }
+        // Trivial values keep their bytes: stale but stable for readers.
+        --size_;
+        return true;
+      }
+      idx = (idx + 1) & t->mask;
+    }
+    return false;
+  }
+
+  /// Writer-only. Readers see an empty map after the single pointer store.
+  void clear() {
+    size_ = used_ = 0;
+    if (owner_ == nullptr) return;
+    table_.store(nullptr, std::memory_order_release);
+    Retire(std::move(owner_));
+  }
+
+  /// fn(key, const V&) for every entry; reader-safe (one table load).
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    const Table* t = table_.load(std::memory_order_acquire);
+    if (t == nullptr) return;
+    for (uint64_t i = 0; i <= t->mask; ++i) {
+      const Slot& s = t->slots[i];
+      uint64_t sk = s.key.load(std::memory_order_acquire);
+      if (sk < kTombstoneKey) fn(static_cast<K>(sk), s.value);
+    }
+  }
+
+  uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Heap footprint (slot array + header), for space accounting.
+  uint64_t MemoryBytes() const {
+    const Table* t = table_.load(std::memory_order_relaxed);
+    if (t == nullptr) return 0;
+    return sizeof(Table) + (t->mask + 1) * sizeof(Slot);
+  }
+
+ private:
+  static constexpr uint64_t kEmptyKey = ~0ull;
+  static constexpr uint64_t kTombstoneKey = ~0ull - 1;
+  static constexpr uint64_t kMinCapacity = 8;
+
+  struct Slot {
+    std::atomic<uint64_t> key{kEmptyKey};
+    V value{};
+  };
+
+  // Immutable after construction: readers derive bounds and data from the
+  // same allocation, so one pointer load yields a self-consistent view.
+  struct Table {
+    explicit Table(uint64_t cap) : mask(cap - 1), slots(cap) {}
+    uint64_t mask;
+    retire_vector<Slot> slots;
+  };
+
+  static uint64_t Mix(uint64_t x) {  // splitmix64 finalizer
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  /// Ensures room for one more entry; rehashes at 3/4 occupancy
+  /// (live + tombstones), doubling only when live entries dominate.
+  void ReserveOne() {
+    Table* t = owner_.get();
+    if (t == nullptr) {
+      Install(std::make_unique<Table>(kMinCapacity));
+      return;
+    }
+    uint64_t cap = t->mask + 1;
+    if ((used_ + 1) * 4 <= cap * 3) return;
+    uint64_t new_cap = (size_ + 1) * 2 > cap ? cap * 2 : cap;
+    auto nt = std::make_unique<Table>(new_cap);
+    for (uint64_t i = 0; i <= t->mask; ++i) {
+      Slot& s = t->slots[i];
+      uint64_t sk = s.key.load(std::memory_order_relaxed);
+      if (sk >= kTombstoneKey) continue;
+      uint64_t idx = Mix(sk) & nt->mask;
+      while (nt->slots[idx].key.load(std::memory_order_relaxed) != kEmptyKey) {
+        idx = (idx + 1) & nt->mask;
+      }
+      // Moved-from values in the old table read as empty — stale readers of
+      // the parked table see coherent (if wrong) data and revalidate.
+      nt->slots[idx].value = std::move(s.value);
+      nt->slots[idx].key.store(sk, std::memory_order_relaxed);
+    }
+    used_ = size_;
+    Install(std::move(nt));
+  }
+
+  void Install(std::unique_ptr<Table> nt) {
+    table_.store(nt.get(), std::memory_order_release);
+    if (owner_ != nullptr) Retire(std::move(owner_));
+    owner_ = std::move(nt);
+  }
+
+  std::unique_ptr<Table> owner_;
+  std::atomic<Table*> table_{nullptr};  // readers' view; mirrors owner_
+  uint64_t size_ = 0;  // live entries
+  uint64_t used_ = 0;  // live + tombstoned slots (rehash trigger)
+};
+
+/// Set counterpart; same reader guarantees. std::unordered_set-ish surface.
+template <typename K>
+class SeqHashSet {
+ public:
+  bool insert(K k) {
+    if (map_.Contains(k)) return false;
+    map_[k] = 0;
+    return true;
+  }
+  uint64_t erase(K k) { return map_.Erase(k) ? 1 : 0; }
+  uint64_t count(K k) const { return map_.Contains(k) ? 1 : 0; }
+  void clear() { map_.clear(); }
+  uint64_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  uint64_t MemoryBytes() const { return map_.MemoryBytes(); }
+
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    map_.ForEach([&](K k, uint8_t) { fn(k); });
+  }
+
+ private:
+  SeqHashMap<K, uint8_t> map_;
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_UTIL_SEQ_HASH_MAP_H_

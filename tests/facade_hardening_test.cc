@@ -165,8 +165,9 @@ TEST(FacadeHardening, RelationIdsBeyondCapacityAnswerEmpty) {
     }
     EXPECT_EQ(rel->num_pairs(), 2u);
     // Bulk batches drop unrepresentable pairs instead of aborting. The
-    // baseline and deletion-only backends have fixed/dense capacities; the
-    // Theorem 2/3 structures accept any uint32 id.
+    // deletion-only backend has fixed capacities; the baseline grows on
+    // demand but cannot represent UINT32_MAX (it would need capacity 2^32);
+    // the Theorem 2/3 structures accept any uint32 id.
     bool capped = b == RelationBackend::kBaseline ||
                   b == RelationBackend::kDeletionOnly;
     uint64_t added = rel->AddPairsBulk({{2, 2}, {huge, 1}, {4, 4}});
@@ -181,6 +182,32 @@ TEST(FacadeHardening, RelationIdsBeyondCapacityAnswerEmpty) {
     EXPECT_TRUE(rel->Related(4, 4));
     rel->CheckInvariants();
   }
+}
+
+TEST(FacadeHardening, BaselineRelationGrowsCapacityOnDemand) {
+  RelationIndexOptions opt;
+  opt.baseline_max_objects = 4;
+  opt.baseline_max_labels = 4;
+  auto rel = MakeRelationIndex(RelationBackend::kBaseline, opt);
+  ASSERT_TRUE(rel->AddPair(1, 2));
+  // Ids beyond both initial capacities grow the structure (doubling rebuild)
+  // instead of being screened out.
+  EXPECT_TRUE(rel->AddPair(100, 200));
+  EXPECT_TRUE(rel->Related(100, 200));
+  EXPECT_EQ(rel->CountLabelsOf(100), 1u);
+  EXPECT_EQ(rel->LabelsOf(100), std::vector<uint32_t>{200});
+  // Queries alone never grow: absent ids answer empty.
+  EXPECT_FALSE(rel->Related(5000, 1));
+  EXPECT_TRUE(rel->LabelsOf(5000).empty());
+  EXPECT_FALSE(rel->RemovePair(5000, 1));
+  // The bulk path grows too (warm relation: per-pair inserts).
+  EXPECT_EQ(rel->AddPairsBulk({{1000, 1}, {2, 900}}), 2u);
+  EXPECT_TRUE(rel->Related(1000, 1));
+  EXPECT_TRUE(rel->Related(2, 900));
+  // Pairs inserted before a growth rebuild survive it.
+  EXPECT_TRUE(rel->Related(1, 2));
+  EXPECT_EQ(rel->num_pairs(), 4u);
+  rel->CheckInvariants();
 }
 
 TEST(FacadeHardening, DeletionOnlyBackendServesMixedChurn) {
