@@ -3,14 +3,25 @@
 // and without a live writer applying batched updates, and with the
 // optimistic seqlock read path on (optimistic:1, the default policy) vs
 // pinned to the shared lock (optimistic:0, the locked baseline). Rows also
-// report the read-path outcome counters (validated / retries / fallbacks /
+// report the read-path outcome counters (validated / retries / fallbacks,
+// the fallback-cause split capture_exhausted / retries_exhausted /
 // locked_reads) and the writer's batch count, so the JSON shows both sides
 // of the tradeoff: lock-free readers stop throttling the writer, so
 // writer_batches rises under optimistic:1 — and on few-core machines the
 // now-unthrottled writer competes with readers for CPU, which can depress
-// reader items/s even though no reader ever waits on the lock. Compare
-// adjacent optimistic:1/optimistic:0 rows (same fixture state) and read
-// both items_per_second and writer_batches.
+// reader items/s even though no reader ever waits on the lock.
+//
+// The paced:1 rows measure the fix for exactly that starvation: with
+// write pacing (PacingPolicy, see serve/epoch_guard.h) the writer holds
+// the sequence even for a bounded window between consecutive batches, so
+// readers get CPU and lock-free validation windows back; reader items/s
+// recovers while writer_batches drops by the policy-controlled factor
+// reported in the same row (pace_waits / pace_wait_us). This fixture uses
+// the unconditional stall_threshold:0 mode (see BenchPacing below for
+// why); the stall-conditional threshold>=1 handshake is exercised
+// deterministically in tests/serve_pacing_test.cc. Compare adjacent rows
+// (same fixture state): paced:1 vs paced:0 under optimistic:1, and
+// optimistic:1 vs optimistic:0.
 //
 // This is the serving-path headline the dynamic-graph literature reports
 // (concurrent-reader scaling): the paper's Figure 3 background-rebuild story
@@ -103,18 +114,39 @@ void WriterWork(ServeFixture* f, const std::atomic<bool>& stop,
   *batches = n;
 }
 
+/// Pacing knobs of the paced:1 rows. stall_threshold 0 is the unconditional
+/// write-rate-limiter mode: every batch admission waits until the sequence
+/// has been even for 5 ms (at most 5 ms of delay per batch). This fixture
+/// needs the unconditional mode because T2's threaded rebuilds do the heavy
+/// work on background builder threads *outside* the exclusive section — the
+/// sequence stays mostly even and readers starve for CPU against the
+/// builders, a regime the stalled-capture signal (threshold >= 1) cannot
+/// see. The window is sized against the fixture's ~1 ms batches so the
+/// paced writer's duty cycle (batch + spawned rebuild work) drops to
+/// roughly a sixth, returning the CPU to readers.
+PacingPolicy BenchPacing() {
+  PacingPolicy pacing;
+  pacing.min_even_window_us = 5000;
+  pacing.max_delay_us = 5000;
+  pacing.stall_threshold = 0;
+  return pacing;
+}
+
 void BM_ServeConcurrentCount(benchmark::State& state) {
   ServeFixture* f = GetFixture();
   const int readers = static_cast<int>(state.range(0));
   const bool with_writer = state.range(1) != 0;
   const bool optimistic = state.range(2) != 0;
+  const bool paced = state.range(3) != 0;
   // optimistic:0 pins every read to the shared lock — the locked baseline
-  // the seqlock read path is compared against. Set while quiesced (no
-  // reader/writer threads are running between iterations).
+  // the seqlock read path is compared against. paced:0 disables write
+  // pacing — the unpaced (pre-pacing) writer behavior.
   OptimisticPolicy policy;
   policy.max_attempts = optimistic ? 3 : 0;
   f->index->set_optimistic_policy(policy);
+  f->index->set_pacing_policy(paced ? BenchPacing() : PacingPolicy{});
   const OptimisticStats before = f->index->optimistic_stats();
+  const PacingStats pace_before = f->index->pacing_stats();
   uint64_t round = 0;
   uint64_t writer_batches = 0;
   for (auto _ : state) {
@@ -141,40 +173,62 @@ void BM_ServeConcurrentCount(benchmark::State& state) {
   state.counters["readers"] = readers;
   state.counters["writer"] = with_writer ? 1 : 0;
   state.counters["optimistic"] = optimistic ? 1 : 0;
+  state.counters["paced"] = paced ? 1 : 0;
   state.counters["writer_batches"] = static_cast<double>(writer_batches);
   // Read-path outcome counters for this run (validated = lock-free
-  // successes; locked_reads covers fallbacks and the locked baseline).
+  // successes; locked_reads covers fallbacks and the locked baseline;
+  // fallbacks == capture_exhausted + retries_exhausted splits writer
+  // pressure from validation churn). pace_waits / pace_wait_us quantify
+  // the writer-side cost of the paced rows.
   const OptimisticStats after = f->index->optimistic_stats();
+  const PacingStats pace_after = f->index->pacing_stats();
   state.counters["validated"] =
       static_cast<double>(after.validated - before.validated);
   state.counters["retries"] =
       static_cast<double>(after.retries - before.retries);
   state.counters["fallbacks"] =
       static_cast<double>(after.fallbacks - before.fallbacks);
+  state.counters["capture_exhausted"] = static_cast<double>(
+      after.capture_exhausted - before.capture_exhausted);
+  state.counters["retries_exhausted"] = static_cast<double>(
+      after.retries_exhausted - before.retries_exhausted);
+  state.counters["capture_stalled"] = static_cast<double>(
+      after.capture_stalled - before.capture_stalled);
   state.counters["locked_reads"] =
       static_cast<double>(after.locked_reads - before.locked_reads);
+  state.counters["pace_waits"] =
+      static_cast<double>(pace_after.waits - pace_before.waits);
+  state.counters["pace_wait_us"] =
+      static_cast<double>(pace_after.wait_us - pace_before.wait_us);
 }
 
-// Each optimistic/locked pair runs back-to-back: the fixture index drifts as
-// writer rows churn it, so adjacent rows are the comparable ones.
+// Adjacent rows are the comparable ones (the fixture index drifts as writer
+// rows churn it): each writer-on reader count runs paced optimistic,
+// unpaced optimistic, then the locked baseline back-to-back. Pacing without
+// a writer is a no-op (no stalls accrue), so writer:0 rows only run
+// paced:0.
 BENCHMARK(BM_ServeConcurrentCount)
-    ->ArgNames({"readers", "writer", "optimistic"})
-    ->Args({1, 0, 1})
-    ->Args({1, 0, 0})
-    ->Args({2, 0, 1})
-    ->Args({2, 0, 0})
-    ->Args({4, 0, 1})
-    ->Args({4, 0, 0})
-    ->Args({8, 0, 1})
-    ->Args({8, 0, 0})
-    ->Args({1, 1, 1})
-    ->Args({1, 1, 0})
-    ->Args({2, 1, 1})
-    ->Args({2, 1, 0})
-    ->Args({4, 1, 1})
-    ->Args({4, 1, 0})
-    ->Args({8, 1, 1})
-    ->Args({8, 1, 0})
+    ->ArgNames({"readers", "writer", "optimistic", "paced"})
+    ->Args({1, 0, 1, 0})
+    ->Args({1, 0, 0, 0})
+    ->Args({2, 0, 1, 0})
+    ->Args({2, 0, 0, 0})
+    ->Args({4, 0, 1, 0})
+    ->Args({4, 0, 0, 0})
+    ->Args({8, 0, 1, 0})
+    ->Args({8, 0, 0, 0})
+    ->Args({1, 1, 1, 1})
+    ->Args({1, 1, 1, 0})
+    ->Args({1, 1, 0, 0})
+    ->Args({2, 1, 1, 1})
+    ->Args({2, 1, 1, 0})
+    ->Args({2, 1, 0, 0})
+    ->Args({4, 1, 1, 1})
+    ->Args({4, 1, 1, 0})
+    ->Args({4, 1, 0, 0})
+    ->Args({8, 1, 1, 1})
+    ->Args({8, 1, 1, 0})
+    ->Args({8, 1, 0, 0})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -9,10 +9,14 @@
 //    exclusive locks instead of serializing on one.
 //  * ReadersWithWriter -- 4 reader threads hammer fanned-out Count while one
 //    writer churns batches; sharding narrows the write lock to one shard at
-//    a time, so readers stall less. Runs both with the optimistic seqlock
-//    read path (optimistic:1) and pinned to the shared lock (optimistic:0),
-//    and reports the per-shard read-path outcome counters so the JSON carries
-//    the optimistic-vs-locked comparison per shard count.
+//    a time, so readers stall less. Runs with the optimistic seqlock read
+//    path plus reader-progress-aware write pacing (optimistic:1 paced:1 —
+//    each shard paces independently on its own stalled readers), unpaced
+//    (paced:0), and pinned to the shared lock (optimistic:0), and reports
+//    the per-shard read-path outcome counters (including the
+//    capture_exhausted / retries_exhausted fallback-cause split) and the
+//    summed pacing counters, so the JSON carries the full comparison per
+//    shard count.
 //
 // Scaling expectation: the fan-out is real OS-thread parallelism, so the
 // >= 2x write-batch speedup at 4 shards materializes on machines with >= 4
@@ -144,16 +148,28 @@ void ReaderWork(const ShardedIndex& index,
 void BM_ShardedReadersWithWriter(benchmark::State& state) {
   const uint32_t shards = static_cast<uint32_t>(state.range(0));
   const bool optimistic = state.range(1) != 0;
+  const bool paced = state.range(2) != 0;
   WriteFixture* f = GetWriteFixture(shards);
   const bench::Corpus& corpus =
       bench::GetCorpus(kCorpusSymbols, kSigma, kDocLen);
   auto patterns = bench::MakePatterns(corpus, kPatternLen, kNumPatterns);
   // optimistic:0 pins every read to the shared lock — the locked baseline.
-  // Set while quiesced (no threads run between iterations).
+  // paced:1 enables per-shard write pacing in the unconditional
+  // (stall_threshold:0, write-rate-limiter) mode: each shard holds its
+  // sequence even for 2 ms (at most 4 ms delay) before admitting its next
+  // sub-batch — shards pace independently, on their own clocks.
   OptimisticPolicy policy;
   policy.max_attempts = optimistic ? 3 : 0;
   f->index->set_optimistic_policy(policy);
+  PacingPolicy pacing;
+  if (paced) {
+    pacing.min_even_window_us = 2000;
+    pacing.max_delay_us = 4000;
+    pacing.stall_threshold = 0;
+  }
+  f->index->set_pacing_policy(pacing);
   const OptimisticStats before = f->index->optimistic_stats();
+  const PacingStats pace_before = f->index->pacing_stats();
   uint64_t round = 0;
   uint64_t writer_batches = 0;
   for (auto _ : state) {
@@ -182,32 +198,49 @@ void BM_ShardedReadersWithWriter(benchmark::State& state) {
                           static_cast<int64_t>(kQueriesPerReader));
   state.counters["shards"] = shards;
   state.counters["optimistic"] = optimistic ? 1 : 0;
+  state.counters["paced"] = paced ? 1 : 0;
   state.counters["writer_batches"] = static_cast<double>(writer_batches);
   // Read-path outcomes summed over shards (validated = lock-free successes;
-  // locked_reads covers fallbacks and the locked baseline).
+  // locked_reads covers fallbacks and the locked baseline; fallbacks ==
+  // capture_exhausted + retries_exhausted splits writer pressure from
+  // validation churn). pace_waits / pace_wait_us sum the per-shard writer
+  // delays of the paced rows.
   const OptimisticStats after = f->index->optimistic_stats();
+  const PacingStats pace_after = f->index->pacing_stats();
   state.counters["validated"] =
       static_cast<double>(after.validated - before.validated);
   state.counters["retries"] =
       static_cast<double>(after.retries - before.retries);
   state.counters["fallbacks"] =
       static_cast<double>(after.fallbacks - before.fallbacks);
+  state.counters["capture_exhausted"] = static_cast<double>(
+      after.capture_exhausted - before.capture_exhausted);
+  state.counters["retries_exhausted"] = static_cast<double>(
+      after.retries_exhausted - before.retries_exhausted);
   state.counters["locked_reads"] =
       static_cast<double>(after.locked_reads - before.locked_reads);
+  state.counters["pace_waits"] =
+      static_cast<double>(pace_after.waits - pace_before.waits);
+  state.counters["pace_wait_us"] =
+      static_cast<double>(pace_after.wait_us - pace_before.wait_us);
 }
 
-// Optimistic/locked pairs run back-to-back: the warm fixture drifts as the
-// writer churns it, so adjacent rows are the comparable ones.
+// Paced/unpaced/locked triples run back-to-back: the warm fixture drifts as
+// the writer churns it, so adjacent rows are the comparable ones.
 BENCHMARK(BM_ShardedReadersWithWriter)
-    ->ArgNames({"shards", "optimistic"})
-    ->Args({1, 1})
-    ->Args({1, 0})
-    ->Args({2, 1})
-    ->Args({2, 0})
-    ->Args({4, 1})
-    ->Args({4, 0})
-    ->Args({8, 1})
-    ->Args({8, 0})
+    ->ArgNames({"shards", "optimistic", "paced"})
+    ->Args({1, 1, 1})
+    ->Args({1, 1, 0})
+    ->Args({1, 0, 0})
+    ->Args({2, 1, 1})
+    ->Args({2, 1, 0})
+    ->Args({2, 0, 0})
+    ->Args({4, 1, 1})
+    ->Args({4, 1, 0})
+    ->Args({4, 0, 0})
+    ->Args({8, 1, 1})
+    ->Args({8, 1, 0})
+    ->Args({8, 0, 0})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -56,13 +56,23 @@ class ConcurrentRelation {
   uint64_t sequence() const { return core_.sequence(); }
 
   /// Optimistic read-path knobs / counters (see serve/epoch_guard.h).
-  /// set_optimistic_policy must be called while quiesced.
+  /// Policies are atomic snapshots — settable at any time, readers in
+  /// flight or not.
   void set_optimistic_policy(const OptimisticPolicy& policy) {
     core_.set_optimistic_policy(policy);
   }
   OptimisticStats optimistic_stats() const {
     return core_.optimistic_stats();
   }
+  /// Reader-progress-aware write pacing knobs / counters: when enabled and
+  /// readers report stalled captures, AddPairsBatch/RemovePairsBatch wait
+  /// (bounded, no lock held) for an even-sequence window before admitting
+  /// the batch.
+  void set_pacing_policy(const PacingPolicy& policy) {
+    core_.set_pacing_policy(policy);
+  }
+  PacingPolicy pacing_policy() const { return core_.pacing_policy(); }
+  PacingStats pacing_stats() const { return core_.pacing_stats(); }
   /// Retired-but-not-yet-reclaimed batches (grace period still open).
   uint64_t retired_pending() const { return core_.retired_pending(); }
 

@@ -15,8 +15,29 @@
 //    the result is discarded and the attempt retried. After
 //    OptimisticPolicy::max_attempts failed attempts (or when a writer storm
 //    keeps the sequence odd past spin_limit iterations) the reader falls
-//    back to the shared-lock path, so saturating writers can never starve
-//    readers.
+//    back to the shared-lock path, so no single Read() ever blocks on the
+//    optimistic protocol.
+//
+//  * Writer-side pacing keeps the lock-free path *useful* under saturating
+//    writers, not merely safe. A writer applying back-to-back batches holds
+//    the sequence odd for nearly the whole wall clock, so readers would
+//    only ever validate in the slivers between exclusive sections and
+//    collapse onto the shared-lock fallback. Readers therefore bump a
+//    per-slot capture_stalled counter whenever CaptureSnapshot spins on an
+//    odd/moving sequence, and Write() consults PacingPolicy before
+//    admitting the next batch: when unanswered stalls accrued (the stall
+//    debt persists across sections until a window is granted) — or between
+//    every pair of sections when stall_threshold is 0, the unconditional
+//    write-rate-limiter mode for hosts where readers starve for CPU rather
+//    than on the sequence — the writer
+//    sleeps until the sequence has been even for min_even_window_us (never
+//    more than max_delay_us), with no lock held and writer_waiting_ not
+//    yet raised — readers run lock-free for the whole window. The fairness guarantee is two-sided
+//    and bounded: stalled readers get an even window of at least
+//    min(min_even_window_us, max_delay_us) per admitted batch, and the
+//    writer is delayed at most max_delay_us per batch. Batches stay atomic
+//    (pacing spaces sections out; it never chunks a Write()), so epoch
+//    linearization is untouched.
 //
 //  * Torn reads are memory-safe, not merely detectable. Before capturing a
 //    sequence the reader publishes its snapshot in one of kReaderSlots
@@ -67,6 +88,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -105,8 +127,10 @@ namespace dyndex {
 template <typename B>
 concept EpochServable = std::is_object_v<B> && !std::is_const_v<B>;
 
-/// Knobs of the optimistic read path. Set while quiesced (no readers in
-/// flight); readers copy the fields at the top of each Read().
+/// Knobs of the optimistic read path. Stored packed in one atomic word, so
+/// the policy may be changed at any time — even with readers in flight —
+/// and every Read() observes one coherent {max_attempts, spin_limit} pair
+/// (never a torn mix of old and new fields).
 struct OptimisticPolicy {
   /// Optimistic attempts per Read() before falling back to the shared lock.
   /// 0 disables the optimistic path entirely (every read takes the lock) —
@@ -123,6 +147,32 @@ struct OptimisticPolicy {
   uint32_t spin_limit = 64;
 };
 
+/// Knobs of reader-progress-aware write pacing. Pacing is enabled when both
+/// min_even_window_us and max_delay_us are nonzero; the default is off (a
+/// writer admits batches as fast as it produces them, the pre-pacing
+/// behavior). Stored packed in one atomic word (fields are clamped to their
+/// packed widths on set), so the policy may change at any time without
+/// tearing.
+struct PacingPolicy {
+  /// How long the sequence should have been even before the next Write()
+  /// is admitted, counted from the end of the previous exclusive section.
+  /// Clamped to ~16.7 s (24 packed bits). 0 disables pacing.
+  uint32_t min_even_window_us = 0;
+  /// Hard bound on the sleep a single Write() accepts for readers — the
+  /// writer-side half of the fairness guarantee. Clamped like the window;
+  /// 0 disables pacing.
+  uint32_t max_delay_us = 0;
+  /// Pace only when at least this many stalled-capture observations are
+  /// outstanding (clamped to 65535). With a threshold >= 1 readers that
+  /// never stall never slow the writer down. 0 means *unconditional*: the
+  /// even window is enforced between every pair of consecutive exclusive
+  /// sections regardless of stalls — a pure write-rate limiter for
+  /// deployments (and few-core hosts) where readers starve for CPU against
+  /// writer-driven work that runs outside the sequence (e.g. Transformation
+  /// 2 background builds), which the stall counter cannot see.
+  uint32_t stall_threshold = 1;
+};
+
 /// Aggregate counters of the optimistic read path (summed over the
 /// per-reader slots, so hot readers never share a counter cache line).
 struct OptimisticStats {
@@ -130,7 +180,24 @@ struct OptimisticStats {
   uint64_t validated = 0;  // attempts that validated (lock-free successes)
   uint64_t retries = 0;    // attempts discarded by validation or torn reads
   uint64_t fallbacks = 0;  // Reads that gave up and took the shared lock
+  /// Fallback causes (capture_exhausted + retries_exhausted == fallbacks):
+  /// capture_exhausted means the reader never captured an even sequence
+  /// within spin_limit (writer pressure — the starvation signature);
+  /// retries_exhausted means captures succeeded but every attempt failed
+  /// validation (churn racing the query body).
+  uint64_t capture_exhausted = 0;
+  uint64_t retries_exhausted = 0;
+  /// CaptureSnapshot calls that observed an odd or moving sequence (the
+  /// reader-progress signal writer pacing keys on).
+  uint64_t capture_stalled = 0;
   uint64_t locked_reads = 0;  // Reads served under the shared lock (any cause)
+};
+
+/// Writer-side pacing counters: how often Write() paused for stalled
+/// readers, and for how long in total.
+struct PacingStats {
+  uint64_t waits = 0;    // Write()s that slept to grant readers a window
+  uint64_t wait_us = 0;  // total sleep time across those waits
 };
 
 /// Shared epoch/sequence/reclamation core. Owns the backend; all access goes
@@ -172,9 +239,13 @@ class EpochGuard {
   /// the backend has it) and bumps the epoch — all before the sequence
   /// returns to even, so the batch is atomic to readers. Everything the
   /// body frees is parked (util/retire.h) and reclaimed only after the
-  /// grace period.
+  /// grace period. When the PacingPolicy is enabled and readers reported
+  /// stalled captures since the last exclusive section, admission waits
+  /// (bounded) for the even window first — before the lock is queued on,
+  /// so the sleep never holds a lock or gates locked readers.
   template <typename Fn>
   decltype(auto) Write(Fn&& fn) {
+    PaceBeforeWrite();
     WriteLock lock(*this);
     ExclusiveSection section(*this);
     if constexpr (std::is_void_v<decltype(fn(*backend_))>) {
@@ -210,10 +281,24 @@ class EpochGuard {
   /// Current sequence word (even = quiescent, odd = writer mutating).
   uint64_t sequence() const { return seq_.load(std::memory_order_acquire); }
 
+  /// May be called at any time, readers in flight or not: the fields are
+  /// published as one atomic word, so a concurrent Read() sees either the
+  /// old or the new policy, never a torn mix.
   void set_optimistic_policy(const OptimisticPolicy& policy) {
-    policy_ = policy;
+    opt_policy_bits_.store(PackOptimistic(policy), std::memory_order_release);
   }
-  const OptimisticPolicy& optimistic_policy() const { return policy_; }
+  OptimisticPolicy optimistic_policy() const {
+    return UnpackOptimistic(opt_policy_bits_.load(std::memory_order_acquire));
+  }
+
+  /// May be called at any time (same atomic-word discipline). The writer
+  /// re-reads the policy before every batch, so pacing can be tuned live.
+  void set_pacing_policy(const PacingPolicy& policy) {
+    pacing_bits_.store(PackPacing(policy), std::memory_order_release);
+  }
+  PacingPolicy pacing_policy() const {
+    return UnpackPacing(pacing_bits_.load(std::memory_order_acquire));
+  }
 
   OptimisticStats optimistic_stats() const {
     OptimisticStats total;
@@ -222,9 +307,20 @@ class EpochGuard {
       total.validated += s.validated.load(std::memory_order_relaxed);
       total.retries += s.retries.load(std::memory_order_relaxed);
       total.fallbacks += s.fallbacks.load(std::memory_order_relaxed);
+      total.capture_exhausted +=
+          s.capture_exhausted.load(std::memory_order_relaxed);
+      total.retries_exhausted +=
+          s.retries_exhausted.load(std::memory_order_relaxed);
+      total.capture_stalled +=
+          s.capture_stalled.load(std::memory_order_relaxed);
     }
     total.locked_reads = locked_reads_.load(std::memory_order_relaxed);
     return total;
+  }
+
+  PacingStats pacing_stats() const {
+    return {pace_waits_.load(std::memory_order_relaxed),
+            pace_wait_us_.load(std::memory_order_relaxed)};
   }
 
   /// Retired batches not yet reclaimed (their grace period is still open).
@@ -242,8 +338,15 @@ class EpochGuard {
 
   /// Test hook: runs after every optimistic attempt, before validation
   /// (with no lock held), so tests can deterministically interleave a
-  /// write into the validation window. Set while quiesced.
+  /// write into the validation window. Unlike the policies, a std::function
+  /// cannot be swapped atomically, so quiescence is *enforced*: the setter
+  /// takes the exclusive lock and checks that no reader slot is claimed.
   void set_read_interlope(std::function<void()> hook) {
+    WriteLock lock(*this);
+    for (const ReaderSlot& s : slots_) {
+      DYNDEX_CHECK(s.snapshot.load(std::memory_order_acquire) ==
+                   kIdleSnapshot);
+    }
     read_interlope_ = std::move(hook);
   }
 
@@ -268,6 +371,9 @@ class EpochGuard {
     std::atomic<uint64_t> validated{0};
     std::atomic<uint64_t> retries{0};
     std::atomic<uint64_t> fallbacks{0};
+    std::atomic<uint64_t> capture_exhausted{0};
+    std::atomic<uint64_t> retries_exhausted{0};
+    std::atomic<uint64_t> capture_stalled{0};
   };
 
   /// Shared lock with the writer-priority gate applied. The gate is advisory:
@@ -334,6 +440,9 @@ class EpochGuard {
       scope_.reset();
       std::atomic_thread_fence(std::memory_order_seq_cst);
       guard_.seq_.store(pre_ + 2, std::memory_order_seq_cst);
+      // Pacing mark: the even window the next Write() may have to grant
+      // starts now.
+      guard_.last_section_end_ns_.store(NowNs(), std::memory_order_release);
       if (!sink_.empty()) {
         guard_.retired_.push_back({pre_, std::move(sink_)});
       }
@@ -371,13 +480,17 @@ class EpochGuard {
     using R = std::invoke_result_t<Fn&, const Backend&>;
     static_assert(!std::is_reference_v<R>,
                   "Read lambdas must return by value");
-    const OptimisticPolicy policy = policy_;
+    const OptimisticPolicy policy = optimistic_policy();
     if (policy.max_attempts > 0) {
       if (ReaderSlot* slot = ClaimSlot()) {
         SlotRelease release{slot};
+        bool capture_failed = false;
         for (uint32_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
           uint64_t s;
-          if (!CaptureSnapshot(slot, policy.spin_limit, &s)) break;
+          if (!CaptureSnapshot(slot, policy.spin_limit, &s)) {
+            capture_failed = true;
+            break;
+          }
           slot->attempts.fetch_add(1, std::memory_order_relaxed);
           // Epoch of snapshot s: epoch_ only moves inside odd windows, so
           // if validation passes this load belongs to the window.
@@ -393,6 +506,10 @@ class EpochGuard {
           slot->retries.fetch_add(1, std::memory_order_relaxed);
         }
         slot->fallbacks.fetch_add(1, std::memory_order_relaxed);
+        // Cause split: never captured an even sequence (writer pressure)
+        // vs captured but never validated (churn racing the query body).
+        (capture_failed ? slot->capture_exhausted : slot->retries_exhausted)
+            .fetch_add(1, std::memory_order_relaxed);
       }
     }
     return LockedRead(epoch, fn);
@@ -424,19 +541,28 @@ class EpochGuard {
 #endif
   }
 
-  /// Claims a reader slot, probing from a thread-hashed start index.
-  /// nullptr when all slots are busy (the caller takes the locked path).
+  /// Claims a reader slot. The start index is a thread-local *preferred*
+  /// slot: hashed from the thread id once per thread (not per read), and
+  /// re-pointed at whichever slot the CAS actually won — so a hot reader
+  /// claims the same uncontended slot every time and only reprobes after a
+  /// genuine conflict, instead of hammering CAS traffic onto a
+  /// possibly-colliding hash bucket on every read. nullptr when all slots
+  /// are busy (the caller takes the locked path).
   ReaderSlot* ClaimSlot() const {
-    const std::size_t start =
-        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    static thread_local std::size_t preferred =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+        kReaderSlots;
+    std::size_t idx = preferred;
     for (std::size_t i = 0; i < kReaderSlots; ++i) {
-      ReaderSlot& slot = slots_[(start + i) % kReaderSlots];
+      ReaderSlot& slot = slots_[idx];
       uint64_t expect = kIdleSnapshot;
       if (slot.snapshot.compare_exchange_strong(expect, kClaimedSnapshot,
                                                 std::memory_order_acq_rel,
                                                 std::memory_order_relaxed)) {
+        preferred = idx;
         return &slot;
       }
+      idx = (idx + 1) % kReaderSlots;
     }
     return nullptr;
   }
@@ -444,12 +570,17 @@ class EpochGuard {
   /// Publishes an even sequence snapshot in `slot` and re-validates that it
   /// is still current — the reader half of the Dekker handshake with the
   /// writer's publish/scan (see file comment). False when the sequence
-  /// would not settle within `spin_limit` iterations.
+  /// would not settle within `spin_limit` iterations. A call that observed
+  /// an odd or moving sequence at all bumps capture_stalled exactly once —
+  /// the reader-progress signal the writer's pacing keys on.
   bool CaptureSnapshot(ReaderSlot* slot, uint32_t spin_limit,
                        uint64_t* out) const {
+    bool stalled = false;
+    bool captured = false;
     uint64_t s = seq_.load(std::memory_order_acquire);
     for (uint32_t spins = 0; spins <= spin_limit; ++spins) {
       if ((s & 1) != 0) {  // writer mid-mutation: wait for publication
+        stalled = true;
         std::this_thread::yield();
         s = seq_.load(std::memory_order_acquire);
         continue;
@@ -458,12 +589,19 @@ class EpochGuard {
       const uint64_t s2 = seq_.load(std::memory_order_seq_cst);
       if (s2 == s) {
         *out = s;
-        return true;
+        captured = true;
+        break;
       }
+      stalled = true;
       s = s2;  // a writer published meanwhile: re-capture
     }
-    slot->snapshot.store(kClaimedSnapshot, std::memory_order_seq_cst);
-    return false;
+    if (!captured) {
+      slot->snapshot.store(kClaimedSnapshot, std::memory_order_seq_cst);
+    }
+    if (stalled) {
+      slot->capture_stalled.fetch_add(1, std::memory_order_relaxed);
+    }
+    return captured;
   }
 
   template <typename Fn>
@@ -473,6 +611,94 @@ class EpochGuard {
     ReadLock lock(*this);
     if (epoch != nullptr) *epoch = epoch_.load(std::memory_order_relaxed);
     return fn(static_cast<const Backend&>(*backend_));
+  }
+
+  // --- policy packing -------------------------------------------------------
+  // Both policies live in one atomic uint64 each, so setters never tear
+  // against concurrent readers of the policy (satellite of the documented
+  // "set while quiesced" contract this replaces).
+
+  static constexpr uint64_t PackOptimistic(const OptimisticPolicy& p) {
+    return uint64_t{p.max_attempts} | (uint64_t{p.spin_limit} << 32);
+  }
+  static constexpr OptimisticPolicy UnpackOptimistic(uint64_t bits) {
+    OptimisticPolicy p;
+    p.max_attempts = static_cast<uint32_t>(bits);
+    p.spin_limit = static_cast<uint32_t>(bits >> 32);
+    return p;
+  }
+
+  /// Packed PacingPolicy layout: window (24 bits, us) | delay (24 bits, us)
+  /// | stall threshold (16 bits). Fields clamp on set.
+  static constexpr uint32_t kPaceTimeMax = (1u << 24) - 1;  // ~16.7 s
+  static constexpr uint32_t kStallThresholdMax = (1u << 16) - 1;
+  static constexpr uint64_t PackPacing(const PacingPolicy& p) {
+    const uint64_t window = std::min(p.min_even_window_us, kPaceTimeMax);
+    const uint64_t delay = std::min(p.max_delay_us, kPaceTimeMax);
+    const uint64_t threshold = std::min(p.stall_threshold, kStallThresholdMax);
+    return window | (delay << 24) | (threshold << 48);
+  }
+  static constexpr PacingPolicy UnpackPacing(uint64_t bits) {
+    PacingPolicy p;
+    p.min_even_window_us = static_cast<uint32_t>(bits & kPaceTimeMax);
+    p.max_delay_us = static_cast<uint32_t>((bits >> 24) & kPaceTimeMax);
+    p.stall_threshold = static_cast<uint32_t>(bits >> 48);
+    return p;
+  }
+
+  // --- writer pacing --------------------------------------------------------
+
+  static uint64_t NowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  uint64_t TotalCaptureStalled() const {
+    uint64_t total = 0;
+    for (const ReaderSlot& s : slots_) {
+      total += s.capture_stalled.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// The reader-progress-aware admission gate: when readers accrued at
+  /// least stall_threshold stalled captures that no pace has answered yet
+  /// (the stall *debt* — it persists across exclusive sections until a
+  /// window is granted, because a reader that stalled three batches ago
+  /// and fell back to a queued locked read is still starving), sleep until
+  /// the sequence has been even for min_even_window_us (counted from the
+  /// last section's end), capped at max_delay_us. Granting the window
+  /// consumes the debt. With stall_threshold == 0 the window is enforced
+  /// unconditionally between consecutive sections (the write-rate-limiter
+  /// mode — see PacingPolicy). Runs with NO lock held and writer_waiting_
+  /// not yet raised, so both optimistic and locked readers make progress
+  /// for the whole window — a pool worker pacing one shard of a sharded
+  /// facade sleeps outside every lock too.
+  void PaceBeforeWrite() {
+    const PacingPolicy p = pacing_policy();
+    if (p.min_even_window_us == 0 || p.max_delay_us == 0) return;
+    const uint64_t end_ns =
+        last_section_end_ns_.load(std::memory_order_acquire);
+    if (end_ns == 0) return;  // no exclusive section yet: nothing to space
+    if (p.stall_threshold > 0) {
+      const uint64_t stalled = TotalCaptureStalled();
+      const uint64_t mark = stalled_mark_.load(std::memory_order_acquire);
+      if (stalled - mark < p.stall_threshold) return;
+      // The debt is consumed whether the window is slept for below or
+      // already elapsed on its own (the writer was away long enough).
+      stalled_mark_.store(stalled, std::memory_order_release);
+    }
+    const uint64_t deadline_ns =
+        end_ns + uint64_t{p.min_even_window_us} * 1000;
+    const uint64_t now_ns = NowNs();
+    if (now_ns >= deadline_ns) return;
+    const uint64_t wait_ns =
+        std::min(deadline_ns - now_ns, uint64_t{p.max_delay_us} * 1000);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(wait_ns));
+    pace_waits_.fetch_add(1, std::memory_order_relaxed);
+    pace_wait_us_.fetch_add(wait_ns / 1000, std::memory_order_relaxed);
   }
 
   /// Reclaims every retired batch whose grace period has closed: a batch
@@ -509,7 +735,17 @@ class EpochGuard {
   std::unique_ptr<Backend> backend_;  // mutated only under mu_ exclusive
   std::atomic<uint64_t> seq_{0};      // even = quiescent, odd = mutating
   std::atomic<uint64_t> epoch_{0};    // applied Write() batches
-  OptimisticPolicy policy_;           // set while quiesced
+  /// Policies, packed (see PackOptimistic / PackPacing): settable at any
+  /// time without tearing against in-flight readers/writers.
+  std::atomic<uint64_t> opt_policy_bits_{PackOptimistic(OptimisticPolicy{})};
+  std::atomic<uint64_t> pacing_bits_{PackPacing(PacingPolicy{})};
+  /// Pacing marks: when the last exclusive section ended, and the total
+  /// stalled-capture count the last granted window answered (stalls above
+  /// the mark are outstanding debt; see PaceBeforeWrite).
+  std::atomic<uint64_t> last_section_end_ns_{0};
+  std::atomic<uint64_t> stalled_mark_{0};
+  std::atomic<uint64_t> pace_waits_{0};
+  std::atomic<uint64_t> pace_wait_us_{0};
   mutable std::array<ReaderSlot, kReaderSlots> slots_;
   mutable std::atomic<uint64_t> locked_reads_{0};
   std::vector<RetiredBatch> retired_;  // guarded by mu_ exclusive

@@ -134,7 +134,24 @@ OptimisticStats ShardedIndex::optimistic_stats() const {
     total.validated += s.validated;
     total.retries += s.retries;
     total.fallbacks += s.fallbacks;
+    total.capture_exhausted += s.capture_exhausted;
+    total.retries_exhausted += s.retries_exhausted;
+    total.capture_stalled += s.capture_stalled;
     total.locked_reads += s.locked_reads;
+  }
+  return total;
+}
+
+void ShardedIndex::set_pacing_policy(const PacingPolicy& policy) {
+  for (auto& shard : shards_) shard->set_pacing_policy(policy);
+}
+
+PacingStats ShardedIndex::pacing_stats() const {
+  PacingStats total;
+  for (const auto& shard : shards_) {
+    const PacingStats s = shard->pacing_stats();
+    total.waits += s.waits;
+    total.wait_us += s.wait_us;
   }
   return total;
 }

@@ -141,10 +141,18 @@ class ShardedIndex {
   ShardSeqs seqs() const;
 
   /// Optimistic read-path knobs / counters, fanned to every shard's core
-  /// (see serve/epoch_guard.h). set_optimistic_policy while quiesced.
+  /// (see serve/epoch_guard.h). Policies are atomic snapshots — settable
+  /// at any time.
   void set_optimistic_policy(const OptimisticPolicy& policy);
   /// Counters summed across shards.
   OptimisticStats optimistic_stats() const;
+  /// Write pacing, fanned to every shard's core. Shards pace independently:
+  /// each shard's writer gate keys on that shard's own stalled readers and
+  /// sleeps before taking that shard's lock (never inside one), so a paced
+  /// shard cannot delay batches bound for quiet shards.
+  void set_pacing_policy(const PacingPolicy& policy);
+  /// Pacing counters summed across shards.
+  PacingStats pacing_stats() const;
   /// Retired-but-not-yet-reclaimed batches summed across shards.
   uint64_t retired_pending() const;
 

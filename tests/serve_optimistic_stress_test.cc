@@ -287,5 +287,87 @@ TEST(ServeOptimisticStress, IndexChurnTinyBudget) {
   index.unsynchronized().CheckInvariants();
 }
 
+// --- starvation regression under a continuous writer -------------------------
+
+/// The PR-7 regression: a writer looping batches back-to-back must not
+/// starve the validated lock-free read path. With write pacing enabled
+/// (unconditional mode: every admission waits out a 2 ms even window) the
+/// validated count has to keep accruing in every measurement window while
+/// the writer demonstrably keeps making progress — and the writer must
+/// actually have been paced. Runs under TSan via the concurrency label
+/// (lock-assisted attempts there still validate and count).
+TEST(ServeOptimisticStress, PacedWriterNeverStarvesValidatedReaders) {
+  constexpr uint32_t kSigma = 4;
+  Rng rng(909);
+  DynamicIndexOptions opt;
+  opt.min_c0 = 64;
+  opt.mode = RebuildMode::kThreaded;
+  ConcurrentIndex index(MakeDynamicIndex(Backend::kT2, opt));
+  std::vector<std::vector<Symbol>> docs;
+  for (int i = 0; i < 8; ++i) {
+    docs.push_back(UniformText(rng, rng.Range(16, 64), kSigma));
+  }
+  index.InsertBatch(docs);
+  OptimisticPolicy policy;
+  policy.max_attempts = 3;
+  index.set_optimistic_policy(policy);
+  PacingPolicy pacing;
+  pacing.min_even_window_us = 2000;
+  pacing.max_delay_us = 2000;
+  pacing.stall_threshold = 0;
+  index.set_pacing_policy(pacing);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> batches{0};
+  std::thread writer([&] {
+    Rng wr(910);
+    std::vector<DocId> churn;
+    while (!done.load(std::memory_order_acquire)) {
+      std::vector<DocId> ids =
+          index.InsertBatch({UniformText(wr, wr.Range(16, 64), kSigma)});
+      churn.insert(churn.end(), ids.begin(), ids.end());
+      if (churn.size() > 8) {
+        std::vector<DocId> victims(churn.begin(), churn.begin() + 4);
+        churn.erase(churn.begin(), churn.begin() + 4);
+        index.EraseBatch(victims);
+      }
+      batches.fetch_add(1, std::memory_order_release);
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rd(920 + static_cast<uint64_t>(r));
+      std::vector<Symbol> pattern(2);
+      while (!done.load(std::memory_order_acquire)) {
+        pattern[0] = static_cast<Symbol>(rd.Below(kSigma));
+        pattern[1] = static_cast<Symbol>(rd.Below(kSigma));
+        uint64_t c = index.Count(pattern);
+        (void)c;
+      }
+    });
+  }
+  // Four measurement windows, each scoped by *writer progress* (>= 3 more
+  // batches) rather than wall clock, so the assertion is exactly "while the
+  // writer loops continuously, validated lock-free reads keep accruing".
+  for (int window = 0; window < 4; ++window) {
+    const uint64_t v0 = index.optimistic_stats().validated;
+    const uint64_t b0 = batches.load(std::memory_order_acquire);
+    while (batches.load(std::memory_order_acquire) < b0 + 3) {
+      std::this_thread::yield();
+    }
+    EXPECT_GT(index.optimistic_stats().validated, v0)
+        << "no validated lock-free read in window " << window;
+  }
+  done.store(true, std::memory_order_release);
+  writer.join();
+  for (auto& t : readers) t.join();
+  const OptimisticStats stats = index.optimistic_stats();
+  EXPECT_GE(stats.validated, 64u);  // the floor: readers ran lock-free
+  EXPECT_GT(index.pacing_stats().waits, 0u);  // the writer really was paced
+  index.Flush();
+  index.unsynchronized().CheckInvariants();
+}
+
 }  // namespace
 }  // namespace dyndex

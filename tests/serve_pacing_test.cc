@@ -1,0 +1,219 @@
+// Deterministic tests for reader-progress-aware write pacing in EpochGuard
+// (serve/epoch_guard.h): the stalled-reader -> even-window handshake, debt
+// consumption, the bounded-delay guarantee, the unconditional
+// (stall_threshold == 0) write-rate-limiter mode, and the atomic-snapshot
+// policy setters (clamping, no tearing, changeable mid-flight).
+//
+// The handshake test stages the starvation signal by hand: a writer thread
+// parks inside an exclusive section (Maintain with a blocking body) while a
+// reader with a tiny spin budget observes the odd sequence, bumps
+// capture_stalled, and falls back to the lock. The next Write() must then
+// answer the debt with a paced even window — and the one after it, with the
+// debt consumed, must not pace.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "serve/epoch_guard.h"
+
+namespace dyndex {
+namespace {
+
+struct Counter {
+  uint64_t value = 0;
+};
+
+using Guard = EpochGuard<Counter>;
+
+/// Parks a writer inside an exclusive section (sequence odd) until released,
+/// and while it is parked runs a reader whose capture must stall. Returns
+/// after both threads joined, leaving exactly `stalls` of stall debt.
+void StageStallDebt(Guard& guard, uint32_t stalls) {
+  OptimisticPolicy impatient;
+  impatient.max_attempts = 1;
+  impatient.spin_limit = 4;
+  guard.set_optimistic_policy(impatient);
+  for (uint32_t i = 0; i < stalls; ++i) {
+    const uint64_t before = guard.optimistic_stats().capture_stalled;
+    std::atomic<bool> entered{false};
+    std::atomic<bool> release{false};
+    std::thread writer([&] {
+      guard.Maintain([&](Counter&) {
+        entered.store(true, std::memory_order_release);
+        while (!release.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+      });
+    });
+    while (!entered.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    std::thread reader([&] {
+      // Sequence is odd: the capture stalls, exhausts its 4 spins, and the
+      // read falls back to the shared lock (which waits out the section).
+      guard.Read(nullptr, [](const Counter& c) { return c.value; });
+    });
+    while (guard.optimistic_stats().capture_stalled == before) {
+      std::this_thread::yield();
+    }
+    release.store(true, std::memory_order_release);
+    writer.join();
+    reader.join();
+  }
+}
+
+TEST(ServePacing, StalledReaderDebtTriggersBoundedPace) {
+  Guard guard(std::make_unique<Counter>());
+  guard.Write([](Counter& c) { ++c.value; });  // start the pacing clock
+  StageStallDebt(guard, 1);
+  const OptimisticStats stats = guard.optimistic_stats();
+  EXPECT_GE(stats.capture_stalled, 1u);
+  EXPECT_GE(stats.capture_exhausted, 1u);  // the staged reader's fallback
+
+  PacingPolicy pacing;
+  pacing.min_even_window_us = 100000;  // 100 ms window...
+  pacing.max_delay_us = 10000;         // ...but at most 10 ms of delay
+  pacing.stall_threshold = 1;
+  guard.set_pacing_policy(pacing);
+
+  // Debt outstanding: this Write must sleep, and the sleep must respect
+  // max_delay_us (the bounded-delay half of the fairness guarantee).
+  const PacingStats before = guard.pacing_stats();
+  guard.Write([](Counter& c) { ++c.value; });
+  const PacingStats after = guard.pacing_stats();
+  EXPECT_EQ(after.waits - before.waits, 1u);
+  EXPECT_GT(after.wait_us, before.wait_us);
+  EXPECT_LE(after.wait_us - before.wait_us, 10000u);
+
+  // Debt consumed: the next Write admits immediately.
+  guard.Write([](Counter& c) { ++c.value; });
+  EXPECT_EQ(guard.pacing_stats().waits, after.waits);
+}
+
+TEST(ServePacing, ElapsedWindowAnswersDebtWithoutSleeping) {
+  Guard guard(std::make_unique<Counter>());
+  guard.Write([](Counter& c) { ++c.value; });
+  StageStallDebt(guard, 1);
+  PacingPolicy pacing;
+  pacing.min_even_window_us = 20000;
+  pacing.max_delay_us = 20000;
+  pacing.stall_threshold = 1;
+  guard.set_pacing_policy(pacing);
+  // Let the window elapse on its own: the debt is answered by the idle
+  // time, so the next Write neither sleeps nor leaves the debt pending.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  guard.Write([](Counter& c) { ++c.value; });
+  EXPECT_EQ(guard.pacing_stats().waits, 0u);
+  guard.Write([](Counter& c) { ++c.value; });  // no new stalls: no pace
+  EXPECT_EQ(guard.pacing_stats().waits, 0u);
+}
+
+TEST(ServePacing, NoStallsNoPace) {
+  Guard guard(std::make_unique<Counter>());
+  PacingPolicy pacing;
+  pacing.min_even_window_us = 50000;
+  pacing.max_delay_us = 50000;
+  pacing.stall_threshold = 1;
+  guard.set_pacing_policy(pacing);
+  // Readers that never stall never slow the writer: back-to-back batches
+  // admit immediately under the conditional mode.
+  for (int i = 0; i < 4; ++i) {
+    guard.Write([](Counter& c) { ++c.value; });
+    guard.Read(nullptr, [](const Counter& c) { return c.value; });
+  }
+  EXPECT_EQ(guard.pacing_stats().waits, 0u);
+}
+
+TEST(ServePacing, UnconditionalModePacesEveryBatch) {
+  Guard guard(std::make_unique<Counter>());
+  guard.Write([](Counter& c) { ++c.value; });
+  PacingPolicy pacing;
+  pacing.min_even_window_us = 5000;
+  pacing.max_delay_us = 5000;
+  pacing.stall_threshold = 0;  // write-rate-limiter mode
+  guard.set_pacing_policy(pacing);
+  // No reader ever ran, yet every back-to-back batch waits out the window.
+  for (int i = 0; i < 3; ++i) {
+    guard.Write([](Counter& c) { ++c.value; });
+  }
+  const PacingStats stats = guard.pacing_stats();
+  EXPECT_EQ(stats.waits, 3u);
+  EXPECT_LE(stats.wait_us, 3u * 5000u);
+  // Disabled policy (the default): admission is immediate again.
+  guard.set_pacing_policy(PacingPolicy{});
+  guard.Write([](Counter& c) { ++c.value; });
+  EXPECT_EQ(guard.pacing_stats().waits, stats.waits);
+}
+
+TEST(ServePacing, PoliciesClampToPackedWidthsAndRoundTrip) {
+  Guard guard(std::make_unique<Counter>());
+  PacingPolicy wide;
+  wide.min_even_window_us = 0xFFFFFFFF;  // > 24-bit packed field
+  wide.max_delay_us = 1234;
+  wide.stall_threshold = 0x12345;  // > 16-bit packed field
+  guard.set_pacing_policy(wide);
+  const PacingPolicy got = guard.pacing_policy();
+  EXPECT_EQ(got.min_even_window_us, (1u << 24) - 1);
+  EXPECT_EQ(got.max_delay_us, 1234u);
+  EXPECT_EQ(got.stall_threshold, 65535u);
+
+  OptimisticPolicy opt;
+  opt.max_attempts = 7;
+  opt.spin_limit = 4096;
+  guard.set_optimistic_policy(opt);
+  const OptimisticPolicy opt_got = guard.optimistic_policy();
+  EXPECT_EQ(opt_got.max_attempts, 7u);
+  EXPECT_EQ(opt_got.spin_limit, 4096u);
+}
+
+TEST(ServePacing, PoliciesChangeWithReadersAndWriterInFlight) {
+  // Both policies are one atomic word, so flipping them mid-flight (readers
+  // looping, writer churning) must never tear or wedge anyone. The
+  // accounting invariant (validated + locked == total reads) doubles as the
+  // consistency check.
+  Guard guard(std::make_unique<Counter>());
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> reads{0};
+  std::thread reader([&] {
+    uint64_t n = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      guard.Read(nullptr, [](const Counter& c) { return c.value; });
+      ++n;
+    }
+    reads.fetch_add(n, std::memory_order_relaxed);
+  });
+  std::thread writer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      guard.Write([](Counter& c) { ++c.value; });
+      std::this_thread::yield();
+    }
+  });
+  for (int flip = 0; flip < 200; ++flip) {
+    OptimisticPolicy opt;
+    opt.max_attempts = static_cast<uint32_t>(flip % 4);
+    opt.spin_limit = 16;
+    guard.set_optimistic_policy(opt);
+    PacingPolicy pacing;
+    if (flip % 2 == 0) {
+      pacing.min_even_window_us = 50;
+      pacing.max_delay_us = 100;
+      pacing.stall_threshold = static_cast<uint32_t>(flip % 3);
+    }
+    guard.set_pacing_policy(pacing);
+    std::this_thread::yield();
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+  writer.join();
+  const OptimisticStats stats = guard.optimistic_stats();
+  EXPECT_EQ(stats.validated + stats.locked_reads, reads.load());
+  EXPECT_EQ(stats.fallbacks,
+            stats.capture_exhausted + stats.retries_exhausted);
+}
+
+}  // namespace
+}  // namespace dyndex
