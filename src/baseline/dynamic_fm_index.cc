@@ -77,10 +77,19 @@ DocId DynamicFmIndex::Insert(const std::vector<Symbol>& symbols) {
 
 std::vector<DocId> DynamicFmIndex::InsertBulk(
     const std::vector<std::vector<Symbol>>& docs) {
+  std::vector<DocId> ids;
+  ids.reserve(docs.size());
+  for (std::size_t d = 0; d < docs.size(); ++d) ids.push_back(next_id_++);
+  BulkLoad(docs, ids);
+  return ids;
+}
+
+void DynamicFmIndex::BulkLoad(const std::vector<std::vector<Symbol>>& docs,
+                              const std::vector<DocId>& ids) {
   DYNDEX_CHECK(bwt_.size() == 0);  // the bulk path loads an empty index
   DYNDEX_CHECK(docs.size() <= free_seps_.size());
-  std::vector<DocId> ids;
-  if (docs.empty()) return ids;
+  DYNDEX_CHECK(docs.size() == ids.size());
+  if (docs.empty()) return;
   uint64_t total = 0;
   for (const auto& d : docs) {
     DYNDEX_CHECK(!d.empty());
@@ -100,10 +109,8 @@ std::vector<DocId> DynamicFmIndex::InsertBulk(
   std::vector<uint64_t> off_of(n_rows);  // position -> offset (len at sep)
   std::vector<uint32_t> seps(docs.size());
   std::vector<uint64_t> start(docs.size());
-  ids.reserve(docs.size());
   for (uint64_t d = 0; d < docs.size(); ++d) {
-    DocId id = next_id_++;
-    ids.push_back(id);
+    DocId id = ids[d];
     seps[d] = free_seps_.back();
     free_seps_.pop_back();
     start[d] = text.size();
@@ -155,7 +162,32 @@ std::vector<DocId> DynamicFmIndex::InsertBulk(
   bwt_ = DynamicWaveletTree(opt_.max_docs + (opt_.max_symbol - kMinSymbol),
                             std::move(bwt_syms));
   sampled_.Build(sampled_words.data(), n_rows);
-  return ids;
+}
+
+void DynamicFmIndex::ExportSnapshot(std::vector<Document>* docs,
+                                    DocId* next_id) const {
+  const std::size_t before = docs->size();
+  docs_.ForEach([&](DocId id, const DocInfo& info) {
+    docs->push_back(Document{id, Extract(id, 0, info.len)});
+  });
+  // Hash order is an implementation detail; exported state is id-ordered.
+  std::sort(docs->begin() + static_cast<int64_t>(before), docs->end(),
+            [](const Document& a, const Document& b) { return a.id < b.id; });
+  *next_id = next_id_;
+}
+
+void DynamicFmIndex::LoadSnapshot(std::vector<Document> docs, DocId next_id) {
+  DYNDEX_CHECK(num_docs() == 0 && bwt_.size() == 0);
+  next_id_ = next_id;
+  std::vector<std::vector<Symbol>> texts;
+  std::vector<DocId> ids;
+  texts.reserve(docs.size());
+  ids.reserve(docs.size());
+  for (Document& d : docs) {
+    ids.push_back(d.id);
+    texts.push_back(std::move(d.symbols));
+  }
+  BulkLoad(texts, ids);
 }
 
 bool DynamicFmIndex::Erase(DocId id) {

@@ -91,6 +91,16 @@ class DynamicFmIndex {
 
   uint64_t SpaceBytes() const;
 
+  // --- persistence ---------------------------------------------------------
+
+  /// Copies the full logical state — every live document (sorted by id, each
+  /// reconstructed by an LF-walk) plus the next id to mint.
+  void ExportSnapshot(std::vector<Document>* docs, DocId* next_id) const;
+  /// Restores an exported state into an *empty* index, preserving the
+  /// exported (possibly non-contiguous) ids and the id counter. Separator
+  /// pool values are reassigned; they are invisible to the logical state.
+  void LoadSnapshot(std::vector<Document> docs, DocId next_id);
+
  private:
   struct DocInfo {
     uint32_t sep = 0;
@@ -123,6 +133,12 @@ class DynamicFmIndex {
 
   void InsertRow(uint64_t row, uint32_t bwt_sym, DocId doc, uint64_t offset);
   void EraseRow(uint64_t row, uint32_t bwt_sym);
+
+  /// The shared SA-IS bulk-load body: loads `docs` into the empty structure
+  /// under the caller-chosen stable ids (InsertBulk mints them; LoadSnapshot
+  /// restores them).
+  void BulkLoad(const std::vector<std::vector<Symbol>>& docs,
+                const std::vector<DocId>& ids);
 
   /// Backward search; returns {lo, hi} or {0,0} when empty.
   bool BackwardSearch(const std::vector<Symbol>& pattern, uint64_t* lo,

@@ -239,6 +239,27 @@ class DynamicCollectionT1 {
     return sp;
   }
 
+  // --- persistence ---------------------------------------------------------
+
+  /// Copies the full logical state — every live document plus the next id to
+  /// mint — without mutating the structure (snapshot-export path).
+  void ExportSnapshot(std::vector<Document>* docs, DocId* next_id) const {
+    c0_.PeekLiveDocs(docs);
+    for (const auto& sub : subs_) {
+      const Semi* s = sub.get();
+      if (s != nullptr) s->ExportLiveDocs(docs);
+    }
+    *next_id = next_id_;
+  }
+
+  /// Restores an exported state into a fresh collection, preserving the
+  /// exported ids and the id counter.
+  void LoadSnapshot(std::vector<Document> docs, DocId next_id) {
+    DYNDEX_CHECK(num_docs() == 0 && live_symbols() == 0);
+    next_id_ = next_id;
+    RebaseInto(std::move(docs));
+  }
+
   /// Validates internal invariants (test hook): sub-collection size bounds and
   /// registry consistency.
   void CheckInvariants() const {

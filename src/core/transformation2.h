@@ -350,6 +350,41 @@ class DynamicCollectionT2 {
     DYNDEX_CHECK(!(top_purge_.active && top_pending_.active && false));
   }
 
+  // --- persistence ---------------------------------------------------------
+
+  /// Copies the full logical state — every live document plus the next id to
+  /// mint. Non-const: background builds are published first (ForceAllPending)
+  /// so the structure being copied has no in-flight work, but the logical
+  /// state is unchanged.
+  void ExportSnapshot(std::vector<Document>* docs, DocId* next_id) {
+    ForceAllPending();
+    const std::size_t before = docs->size();
+    c0_.PeekLiveDocs(docs);
+    c0_locked_.PeekLiveDocs(docs);
+    auto peek = [&](const std::unique_ptr<Semi>& sp) {
+      const Semi* s = sp.get();
+      if (s != nullptr) s->ExportLiveDocs(docs);
+    };
+    for (const Level& lv : levels_) {
+      peek(lv.c);
+      peek(lv.locked);
+      peek(lv.temp);
+    }
+    peek(top_locked_);
+    peek(top_temp_);
+    for (const auto& t : tops_) peek(t);
+    DYNDEX_CHECK(docs->size() - before == where_.size());
+    *next_id = next_id_;
+  }
+
+  /// Restores an exported state into a fresh collection, preserving the
+  /// exported ids and the id counter.
+  void LoadSnapshot(std::vector<Document> docs, DocId next_id) {
+    DYNDEX_CHECK(num_docs() == 0 && live_symbols() == 0);
+    next_id_ = next_id;
+    RebaseInto(std::move(docs));
+  }
+
  private:
   enum class Kind : uint8_t {
     kC0,

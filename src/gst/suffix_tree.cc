@@ -234,16 +234,20 @@ void SuffixTreeCollection::Extract(DocId id, uint64_t from, uint64_t len,
               t.begin() + static_cast<int64_t>(from + len));
 }
 
-void SuffixTreeCollection::ExportLiveDocs(std::vector<Document>* out) {
-  for (DocRecord& rec : docs_) {
+void SuffixTreeCollection::PeekLiveDocs(std::vector<Document>* out) const {
+  for (const DocRecord& rec : docs_) {
     if (rec.dead) continue;
-    // Copy (terminator stripped) rather than move: the exported Documents are
-    // writer-local and die inside the exclusive section, while readers may
-    // still chase edge labels into the original buffers. Those buffers are
-    // parked by the retire allocator when Clear() drops the records.
     out->push_back(Document{
         rec.id, std::vector<Symbol>(rec.text.begin(), rec.text.end() - 1)});
   }
+}
+
+void SuffixTreeCollection::ExportLiveDocs(std::vector<Document>* out) {
+  // Copy (terminator stripped) rather than move: the exported Documents are
+  // writer-local and die inside the exclusive section, while readers may
+  // still chase edge labels into the original buffers. Those buffers are
+  // parked by the retire allocator when Clear() drops the records.
+  PeekLiveDocs(out);
   Clear();
 }
 

@@ -64,6 +64,10 @@ class SuffixTreeCollection {
   uint64_t dead_symbols() const { return dead_symbols_; }
   uint32_t num_live_docs() const { return num_live_docs_; }
 
+  /// Copies all live documents (terminator stripped) into `out` without
+  /// touching the structure — the snapshot-export path.
+  void PeekLiveDocs(std::vector<Document>* out) const;
+
   /// Moves all live documents into `out` and resets the structure.
   void ExportLiveDocs(std::vector<Document>* out);
 

@@ -1,0 +1,37 @@
+#include "persist/crc32c.h"
+
+#include <array>
+
+namespace dyndex {
+namespace persist {
+
+namespace {
+
+// Reflected CRC-32C, polynomial 0x1EDC6F41 (reflected form 0x82F63B78).
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32c(uint32_t init, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~init;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace persist
+}  // namespace dyndex

@@ -1,0 +1,40 @@
+// CRC-32C (Castagnoli) — the checksum guarding every snapshot section and
+// WAL frame. Software table implementation (the container toolchain makes no
+// SSE4.2 promise); throughput is far above what checkpoint/replay needs.
+//
+// Stored CRCs are *masked* (rotate + constant, the scheme Bigtable/LevelDB
+// popularized): a CRC of data that itself contains CRCs is a fixed point of
+// the unmasked function often enough to be a real false-negative source, and
+// a file of zeros must not verify (crc32c(0...0) starts at a well-known
+// value; Mask(0) does not).
+#ifndef DYNDEX_PERSIST_CRC32C_H_
+#define DYNDEX_PERSIST_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dyndex {
+namespace persist {
+
+/// CRC-32C of `data[0, n)` extending `init` (pass 0 to start a new CRC).
+uint32_t Crc32c(uint32_t init, const void* data, std::size_t n);
+
+inline uint32_t Crc32c(const void* data, std::size_t n) {
+  return Crc32c(0, data, n);
+}
+
+inline constexpr uint32_t kCrcMaskDelta = 0xa282ead8u;
+
+/// Masked form for storage (never store a raw CRC of data containing CRCs).
+inline constexpr uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kCrcMaskDelta;
+}
+inline constexpr uint32_t UnmaskCrc(uint32_t masked) {
+  const uint32_t rot = masked - kCrcMaskDelta;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace persist
+}  // namespace dyndex
+
+#endif  // DYNDEX_PERSIST_CRC32C_H_

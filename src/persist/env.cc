@@ -1,0 +1,342 @@
+#include "persist/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace dyndex {
+namespace persist {
+
+namespace {
+
+Status PosixError(const std::string& context, int err) {
+  return Status::IoError(context + ": " + std::strerror(err));
+}
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    const char* p = data.data();
+    std::size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return PosixError("write " + path_, errno);
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return PosixError("fsync " + path_, errno);
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (fd_ >= 0 && ::close(fd_) != 0) {
+      fd_ = -1;
+      return PosixError("close " + path_, errno);
+    }
+    fd_ = -1;
+    return Status::Ok();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixRandomAccessFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, uint64_t n, std::string* out) const override {
+    out->resize(n);
+    uint64_t got = 0;
+    while (got < n) {
+      ssize_t r = ::pread(fd_, out->data() + got, n - got,
+                          static_cast<off_t>(offset + got));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError("pread " + path_, errno);
+      }
+      if (r == 0) break;  // EOF: short read, caller decides
+      got += static_cast<uint64_t>(r);
+    }
+    out->resize(got);
+    return Status::Ok();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+/// Fsyncs `path`'s parent directory so a completed rename survives a crash.
+Status SyncParentDir(const std::string& path) {
+  std::string dir = ".";
+  const std::size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) dir = path.substr(0, slash);
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return PosixError("open dir " + dir, errno);
+  Status st;
+  if (::fsync(fd) != 0) st = PosixError("fsync dir " + dir, errno);
+  ::close(fd);
+  return st;
+}
+
+class PosixEnv final : public Env {
+ public:
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* out) override {
+    return Open(path, O_WRONLY | O_CREAT | O_TRUNC, out);
+  }
+
+  Status NewAppendableFile(const std::string& path,
+                           std::unique_ptr<WritableFile>* out) override {
+    return Open(path, O_WRONLY | O_CREAT | O_APPEND, out);
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& path,
+      std::unique_ptr<RandomAccessFile>* out) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound(path);
+      return PosixError("open " + path, errno);
+    }
+    *out = std::make_unique<PosixRandomAccessFile>(path, fd);
+    return Status::Ok();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Status GetFileSize(const std::string& path, uint64_t* size) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      if (errno == ENOENT) return Status::NotFound(path);
+      return PosixError("stat " + path, errno);
+    }
+    *size = static_cast<uint64_t>(st.st_size);
+    return Status::Ok();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return PosixError("rename " + from + " -> " + to, errno);
+    }
+    return SyncParentDir(to);
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      if (errno == ENOENT) return Status::NotFound(path);
+      return PosixError("unlink " + path, errno);
+    }
+    return Status::Ok();
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return PosixError("mkdir " + path, errno);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static Status Open(const std::string& path, int flags,
+                     std::unique_ptr<WritableFile>* out) {
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return PosixError("open " + path, errno);
+    *out = std::make_unique<PosixWritableFile>(path, fd);
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+Env* GetPosixEnv() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+// --- MemEnv ------------------------------------------------------------------
+
+class MemWritableFile final : public WritableFile {
+ public:
+  MemWritableFile(MemEnv* env, std::shared_ptr<MemEnv::FileState> state)
+      : env_(env), state_(std::move(state)) {}
+
+  Status Append(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    state_->data.append(data.data(), data.size());
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    state_->synced_len = state_->data.size();
+    return Status::Ok();
+  }
+
+  Status Close() override { return Status::Ok(); }
+
+ private:
+  MemEnv* env_;
+  std::shared_ptr<MemEnv::FileState> state_;
+};
+
+class MemRandomAccessFile final : public RandomAccessFile {
+ public:
+  MemRandomAccessFile(MemEnv* env, std::shared_ptr<MemEnv::FileState> state)
+      : env_(env), state_(std::move(state)) {}
+
+  Status Read(uint64_t offset, uint64_t n, std::string* out) const override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    out->clear();
+    if (offset >= state_->data.size()) return Status::Ok();
+    const uint64_t avail = state_->data.size() - offset;
+    out->assign(state_->data, offset, std::min(n, avail));
+    return Status::Ok();
+  }
+
+ private:
+  MemEnv* env_;
+  std::shared_ptr<MemEnv::FileState> state_;
+};
+
+Status MemEnv::NewWritableFile(const std::string& path,
+                               std::unique_ptr<WritableFile>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto state = std::make_shared<FileState>();
+  files_[path] = state;
+  *out = std::make_unique<MemWritableFile>(this, std::move(state));
+  return Status::Ok();
+}
+
+Status MemEnv::NewAppendableFile(const std::string& path,
+                                 std::unique_ptr<WritableFile>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  std::shared_ptr<FileState> state;
+  if (it == files_.end()) {
+    state = std::make_shared<FileState>();
+    files_[path] = state;
+  } else {
+    state = it->second;
+  }
+  *out = std::make_unique<MemWritableFile>(this, std::move(state));
+  return Status::Ok();
+}
+
+Status MemEnv::NewRandomAccessFile(const std::string& path,
+                                   std::unique_ptr<RandomAccessFile>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  *out = std::make_unique<MemRandomAccessFile>(this, it->second);
+  return Status::Ok();
+}
+
+bool MemEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) != 0;
+}
+
+Status MemEnv::GetFileSize(const std::string& path, uint64_t* size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  *size = it->second->data.size();
+  return Status::Ok();
+}
+
+Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound(from);
+  // Atomic + durable (the snapshot writer syncs file contents before
+  // renaming, so modeling the rename itself as durable matches what the
+  // directory fsync gives PosixEnv).
+  it->second->synced_len = it->second->data.size();
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::Ok();
+}
+
+Status MemEnv::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(path) == 0) return Status::NotFound(path);
+  return Status::Ok();
+}
+
+Status MemEnv::CreateDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dirs_[path] = true;
+  return Status::Ok();
+}
+
+void MemEnv::SimulateCrash(uint64_t torn_extra) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [path, state] : files_) {
+    const uint64_t unsynced = state->data.size() - state->synced_len;
+    const uint64_t keep = state->synced_len + std::min(torn_extra, unsynced);
+    state->data.resize(keep);
+    state->synced_len = std::min(state->synced_len, keep);
+  }
+}
+
+Status MemEnv::TruncateFile(const std::string& path, uint64_t keep_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  FileState& state = *it->second;
+  state.data.resize(std::min<uint64_t>(state.data.size(), keep_bytes));
+  state.synced_len = std::min<uint64_t>(state.synced_len, state.data.size());
+  return Status::Ok();
+}
+
+Status MemEnv::CorruptByte(const std::string& path, uint64_t offset,
+                           uint8_t mask) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  if (offset >= it->second->data.size()) {
+    return Status::InvalidArgument("offset beyond EOF of " + path);
+  }
+  it->second->data[offset] = static_cast<char>(
+      static_cast<uint8_t>(it->second->data[offset]) ^ mask);
+  return Status::Ok();
+}
+
+uint64_t MemEnv::synced_bytes(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second->synced_len;
+}
+
+}  // namespace persist
+}  // namespace dyndex

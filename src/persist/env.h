@@ -1,0 +1,132 @@
+// The filesystem seam of the persistence layer. Everything that touches
+// durable bytes — WAL frames, snapshot sections, manifests — goes through
+// this small Env interface, for two reasons:
+//
+//  * PosixEnv is the production implementation (write/fsync/pread/rename,
+//    with directory fsync after renames so the rename itself is durable).
+//  * MemEnv is the *testable* implementation: it tracks, per file, how many
+//    bytes have been fsync'd, so a test can crash the "machine"
+//    (SimulateCrash) and get exactly the on-disk states a real power cut can
+//    produce — synced prefix kept, unsynced tail dropped or torn at any
+//    byte. FaultEnv (fault_env.h) wraps either one to inject failures at
+//    scripted call counts.
+//
+// Contracts the recovery code relies on:
+//  * Append is buffered until Sync; after Sync returns ok, those bytes
+//    survive a crash. A crash before Sync may keep any prefix of the
+//    unsynced tail (torn write).
+//  * RenameFile is atomic: after a crash, either the old or the new name
+//    maps to the complete file, never a mix. (PosixEnv fsyncs the parent
+//    directory; MemEnv models rename as atomic+durable.)
+#ifndef DYNDEX_PERSIST_ENV_H_
+#define DYNDEX_PERSIST_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "persist/status.h"
+
+namespace dyndex {
+namespace persist {
+
+/// Sequential, buffered output file.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  /// Makes every appended byte crash-durable.
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Positional input file (stateless reads; safe from any thread).
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+  /// Reads up to `n` bytes at `offset` into *out (replaced, not appended).
+  /// Short reads (EOF or an injected fault) return ok with fewer bytes;
+  /// callers must treat "fewer bytes than needed" as truncation/corruption.
+  virtual Status Read(uint64_t offset, uint64_t n, std::string* out) const = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Creates/truncates `path` for writing.
+  virtual Status NewWritableFile(const std::string& path,
+                                 std::unique_ptr<WritableFile>* out) = 0;
+  /// Opens `path` for appending (creates it when missing).
+  virtual Status NewAppendableFile(const std::string& path,
+                                   std::unique_ptr<WritableFile>* out) = 0;
+  virtual Status NewRandomAccessFile(
+      const std::string& path, std::unique_ptr<RandomAccessFile>* out) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Status GetFileSize(const std::string& path, uint64_t* size) = 0;
+  /// Atomic replace; see the durability contract in the file comment.
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+  /// Ok when the directory already exists.
+  virtual Status CreateDir(const std::string& path) = 0;
+};
+
+/// The real filesystem. Stateless; one instance serves any number of threads.
+Env* GetPosixEnv();
+
+/// In-memory filesystem with crash simulation. Thread-safe.
+class MemEnv final : public Env {
+ public:
+  MemEnv() = default;
+
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* out) override;
+  Status NewAppendableFile(const std::string& path,
+                           std::unique_ptr<WritableFile>* out) override;
+  Status NewRandomAccessFile(const std::string& path,
+                             std::unique_ptr<RandomAccessFile>* out) override;
+  bool FileExists(const std::string& path) override;
+  Status GetFileSize(const std::string& path, uint64_t* size) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status DeleteFile(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+
+  // --- crash / fault hooks (tests only) -------------------------------------
+
+  /// Power cut: every file keeps its synced prefix plus the first
+  /// `torn_extra` bytes of its unsynced tail (0 = clean cut at the sync
+  /// boundary — the classic "everything after the last fsync is gone").
+  /// Open handles keep working but their unsynced buffer is gone too.
+  void SimulateCrash(uint64_t torn_extra = 0);
+
+  /// Truncates one file to `keep_bytes` (scripted torn tail / truncated log).
+  Status TruncateFile(const std::string& path, uint64_t keep_bytes);
+
+  /// XORs `mask` into the byte at `offset` (scripted bit flip / rot).
+  Status CorruptByte(const std::string& path, uint64_t offset, uint8_t mask);
+
+  uint64_t synced_bytes(const std::string& path);
+
+ private:
+  friend class MemWritableFile;
+  friend class MemRandomAccessFile;
+
+  struct FileState {
+    std::string data;
+    uint64_t synced_len = 0;  // prefix guaranteed to survive SimulateCrash
+  };
+
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<FileState>> files_;  // guarded by mu_
+  std::map<std::string, bool> dirs_;                         // guarded by mu_
+};
+
+}  // namespace persist
+}  // namespace dyndex
+
+#endif  // DYNDEX_PERSIST_ENV_H_

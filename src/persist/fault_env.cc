@@ -1,0 +1,93 @@
+#include "persist/fault_env.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dyndex {
+namespace persist {
+
+bool FaultEnv::CountdownHit(std::atomic<uint64_t>* counter) {
+  uint64_t v = counter->load();
+  for (;;) {
+    if (v == 0) return false;  // unarmed
+    if (v == 1) return true;   // exhausted: stay at 1 => fail forever
+    if (counter->compare_exchange_weak(v, v - 1)) return false;
+  }
+}
+
+class FaultyWritableFile final : public WritableFile {
+ public:
+  FaultyWritableFile(FaultEnv* env, std::unique_ptr<WritableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override {
+    if (FaultEnv::CountdownHit(&env_->appends_until_fail_)) {
+      return Status::IoError("injected append failure");
+    }
+    return base_->Append(data);
+  }
+
+  Status Sync() override {
+    env_->sync_calls_.fetch_add(1);
+    if (FaultEnv::CountdownHit(&env_->syncs_until_fail_)) {
+      return Status::IoError("injected fsync failure");
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+class FaultyRandomAccessFile final : public RandomAccessFile {
+ public:
+  FaultyRandomAccessFile(FaultEnv* env, std::unique_ptr<RandomAccessFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Read(uint64_t offset, uint64_t n, std::string* out) const override {
+    uint64_t cap = n;
+    // One-shot short read: the countdown disarms itself after firing.
+    uint64_t v = env_->reads_until_short_.load();
+    while (v != 0) {
+      if (env_->reads_until_short_.compare_exchange_weak(v, v - 1)) {
+        if (v == 1) cap = std::min(cap, env_->short_read_bytes_.load());
+        break;
+      }
+    }
+    return base_->Read(offset, cap, out);
+  }
+
+ private:
+  FaultEnv* env_;
+  std::unique_ptr<RandomAccessFile> base_;
+};
+
+Status FaultEnv::NewWritableFile(const std::string& path,
+                                 std::unique_ptr<WritableFile>* out) {
+  std::unique_ptr<WritableFile> base;
+  DYNDEX_RETURN_IF_ERROR(base_->NewWritableFile(path, &base));
+  *out = std::make_unique<FaultyWritableFile>(this, std::move(base));
+  return Status::Ok();
+}
+
+Status FaultEnv::NewAppendableFile(const std::string& path,
+                                   std::unique_ptr<WritableFile>* out) {
+  std::unique_ptr<WritableFile> base;
+  DYNDEX_RETURN_IF_ERROR(base_->NewAppendableFile(path, &base));
+  *out = std::make_unique<FaultyWritableFile>(this, std::move(base));
+  return Status::Ok();
+}
+
+Status FaultEnv::NewRandomAccessFile(const std::string& path,
+                                     std::unique_ptr<RandomAccessFile>* out) {
+  std::unique_ptr<RandomAccessFile> base;
+  DYNDEX_RETURN_IF_ERROR(base_->NewRandomAccessFile(path, &base));
+  *out = std::make_unique<FaultyRandomAccessFile>(this, std::move(base));
+  return Status::Ok();
+}
+
+}  // namespace persist
+}  // namespace dyndex

@@ -1,0 +1,94 @@
+// Fault-injecting Env wrapper — the `FaultyFile` shim of the fault matrix.
+// Wraps any base Env (MemEnv in the tests) and fails operations at scripted
+// call counts, so every failure mode recovery claims to survive can be
+// produced deterministically:
+//
+//   * failed fsync      -- FailSyncsAfter(n): the (n+1)-th and all later
+//                          Sync() calls return IoError without syncing.
+//   * failed append     -- FailAppendsAfter(n): later Append() calls fail
+//                          without writing (a full disk / pulled device).
+//   * short read        -- ShortReadAt(k, max): the k-th Read() (counted
+//                          across all files) returns at most `max` bytes.
+//
+// Torn tails, truncation and bit flips are *state* faults, not call faults —
+// they live on MemEnv (SimulateCrash / TruncateFile / CorruptByte).
+#ifndef DYNDEX_PERSIST_FAULT_ENV_H_
+#define DYNDEX_PERSIST_FAULT_ENV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "persist/env.h"
+
+namespace dyndex {
+namespace persist {
+
+class FaultEnv final : public Env {
+ public:
+  explicit FaultEnv(Env* base) : base_(base) {}
+
+  // --- fault script ---------------------------------------------------------
+
+  /// After `n` more successful Sync() calls, every Sync() fails.
+  void FailSyncsAfter(uint64_t n) { syncs_until_fail_.store(n + 1); }
+  /// After `n` more successful Append() calls, every Append() fails.
+  void FailAppendsAfter(uint64_t n) { appends_until_fail_.store(n + 1); }
+  /// The `k`-th Read() call from now (1-based) returns at most `max_bytes`.
+  void ShortReadAt(uint64_t k, uint64_t max_bytes) {
+    short_read_bytes_.store(max_bytes);
+    reads_until_short_.store(k);
+  }
+  void ClearFaults() {
+    syncs_until_fail_.store(0);
+    appends_until_fail_.store(0);
+    reads_until_short_.store(0);
+  }
+
+  uint64_t sync_calls() const { return sync_calls_.load(); }
+
+  // --- Env ------------------------------------------------------------------
+
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* out) override;
+  Status NewAppendableFile(const std::string& path,
+                           std::unique_ptr<WritableFile>* out) override;
+  Status NewRandomAccessFile(
+      const std::string& path, std::unique_ptr<RandomAccessFile>* out) override;
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  Status GetFileSize(const std::string& path, uint64_t* size) override {
+    return base_->GetFileSize(path, size);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    return base_->RenameFile(from, to);
+  }
+  Status DeleteFile(const std::string& path) override {
+    return base_->DeleteFile(path);
+  }
+  Status CreateDir(const std::string& path) override {
+    return base_->CreateDir(path);
+  }
+
+ private:
+  friend class FaultyWritableFile;
+  friend class FaultyRandomAccessFile;
+
+  /// Counts `counter` down; true when the scripted failure point is reached
+  /// (counter armed and now exhausted).
+  static bool CountdownHit(std::atomic<uint64_t>* counter);
+
+  Env* base_;
+  std::atomic<uint64_t> syncs_until_fail_{0};    // 0 = fault unarmed
+  std::atomic<uint64_t> appends_until_fail_{0};  // 0 = fault unarmed
+  std::atomic<uint64_t> reads_until_short_{0};   // 0 = fault unarmed
+  std::atomic<uint64_t> short_read_bytes_{0};
+  std::atomic<uint64_t> sync_calls_{0};
+};
+
+}  // namespace persist
+}  // namespace dyndex
+
+#endif  // DYNDEX_PERSIST_FAULT_ENV_H_

@@ -1,0 +1,109 @@
+// Little-endian binary encoding helpers shared by the WAL, the snapshot
+// container, and the serving layer's record codecs. The Decoder is
+// bounds-checked and *never* trusts a length field: on truncated or
+// malformed input it reports failure instead of reading past the buffer —
+// the property every "recover or refuse loudly" guarantee bottoms out on.
+#ifndef DYNDEX_PERSIST_FORMAT_H_
+#define DYNDEX_PERSIST_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace dyndex {
+namespace persist {
+
+inline void PutU8(std::string* dst, uint8_t v) {
+  dst->push_back(static_cast<char>(v));
+}
+
+inline void PutU32(std::string* dst, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  dst->append(buf, 4);
+}
+
+inline void PutU64(std::string* dst, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  dst->append(buf, 8);
+}
+
+inline void PutLengthPrefixed(std::string* dst, std::string_view v) {
+  PutU64(dst, v.size());
+  dst->append(v.data(), v.size());
+}
+
+inline uint32_t DecodeU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+inline uint64_t DecodeU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+/// Bounds-checked cursor over an encoded buffer. Every Get* returns false
+/// (leaving the output untouched) once the input is exhausted or a length
+/// field points past the end; `ok()` stays false from then on.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  bool GetU8(uint8_t* v) {
+    if (!ok_ || data_.size() - pos_ < 1) return Fail();
+    *v = static_cast<uint8_t>(data_[pos_]);
+    pos_ += 1;
+    return true;
+  }
+
+  bool GetU32(uint32_t* v) {
+    if (!ok_ || data_.size() - pos_ < 4) return Fail();
+    *v = DecodeU32(data_.data() + pos_);
+    pos_ += 4;
+    return true;
+  }
+
+  bool GetU64(uint64_t* v) {
+    if (!ok_ || data_.size() - pos_ < 8) return Fail();
+    *v = DecodeU64(data_.data() + pos_);
+    pos_ += 8;
+    return true;
+  }
+
+  bool GetLengthPrefixed(std::string_view* v) {
+    uint64_t n = 0;
+    if (!GetU64(&n)) return false;
+    if (data_.size() - pos_ < n) return Fail();
+    *v = data_.substr(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+  uint64_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+
+ private:
+  bool Fail() {
+    ok_ = false;
+    return false;
+  }
+
+  std::string_view data_;
+  uint64_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace persist
+}  // namespace dyndex
+
+#endif  // DYNDEX_PERSIST_FORMAT_H_

@@ -1,0 +1,115 @@
+#include "persist/snapshot.h"
+
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "persist/crc32c.h"
+#include "persist/format.h"
+
+namespace dyndex {
+namespace persist {
+
+namespace {
+constexpr uint64_t kTrailerSize = 8 + 4 + 8;  // footer_off + crc + magic
+}  // namespace
+
+Status WriteSnapshotFile(Env* env, const std::string& path,
+                         const std::vector<SnapshotSection>& sections) {
+  std::string footer;
+  PutU32(&footer, static_cast<uint32_t>(sections.size()));
+  std::string body;
+  for (const SnapshotSection& sec : sections) {
+    PutLengthPrefixed(&footer, sec.name);
+    PutU64(&footer, body.size());
+    PutU64(&footer, sec.data.size());
+    PutU32(&footer, MaskCrc(Crc32c(sec.data.data(), sec.data.size())));
+    body += sec.data;
+  }
+  std::string trailer;
+  PutU64(&trailer, body.size());  // footer offset
+  PutU32(&trailer, MaskCrc(Crc32c(footer.data(), footer.size())));
+  trailer.append(kSnapshotMagic, 8);
+
+  const std::string tmp = path + ".tmp";
+  std::unique_ptr<WritableFile> file;
+  DYNDEX_RETURN_IF_ERROR(env->NewWritableFile(tmp, &file));
+  DYNDEX_RETURN_IF_ERROR(file->Append(body));
+  DYNDEX_RETURN_IF_ERROR(file->Append(footer));
+  DYNDEX_RETURN_IF_ERROR(file->Append(trailer));
+  DYNDEX_RETURN_IF_ERROR(file->Sync());
+  DYNDEX_RETURN_IF_ERROR(file->Close());
+  return env->RenameFile(tmp, path);
+}
+
+Status ReadSnapshotFile(Env* env, const std::string& path,
+                        std::vector<SnapshotSection>* out) {
+  out->clear();
+  uint64_t size = 0;
+  Status st = env->GetFileSize(path, &size);
+  if (!st.ok()) return st;
+  std::unique_ptr<RandomAccessFile> file;
+  DYNDEX_RETURN_IF_ERROR(env->NewRandomAccessFile(path, &file));
+  std::string data;
+  DYNDEX_RETURN_IF_ERROR(file->Read(0, size, &data));
+  if (data.size() != size) {
+    // Short read: unlike the WAL (where a shorter file is a shorter valid
+    // prefix), a snapshot is all-or-nothing.
+    return Status::Corruption("snapshot short read: " + path);
+  }
+  if (data.size() < kTrailerSize) {
+    return Status::Corruption("snapshot too small: " + path);
+  }
+  const char* trailer = data.data() + data.size() - kTrailerSize;
+  if (std::memcmp(trailer + 12, kSnapshotMagic, 8) != 0) {
+    return Status::Corruption("snapshot magic mismatch: " + path);
+  }
+  const uint64_t footer_off = DecodeU64(trailer);
+  const uint32_t footer_crc = UnmaskCrc(DecodeU32(trailer + 8));
+  if (footer_off > data.size() - kTrailerSize) {
+    return Status::Corruption("snapshot footer offset out of range: " + path);
+  }
+  const std::string_view footer(data.data() + footer_off,
+                                data.size() - kTrailerSize - footer_off);
+  if (Crc32c(footer.data(), footer.size()) != footer_crc) {
+    return Status::Corruption("snapshot footer checksum mismatch: " + path);
+  }
+  Decoder dec(footer);
+  uint32_t n = 0;
+  if (!dec.GetU32(&n)) {
+    return Status::Corruption("snapshot footer truncated: " + path);
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string_view name;
+    uint64_t off = 0, len = 0;
+    uint32_t crc = 0;
+    if (!dec.GetLengthPrefixed(&name) || !dec.GetU64(&off) ||
+        !dec.GetU64(&len) || !dec.GetU32(&crc)) {
+      return Status::Corruption("snapshot footer truncated: " + path);
+    }
+    if (off > footer_off || footer_off - off < len) {
+      return Status::Corruption("snapshot section out of range: " + path);
+    }
+    const char* sec = data.data() + off;
+    if (Crc32c(sec, len) != UnmaskCrc(crc)) {
+      return Status::Corruption("snapshot section '" + std::string(name) +
+                                "' checksum mismatch: " + path);
+    }
+    out->push_back(SnapshotSection{std::string(name), std::string(sec, len)});
+  }
+  if (!dec.AtEnd()) {
+    return Status::Corruption("snapshot footer trailing bytes: " + path);
+  }
+  return Status::Ok();
+}
+
+const SnapshotSection* FindSection(const std::vector<SnapshotSection>& secs,
+                                   const std::string& name) {
+  for (const SnapshotSection& s : secs) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace persist
+}  // namespace dyndex

@@ -1,0 +1,58 @@
+// Checksummed multi-section snapshot container, written atomically.
+//
+// File layout:
+//   body:    section payloads, back to back
+//   footer:  [u32 n] then per section
+//            [len-prefixed name] [u64 offset] [u64 len] [u32 masked crc32c]
+//   trailer: [u64 footer_offset] [u32 masked crc32c(footer)]
+//            [8-byte file magic "dyxsnap1"]
+//
+// The footer doubles as the per-file manifest: readers locate sections by
+// name and verify each against its CRC; the trailer CRC guards the footer
+// itself. Any mismatch — truncated body, flipped bit, short read, foreign
+// file — is kCorruption: a snapshot is either verified whole or refused,
+// there is no partial snapshot recovery (the WAL provides the incremental
+// story; the sharded facades bind shard snapshots together with one more
+// instance of this same container as their cross-shard manifest).
+//
+// Atomicity: WriteSnapshotFile writes `<path>.tmp`, syncs, then renames
+// onto `path` — a crash leaves either the previous complete snapshot or the
+// new one, never a torn mix.
+#ifndef DYNDEX_PERSIST_SNAPSHOT_H_
+#define DYNDEX_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "persist/env.h"
+#include "persist/status.h"
+
+namespace dyndex {
+namespace persist {
+
+inline constexpr char kSnapshotMagic[8] = {'d', 'y', 'x', 's',
+                                           'n', 'a', 'p', '1'};
+
+struct SnapshotSection {
+  std::string name;
+  std::string data;
+};
+
+/// Writes `sections` to `path` atomically (temp file + sync + rename).
+Status WriteSnapshotFile(Env* env, const std::string& path,
+                         const std::vector<SnapshotSection>& sections);
+
+/// Reads and fully verifies `path`. NotFound when absent; kCorruption on any
+/// checksum/format mismatch; on Ok, `out` holds every section.
+Status ReadSnapshotFile(Env* env, const std::string& path,
+                        std::vector<SnapshotSection>* out);
+
+/// Section lookup; nullptr when absent.
+const SnapshotSection* FindSection(const std::vector<SnapshotSection>& secs,
+                                   const std::string& name);
+
+}  // namespace persist
+}  // namespace dyndex
+
+#endif  // DYNDEX_PERSIST_SNAPSHOT_H_

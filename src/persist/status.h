@@ -1,0 +1,84 @@
+// Error propagation for the persistence layer. Durability code must report
+// bad bytes, not abort on them: a checksum mismatch in a snapshot is an
+// expected runtime condition (a half-written file after a crash, a flipped
+// bit on disk), and recovery's contract is "restore a consistent prefix or
+// refuse loudly" — so every persist-layer operation returns a Status the
+// serving layer can surface, and DYNDEX_CHECK stays reserved for programmer
+// errors.
+#ifndef DYNDEX_PERSIST_STATUS_H_
+#define DYNDEX_PERSIST_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace dyndex {
+namespace persist {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,         // file/dir missing where one may legitimately be absent
+  kCorruption,       // checksum/format mismatch: refuse loudly, never guess
+  kIoError,          // the environment failed (write/sync/rename/...)
+  kInvalidArgument,  // caller misuse detectable at runtime (wrong kind, ...)
+};
+
+class Status {
+ public:
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "unknown";
+    switch (code_) {
+      case StatusCode::kOk: name = "OK"; break;
+      case StatusCode::kNotFound: name = "NotFound"; break;
+      case StatusCode::kCorruption: name = "Corruption"; break;
+      case StatusCode::kIoError: name = "IoError"; break;
+      case StatusCode::kInvalidArgument: name = "InvalidArgument"; break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Early-return helper for call sites threading a Status chain.
+#define DYNDEX_RETURN_IF_ERROR(expr)                   \
+  do {                                                 \
+    ::dyndex::persist::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                         \
+  } while (false)
+
+}  // namespace persist
+}  // namespace dyndex
+
+#endif  // DYNDEX_PERSIST_STATUS_H_

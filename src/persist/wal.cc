@@ -1,0 +1,127 @@
+#include "persist/wal.h"
+
+#include <cstring>
+#include <utility>
+
+#include "persist/crc32c.h"
+#include "persist/format.h"
+
+namespace dyndex {
+namespace persist {
+
+namespace {
+
+uint32_t FrameCrc(uint64_t seq, std::string_view payload) {
+  char seq_le[8];
+  for (int i = 0; i < 8; ++i) seq_le[i] = static_cast<char>(seq >> (8 * i));
+  uint32_t crc = Crc32c(seq_le, sizeof(seq_le));
+  return Crc32c(crc, payload.data(), payload.size());
+}
+
+}  // namespace
+
+std::string EncodeWalFrame(uint64_t seq, std::string_view payload) {
+  std::string frame;
+  frame.reserve(kWalFrameHeaderSize + payload.size());
+  PutU32(&frame, kWalFrameMagic);
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU64(&frame, seq);
+  PutU32(&frame, MaskCrc(FrameCrc(seq, payload)));
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+Status WalWriter::Create(Env* env, const std::string& path,
+                         std::unique_ptr<WalWriter>* out) {
+  std::unique_ptr<WritableFile> file;
+  DYNDEX_RETURN_IF_ERROR(env->NewWritableFile(path, &file));
+  DYNDEX_RETURN_IF_ERROR(file->Append(std::string_view(kWalMagic, 8)));
+  // Sync the header now: a log that exists with a torn header would read as
+  // empty, which is correct (nothing acked), but a synced header means every
+  // later "file >= 8 bytes, wrong magic" case is genuine corruption.
+  DYNDEX_RETURN_IF_ERROR(file->Sync());
+  out->reset(new WalWriter(std::move(file)));
+  return Status::Ok();
+}
+
+Status WalWriter::OpenForAppend(Env* env, const std::string& path,
+                                std::unique_ptr<WalWriter>* out) {
+  std::unique_ptr<WritableFile> file;
+  DYNDEX_RETURN_IF_ERROR(env->NewAppendableFile(path, &file));
+  out->reset(new WalWriter(std::move(file)));
+  return Status::Ok();
+}
+
+Status WalWriter::Append(uint64_t seq, std::string_view payload) {
+  if (payload.size() > kWalMaxPayload) {
+    return Status::InvalidArgument("WAL payload too large");
+  }
+  DYNDEX_RETURN_IF_ERROR(file_->Append(EncodeWalFrame(seq, payload)));
+  ++unsynced_appends_;
+  return Status::Ok();
+}
+
+Status WalWriter::Sync() {
+  DYNDEX_RETURN_IF_ERROR(file_->Sync());
+  unsynced_appends_ = 0;
+  return Status::Ok();
+}
+
+Status ScanWal(Env* env, const std::string& path, WalScanResult* out) {
+  *out = WalScanResult{};
+  uint64_t size = 0;
+  Status st = env->GetFileSize(path, &size);
+  if (!st.ok()) return st;  // NotFound propagates: no log at all
+  std::unique_ptr<RandomAccessFile> file;
+  DYNDEX_RETURN_IF_ERROR(env->NewRandomAccessFile(path, &file));
+  std::string data;
+  DYNDEX_RETURN_IF_ERROR(file->Read(0, size, &data));
+  // A short read shrinks the visible file; every outcome below is still a
+  // valid prefix of the acked frames, which is the contract.
+  if (data.size() < kWalHeaderSize) {
+    // Torn header: the crash hit between file creation and the header sync.
+    // Nothing was ever acked on this log — empty, not corrupt.
+    out->valid_bytes = 0;
+    out->dropped_bytes = data.size();
+    return Status::Ok();
+  }
+  if (std::memcmp(data.data(), kWalMagic, 8) != 0) {
+    return Status::Corruption("WAL header magic mismatch: " + path);
+  }
+  uint64_t pos = kWalHeaderSize;
+  while (data.size() - pos >= kWalFrameHeaderSize) {
+    const char* p = data.data() + pos;
+    const uint32_t magic = DecodeU32(p);
+    const uint32_t len = DecodeU32(p + 4);
+    const uint64_t seq = DecodeU64(p + 8);
+    const uint32_t stored_crc = UnmaskCrc(DecodeU32(p + 16));
+    if (magic != kWalFrameMagic || len > kWalMaxPayload ||
+        data.size() - pos - kWalFrameHeaderSize < len) {
+      break;  // garbage or torn frame: the prefix ends here
+    }
+    std::string_view payload(p + kWalFrameHeaderSize, len);
+    if (FrameCrc(seq, payload) != stored_crc) break;  // bit rot / torn payload
+    out->frames.push_back(WalFrame{seq, std::string(payload)});
+    pos += kWalFrameHeaderSize + len;
+  }
+  out->valid_bytes = pos;
+  out->dropped_bytes = data.size() - pos;
+  return Status::Ok();
+}
+
+Status RewriteTruncated(Env* env, const std::string& path,
+                        const WalScanResult& scan) {
+  const std::string tmp = path + ".tmp";
+  std::unique_ptr<WritableFile> file;
+  DYNDEX_RETURN_IF_ERROR(env->NewWritableFile(tmp, &file));
+  DYNDEX_RETURN_IF_ERROR(file->Append(std::string_view(kWalMagic, 8)));
+  for (const WalFrame& f : scan.frames) {
+    DYNDEX_RETURN_IF_ERROR(file->Append(EncodeWalFrame(f.seq, f.payload)));
+  }
+  DYNDEX_RETURN_IF_ERROR(file->Sync());
+  DYNDEX_RETURN_IF_ERROR(file->Close());
+  return env->RenameFile(tmp, path);
+}
+
+}  // namespace persist
+}  // namespace dyndex

@@ -1,0 +1,98 @@
+// Framed write-ahead log.
+//
+// File layout:
+//   [8-byte file magic "dyxwal01"]
+//   frame*   where frame = [u32 frame magic] [u32 payload_len] [u64 seq]
+//                          [u32 masked crc32c(seq || payload)] [payload]
+//
+// `seq` is the batch sequence number the serving layer assigns (strictly
+// increasing by 1 per logged batch); the CRC covers it so a frame can never
+// be replayed under the wrong position. Appends are buffered; the caller
+// decides when Sync() runs (group commit lives in the serving layer).
+//
+// Scanning returns the longest valid *prefix* and stops at the first bad
+// frame — torn tail, truncated length, wrong magic, CRC mismatch, or a
+// length pointing past EOF all end the scan the same way. This is the
+// recovery contract: every fault mode degrades to "some prefix of the acked
+// batches", never to a reordered or bit-flipped batch slipping through.
+// A file shorter than the 8-byte header is an *empty* log (the crash may
+// have hit between creating the file and syncing the header — nothing was
+// acked); a full-size header with the wrong magic is loud corruption.
+#ifndef DYNDEX_PERSIST_WAL_H_
+#define DYNDEX_PERSIST_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "persist/env.h"
+#include "persist/status.h"
+
+namespace dyndex {
+namespace persist {
+
+inline constexpr char kWalMagic[8] = {'d', 'y', 'x', 'w', 'a', 'l', '0', '1'};
+inline constexpr uint32_t kWalFrameMagic = 0xD1F7A9C3u;
+/// Frames larger than this are treated as corruption (a flipped bit in a
+/// length field must not allocate gigabytes or swallow the rest of the log).
+inline constexpr uint32_t kWalMaxPayload = 1u << 30;
+inline constexpr uint64_t kWalHeaderSize = 8;
+inline constexpr uint64_t kWalFrameHeaderSize = 4 + 4 + 8 + 4;
+
+class WalWriter {
+ public:
+  /// Creates/truncates the log and writes + syncs the file header.
+  static Status Create(Env* env, const std::string& path,
+                       std::unique_ptr<WalWriter>* out);
+  /// Opens an existing log for appending. The caller must have established
+  /// that the file is a valid prefix (see RewriteTruncated / ScanWal).
+  static Status OpenForAppend(Env* env, const std::string& path,
+                              std::unique_ptr<WalWriter>* out);
+
+  /// Buffers one frame. Durable only after the next successful Sync().
+  Status Append(uint64_t seq, std::string_view payload);
+  Status Sync();
+
+  /// Appends since the last successful Sync (the group-commit ledger).
+  uint64_t unsynced_appends() const { return unsynced_appends_; }
+
+ private:
+  WalWriter(std::unique_ptr<WritableFile> file)
+      : file_(std::move(file)) {}
+
+  std::unique_ptr<WritableFile> file_;
+  uint64_t unsynced_appends_ = 0;
+};
+
+struct WalFrame {
+  uint64_t seq = 0;
+  std::string payload;
+};
+
+struct WalScanResult {
+  std::vector<WalFrame> frames;  // the valid prefix, in file order
+  uint64_t valid_bytes = 0;      // header + valid frames
+  uint64_t dropped_bytes = 0;    // bytes past the first bad frame
+};
+
+/// Scans the longest valid frame prefix of `path`. NotFound when the file
+/// does not exist; Corruption when a full header carries the wrong magic
+/// (this is not a WAL — refuse, don't treat as empty); Ok otherwise, with
+/// dropped_bytes > 0 when a bad/torn frame cut the scan short.
+Status ScanWal(Env* env, const std::string& path, WalScanResult* out);
+
+/// Rewrites `path` in place (via temp + rename) to exactly the valid prefix
+/// `scan` reported — recovery's "truncate at the first bad frame" step, made
+/// atomic so a crash mid-truncation leaves either the old or the new file.
+Status RewriteTruncated(Env* env, const std::string& path,
+                        const WalScanResult& scan);
+
+/// Serializes one frame (exposed for tests that need byte-exact fixtures).
+std::string EncodeWalFrame(uint64_t seq, std::string_view payload);
+
+}  // namespace persist
+}  // namespace dyndex
+
+#endif  // DYNDEX_PERSIST_WAL_H_

@@ -145,4 +145,14 @@ bool BaselineRelation::Related(uint32_t o, uint32_t a) const {
   return kr > kl;
 }
 
+void BaselineRelation::ExportLivePairs(
+    std::vector<std::pair<uint32_t, uint32_t>>* out) const {
+  const std::size_t before = out->size();
+  std::vector<Pair> pairs;
+  ExportPairs(&pairs);
+  out->reserve(before + pairs.size());
+  for (const Pair& p : pairs) out->push_back({p.object, p.label});
+  std::sort(out->begin() + static_cast<int64_t>(before), out->end());
+}
+
 }  // namespace dyndex

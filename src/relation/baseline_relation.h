@@ -91,6 +91,9 @@ class BaselineRelation {
   uint64_t object_capacity() const { return max_objects_; }
   uint64_t label_capacity() const { return max_labels_; }
 
+  /// Copies every live pair (sorted) — the snapshot-export path.
+  void ExportLivePairs(std::vector<std::pair<uint32_t, uint32_t>>* out) const;
+
  private:
   /// The wavelet alphabet parameter is uint32, so capacity tops out at
   /// 2^32 - 1; only id UINT32_MAX is ever unrepresentable.

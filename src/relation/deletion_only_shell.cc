@@ -71,6 +71,16 @@ bool DeletionOnlyShell::RemovePair(uint32_t o, uint32_t a) {
   return true;
 }
 
+void DeletionOnlyShell::ExportLivePairs(
+    std::vector<std::pair<uint32_t, uint32_t>>* out) const {
+  const std::size_t before = out->size();
+  std::vector<Pair> live;
+  rel_.ExportLivePairs(&live);
+  out->reserve(before + live.size());
+  for (const Pair& p : live) out->push_back({p.object, p.label});
+  std::sort(out->begin() + static_cast<int64_t>(before), out->end());
+}
+
 void DeletionOnlyShell::CheckInvariants() const {
   std::vector<Pair> live;
   rel_.ExportLivePairs(&live);

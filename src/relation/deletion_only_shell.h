@@ -74,6 +74,9 @@ class DeletionOnlyShell {
   uint64_t rebuilds() const { return rebuilds_; }
   uint32_t tau() const;
 
+  /// Copies every live pair (sorted) — the snapshot-export path.
+  void ExportLivePairs(std::vector<std::pair<uint32_t, uint32_t>>* out) const;
+
   /// Test hook: the exported live view must agree with the counters.
   void CheckInvariants() const;
 

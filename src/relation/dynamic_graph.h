@@ -64,6 +64,12 @@ class DynamicGraph {
   uint64_t num_edges() const { return rel_.num_pairs(); }
 
   uint64_t SpaceBytes() const { return rel_.SpaceBytes(); }
+
+  /// Copies every live edge (sorted) — the snapshot-export path.
+  void ExportLiveEdges(std::vector<std::pair<uint32_t, uint32_t>>* out) const {
+    rel_.ExportLivePairs(out);
+  }
+
   void CheckInvariants() const { rel_.CheckInvariants(); }
 
  private:

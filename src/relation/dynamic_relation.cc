@@ -398,6 +398,17 @@ uint64_t DynamicRelation::SpaceBytes() const {
   return total;
 }
 
+void DynamicRelation::ExportLivePairs(
+    std::vector<std::pair<uint32_t, uint32_t>>* out) const {
+  const std::size_t before = out->size();
+  obj_slot_.ForEach([&](uint32_t object, uint32_t) {
+    ForEachLabelOfObject(object,
+                         [&](uint32_t label) { out->push_back({object, label}); });
+  });
+  // Hash order is an implementation detail; exported state is sorted.
+  std::sort(out->begin() + static_cast<int64_t>(before), out->end());
+}
+
 void DynamicRelation::CheckInvariants() const {
   uint64_t pairs = c0_pairs_;
   for (const auto& sub_ptr : subs_) {

@@ -136,6 +136,10 @@ class DynamicRelation {
 
   uint64_t SpaceBytes() const;
 
+  /// Copies every live pair (external ids, sorted) — the snapshot-export
+  /// path; the structure is untouched.
+  void ExportLivePairs(std::vector<std::pair<uint32_t, uint32_t>>* out) const;
+
   /// Test hook: registry and size invariants.
   void CheckInvariants() const;
 

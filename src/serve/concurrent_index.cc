@@ -1,6 +1,9 @@
 #include "serve/concurrent_index.h"
 
+#include <string>
 #include <utility>
+
+#include "util/check.h"
 
 namespace dyndex {
 
@@ -40,19 +43,33 @@ uint64_t ConcurrentIndex::num_docs(uint64_t* epoch) const {
 
 std::vector<DocId> ConcurrentIndex::InsertBatch(
     std::vector<std::vector<Symbol>> docs) {
+  // Encode before applying (the apply consumes `docs`); append inside the
+  // exclusive section, after the apply succeeded, so log order is exactly
+  // epoch order and a throwing batch logs nothing.
+  std::string payload;
+  if (log_ != nullptr) payload = serve_persist::EncodeInsertBatch(docs);
   // One virtual call for the batch: cold-start backends with a bulk
   // constructor load it in one pass instead of |batch| insertions.
-  return core_.Write([&](DynamicIndex& idx) {
-    return idx.InsertBulk(std::move(docs));
+  auto ids = core_.Write([&](DynamicIndex& idx) {
+    auto result = idx.InsertBulk(std::move(docs));
+    if (log_ != nullptr) log_->LogApplied(payload);
+    return result;
   });
+  if (log_ != nullptr) log_->MaybeSync();
+  return ids;
 }
 
 uint64_t ConcurrentIndex::EraseBatch(const std::vector<DocId>& ids) {
-  return core_.Write([&](DynamicIndex& idx) {
-    uint64_t erased = 0;
-    for (DocId id : ids) erased += idx.Erase(id);
-    return erased;
+  std::string payload;
+  if (log_ != nullptr) payload = serve_persist::EncodeEraseBatch(ids);
+  uint64_t erased = core_.Write([&](DynamicIndex& idx) {
+    uint64_t n = 0;
+    for (DocId id : ids) n += idx.Erase(id);
+    if (log_ != nullptr) log_->LogApplied(payload);
+    return n;
   });
+  if (log_ != nullptr) log_->MaybeSync();
+  return erased;
 }
 
 // Poll/Flush publish internal rebuilds only; the logical document set is
@@ -64,6 +81,32 @@ void ConcurrentIndex::Poll() {
 
 void ConcurrentIndex::Flush() {
   core_.Maintain([](DynamicIndex& idx) { idx.ForceAllPending(); });
+}
+
+persist::Status ConcurrentIndex::OpenDurable(persist::Env* env,
+                                             const std::string& dir,
+                                             const DurableOptions& opt,
+                                             RecoveryStats* stats) {
+  DYNDEX_CHECK(log_ == nullptr);
+  return serve_persist::OpenDurableIndexCore(env, dir, opt, core_, &log_,
+                                             stats);
+}
+
+persist::Status ConcurrentIndex::Checkpoint() {
+  DYNDEX_CHECK(log_ != nullptr);
+  return serve_persist::CheckpointIndexCore(core_, *log_);
+}
+
+persist::Status ConcurrentIndex::SyncWal() {
+  DYNDEX_CHECK(log_ != nullptr);
+  return log_->Sync();
+}
+
+persist::Status ConcurrentIndex::CloseDurable() {
+  DYNDEX_CHECK(log_ != nullptr);
+  persist::Status s = log_->Close();
+  log_.reset();
+  return s;
 }
 
 }  // namespace dyndex

@@ -12,11 +12,15 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/occurrence.h"
+#include "persist/env.h"
+#include "persist/status.h"
 #include "serve/dynamic_index.h"
 #include "serve/epoch_guard.h"
+#include "serve/persistence.h"
 #include "text/concat_text.h"
 
 namespace dyndex {
@@ -74,6 +78,23 @@ class ConcurrentIndex {
   /// Blocks until all background builds are published (test barrier).
   void Flush();
 
+  // --- durability (writer thread; see serve/persistence.h) -----------------
+
+  /// Binds this (fresh, empty) facade to `dir`: recovers snapshot + WAL tail
+  /// if present, then logs every subsequent batch. Corrupt snapshot /
+  /// mismatched backend is a loud error, never a silently-empty index.
+  persist::Status OpenDurable(persist::Env* env, const std::string& dir,
+                              const DurableOptions& opt = {},
+                              RecoveryStats* stats = nullptr);
+  /// Writes a fresh snapshot (atomic rename) and resets the WAL.
+  persist::Status Checkpoint();
+  /// Forces the WAL to disk regardless of the group-commit window; also
+  /// surfaces any sticky append/sync failure from earlier batches.
+  persist::Status SyncWal();
+  /// Final sync + detach; the facade keeps serving, un-durably.
+  persist::Status CloseDurable();
+  bool durable() const { return log_ != nullptr; }
+
   const char* backend_name() const {
     return core_.unsynchronized().backend_name();
   }
@@ -83,6 +104,7 @@ class ConcurrentIndex {
 
  private:
   EpochGuard<DynamicIndex> core_;
+  std::unique_ptr<serve_persist::DurableLog> log_;  // null until OpenDurable
 };
 
 }  // namespace dyndex

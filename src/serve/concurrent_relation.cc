@@ -1,5 +1,9 @@
 #include "serve/concurrent_relation.h"
 
+#include <string>
+
+#include "util/check.h"
+
 namespace dyndex {
 
 bool ConcurrentRelation::Related(uint32_t object, uint32_t label,
@@ -41,18 +45,64 @@ uint64_t ConcurrentRelation::num_pairs(uint64_t* epoch) const {
 }
 
 uint64_t ConcurrentRelation::AddPairsBatch(const RelationPairs& pairs) {
+  // Append inside the exclusive section, after the apply succeeded, so log
+  // order is exactly epoch order and a throwing batch logs nothing.
+  std::string payload;
+  if (log_ != nullptr) {
+    payload =
+        serve_persist::EncodePairsBatch(serve_persist::WalOp::kAddPairs, pairs);
+  }
   // One virtual call for the batch: backends route cold-start batches onto
   // their bulk build instead of |batch| pairwise insertions.
-  return core_.Write(
-      [&](RelationIndex& rel) { return rel.AddPairsBulk(pairs); });
+  uint64_t added = core_.Write([&](RelationIndex& rel) {
+    uint64_t n = rel.AddPairsBulk(pairs);
+    if (log_ != nullptr) log_->LogApplied(payload);
+    return n;
+  });
+  if (log_ != nullptr) log_->MaybeSync();
+  return added;
 }
 
 uint64_t ConcurrentRelation::RemovePairsBatch(const RelationPairs& pairs) {
-  return core_.Write([&](RelationIndex& rel) {
-    uint64_t removed = 0;
-    for (auto [o, a] : pairs) removed += rel.RemovePair(o, a);
-    return removed;
+  std::string payload;
+  if (log_ != nullptr) {
+    payload = serve_persist::EncodePairsBatch(
+        serve_persist::WalOp::kRemovePairs, pairs);
+  }
+  uint64_t removed = core_.Write([&](RelationIndex& rel) {
+    uint64_t n = 0;
+    for (auto [o, a] : pairs) n += rel.RemovePair(o, a);
+    if (log_ != nullptr) log_->LogApplied(payload);
+    return n;
   });
+  if (log_ != nullptr) log_->MaybeSync();
+  return removed;
+}
+
+persist::Status ConcurrentRelation::OpenDurable(persist::Env* env,
+                                                const std::string& dir,
+                                                const DurableOptions& opt,
+                                                RecoveryStats* stats) {
+  DYNDEX_CHECK(log_ == nullptr);
+  return serve_persist::OpenDurableRelationCore(env, dir, opt, core_, &log_,
+                                                stats);
+}
+
+persist::Status ConcurrentRelation::Checkpoint() {
+  DYNDEX_CHECK(log_ != nullptr);
+  return serve_persist::CheckpointRelationCore(core_, *log_);
+}
+
+persist::Status ConcurrentRelation::SyncWal() {
+  DYNDEX_CHECK(log_ != nullptr);
+  return log_->Sync();
+}
+
+persist::Status ConcurrentRelation::CloseDurable() {
+  DYNDEX_CHECK(log_ != nullptr);
+  persist::Status s = log_->Close();
+  log_.reset();
+  return s;
 }
 
 }  // namespace dyndex

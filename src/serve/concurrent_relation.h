@@ -14,9 +14,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "persist/env.h"
+#include "persist/status.h"
 #include "serve/epoch_guard.h"
+#include "serve/persistence.h"
 #include "serve/relation_index.h"
 
 namespace dyndex {
@@ -84,6 +88,23 @@ class ConcurrentRelation {
   /// Returns how many of `pairs` were present and removed.
   uint64_t RemovePairsBatch(const RelationPairs& pairs);
 
+  // --- durability (writer thread; see serve/persistence.h) -----------------
+
+  /// Binds this (fresh, empty) facade to `dir`: recovers snapshot + WAL tail
+  /// if present, then logs every subsequent batch. Corrupt snapshot /
+  /// mismatched backend is a loud error, never a silently-empty relation.
+  persist::Status OpenDurable(persist::Env* env, const std::string& dir,
+                              const DurableOptions& opt = {},
+                              RecoveryStats* stats = nullptr);
+  /// Writes a fresh snapshot (atomic rename) and resets the WAL.
+  persist::Status Checkpoint();
+  /// Forces the WAL to disk regardless of the group-commit window; also
+  /// surfaces any sticky append/sync failure from earlier batches.
+  persist::Status SyncWal();
+  /// Final sync + detach; the facade keeps serving, un-durably.
+  persist::Status CloseDurable();
+  bool durable() const { return log_ != nullptr; }
+
   const char* backend_name() const {
     return core_.unsynchronized().backend_name();
   }
@@ -94,6 +115,7 @@ class ConcurrentRelation {
 
  private:
   EpochGuard<RelationIndex> core_;
+  std::unique_ptr<serve_persist::DurableLog> log_;  // null until OpenDurable
 };
 
 }  // namespace dyndex

@@ -99,6 +99,15 @@ class DynamicIndex {
   /// Structural self-check (no-op where the backend offers none).
   virtual void CheckInvariants() const {}
 
+  // Persistence (writer thread only; see serve/persistence.h for the durable
+  // wrappers). ExportSnapshot copies the full logical state — every live
+  // document plus the next id to mint; non-const because backends with
+  // background builds publish them first (the logical state is unchanged).
+  // LoadSnapshot restores an exported state into a *fresh* index, preserving
+  // the exported ids and the id counter.
+  virtual void ExportSnapshot(std::vector<Document>* docs, DocId* next_id) = 0;
+  virtual void LoadSnapshot(std::vector<Document> docs, DocId next_id) = 0;
+
   virtual const char* backend_name() const = 0;
 };
 
@@ -175,6 +184,13 @@ class CollectionIndex final : public DynamicIndex {
     if constexpr (requires(const Coll& c) { c.CheckInvariants(); }) {
       coll_.CheckInvariants();
     }
+  }
+
+  void ExportSnapshot(std::vector<Document>* docs, DocId* next_id) override {
+    coll_.ExportSnapshot(docs, next_id);
+  }
+  void LoadSnapshot(std::vector<Document> docs, DocId next_id) override {
+    coll_.LoadSnapshot(std::move(docs), next_id);
   }
 
   const char* backend_name() const override { return name_; }

@@ -435,6 +435,12 @@ class EpochGuard {
     }
 
     ~ExclusiveSection() {
+      // This destructor is also the writer's unwind path: a throwing batch
+      // body lands here with the sequence odd and the exclusive lock held,
+      // and everything below must run without throwing (the sequence back
+      // to even, the sink parked, the gate released by WriteLock's own
+      // destructor) — an exception escaping mid-unwind would terminate.
+      //
       // Uninstall the sink *before* publishing, so reclamation below frees
       // for real instead of re-parking onto the sink being reclaimed.
       scope_.reset();
@@ -444,7 +450,7 @@ class EpochGuard {
       // starts now.
       guard_.last_section_end_ns_.store(NowNs(), std::memory_order_release);
       if (!sink_.empty()) {
-        guard_.retired_.push_back({pre_, std::move(sink_)});
+        guard_.ParkSinkLocked(pre_, std::move(sink_));
       }
       guard_.DrainRetiredLocked();
     }
@@ -699,6 +705,44 @@ class EpochGuard {
     std::this_thread::sleep_for(std::chrono::nanoseconds(wait_ns));
     pace_waits_.fetch_add(1, std::memory_order_relaxed);
     pace_wait_us_.fetch_add(wait_ns / 1000, std::memory_order_relaxed);
+  }
+
+  /// Parks one section's retire sink without ever throwing — this runs on
+  /// the writer's unwind path (~ExclusiveSection), where a bad_alloc from
+  /// the vector growth would escalate to std::terminate. The allocation is
+  /// attempted separately from the push so a failure never destroys the
+  /// sink's contents early; if it fails, fall back to waiting out the grace
+  /// period right here (parking exists only to defer that free), then let
+  /// the sink destruct. Caller must hold the exclusive lock.
+  void ParkSinkLocked(uint64_t tag, RetireSink sink) noexcept {
+    bool reserved = false;
+    try {
+      if (retired_.size() == retired_.capacity()) {
+        retired_.reserve(std::max<std::size_t>(4, retired_.capacity() * 2));
+      }
+      reserved = true;
+    } catch (...) {
+      // Out of memory mid-unwind; take the blocking path below.
+    }
+    if (reserved) {
+      // No-throw: capacity is in hand and RetireSink's moves are noexcept.
+      retired_.push_back(RetiredBatch{tag, std::move(sink)});
+      retired_pending_.store(retired_.size(), std::memory_order_release);
+      return;
+    }
+    // Freeing is safe once no reader publishes a snapshot <= tag (the same
+    // grace rule DrainRetiredLocked applies); reader critical sections are
+    // short by construction, so this terminates promptly.
+    for (;;) {
+      uint64_t min_active = kIdleSnapshot;
+      for (const ReaderSlot& slot : slots_) {
+        min_active = std::min(min_active,
+                              slot.snapshot.load(std::memory_order_seq_cst));
+      }
+      if (tag < min_active) break;
+      std::this_thread::yield();
+    }
+    // `sink` destructs on return, after its grace period closed.
   }
 
   /// Reclaims every retired batch whose grace period has closed: a batch

@@ -70,6 +70,11 @@ class RelationIndex {
   /// Structural self-check (no-op where the backend offers none).
   virtual void CheckInvariants() const {}
 
+  /// Copies every live pair (sorted, duplicate-free) — the snapshot-export
+  /// path; restoring is AddPairsBulk on a fresh facade (the logical state of
+  /// a relation is exactly its pair set).
+  virtual void ExportLivePairs(RelationPairs* out) const = 0;
+
   virtual const char* backend_name() const = 0;
 
   // Graph view (Theorem 3): edge u -> v is the pair (u, v), so out-neighbors
@@ -208,6 +213,14 @@ class RelationAdapter final : public RelationIndex {
   void CheckInvariants() const override {
     if constexpr (requires(const Rel& r) { r.CheckInvariants(); }) {
       rel_.CheckInvariants();
+    }
+  }
+
+  void ExportLivePairs(RelationPairs* out) const override {
+    if constexpr (requires(const Rel& r) { r.ExportLivePairs(out); }) {
+      rel_.ExportLivePairs(out);
+    } else {
+      rel_.ExportLiveEdges(out);
     }
   }
 

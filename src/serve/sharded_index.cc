@@ -1,5 +1,6 @@
 #include "serve/sharded_index.h"
 
+#include <string>
 #include <utility>
 
 #include "util/check.h"
@@ -182,9 +183,20 @@ std::vector<DocId> ShardedIndex::InsertBatch(
   for (uint32_t s = 0; s < k; ++s) {
     if (sub[s].empty()) continue;  // untouched shards keep their epoch
     tasks.push_back([this, s, k, &sub, &positions, &out] {
+      // Each shard logs its own sub-batch; encode before the apply consumes
+      // it. The append and the group-commit fsync run inside the shard's
+      // exclusive section, so concurrent batch writers never share a WAL.
+      std::string payload;
+      serve_persist::DurableLog* log = logs_.empty() ? nullptr : logs_[s].get();
+      if (log != nullptr) payload = serve_persist::EncodeInsertBatch(sub[s]);
       std::vector<DocId> local =
           shards_[s]->Write([&](DynamicIndex& idx) {
-            return idx.InsertBulk(std::move(sub[s]));
+            auto result = idx.InsertBulk(std::move(sub[s]));
+            if (log != nullptr) {
+              log->LogApplied(payload);
+              log->MaybeSync();
+            }
+            return result;
           });
       // Distinct batch positions per shard: no write races on `out`.
       for (uint64_t j = 0; j < local.size(); ++j) {
@@ -209,9 +221,16 @@ uint64_t ShardedIndex::EraseBatch(const std::vector<DocId>& ids) {
   for (uint32_t s = 0; s < k; ++s) {
     if (sub[s].empty()) continue;
     tasks.push_back([this, s, &sub, &erased] {
+      std::string payload;
+      serve_persist::DurableLog* log = logs_.empty() ? nullptr : logs_[s].get();
+      if (log != nullptr) payload = serve_persist::EncodeEraseBatch(sub[s]);
       erased[s] = shards_[s]->Write([&](DynamicIndex& idx) {
         uint64_t n = 0;
         for (DocId local : sub[s]) n += idx.Erase(local);
+        if (log != nullptr) {
+          log->LogApplied(payload);
+          log->MaybeSync();
+        }
         return n;
       });
     });
@@ -237,6 +256,115 @@ void ShardedIndex::Flush() {
     });
   }
   pool_.RunAll(std::move(tasks));
+}
+
+persist::Status ShardedIndex::OpenDurable(persist::Env* env,
+                                          const std::string& dir,
+                                          const DurableOptions& opt,
+                                          RecoveryStats* stats) {
+  DYNDEX_CHECK(logs_.empty());
+  const uint32_t k = num_shards();
+  DYNDEX_RETURN_IF_ERROR(env->CreateDir(dir));
+
+  serve_persist::SnapshotMeta manifest;
+  persist::Status ms = serve_persist::ReadManifest(env, dir, &manifest);
+  const bool fresh = ms.IsNotFound();
+  if (!fresh) {
+    DYNDEX_RETURN_IF_ERROR(ms);  // a damaged manifest is loud, not "fresh"
+    DYNDEX_RETURN_IF_ERROR(serve_persist::CheckManifest(
+        manifest, serve_persist::StateKind::kShardedIndex, k, backend_name()));
+  }
+
+  std::vector<std::string> shard_dirs(k);
+  for (uint32_t s = 0; s < k; ++s) {
+    shard_dirs[s] = dir + "/shard-" + std::to_string(s);
+    if (!fresh && !env->FileExists(shard_dirs[s] + "/" +
+                                   serve_persist::kWalFileName)) {
+      // The manifest binds this shard; its vanished state must not be served
+      // as an empty shard.
+      return persist::Status::Corruption(
+          "manifest binds shard " + std::to_string(s) +
+          " but its durable state is missing");
+    }
+  }
+
+  // Parallel recovery: shards are independent (own dir, own core, own log).
+  std::vector<std::unique_ptr<serve_persist::DurableLog>> logs(k);
+  std::vector<persist::Status> st(k);
+  std::vector<RecoveryStats> shard_stats(k);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(k);
+  for (uint32_t s = 0; s < k; ++s) {
+    tasks.push_back([this, s, env, &opt, &shard_dirs, &logs, &st,
+                     &shard_stats] {
+      st[s] = serve_persist::OpenDurableIndexCore(
+          env, shard_dirs[s], opt, *shards_[s], &logs[s], &shard_stats[s]);
+    });
+  }
+  pool_.RunAll(std::move(tasks));
+  for (uint32_t s = 0; s < k; ++s) DYNDEX_RETURN_IF_ERROR(st[s]);
+
+  if (fresh) {
+    serve_persist::SnapshotMeta meta;
+    meta.kind = serve_persist::StateKind::kShardedIndex;
+    meta.backend = backend_name();
+    meta.num_shards = k;
+    DYNDEX_RETURN_IF_ERROR(serve_persist::WriteManifest(env, dir, meta));
+  }
+
+  if (stats != nullptr) {
+    RecoveryStats total;
+    for (const RecoveryStats& s : shard_stats) {
+      total.snapshot_loaded |= s.snapshot_loaded;
+      total.snapshot_seq += s.snapshot_seq;
+      total.replayed_batches += s.replayed_batches;
+      total.skipped_frames += s.skipped_frames;
+      total.dropped_wal_bytes += s.dropped_wal_bytes;
+    }
+    *stats = total;
+  }
+  // Placement cursor: balance-only (ids are minted by the shards), so any
+  // reasonable restart point works; total live docs keeps round-robin fair.
+  uint64_t total_docs = 0;
+  for (uint32_t s = 0; s < k; ++s) {
+    total_docs += shards_[s]->unsynchronized().num_docs();
+  }
+  next_place_.store(total_docs, std::memory_order_relaxed);
+  logs_ = std::move(logs);
+  return persist::Status::Ok();
+}
+
+persist::Status ShardedIndex::Checkpoint() {
+  DYNDEX_CHECK(!logs_.empty());
+  const uint32_t k = num_shards();
+  std::vector<persist::Status> st(k);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(k);
+  for (uint32_t s = 0; s < k; ++s) {
+    tasks.push_back([this, s, &st] {
+      st[s] = serve_persist::CheckpointIndexCore(*shards_[s], *logs_[s]);
+    });
+  }
+  pool_.RunAll(std::move(tasks));
+  for (uint32_t s = 0; s < k; ++s) DYNDEX_RETURN_IF_ERROR(st[s]);
+  return persist::Status::Ok();
+}
+
+persist::Status ShardedIndex::SyncWal() {
+  DYNDEX_CHECK(!logs_.empty());
+  for (auto& log : logs_) DYNDEX_RETURN_IF_ERROR(log->Sync());
+  return persist::Status::Ok();
+}
+
+persist::Status ShardedIndex::CloseDurable() {
+  DYNDEX_CHECK(!logs_.empty());
+  persist::Status first = persist::Status::Ok();
+  for (auto& log : logs_) {
+    persist::Status s = log->Close();
+    if (first.ok()) first = s;
+  }
+  logs_.clear();
+  return first;
 }
 
 void ShardedIndex::CheckInvariants() const {

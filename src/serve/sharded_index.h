@@ -33,11 +33,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/occurrence.h"
+#include "persist/env.h"
+#include "persist/status.h"
 #include "serve/dynamic_index.h"
 #include "serve/epoch_guard.h"
+#include "serve/persistence.h"
 #include "serve/thread_pool.h"
 #include "text/concat_text.h"
 
@@ -170,6 +174,29 @@ class ShardedIndex {
   /// Blocks until all shards' background builds are published.
   void Flush();
 
+  // --- durability (see serve/persistence.h) --------------------------------
+  //
+  // Per-shard layout under `dir`: shard s's snapshot + WAL live in
+  // `<dir>/shard-<s>/`, and one MANIFEST in `dir` binds the shard count and
+  // backend — reopening with a different K or backend, or with a bound
+  // shard's log missing, is refused loudly instead of silently serving a
+  // partial collection. Recovery fans out across the pool (one shard per
+  // worker). Batch writers may still run concurrently afterwards: each
+  // shard's WAL is only touched inside that shard's exclusive section
+  // (including the group-commit fsync). OpenDurable / Checkpoint / SyncWal /
+  // CloseDurable themselves require writer quiescence.
+
+  persist::Status OpenDurable(persist::Env* env, const std::string& dir,
+                              const DurableOptions& opt = {},
+                              RecoveryStats* stats = nullptr);
+  /// Checkpoints every shard in parallel: snapshot + WAL reset per shard.
+  persist::Status Checkpoint();
+  /// Forces every shard's WAL to disk; surfaces sticky append/sync failures.
+  persist::Status SyncWal();
+  /// Final sync + detach; the facade keeps serving, un-durably.
+  persist::Status CloseDurable();
+  bool durable() const { return !logs_.empty(); }
+
   const char* backend_name() const {
     return shards_[0]->unsynchronized().backend_name();
   }
@@ -189,6 +216,8 @@ class ShardedIndex {
   /// Round-robin placement cursor for new documents (balances shards while
   /// keeping id minting deterministic for a single writer).
   std::atomic<uint64_t> next_place_{0};
+  /// Per-shard durable logs; empty until OpenDurable (then index = shard).
+  std::vector<std::unique_ptr<serve_persist::DurableLog>> logs_;
 };
 
 }  // namespace dyndex

@@ -1,5 +1,6 @@
 #include "serve/sharded_relation.h"
 
+#include <string>
 #include <utility>
 
 #include "util/check.h"
@@ -150,8 +151,23 @@ uint64_t ShardedRelation::AddPairsBatch(const RelationPairs& pairs) {
   for (uint32_t s = 0; s < k; ++s) {
     if (sub[s].empty()) continue;  // untouched shards keep their epoch
     tasks.push_back([this, s, &sub, &added] {
-      added[s] = shards_[s]->Write(
-          [&](RelationIndex& rel) { return rel.AddPairsBulk(sub[s]); });
+      // Each shard logs its own sub-batch; the append and the group-commit
+      // fsync run inside the shard's exclusive section, so concurrent batch
+      // writers never share a WAL.
+      std::string payload;
+      serve_persist::DurableLog* log = logs_.empty() ? nullptr : logs_[s].get();
+      if (log != nullptr) {
+        payload = serve_persist::EncodePairsBatch(
+            serve_persist::WalOp::kAddPairs, sub[s]);
+      }
+      added[s] = shards_[s]->Write([&](RelationIndex& rel) {
+        uint64_t n = rel.AddPairsBulk(sub[s]);
+        if (log != nullptr) {
+          log->LogApplied(payload);
+          log->MaybeSync();
+        }
+        return n;
+      });
     });
   }
   pool_.RunAll(std::move(tasks));
@@ -169,9 +185,19 @@ uint64_t ShardedRelation::RemovePairsBatch(const RelationPairs& pairs) {
   for (uint32_t s = 0; s < k; ++s) {
     if (sub[s].empty()) continue;
     tasks.push_back([this, s, &sub, &removed] {
+      std::string payload;
+      serve_persist::DurableLog* log = logs_.empty() ? nullptr : logs_[s].get();
+      if (log != nullptr) {
+        payload = serve_persist::EncodePairsBatch(
+            serve_persist::WalOp::kRemovePairs, sub[s]);
+      }
       removed[s] = shards_[s]->Write([&](RelationIndex& rel) {
         uint64_t n = 0;
         for (auto [o, a] : sub[s]) n += rel.RemovePair(o, a);
+        if (log != nullptr) {
+          log->LogApplied(payload);
+          log->MaybeSync();
+        }
         return n;
       });
     });
@@ -180,6 +206,109 @@ uint64_t ShardedRelation::RemovePairsBatch(const RelationPairs& pairs) {
   uint64_t total = 0;
   for (uint64_t r : removed) total += r;
   return total;
+}
+
+persist::Status ShardedRelation::OpenDurable(persist::Env* env,
+                                             const std::string& dir,
+                                             const DurableOptions& opt,
+                                             RecoveryStats* stats) {
+  DYNDEX_CHECK(logs_.empty());
+  const uint32_t k = num_shards();
+  DYNDEX_RETURN_IF_ERROR(env->CreateDir(dir));
+
+  serve_persist::SnapshotMeta manifest;
+  persist::Status ms = serve_persist::ReadManifest(env, dir, &manifest);
+  const bool fresh = ms.IsNotFound();
+  if (!fresh) {
+    DYNDEX_RETURN_IF_ERROR(ms);  // a damaged manifest is loud, not "fresh"
+    DYNDEX_RETURN_IF_ERROR(serve_persist::CheckManifest(
+        manifest, serve_persist::StateKind::kShardedRelation, k,
+        backend_name()));
+  }
+
+  std::vector<std::string> shard_dirs(k);
+  for (uint32_t s = 0; s < k; ++s) {
+    shard_dirs[s] = dir + "/shard-" + std::to_string(s);
+    if (!fresh && !env->FileExists(shard_dirs[s] + "/" +
+                                   serve_persist::kWalFileName)) {
+      // The manifest binds this shard; its vanished state must not be served
+      // as an empty shard.
+      return persist::Status::Corruption(
+          "manifest binds shard " + std::to_string(s) +
+          " but its durable state is missing");
+    }
+  }
+
+  // Parallel recovery: shards are independent (own dir, own core, own log).
+  std::vector<std::unique_ptr<serve_persist::DurableLog>> logs(k);
+  std::vector<persist::Status> st(k);
+  std::vector<RecoveryStats> shard_stats(k);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(k);
+  for (uint32_t s = 0; s < k; ++s) {
+    tasks.push_back([this, s, env, &opt, &shard_dirs, &logs, &st,
+                     &shard_stats] {
+      st[s] = serve_persist::OpenDurableRelationCore(
+          env, shard_dirs[s], opt, *shards_[s], &logs[s], &shard_stats[s]);
+    });
+  }
+  pool_.RunAll(std::move(tasks));
+  for (uint32_t s = 0; s < k; ++s) DYNDEX_RETURN_IF_ERROR(st[s]);
+
+  if (fresh) {
+    serve_persist::SnapshotMeta meta;
+    meta.kind = serve_persist::StateKind::kShardedRelation;
+    meta.backend = backend_name();
+    meta.num_shards = k;
+    DYNDEX_RETURN_IF_ERROR(serve_persist::WriteManifest(env, dir, meta));
+  }
+
+  if (stats != nullptr) {
+    RecoveryStats total;
+    for (const RecoveryStats& s : shard_stats) {
+      total.snapshot_loaded |= s.snapshot_loaded;
+      total.snapshot_seq += s.snapshot_seq;
+      total.replayed_batches += s.replayed_batches;
+      total.skipped_frames += s.skipped_frames;
+      total.dropped_wal_bytes += s.dropped_wal_bytes;
+    }
+    *stats = total;
+  }
+  logs_ = std::move(logs);
+  return persist::Status::Ok();
+}
+
+persist::Status ShardedRelation::Checkpoint() {
+  DYNDEX_CHECK(!logs_.empty());
+  const uint32_t k = num_shards();
+  std::vector<persist::Status> st(k);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(k);
+  for (uint32_t s = 0; s < k; ++s) {
+    tasks.push_back([this, s, &st] {
+      st[s] = serve_persist::CheckpointRelationCore(*shards_[s], *logs_[s]);
+    });
+  }
+  pool_.RunAll(std::move(tasks));
+  for (uint32_t s = 0; s < k; ++s) DYNDEX_RETURN_IF_ERROR(st[s]);
+  return persist::Status::Ok();
+}
+
+persist::Status ShardedRelation::SyncWal() {
+  DYNDEX_CHECK(!logs_.empty());
+  for (auto& log : logs_) DYNDEX_RETURN_IF_ERROR(log->Sync());
+  return persist::Status::Ok();
+}
+
+persist::Status ShardedRelation::CloseDurable() {
+  DYNDEX_CHECK(!logs_.empty());
+  persist::Status first = persist::Status::Ok();
+  for (auto& log : logs_) {
+    persist::Status s = log->Close();
+    if (first.ok()) first = s;
+  }
+  logs_.clear();
+  return first;
 }
 
 void ShardedRelation::CheckInvariants() const {

@@ -20,9 +20,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "persist/env.h"
+#include "persist/status.h"
 #include "serve/epoch_guard.h"
+#include "serve/persistence.h"
 #include "serve/relation_index.h"
 #include "serve/sharded_index.h"  // ShardEpochs
 #include "serve/thread_pool.h"
@@ -119,6 +123,23 @@ class ShardedRelation {
     return RemovePairsBatch(edges);
   }
 
+  // --- durability (see serve/persistence.h) --------------------------------
+  //
+  // Same layout and contract as ShardedIndex: per-shard snapshot + WAL under
+  // `<dir>/shard-<s>/`, one MANIFEST binding the shard count and backend,
+  // parallel recovery, loud refusal on a mismatched sharding or a bound
+  // shard whose log vanished. Batch writers may run concurrently afterwards
+  // (per-shard WAL work stays inside that shard's exclusive section);
+  // OpenDurable / Checkpoint / SyncWal / CloseDurable require quiescence.
+
+  persist::Status OpenDurable(persist::Env* env, const std::string& dir,
+                              const DurableOptions& opt = {},
+                              RecoveryStats* stats = nullptr);
+  persist::Status Checkpoint();
+  persist::Status SyncWal();
+  persist::Status CloseDurable();
+  bool durable() const { return !logs_.empty(); }
+
   const char* backend_name() const {
     return shards_[0]->unsynchronized().backend_name();
   }
@@ -134,6 +155,8 @@ class ShardedRelation {
  private:
   std::vector<std::unique_ptr<EpochGuard<RelationIndex>>> shards_;
   mutable ThreadPool pool_;
+  /// Per-shard durable logs; empty until OpenDurable (then index = shard).
+  std::vector<std::unique_ptr<serve_persist::DurableLog>> logs_;
 };
 
 }  // namespace dyndex

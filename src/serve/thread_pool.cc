@@ -1,6 +1,7 @@
 #include "serve/thread_pool.h"
 
 #include <atomic>
+#include <exception>
 #include <memory>
 #include <utility>
 
@@ -18,6 +19,14 @@ struct Join {
   std::atomic<uint32_t> remaining;
   std::mutex mu;
   std::condition_variable cv;
+  std::exception_ptr error;  // first failing slice; guarded by mu
+
+  /// Records the in-flight exception; first one wins (the caller can only
+  /// rethrow one, and the first is the one that happened earliest).
+  void Record() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!error) error = std::current_exception();
+  }
 };
 
 }  // namespace
@@ -55,7 +64,18 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
   if (threads_.empty() || tasks.size() == 1) {
-    for (auto& task : tasks) task();
+    // Sequential path, same contract as the scattered one: a throwing task
+    // must not skip its siblings (a cross-shard batch would silently apply
+    // to some shards only), so run everything and rethrow the first.
+    std::exception_ptr first;
+    for (auto& task : tasks) {
+      try {
+        task();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
     return;
   }
   // Scatter tasks[1..] to the workers. Completion is tracked per call, so
@@ -63,12 +83,18 @@ void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
   // runs under join->mu, which makes the final wait lost-wakeup-free. The
   // closures reference `tasks` on this stack — safe because this frame
   // outlives remaining > 0 — but only shared-own the Join (see Join).
+  // A throwing slice is caught into the Join (workers never unwind into
+  // WorkerLoop, which would std::terminate) and rethrown after the join.
   auto join = std::make_shared<Join>(static_cast<uint32_t>(tasks.size() - 1));
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t i = 1; i < tasks.size(); ++i) {
       queue_.push_back([&tasks, i, join] {
-        tasks[i]();
+        try {
+          tasks[i]();
+        } catch (...) {
+          join->Record();
+        }
         if (join->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           std::lock_guard<std::mutex> done_lock(join->mu);
           join->cv.notify_one();
@@ -77,11 +103,15 @@ void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
     }
   }
   cv_.notify_all();
-  tasks[0]();
+  try {
+    tasks[0]();
+  } catch (...) {
+    join->Record();
+  }
   // Help drain while waiting: running queued closures (possibly another
-  // caller's) keeps batches progressing when every worker is busy.
-  for (;;) {
-    if (join->remaining.load(std::memory_order_acquire) == 0) return;
+  // caller's) keeps batches progressing when every worker is busy. Stolen
+  // closures are the wrappers above — they catch into their own Join.
+  while (join->remaining.load(std::memory_order_acquire) != 0) {
     std::function<void()> task;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -97,6 +127,11 @@ void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
   join->cv.wait(lock, [&] {
     return join->remaining.load(std::memory_order_acquire) == 0;
   });
+  if (join->error) {
+    std::exception_ptr error = join->error;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 }  // namespace dyndex

@@ -37,7 +37,10 @@ class ThreadPool {
   /// Runs every closure in `tasks`: tasks[0] inline on the calling thread,
   /// the rest on workers (the caller helps drain its own leftovers when all
   /// workers are busy). Returns once all of them have finished. Closures
-  /// must not throw and must not call back into this pool.
+  /// must not call back into this pool. A throwing closure does not abort
+  /// the batch: every task still runs to completion (shard state never
+  /// diverges by slice), and the *first* exception is rethrown to the
+  /// RunAll caller after the join.
   void RunAll(std::vector<std::function<void()>> tasks);
 
   uint32_t workers() const { return static_cast<uint32_t>(threads_.size()); }

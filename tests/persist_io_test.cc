@@ -1,0 +1,314 @@
+// Fault matrix for the persistence mechanics (persist/): every fault mode
+// the recovery story claims to survive, produced deterministically against
+// MemEnv's crash simulation and FaultEnv's scripted call failures, with the
+// required outcome asserted per mode:
+//
+//   torn tail / truncation / bit flip in the WAL  -> longest valid prefix
+//   bit flip / truncation / short read in a snapshot -> kCorruption (loud)
+//   failed fsync / failed append                  -> surfaced IoError
+//
+// Nothing in this file may ever observe a *wrong* frame or section — only
+// fewer frames, or a loud error.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "persist/crc32c.h"
+#include "persist/env.h"
+#include "persist/fault_env.h"
+#include "persist/snapshot.h"
+#include "persist/status.h"
+#include "persist/wal.h"
+
+namespace dyndex {
+namespace persist {
+namespace {
+
+std::string Payload(int i) {
+  return "payload-" + std::to_string(i) + std::string(i % 7, 'x');
+}
+
+/// Writes a synced WAL of `n` frames at `path`; returns the file size.
+uint64_t WriteLog(Env* env, const std::string& path, int n) {
+  std::unique_ptr<WalWriter> writer;
+  EXPECT_TRUE(WalWriter::Create(env, path, &writer).ok());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(writer->Append(i + 1, Payload(i)).ok());
+  }
+  EXPECT_TRUE(writer->Sync().ok());
+  uint64_t size = 0;
+  EXPECT_TRUE(env->GetFileSize(path, &size).ok());
+  return size;
+}
+
+TEST(Crc32cTest, KnownVector) {
+  // The iSCSI CRC-32C check value for "123456789".
+  EXPECT_EQ(Crc32c("123456789", 9), 0xe3069283u);
+}
+
+TEST(Crc32cTest, MaskRoundTrips) {
+  const std::string bytes = "some frame bytes";
+  uint32_t crc = Crc32c(bytes.data(), bytes.size());
+  EXPECT_NE(MaskCrc(crc), crc);
+  EXPECT_EQ(UnmaskCrc(MaskCrc(crc)), crc);
+}
+
+TEST(WalTest, RoundTrip) {
+  MemEnv env;
+  WriteLog(&env, "wal", 5);
+  WalScanResult scan;
+  ASSERT_TRUE(ScanWal(&env, "wal", &scan).ok());
+  ASSERT_EQ(scan.frames.size(), 5u);
+  EXPECT_EQ(scan.dropped_bytes, 0u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(scan.frames[i].seq, static_cast<uint64_t>(i + 1));
+    EXPECT_EQ(scan.frames[i].payload, Payload(i));
+  }
+}
+
+TEST(WalTest, MissingFileIsNotFound) {
+  MemEnv env;
+  WalScanResult scan;
+  EXPECT_TRUE(ScanWal(&env, "nope", &scan).IsNotFound());
+}
+
+TEST(WalTest, ShortHeaderIsEmptyLog) {
+  // A crash can hit between creating the file and syncing the 8-byte
+  // header; nothing was acked, so this is an empty log, not corruption.
+  MemEnv env;
+  WriteLog(&env, "wal", 3);
+  ASSERT_TRUE(env.TruncateFile("wal", 5).ok());
+  WalScanResult scan;
+  ASSERT_TRUE(ScanWal(&env, "wal", &scan).ok());
+  EXPECT_TRUE(scan.frames.empty());
+}
+
+TEST(WalTest, ForeignMagicIsCorruption) {
+  MemEnv env;
+  WriteLog(&env, "wal", 1);
+  ASSERT_TRUE(env.CorruptByte("wal", 0, 0xFF).ok());
+  WalScanResult scan;
+  EXPECT_TRUE(ScanWal(&env, "wal", &scan).IsCorruption());
+}
+
+TEST(WalTest, TruncationKeepsPrefix) {
+  MemEnv env;
+  const uint64_t full = WriteLog(&env, "wal", 4);
+  // Cut at every byte boundary: the scan must recover a frame-prefix (0..4
+  // whole frames) and report the cut bytes as dropped — never a torn frame.
+  for (uint64_t keep = kWalHeaderSize; keep < full; ++keep) {
+    MemEnv env2;
+    WriteLog(&env2, "wal", 4);
+    ASSERT_TRUE(env2.TruncateFile("wal", keep).ok());
+    WalScanResult scan;
+    ASSERT_TRUE(ScanWal(&env2, "wal", &scan).ok()) << "keep=" << keep;
+    ASSERT_LE(scan.frames.size(), 4u);
+    for (size_t i = 0; i < scan.frames.size(); ++i) {
+      EXPECT_EQ(scan.frames[i].payload, Payload(static_cast<int>(i)));
+    }
+    EXPECT_EQ(scan.valid_bytes + scan.dropped_bytes, keep);
+  }
+}
+
+TEST(WalTest, BitFlipEndsScanBeforeTheFlippedFrame) {
+  const uint64_t full = WriteLog(&(*std::make_unique<MemEnv>()), "wal", 4);
+  // Flip every byte position in turn; frames before the flipped one must
+  // survive byte-identically, the flipped one and everything after drop.
+  for (uint64_t off = kWalHeaderSize; off < full; ++off) {
+    MemEnv env;
+    WriteLog(&env, "wal", 4);
+    ASSERT_TRUE(env.CorruptByte("wal", off, 0x40).ok());
+    WalScanResult scan;
+    Status s = ScanWal(&env, "wal", &scan);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    EXPECT_LT(scan.frames.size(), 4u) << "off=" << off;
+    EXPECT_GT(scan.dropped_bytes, 0u);
+    for (size_t i = 0; i < scan.frames.size(); ++i) {
+      EXPECT_EQ(scan.frames[i].seq, i + 1);
+      EXPECT_EQ(scan.frames[i].payload, Payload(static_cast<int>(i)));
+    }
+  }
+}
+
+TEST(WalTest, UnsyncedTailVanishesAtCrash) {
+  MemEnv env;
+  std::unique_ptr<WalWriter> writer;
+  ASSERT_TRUE(WalWriter::Create(&env, "wal", &writer).ok());
+  ASSERT_TRUE(writer->Append(1, "acked").ok());
+  ASSERT_TRUE(writer->Sync().ok());
+  ASSERT_TRUE(writer->Append(2, "never synced").ok());
+  env.SimulateCrash();
+  WalScanResult scan;
+  ASSERT_TRUE(ScanWal(&env, "wal", &scan).ok());
+  ASSERT_EQ(scan.frames.size(), 1u);
+  EXPECT_EQ(scan.frames[0].payload, "acked");
+}
+
+TEST(WalTest, TornTailAtEveryWidthRecoversTheSyncedPrefix) {
+  // A power cut can persist any prefix of the unsynced tail (torn write);
+  // whatever the width, recovery lands on the synced frames.
+  const std::string tail = "torn-me";
+  for (uint64_t torn = 0; torn <= kWalFrameHeaderSize + tail.size(); ++torn) {
+    MemEnv env;
+    std::unique_ptr<WalWriter> writer;
+    ASSERT_TRUE(WalWriter::Create(&env, "wal", &writer).ok());
+    ASSERT_TRUE(writer->Append(1, "acked").ok());
+    ASSERT_TRUE(writer->Sync().ok());
+    ASSERT_TRUE(writer->Append(2, tail).ok());
+    env.SimulateCrash(torn);
+    WalScanResult scan;
+    ASSERT_TRUE(ScanWal(&env, "wal", &scan).ok()) << "torn=" << torn;
+    // The tail frame only survives if it tore *exactly* at its end.
+    const size_t want =
+        torn == kWalFrameHeaderSize + tail.size() ? 2u : 1u;
+    ASSERT_EQ(scan.frames.size(), want) << "torn=" << torn;
+    EXPECT_EQ(scan.frames[0].payload, "acked");
+  }
+}
+
+TEST(WalTest, RewriteTruncatedDropsTheBadTailAtomically) {
+  MemEnv env;
+  const uint64_t full = WriteLog(&env, "wal", 3);
+  ASSERT_TRUE(env.CorruptByte("wal", full - 2, 0x01).ok());
+  WalScanResult scan;
+  ASSERT_TRUE(ScanWal(&env, "wal", &scan).ok());
+  ASSERT_EQ(scan.frames.size(), 2u);
+  ASSERT_TRUE(RewriteTruncated(&env, "wal", scan).ok());
+  uint64_t size = 0;
+  ASSERT_TRUE(env.GetFileSize("wal", &size).ok());
+  EXPECT_EQ(size, scan.valid_bytes);
+  // The rewritten log scans clean and appends keep working.
+  WalScanResult rescan;
+  ASSERT_TRUE(ScanWal(&env, "wal", &rescan).ok());
+  EXPECT_EQ(rescan.frames.size(), 2u);
+  EXPECT_EQ(rescan.dropped_bytes, 0u);
+  std::unique_ptr<WalWriter> writer;
+  ASSERT_TRUE(WalWriter::OpenForAppend(&env, "wal", &writer).ok());
+  ASSERT_TRUE(writer->Append(3, "fresh").ok());
+  ASSERT_TRUE(writer->Sync().ok());
+  ASSERT_TRUE(ScanWal(&env, "wal", &rescan).ok());
+  ASSERT_EQ(rescan.frames.size(), 3u);
+  EXPECT_EQ(rescan.frames[2].payload, "fresh");
+}
+
+TEST(WalTest, OversizedLengthFieldIsABadFrameNotAnAllocation) {
+  MemEnv env;
+  WriteLog(&env, "wal", 2);
+  // Flip the high byte of frame 1's payload length: the length now demands
+  // gigabytes; the scan must stop there, not allocate.
+  ASSERT_TRUE(env.CorruptByte("wal", kWalHeaderSize + 7, 0xFF).ok());
+  WalScanResult scan;
+  ASSERT_TRUE(ScanWal(&env, "wal", &scan).ok());
+  EXPECT_EQ(scan.frames.size(), 0u);
+  EXPECT_GT(scan.dropped_bytes, 0u);
+}
+
+std::vector<SnapshotSection> TestSections() {
+  return {{"meta", std::string("\x01\x02\x03", 3)},
+          {"docs", std::string(1000, 'd')},
+          {"empty", ""}};
+}
+
+TEST(SnapshotTest, RoundTrip) {
+  MemEnv env;
+  ASSERT_TRUE(WriteSnapshotFile(&env, "snap", TestSections()).ok());
+  std::vector<SnapshotSection> sections;
+  ASSERT_TRUE(ReadSnapshotFile(&env, "snap", &sections).ok());
+  ASSERT_EQ(sections.size(), 3u);
+  EXPECT_EQ(FindSection(sections, "docs")->data, std::string(1000, 'd'));
+  EXPECT_EQ(FindSection(sections, "empty")->data, "");
+  EXPECT_EQ(FindSection(sections, "absent"), nullptr);
+}
+
+TEST(SnapshotTest, MissingFileIsNotFound) {
+  MemEnv env;
+  std::vector<SnapshotSection> sections;
+  EXPECT_TRUE(ReadSnapshotFile(&env, "snap", &sections).IsNotFound());
+}
+
+TEST(SnapshotTest, EveryBitFlipIsLoud) {
+  MemEnv env;
+  ASSERT_TRUE(WriteSnapshotFile(&env, "snap", TestSections()).ok());
+  uint64_t size = 0;
+  ASSERT_TRUE(env.GetFileSize("snap", &size).ok());
+  // Flip one byte at a stride across the whole file (body, footer, trailer):
+  // a snapshot is verified whole or refused — no flip may read back clean.
+  for (uint64_t off = 0; off < size; off += 7) {
+    MemEnv env2;
+    ASSERT_TRUE(WriteSnapshotFile(&env2, "snap", TestSections()).ok());
+    ASSERT_TRUE(env2.CorruptByte("snap", off, 0x10).ok());
+    std::vector<SnapshotSection> sections;
+    EXPECT_TRUE(ReadSnapshotFile(&env2, "snap", &sections).IsCorruption())
+        << "off=" << off;
+  }
+}
+
+TEST(SnapshotTest, EveryTruncationIsLoud) {
+  MemEnv env;
+  ASSERT_TRUE(WriteSnapshotFile(&env, "snap", TestSections()).ok());
+  uint64_t size = 0;
+  ASSERT_TRUE(env.GetFileSize("snap", &size).ok());
+  for (uint64_t keep = 0; keep < size; keep += 11) {
+    MemEnv env2;
+    ASSERT_TRUE(WriteSnapshotFile(&env2, "snap", TestSections()).ok());
+    ASSERT_TRUE(env2.TruncateFile("snap", keep).ok());
+    std::vector<SnapshotSection> sections;
+    EXPECT_TRUE(ReadSnapshotFile(&env2, "snap", &sections).IsCorruption())
+        << "keep=" << keep;
+  }
+}
+
+TEST(SnapshotTest, CrashBeforeRenameKeepsTheOldSnapshot) {
+  MemEnv env;
+  ASSERT_TRUE(WriteSnapshotFile(&env, "snap", {{"v", "one"}}).ok());
+  // Stage a replacement but crash with it still at the temp name.
+  std::unique_ptr<WritableFile> tmp;
+  ASSERT_TRUE(env.NewWritableFile("snap.tmp", &tmp).ok());
+  ASSERT_TRUE(tmp->Append("half-written garbage").ok());
+  env.SimulateCrash();
+  std::vector<SnapshotSection> sections;
+  ASSERT_TRUE(ReadSnapshotFile(&env, "snap", &sections).ok());
+  ASSERT_EQ(sections.size(), 1u);
+  EXPECT_EQ(sections[0].data, "one");
+}
+
+TEST(FaultTest, ShortReadIsLoudNotWrong) {
+  MemEnv mem;
+  ASSERT_TRUE(WriteSnapshotFile(&mem, "snap", TestSections()).ok());
+  FaultEnv env(&mem);
+  // ReadSnapshotFile slurps the file in one Read; starve it at several
+  // widths — the whole-file verification must refuse every time.
+  for (uint64_t max_bytes : {0, 3, 64, 500}) {
+    env.ShortReadAt(1, max_bytes);
+    std::vector<SnapshotSection> sections;
+    EXPECT_TRUE(ReadSnapshotFile(&env, "snap", &sections).IsCorruption())
+        << "max_bytes=" << max_bytes;
+    env.ClearFaults();
+  }
+}
+
+TEST(FaultTest, FailedSyncSurfacesIoError) {
+  MemEnv mem;
+  FaultEnv env(&mem);
+  std::unique_ptr<WalWriter> writer;
+  ASSERT_TRUE(WalWriter::Create(&env, "wal", &writer).ok());
+  ASSERT_TRUE(writer->Append(1, "a").ok());
+  env.FailSyncsAfter(0);
+  EXPECT_TRUE(writer->Sync().IsIoError());
+}
+
+TEST(FaultTest, FailedAppendSurfacesIoError) {
+  MemEnv mem;
+  FaultEnv env(&mem);
+  std::unique_ptr<WalWriter> writer;
+  ASSERT_TRUE(WalWriter::Create(&env, "wal", &writer).ok());
+  env.FailAppendsAfter(0);
+  EXPECT_TRUE(writer->Append(1, "a").IsIoError());
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace dyndex
