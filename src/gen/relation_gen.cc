@@ -61,4 +61,69 @@ std::vector<std::pair<uint32_t, uint32_t>> GenEdges(Rng& rng, uint64_t count,
   return GenPairs(rng, count, num_nodes, num_nodes, zipf_theta);
 }
 
+std::vector<ChurnEvent> GenChurnStream(Rng& rng,
+                                       const ChurnStreamOptions& opt) {
+  DYNDEX_CHECK(opt.num_objects > 0 && opt.num_labels > 0);
+  DYNDEX_CHECK(opt.add_fraction >= 0 && opt.remove_fraction >= 0 &&
+               opt.add_fraction + opt.remove_fraction <= 1.0);
+  std::vector<double> cdf;
+  if (opt.zipf_theta > 0) cdf = ZipfCdf(opt.num_labels, opt.zipf_theta);
+  auto draw_label = [&]() -> uint32_t {
+    return opt.zipf_theta > 0 ? ZipfDraw(rng, cdf)
+                              : static_cast<uint32_t>(rng.Below(opt.num_labels));
+  };
+  // Approximate live-pair tracking (duplicate adds may appear twice, so a
+  // targeted remove can still miss — consumers must use return values or a
+  // model, not assume hits).
+  std::vector<std::pair<uint32_t, uint32_t>> live;
+  std::vector<ChurnEvent> out;
+  out.reserve(opt.num_ops);
+  for (uint64_t i = 0; i < opt.num_ops; ++i) {
+    const double x = rng.NextDouble();
+    const bool removable = !live.empty();
+    if (x < opt.add_fraction ||
+        (x < opt.add_fraction + opt.remove_fraction && !removable)) {
+      const uint32_t o = static_cast<uint32_t>(rng.Below(opt.num_objects));
+      const uint32_t a = draw_label();
+      live.emplace_back(o, a);
+      out.push_back({ChurnOp::kAdd, o, a});
+    } else if (x < opt.add_fraction + opt.remove_fraction) {
+      if (rng.Chance(opt.remove_miss_fraction)) {
+        out.push_back({ChurnOp::kRemove,
+                       static_cast<uint32_t>(rng.Below(opt.num_objects)),
+                       draw_label()});
+      } else {
+        const size_t idx = rng.Below(live.size());
+        const auto [o, a] = live[idx];
+        live[idx] = live.back();
+        live.pop_back();
+        out.push_back({ChurnOp::kRemove, o, a});
+      }
+    } else {
+      // Query: half the time aim at a known-live pair.
+      uint32_t o, a;
+      if (removable && rng.Chance(0.5)) {
+        const auto& p = live[rng.Below(live.size())];
+        o = p.first;
+        a = p.second;
+      } else {
+        o = static_cast<uint32_t>(rng.Below(opt.num_objects));
+        a = draw_label();
+      }
+      switch (rng.Below(3)) {
+        case 0:
+          out.push_back({ChurnOp::kRelated, o, a});
+          break;
+        case 1:
+          out.push_back({ChurnOp::kLabelsOf, o, 0});
+          break;
+        default:
+          out.push_back({ChurnOp::kObjectsOf, 0, a});
+          break;
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace dyndex

@@ -23,6 +23,47 @@ std::vector<std::pair<uint32_t, uint32_t>> GenEdges(Rng& rng, uint64_t count,
                                                     uint32_t num_nodes,
                                                     double zipf_theta = 0.0);
 
+/// One operation of a seeded mixed churn stream (add/remove/query
+/// interleaved). Streams are generated once and replayed anywhere — the
+/// backend frontier bench, the differential fuzzer, concurrent writers — so
+/// every consumer measures or checks the same workload.
+enum class ChurnOp : uint8_t {
+  kAdd = 0,        // AddPair(object, label)
+  kRemove = 1,     // RemovePair(object, label)
+  kRelated = 2,    // Related(object, label)
+  kLabelsOf = 3,   // LabelsOf(object); label unused
+  kObjectsOf = 4,  // ObjectsOf(label); object unused
+};
+
+struct ChurnEvent {
+  ChurnOp op;
+  uint32_t object = 0;
+  uint32_t label = 0;
+};
+
+struct ChurnStreamOptions {
+  uint64_t num_ops = 0;
+  uint32_t num_objects = 1;
+  uint32_t num_labels = 1;
+  /// Label popularity of added pairs (0 = uniform; ~0.99 is the classic
+  /// social-network skew).
+  double zipf_theta = 0.0;
+  /// Operation mix; whatever add + remove leaves of 1.0 is queries, split
+  /// evenly across Related / LabelsOf / ObjectsOf.
+  double add_fraction = 0.4;
+  double remove_fraction = 0.3;
+  /// Share of removes aimed at a freshly drawn (probably absent) pair
+  /// instead of one known live — keeps the miss path exercised.
+  double remove_miss_fraction = 0.2;
+};
+
+/// Generates `opt.num_ops` events. Removes target still-live pairs (modulo
+/// `remove_miss_fraction`), and query arguments are biased toward touched
+/// ids, so the stream exercises hit paths, not just misses. Deterministic in
+/// (rng state, opt).
+std::vector<ChurnEvent> GenChurnStream(Rng& rng,
+                                       const ChurnStreamOptions& opt);
+
 }  // namespace dyndex
 
 #endif  // DYNDEX_GEN_RELATION_GEN_H_

@@ -1,0 +1,369 @@
+#include "relation/fast_relation.h"
+
+#include <algorithm>
+
+namespace dyndex {
+namespace fast_internal {
+namespace {
+
+/// Smallest power of two >= n (and >= 16, the minimum hash capacity).
+uint32_t HashCapacityFor(uint32_t live) {
+  uint64_t want = std::max<uint64_t>(16, static_cast<uint64_t>(live) * 2);
+  uint64_t cap = 16;
+  while (cap < want) cap <<= 1;
+  DYNDEX_CHECK(cap <= (1ull << 31));
+  return static_cast<uint32_t>(cap);
+}
+
+}  // namespace
+
+std::vector<uint32_t> AdjSet::LiveSorted() const {
+  std::vector<uint32_t> out;
+  out.reserve(size());
+  ForEach([&out](uint32_t v) { out.push_back(v); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::unique_ptr<AdjSet::Rep> AdjSet::BuildSorted(
+    const std::vector<uint32_t>& ids) const {
+  auto rep = std::make_unique<Rep>(static_cast<uint32_t>(ids.size()),
+                                   /*hashed_mode=*/false);
+  for (uint32_t i = 0; i < ids.size(); ++i) {
+    rep->slots[i].store(ids[i], std::memory_order_relaxed);
+  }
+  return rep;
+}
+
+std::unique_ptr<AdjSet::Rep> AdjSet::BuildHashed(
+    const std::vector<uint32_t>& ids, uint32_t extra_capacity_for) const {
+  auto rep = std::make_unique<Rep>(
+      HashCapacityFor(static_cast<uint32_t>(ids.size()) + extra_capacity_for),
+      /*hashed_mode=*/true);
+  for (uint32_t v : ids) HashedPlace(rep.get(), v);
+  return rep;
+}
+
+void AdjSet::HashedPlace(Rep* r, uint32_t id) {
+  const uint32_t mask = r->capacity() - 1;
+  uint32_t idx = static_cast<uint32_t>(Mix(id)) & mask;
+  while (r->slots[idx].load(std::memory_order_relaxed) != kEmptySlot) {
+    idx = (idx + 1) & mask;
+  }
+  // Fresh Reps are published wholesale (release store of the Rep pointer),
+  // so relaxed is enough while building.
+  r->slots[idx].store(id, std::memory_order_relaxed);
+}
+
+bool AdjSet::Insert(uint32_t id, uint32_t inline_threshold) {
+  DYNDEX_CHECK(id <= kMaxId);
+  Rep* r = owner_.get();
+  const uint32_t n = size();
+  if (r == nullptr || !r->hashed) {
+    if (r != nullptr && Contains(id)) return false;
+    std::vector<uint32_t> live = r == nullptr ? std::vector<uint32_t>{}
+                                              : LiveSorted();
+    live.insert(std::upper_bound(live.begin(), live.end(), id), id);
+    if (live.size() <= inline_threshold) {
+      Install(BuildSorted(live));
+    } else {
+      Install(BuildHashed(live, 0));
+      used_ = static_cast<uint32_t>(live.size());
+    }
+    size_.store(n + 1, std::memory_order_relaxed);
+    return true;
+  }
+  // Hash mode: probe for membership, remembering the first reusable slot.
+  const uint32_t mask = r->capacity() - 1;
+  uint32_t idx = static_cast<uint32_t>(Mix(id)) & mask;
+  uint32_t target = kEmptySlot;  // slot index to write, if absent
+  bool target_is_tombstone = false;
+  for (;;) {
+    uint32_t v = r->slots[idx].load(std::memory_order_relaxed);
+    if (v == id) return false;
+    if (v == kTombstoneSlot && target == kEmptySlot) {
+      target = idx;
+      target_is_tombstone = true;
+    }
+    if (v == kEmptySlot) {
+      if (target == kEmptySlot) target = idx;
+      break;
+    }
+    idx = (idx + 1) & mask;
+  }
+  if (!target_is_tombstone && (used_ + 1) * 4 > r->capacity() * 3) {
+    // Rebuild at the live size: clears tombstones, doubles if genuinely full.
+    std::vector<uint32_t> live = LiveSorted();
+    live.push_back(id);
+    Install(BuildHashed(live, 0));
+    used_ = static_cast<uint32_t>(live.size());
+  } else {
+    r->slots[target].store(id, std::memory_order_release);
+    if (!target_is_tombstone) ++used_;
+  }
+  size_.store(n + 1, std::memory_order_relaxed);
+  return true;
+}
+
+bool AdjSet::Erase(uint32_t id, uint32_t inline_threshold) {
+  Rep* r = owner_.get();
+  if (r == nullptr) return false;
+  const uint32_t n = size();
+  if (!r->hashed) {
+    if (!Contains(id)) return false;
+    if (n == 1) {
+      rep_.store(nullptr, std::memory_order_release);
+      Retire(std::move(owner_));
+    } else {
+      std::vector<uint32_t> live = LiveSorted();
+      live.erase(std::lower_bound(live.begin(), live.end(), id));
+      Install(BuildSorted(live));
+    }
+    size_.store(n - 1, std::memory_order_relaxed);
+    return true;
+  }
+  const uint32_t mask = r->capacity() - 1;
+  uint32_t idx = static_cast<uint32_t>(Mix(id)) & mask;
+  for (;;) {
+    uint32_t v = r->slots[idx].load(std::memory_order_relaxed);
+    if (v == kEmptySlot) return false;
+    if (v == id) break;
+    idx = (idx + 1) & mask;
+  }
+  r->slots[idx].store(kTombstoneSlot, std::memory_order_release);
+  size_.store(n - 1, std::memory_order_relaxed);
+  if (n - 1 < inline_threshold / 2) {
+    // Shrunk well below the promotion point: demote to a sorted array.
+    std::vector<uint32_t> live = LiveSorted();
+    if (live.empty()) {
+      rep_.store(nullptr, std::memory_order_release);
+      Retire(std::move(owner_));
+    } else {
+      Install(BuildSorted(live));
+    }
+    used_ = 0;
+  }
+  return true;
+}
+
+void AdjSet::InsertBulk(const uint32_t* ids, uint32_t n,
+                        uint32_t inline_threshold) {
+  if (n == 0) return;
+  DYNDEX_CHECK(ids[n - 1] <= kMaxId);
+  const uint32_t old = size();
+  const uint64_t final_size = static_cast<uint64_t>(old) + n;
+  DYNDEX_CHECK(final_size <= kMaxId + 1ull);
+  std::vector<uint32_t> live = LiveSorted();
+  // Callers guarantee `ids` sorted, unique, disjoint from current members.
+  std::vector<uint32_t> merged(live.size() + n);
+  std::merge(live.begin(), live.end(), ids, ids + n, merged.begin());
+  if (merged.size() <= inline_threshold) {
+    Install(BuildSorted(merged));
+  } else {
+    Install(BuildHashed(merged, 0));
+    used_ = static_cast<uint32_t>(merged.size());
+  }
+  size_.store(static_cast<uint32_t>(final_size), std::memory_order_relaxed);
+}
+
+void AdjSet::CheckInvariants(uint32_t inline_threshold) const {
+  const Rep* r = rep_.load(std::memory_order_acquire);
+  DYNDEX_CHECK(r == owner_.get());
+  if (r == nullptr) {
+    DYNDEX_CHECK(size() == 0);
+    return;
+  }
+  uint32_t live = 0;
+  uint32_t prev = 0;
+  bool first = true;
+  for (uint32_t i = 0; i < r->capacity(); ++i) {
+    uint32_t v = r->slots[i].load(std::memory_order_relaxed);
+    if (!r->hashed) {
+      DYNDEX_CHECK(v <= kMaxId);
+      DYNDEX_CHECK(first || v > prev);  // strictly ascending
+      prev = v;
+      first = false;
+      ++live;
+    } else if (v < kTombstoneSlot) {
+      ++live;
+    }
+  }
+  DYNDEX_CHECK(live == size());
+  if (!r->hashed) {
+    DYNDEX_CHECK(r->capacity() == size());
+    DYNDEX_CHECK(size() <= inline_threshold);
+  } else {
+    DYNDEX_CHECK((r->capacity() & (r->capacity() - 1)) == 0);
+    DYNDEX_CHECK(used_ >= live && used_ <= r->capacity());
+  }
+  // Every member must be findable through the probe path.
+  ForEach([this](uint32_t v) { DYNDEX_CHECK(Contains(v)); });
+}
+
+AdjSet& PageDir::GetOrCreate(uint32_t id) {
+  DYNDEX_CHECK(id <= kMaxId);
+  const uint32_t p = id >> kPageBits;
+  Table* t = owner_.get();
+  if (t == nullptr || p >= t->pages.size()) {
+    const uint32_t old = t == nullptr ? 0
+                                      : static_cast<uint32_t>(t->pages.size());
+    constexpr uint32_t kMaxPages = (kMaxId >> kPageBits) + 1;
+    uint32_t want = std::max(p + 1, std::min(old * 2, kMaxPages));
+    want = std::max<uint32_t>(want, 8);
+    auto next = std::make_unique<Table>(want);
+    for (uint32_t i = 0; i < old; ++i) {
+      next->pages[i].store(t->pages[i].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    }
+    table_.store(next.get(), std::memory_order_release);
+    if (owner_ != nullptr) Retire(std::move(owner_));
+    owner_ = std::move(next);
+    t = owner_.get();
+  }
+  Page* page = t->pages[p].load(std::memory_order_relaxed);
+  if (page == nullptr) {
+    pages_.push_back(std::make_unique<Page>());
+    page = pages_.back().get();
+    t->pages[p].store(page, std::memory_order_release);
+  }
+  std::atomic<AdjSet*>& slot = page->slots[id & (kPageSize - 1)];
+  AdjSet* set = slot.load(std::memory_order_relaxed);
+  if (set == nullptr) {
+    sets_.push_back(std::make_unique<AdjSet>());
+    set = sets_.back().get();
+    slot.store(set, std::memory_order_release);
+  }
+  return *set;
+}
+
+uint64_t PageDir::SpaceBytes() const {
+  uint64_t bytes = sizeof(PageDir);
+  bytes += pages_.capacity() * sizeof(std::unique_ptr<Page>);
+  bytes += sets_.capacity() * sizeof(std::unique_ptr<AdjSet>);
+  const Table* t = table_.load(std::memory_order_acquire);
+  if (t == nullptr) return bytes;
+  bytes += sizeof(Table) + t->pages.size() * sizeof(std::atomic<Page*>);
+  for (uint32_t p = 0; p < t->pages.size(); ++p) {
+    const Page* page = t->pages[p].load(std::memory_order_acquire);
+    if (page == nullptr) continue;
+    bytes += sizeof(Page);
+    for (const auto& slot : page->slots) {
+      const AdjSet* set = slot.load(std::memory_order_acquire);
+      if (set != nullptr) bytes += sizeof(AdjSet) + set->RepBytes();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace fast_internal
+
+bool FastRelation::AddPair(uint32_t object, uint32_t label) {
+  DYNDEX_CHECK(object <= fast_internal::kMaxId &&
+               label <= fast_internal::kMaxId);
+  if (!forward_.GetOrCreate(object).Insert(label, opt_.inline_threshold)) {
+    return false;
+  }
+  bool fresh = reverse_.GetOrCreate(label).Insert(object,
+                                                  opt_.inline_threshold);
+  DYNDEX_CHECK(fresh);  // mirror invariant
+  ++num_pairs_;
+  return true;
+}
+
+bool FastRelation::RemovePair(uint32_t object, uint32_t label) {
+  fast_internal::AdjSet* fwd =
+      const_cast<fast_internal::AdjSet*>(forward_.Find(object));
+  if (fwd == nullptr || !fwd->Erase(label, opt_.inline_threshold)) {
+    return false;
+  }
+  fast_internal::AdjSet* rev =
+      const_cast<fast_internal::AdjSet*>(reverse_.Find(label));
+  DYNDEX_CHECK(rev != nullptr &&
+               rev->Erase(object, opt_.inline_threshold));  // mirror
+  --num_pairs_;
+  return true;
+}
+
+uint64_t FastRelation::AddPairsBulk(
+    const std::vector<std::pair<uint32_t, uint32_t>>& ps) {
+  std::vector<std::pair<uint32_t, uint32_t>> fresh;
+  fresh.reserve(ps.size());
+  for (const auto& [o, l] : ps) {
+    DYNDEX_CHECK(o <= fast_internal::kMaxId && l <= fast_internal::kMaxId);
+    if (!Related(o, l)) fresh.emplace_back(o, l);
+  }
+  std::sort(fresh.begin(), fresh.end());
+  fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+  if (fresh.empty()) return 0;
+  // One InsertBulk per touched set, at its final size: group by object for
+  // the forward direction...
+  std::vector<uint32_t> ids;
+  for (size_t i = 0; i < fresh.size();) {
+    const uint32_t object = fresh[i].first;
+    ids.clear();
+    for (; i < fresh.size() && fresh[i].first == object; ++i) {
+      ids.push_back(fresh[i].second);
+    }
+    forward_.GetOrCreate(object).InsertBulk(
+        ids.data(), static_cast<uint32_t>(ids.size()), opt_.inline_threshold);
+  }
+  // ...then regroup by label for the mirror.
+  std::sort(fresh.begin(), fresh.end(),
+            [](const std::pair<uint32_t, uint32_t>& a,
+               const std::pair<uint32_t, uint32_t>& b) {
+              return a.second != b.second ? a.second < b.second
+                                          : a.first < b.first;
+            });
+  for (size_t i = 0; i < fresh.size();) {
+    const uint32_t label = fresh[i].second;
+    ids.clear();
+    for (; i < fresh.size() && fresh[i].second == label; ++i) {
+      ids.push_back(fresh[i].first);
+    }
+    reverse_.GetOrCreate(label).InsertBulk(
+        ids.data(), static_cast<uint32_t>(ids.size()), opt_.inline_threshold);
+  }
+  num_pairs_ += fresh.size();
+  return fresh.size();
+}
+
+uint64_t FastRelation::SpaceBytes() const {
+  return sizeof(FastRelation) + forward_.SpaceBytes() + reverse_.SpaceBytes();
+}
+
+void FastRelation::ExportLivePairs(
+    std::vector<std::pair<uint32_t, uint32_t>>* out) const {
+  out->clear();
+  out->reserve(num_pairs_);
+  forward_.ForEachSet([out](uint32_t object, const fast_internal::AdjSet& s) {
+    s.ForEach([out, object](uint32_t label) { out->emplace_back(object, label); });
+  });
+  std::sort(out->begin(), out->end());
+}
+
+void FastRelation::CheckInvariants() const {
+  uint64_t forward_pairs = 0;
+  forward_.ForEachSet(
+      [&](uint32_t object, const fast_internal::AdjSet& s) {
+        s.CheckInvariants(opt_.inline_threshold);
+        forward_pairs += s.size();
+        s.ForEach([&](uint32_t label) {
+          const fast_internal::AdjSet* rev = reverse_.Find(label);
+          DYNDEX_CHECK(rev != nullptr && rev->Contains(object));
+        });
+      });
+  uint64_t reverse_pairs = 0;
+  reverse_.ForEachSet(
+      [&](uint32_t label, const fast_internal::AdjSet& s) {
+        s.CheckInvariants(opt_.inline_threshold);
+        reverse_pairs += s.size();
+        s.ForEach([&](uint32_t object) {
+          const fast_internal::AdjSet* fwd = forward_.Find(object);
+          DYNDEX_CHECK(fwd != nullptr && fwd->Contains(label));
+        });
+      });
+  DYNDEX_CHECK(forward_pairs == num_pairs_);
+  DYNDEX_CHECK(reverse_pairs == num_pairs_);
+}
+
+}  // namespace dyndex

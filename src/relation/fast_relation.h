@@ -1,0 +1,347 @@
+// Uncompressed speed-tier binary relation (the RadixGraph/CuckooGraph-style
+// rival to the paper's wavelet-tree structures): a radix-paged directory from
+// object id to a compact adjacency set, mirrored label -> objects so reverse
+// queries stay O(result), trading bytes for raw update and scan rate.
+//
+// Layout, per direction (forward object->labels, reverse label->objects):
+//
+//   Table (immutable length, atomically published)
+//     -> Page[id >> 12]            (installed once, never replaced)
+//          -> AdjSet*[id & 4095]   (installed once per id, sticky)
+//               -> Rep             (single-pointer snapshot, see below)
+//
+// An adjacency set has two representations behind one atomic Rep pointer:
+//   * sorted inline array  -- size <= inline_threshold. The Rep is immutable:
+//     point updates publish a freshly built array and retire the old one, so
+//     a reader iterates a snapshot no writer ever touches.
+//   * open-addressing hash -- past the threshold. Power-of-two slot array of
+//     atomic ids (SplitMix64-mixed, linear probing, tombstone deletes),
+//     mutated in place under the single-writer contract; growth/demotion
+//     builds a fresh Rep and retires the old.
+//
+// Optimistic-reader discipline (serve/epoch_guard.h seqlock): every
+// reader-reachable view — directory table, page slot, set pointer, Rep — is
+// obtained from ONE atomic acquire load whose target is immutable in the
+// fields the reader derives bounds from, so a torn read is memory-safe
+// (stale, caught by sequence validation) and every probe loop is bounded by
+// the capacity baked into the Rep it loaded. Everything replaced is parked
+// via util/retire.h for the grace period.
+//
+// Single-writer contract: mutations must be externally synchronized (the
+// serve layer's exclusive section); any number of concurrent readers may run
+// the const members.
+//
+// Complexity: Related O(1) expected; LabelsOf/ObjectsOf O(result);
+// updates O(1) amortized (O(inline_threshold) while a set is small).
+// Space: O(1) words per pair per direction at ~50-75% hash load — several
+// times the succinct backends; SpaceBytes reports it honestly, including
+// directory pages and bookkeeping.
+#ifndef DYNDEX_RELATION_FAST_RELATION_H_
+#define DYNDEX_RELATION_FAST_RELATION_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/retire.h"
+
+namespace dyndex {
+
+struct FastRelationOptions {
+  /// Sets at or below this size stay sorted inline arrays; past it they
+  /// promote to open-addressing hash sets (demote at half on shrink).
+  uint32_t inline_threshold = 12;
+};
+
+namespace fast_internal {
+
+/// Ids 0xFFFFFFFE / 0xFFFFFFFF are reserved as hash-slot sentinels, so the
+/// representable id universe is [0, kMaxId].
+inline constexpr uint32_t kEmptySlot = 0xFFFFFFFFu;
+inline constexpr uint32_t kTombstoneSlot = 0xFFFFFFFEu;
+inline constexpr uint32_t kMaxId = 0xFFFFFFFDu;
+
+/// SplitMix64 finalizer over an id — the slot hash of the promoted sets.
+inline uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// One compact adjacency set. Readers derive every bound from the Rep a
+/// single acquire load handed them; the writer mutates hash Reps in place
+/// (atomic slot stores) and replaces sorted Reps wholesale.
+class AdjSet {
+ public:
+  AdjSet() = default;
+  ~AdjSet() {
+    // May run inside an exclusive section: park for in-flight readers.
+    if (owner_ != nullptr) Retire(std::move(owner_));
+  }
+  AdjSet(const AdjSet&) = delete;
+  AdjSet& operator=(const AdjSet&) = delete;
+
+  /// Reader-safe membership probe, bounded by the loaded Rep's capacity.
+  bool Contains(uint32_t id) const {
+    const Rep* r = rep_.load(std::memory_order_acquire);
+    if (r == nullptr) return false;
+    const uint32_t cap = r->capacity();
+    if (!r->hashed) {
+      for (uint32_t i = 0; i < cap; ++i) {
+        uint32_t v = r->slots[i].load(std::memory_order_relaxed);
+        if (v == id) return true;
+        if (v > id) return false;  // sorted ascending; immutable after publish
+      }
+      return false;
+    }
+    const uint32_t mask = cap - 1;
+    uint32_t idx = static_cast<uint32_t>(Mix(id)) & mask;
+    for (uint32_t probes = 0; probes <= mask; ++probes) {
+      uint32_t v = r->slots[idx].load(std::memory_order_acquire);
+      if (v == kEmptySlot) return false;
+      if (v == id) return true;
+      idx = (idx + 1) & mask;
+    }
+    return false;
+  }
+
+  /// fn(id) for every member; reader-safe (one Rep load). Sorted Reps visit
+  /// in ascending order, hash Reps in slot order.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    const Rep* r = rep_.load(std::memory_order_acquire);
+    if (r == nullptr) return;
+    const uint32_t cap = r->capacity();
+    if (!r->hashed) {
+      for (uint32_t i = 0; i < cap; ++i) {
+        fn(r->slots[i].load(std::memory_order_relaxed));
+      }
+      return;
+    }
+    for (uint32_t i = 0; i < cap; ++i) {
+      uint32_t v = r->slots[i].load(std::memory_order_acquire);
+      if (v < kTombstoneSlot) fn(v);
+    }
+  }
+
+  /// Live member count — O(1), a plain atomic load (degree queries).
+  uint32_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  // Writer-only (external synchronization). Insert/Erase return whether the
+  // set changed; InsertBulk requires `ids` sorted, unique and disjoint from
+  // the current members.
+  bool Insert(uint32_t id, uint32_t inline_threshold);
+  bool Erase(uint32_t id, uint32_t inline_threshold);
+  void InsertBulk(const uint32_t* ids, uint32_t n, uint32_t inline_threshold);
+
+  /// Heap bytes of the current Rep (reader-safe; space accounting).
+  uint64_t RepBytes() const {
+    const Rep* r = rep_.load(std::memory_order_acquire);
+    if (r == nullptr) return 0;
+    return sizeof(Rep) + r->capacity() * sizeof(std::atomic<uint32_t>);
+  }
+
+  /// Test hook: representation invariants (writer/quiesced only).
+  void CheckInvariants(uint32_t inline_threshold) const;
+
+ private:
+  struct Rep {
+    Rep(uint32_t cap, bool hashed_mode) : hashed(hashed_mode), slots(cap) {
+      if (hashed) {
+        for (auto& s : slots) s.store(kEmptySlot, std::memory_order_relaxed);
+      }
+    }
+    uint32_t capacity() const { return static_cast<uint32_t>(slots.size()); }
+    const bool hashed;
+    // Never resized after construction: capacity and data come from the same
+    // allocation graph a single Rep* load roots, so a reader's view is
+    // self-consistent no matter when the writer republishes.
+    retire_vector<std::atomic<uint32_t>> slots;
+  };
+
+  /// Publishes `next` and parks the previous Rep for in-flight readers.
+  void Install(std::unique_ptr<Rep> next) {
+    rep_.store(next.get(), std::memory_order_release);
+    if (owner_ != nullptr) Retire(std::move(owner_));
+    owner_ = std::move(next);
+  }
+
+  /// Writer-side snapshot of the live members, ascending.
+  std::vector<uint32_t> LiveSorted() const;
+
+  std::unique_ptr<Rep> BuildSorted(const std::vector<uint32_t>& ids) const;
+  std::unique_ptr<Rep> BuildHashed(const std::vector<uint32_t>& ids,
+                                   uint32_t extra_capacity_for) const;
+  static void HashedPlace(Rep* r, uint32_t id);
+
+  std::unique_ptr<Rep> owner_;
+  std::atomic<Rep*> rep_{nullptr};    // readers' view; mirrors owner_
+  std::atomic<uint32_t> size_{0};     // live members
+  uint32_t used_ = 0;                 // hashed: live + tombstones (writer)
+};
+
+/// Radix-paged directory id -> AdjSet. The top table (immutable length,
+/// atomically republished on growth) indexes fixed 4096-entry pages of
+/// atomic set pointers; pages and sets are installed once and stay mapped
+/// for the structure's lifetime (sticky — an emptied set keeps its slot).
+class PageDir {
+ public:
+  static constexpr uint32_t kPageBits = 12;
+  static constexpr uint32_t kPageSize = 1u << kPageBits;
+
+  PageDir() = default;
+  ~PageDir() {
+    if (owner_ != nullptr) Retire(std::move(owner_));
+  }
+  PageDir(const PageDir&) = delete;
+  PageDir& operator=(const PageDir&) = delete;
+
+  /// Reader-safe: the set for `id`, or nullptr if never created.
+  const AdjSet* Find(uint32_t id) const {
+    const Table* t = table_.load(std::memory_order_acquire);
+    if (t == nullptr) return nullptr;
+    const uint32_t p = id >> kPageBits;
+    if (p >= t->pages.size()) return nullptr;
+    const Page* page = t->pages[p].load(std::memory_order_acquire);
+    if (page == nullptr) return nullptr;
+    return page->slots[id & (kPageSize - 1)].load(std::memory_order_acquire);
+  }
+
+  /// Writer-only: the set for `id`, creating table/page/set as needed.
+  AdjSet& GetOrCreate(uint32_t id);
+
+  /// fn(id, const AdjSet&) for every created set, ascending id, including
+  /// sticky empty ones; reader-safe.
+  template <typename Fn>
+  void ForEachSet(Fn fn) const {
+    const Table* t = table_.load(std::memory_order_acquire);
+    if (t == nullptr) return;
+    for (uint32_t p = 0; p < t->pages.size(); ++p) {
+      const Page* page = t->pages[p].load(std::memory_order_acquire);
+      if (page == nullptr) continue;
+      for (uint32_t s = 0; s < kPageSize; ++s) {
+        const AdjSet* set = page->slots[s].load(std::memory_order_acquire);
+        if (set != nullptr) fn((p << kPageBits) | s, *set);
+      }
+    }
+  }
+
+  /// Directory + pages + sets + reps, honestly (reader-safe walk).
+  uint64_t SpaceBytes() const;
+
+ private:
+  struct Page {
+    std::array<std::atomic<AdjSet*>, kPageSize> slots{};
+  };
+  struct Table {
+    explicit Table(uint32_t n) : pages(n) {}
+    // Immutable length; the atomic elements are page-install points.
+    retire_vector<std::atomic<Page*>> pages;
+  };
+
+  std::unique_ptr<Table> owner_;
+  std::atomic<Table*> table_{nullptr};  // readers' view; mirrors owner_
+  // Append-only writer-side ownership (sticky pages/sets are never freed
+  // before the directory itself dies, so no Retire is needed for them).
+  std::vector<std::unique_ptr<Page>> pages_;
+  std::vector<std::unique_ptr<AdjSet>> sets_;
+};
+
+}  // namespace fast_internal
+
+/// Uncompressed speed-tier dynamic relation between uint32 object and label
+/// ids (both < max_objects()/max_labels(); the top two id values are
+/// reserved as hash sentinels — the serve facade screens them out).
+class FastRelation {
+ public:
+  explicit FastRelation(const FastRelationOptions& opt = FastRelationOptions())
+      : opt_(opt) {
+    DYNDEX_CHECK(opt_.inline_threshold >= 1);
+  }
+
+  /// Adds (object, label). Returns false if the pair already exists.
+  bool AddPair(uint32_t object, uint32_t label);
+
+  /// Adds a batch; returns how many pairs were new. The batch is deduped,
+  /// grouped per adjacency set, and each touched set is rebuilt/extended
+  /// once at its final size — no per-pair republish churn.
+  uint64_t AddPairsBulk(const std::vector<std::pair<uint32_t, uint32_t>>& ps);
+
+  /// Cold bulk construction (precondition: empty) — one AddPairsBulk.
+  void Build(const std::vector<std::pair<uint32_t, uint32_t>>& pairs) {
+    DYNDEX_CHECK(num_pairs_ == 0);
+    AddPairsBulk(pairs);
+  }
+
+  /// Removes (object, label). Returns false if absent.
+  bool RemovePair(uint32_t object, uint32_t label);
+
+  /// Adjacency test — one forward probe, O(1) expected.
+  bool Related(uint32_t object, uint32_t label) const {
+    const fast_internal::AdjSet* set = forward_.Find(object);
+    return set != nullptr && set->Contains(label);
+  }
+
+  /// fn(label) for every label related to `object`; O(result).
+  template <typename Fn>
+  void ForEachLabelOfObject(uint32_t object, Fn fn) const {
+    if (const fast_internal::AdjSet* set = forward_.Find(object)) {
+      set->ForEach(fn);
+    }
+  }
+
+  /// fn(object) for every object related to `label`; O(result) via the
+  /// mirrored reverse index.
+  template <typename Fn>
+  void ForEachObjectOfLabel(uint32_t label, Fn fn) const {
+    if (const fast_internal::AdjSet* set = reverse_.Find(label)) {
+      set->ForEach(fn);
+    }
+  }
+
+  /// Out-degree — O(1) (a size load, no scan).
+  uint64_t CountLabelsOf(uint32_t object) const {
+    const fast_internal::AdjSet* set = forward_.Find(object);
+    return set == nullptr ? 0 : set->size();
+  }
+
+  /// In-degree — O(1) via the reverse index.
+  uint64_t CountObjectsOf(uint32_t label) const {
+    const fast_internal::AdjSet* set = reverse_.Find(label);
+    return set == nullptr ? 0 : set->size();
+  }
+
+  uint64_t num_pairs() const { return num_pairs_; }
+
+  /// Fixed representable-id capacities (the facade screens ids at or above
+  /// them): everything but the two reserved sentinel values.
+  uint32_t max_objects() const { return fast_internal::kMaxId + 1; }
+  uint32_t max_labels() const { return fast_internal::kMaxId + 1; }
+
+  /// Honest footprint: both directories (tables, 32 KiB pages, set objects,
+  /// reps) plus writer bookkeeping.
+  uint64_t SpaceBytes() const;
+
+  /// Copies every live pair (sorted, duplicate-free) — the snapshot-export
+  /// path; the structure is untouched.
+  void ExportLivePairs(std::vector<std::pair<uint32_t, uint32_t>>* out) const;
+
+  /// Test hook: forward/reverse mirror consistency, per-set representation
+  /// invariants, pair-count accounting (writer/quiesced only).
+  void CheckInvariants() const;
+
+ private:
+  FastRelationOptions opt_;
+  fast_internal::PageDir forward_;  // object -> labels
+  fast_internal::PageDir reverse_;  // label  -> objects
+  uint64_t num_pairs_ = 0;
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_RELATION_FAST_RELATION_H_

@@ -14,6 +14,8 @@ const char* RelationBackendName(RelationBackend backend) {
       return "graph";
     case RelationBackend::kDeletionOnly:
       return "deletion_only";
+    case RelationBackend::kFast:
+      return "fast";
   }
   DYNDEX_CHECK(false);
   return "?";
@@ -47,6 +49,12 @@ std::unique_ptr<RelationIndex> MakeRelationIndex(
       DeletionOnlyShellOptions o;
       o.tau = opt.tau;
       return std::make_unique<RelationAdapter<DeletionOnlyShell>>(
+          RelationBackendName(backend), o);
+    }
+    case RelationBackend::kFast: {
+      FastRelationOptions o;
+      o.inline_threshold = opt.fast_inline_threshold;
+      return std::make_unique<RelationAdapter<FastRelation>>(
           RelationBackendName(backend), o);
     }
   }

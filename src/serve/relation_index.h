@@ -10,6 +10,8 @@
 //                        bit vector, the structure Theorem 2 improves on
 //  * DynamicGraph     -- Theorem 3: a digraph served as the relation
 //                        edge u -> v == pair (u, v)
+//  * FastRelation     -- uncompressed speed tier: radix-paged adjacency
+//                        sets + mirrored reverse index (relation/fast_relation.h)
 //
 // All query methods are const: the adapter stores the relation by value and
 // calls through from const members, so any mutation hiding in a backend's
@@ -18,6 +20,7 @@
 #ifndef DYNDEX_SERVE_RELATION_INDEX_H_
 #define DYNDEX_SERVE_RELATION_INDEX_H_
 
+#include <concepts>
 #include <cstdint>
 #include <memory>
 #include <utility>
@@ -27,6 +30,7 @@
 #include "relation/deletion_only_shell.h"
 #include "relation/dynamic_graph.h"
 #include "relation/dynamic_relation.h"
+#include "relation/fast_relation.h"
 
 namespace dyndex {
 
@@ -92,13 +96,60 @@ class RelationIndex {
   uint64_t num_edges() const { return num_pairs(); }
 };
 
+/// The complete pair-named backend surface (DynamicRelation-style naming).
+/// Bulk members are deliberately not part of the concept: AddPairsBulk /
+/// AddEdgesBulk are optional capabilities, either name works regardless of
+/// which family the backend's point members use.
+template <typename Rel>
+concept PairNamedRelationBackend =
+    requires(Rel& w, const Rel& r, uint32_t id, RelationPairs* out) {
+      { w.AddPair(id, id) } -> std::convertible_to<bool>;
+      { w.RemovePair(id, id) } -> std::convertible_to<bool>;
+      { r.Related(id, id) } -> std::convertible_to<bool>;
+      r.ForEachLabelOfObject(id, [](uint32_t) {});
+      r.ForEachObjectOfLabel(id, [](uint32_t) {});
+      { r.CountLabelsOf(id) } -> std::convertible_to<uint64_t>;
+      { r.CountObjectsOf(id) } -> std::convertible_to<uint64_t>;
+      { r.num_pairs() } -> std::convertible_to<uint64_t>;
+      { r.SpaceBytes() } -> std::convertible_to<uint64_t>;
+      r.ExportLivePairs(out);
+    };
+
+/// The complete edge-named backend surface (DynamicGraph-style naming).
+template <typename Rel>
+concept EdgeNamedRelationBackend =
+    requires(Rel& w, const Rel& r, uint32_t id, RelationPairs* out) {
+      { w.AddEdge(id, id) } -> std::convertible_to<bool>;
+      { w.RemoveEdge(id, id) } -> std::convertible_to<bool>;
+      { r.HasEdge(id, id) } -> std::convertible_to<bool>;
+      r.ForEachOutNeighbor(id, [](uint32_t) {});
+      r.ForEachInNeighbor(id, [](uint32_t) {});
+      { r.OutDegree(id) } -> std::convertible_to<uint64_t>;
+      { r.InDegree(id) } -> std::convertible_to<uint64_t>;
+      { r.num_edges() } -> std::convertible_to<uint64_t>;
+      { r.SpaceBytes() } -> std::convertible_to<uint64_t>;
+      r.ExportLiveEdges(out);
+    };
+
 /// Adapter over any relation-shaped backend. Pair-named members
 /// (AddPair/RemovePair/Related/ForEach*/Count*) and edge-named members
 /// (AddEdge/RemoveEdge/HasEdge/ForEach*Neighbor/Degrees) are both accepted,
-/// detected with `requires`; optional capabilities (AddPairsBulk,
-/// CheckInvariants) are forwarded when present.
+/// detected with `requires`; optional capabilities (AddPairsBulk or
+/// AddEdgesBulk — either name, no need for both — and CheckInvariants) are
+/// forwarded when present.
 template <typename Rel>
 class RelationAdapter final : public RelationIndex {
+  static_assert(
+      PairNamedRelationBackend<Rel> || EdgeNamedRelationBackend<Rel>,
+      "RelationAdapter<Rel>: Rel satisfies neither the pair-named relation "
+      "surface (AddPair / RemovePair / Related / ForEachLabelOfObject / "
+      "ForEachObjectOfLabel / CountLabelsOf / CountObjectsOf / num_pairs / "
+      "SpaceBytes / ExportLivePairs) nor the edge-named graph surface "
+      "(AddEdge / RemoveEdge / HasEdge / ForEachOutNeighbor / "
+      "ForEachInNeighbor / OutDegree / InDegree / num_edges / SpaceBytes / "
+      "ExportLiveEdges). Implement one family completely; the bulk member "
+      "(AddPairsBulk or AddEdgesBulk) stays optional under either name.");
+
  public:
   template <typename... Args>
   explicit RelationAdapter(const char* name, Args&&... args)
@@ -262,7 +313,12 @@ class RelationAdapter final : public RelationIndex {
 ///  * kGraph        -- Theorem 3 digraph view (DynamicGraph)
 ///  * kDeletionOnly -- Section 5's deletion-only structure behind the
 ///                     rebuild-on-insert shell (DeletionOnlyShell)
-enum class RelationBackend { kTheorem2, kBaseline, kGraph, kDeletionOnly };
+///  * kFast         -- uncompressed speed tier (FastRelation): radix-paged
+///                     directory of inline/hash adjacency sets, mirrored
+///                     reverse index — bytes traded for raw update and scan
+///                     rate (the hot tier; the succinct backends are the
+///                     cold tier)
+enum class RelationBackend { kTheorem2, kBaseline, kGraph, kDeletionOnly, kFast };
 
 const char* RelationBackendName(RelationBackend backend);
 
@@ -274,6 +330,8 @@ struct RelationIndexOptions {
   uint64_t min_c0 = 1024;  // C0 capacity floor in pairs
   uint32_t baseline_max_objects = 4096;  // initial capacities of [35];
   uint32_t baseline_max_labels = 4096;   // they double on demand
+  uint32_t fast_inline_threshold = 12;   // kFast: sorted-array -> hash-set
+                                         // promotion size
 };
 
 /// Builds a facade over the requested backend.

@@ -23,7 +23,8 @@ std::vector<Backend> AllDocBackends() {
 
 std::vector<RelationBackend> AllRelationBackends() {
   return {RelationBackend::kTheorem2, RelationBackend::kBaseline,
-          RelationBackend::kGraph, RelationBackend::kDeletionOnly};
+          RelationBackend::kGraph, RelationBackend::kDeletionOnly,
+          RelationBackend::kFast};
 }
 
 DynamicIndexOptions SmallDocOptions() {
@@ -167,9 +168,11 @@ TEST(FacadeHardening, RelationIdsBeyondCapacityAnswerEmpty) {
     // Bulk batches drop unrepresentable pairs instead of aborting. The
     // deletion-only backend has fixed capacities; the baseline grows on
     // demand but cannot represent UINT32_MAX (it would need capacity 2^32);
-    // the Theorem 2/3 structures accept any uint32 id.
+    // the fast tier reserves the top two id values as hash sentinels; the
+    // Theorem 2/3 structures accept any uint32 id.
     bool capped = b == RelationBackend::kBaseline ||
-                  b == RelationBackend::kDeletionOnly;
+                  b == RelationBackend::kDeletionOnly ||
+                  b == RelationBackend::kFast;
     uint64_t added = rel->AddPairsBulk({{2, 2}, {huge, 1}, {4, 4}});
     if (capped) {
       EXPECT_EQ(added, 2u);

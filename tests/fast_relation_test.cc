@@ -1,0 +1,184 @@
+// Direct unit coverage of relation/fast_relation.h representation edges the
+// differential fuzzer reaches only probabilistically: the exact inline->hash
+// promotion and demotion boundaries, tombstone reuse and rehash, sticky
+// empty sets, sparse ids across page-directory growth, sentinel-adjacent
+// ids, and honest space accounting.
+#include "relation/fast_relation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dyndex {
+namespace {
+
+std::vector<uint32_t> SortedLabels(const FastRelation& rel, uint32_t object) {
+  std::vector<uint32_t> out;
+  rel.ForEachLabelOfObject(object, [&](uint32_t a) { out.push_back(a); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(FastRelationTest, PromotionAndDemotionBoundary) {
+  FastRelationOptions opt;
+  opt.inline_threshold = 4;
+  FastRelation rel(opt);
+  // Grow one object's set through the inline threshold...
+  for (uint32_t a = 0; a < 16; ++a) {
+    ASSERT_TRUE(rel.AddPair(7, a));
+    ASSERT_FALSE(rel.AddPair(7, a));  // duplicate
+    rel.CheckInvariants();
+    ASSERT_EQ(rel.CountLabelsOf(7), a + 1);
+    for (uint32_t b = 0; b <= a; ++b) ASSERT_TRUE(rel.Related(7, b));
+  }
+  std::vector<uint32_t> all(16);
+  for (uint32_t a = 0; a < 16; ++a) all[a] = a;
+  ASSERT_EQ(SortedLabels(rel, 7), all);
+  // ...and shrink it back through the demotion point (size < threshold/2).
+  for (uint32_t a = 15; a != UINT32_MAX; --a) {
+    ASSERT_TRUE(rel.RemovePair(7, a));
+    ASSERT_FALSE(rel.RemovePair(7, a));  // already gone
+    rel.CheckInvariants();
+    ASSERT_EQ(rel.CountLabelsOf(7), a);
+  }
+  ASSERT_EQ(rel.num_pairs(), 0u);
+  // The emptied set is sticky; it must keep working.
+  ASSERT_FALSE(rel.Related(7, 3));
+  ASSERT_TRUE(rel.AddPair(7, 3));
+  ASSERT_EQ(SortedLabels(rel, 7), std::vector<uint32_t>{3});
+  rel.CheckInvariants();
+}
+
+TEST(FastRelationTest, TombstoneChurnInHashMode) {
+  FastRelationOptions opt;
+  opt.inline_threshold = 2;  // hash almost immediately, demote below 1
+  FastRelation rel(opt);
+  Rng rng(1234);
+  std::vector<bool> present(64, false);
+  uint64_t live = 0;
+  // Add/remove churn against one object keeps the set in hash mode and
+  // cycles slots through value -> tombstone -> value.
+  for (int step = 0; step < 4000; ++step) {
+    uint32_t a = static_cast<uint32_t>(rng.Below(64));
+    if (rng.Chance(0.5)) {
+      ASSERT_EQ(rel.AddPair(9, a), !present[a]) << "step=" << step;
+      if (!present[a]) {
+        present[a] = true;
+        ++live;
+      }
+    } else {
+      ASSERT_EQ(rel.RemovePair(9, a), static_cast<bool>(present[a]))
+          << "step=" << step;
+      if (present[a]) {
+        present[a] = false;
+        --live;
+      }
+    }
+    ASSERT_EQ(rel.CountLabelsOf(9), live);
+    if (step % 257 == 0) rel.CheckInvariants();
+  }
+  rel.CheckInvariants();
+}
+
+TEST(FastRelationTest, SparseIdsAcrossPageGrowth) {
+  FastRelation rel;
+  // Ids spread over many 4096-entry pages, added out of order, force the
+  // top table to grow and republish while earlier pages stay reachable.
+  const std::vector<uint32_t> objects = {5,        4096,      4095,
+                                         1u << 20, 1u << 24,  (1u << 24) + 1,
+                                         77,       3u << 22,  fast_internal::kMaxId};
+  uint32_t label = 0;
+  for (uint32_t o : objects) {
+    ASSERT_TRUE(rel.AddPair(o, label));
+    ASSERT_TRUE(rel.AddPair(o, label + 1));
+    ++label;
+  }
+  label = 0;
+  for (uint32_t o : objects) {
+    ASSERT_TRUE(rel.Related(o, label));
+    ASSERT_TRUE(rel.Related(o, label + 1));
+    ASSERT_EQ(rel.CountLabelsOf(o), 2u);
+    ++label;
+  }
+  ASSERT_EQ(rel.num_pairs(), 2 * objects.size());
+  // Labels are sparse too (reverse directory exercises the same growth).
+  ASSERT_TRUE(rel.AddPair(1, fast_internal::kMaxId));
+  ASSERT_TRUE(rel.Related(1, fast_internal::kMaxId));
+  ASSERT_EQ(rel.CountObjectsOf(fast_internal::kMaxId),
+            1u);
+  rel.CheckInvariants();
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  rel.ExportLivePairs(&pairs);
+  ASSERT_EQ(pairs.size(), rel.num_pairs());
+  ASSERT_TRUE(std::is_sorted(pairs.begin(), pairs.end()));
+}
+
+TEST(FastRelationTest, BulkIntoExistingSetsMergesOnce) {
+  FastRelation rel;
+  ASSERT_TRUE(rel.AddPair(3, 10));
+  ASSERT_TRUE(rel.AddPair(3, 30));
+  ASSERT_TRUE(rel.AddPair(4, 10));
+  // Batch overlaps live pairs, repeats itself, and extends set 3 past the
+  // default inline threshold in one go.
+  std::vector<std::pair<uint32_t, uint32_t>> batch;
+  for (uint32_t a = 0; a < 20; ++a) batch.push_back({3, a});
+  batch.push_back({3, 10});  // duplicate within batch and vs live
+  batch.push_back({4, 10});  // duplicate vs live
+  batch.push_back({5, 1});
+  // Fresh pairs: (3, 0..19) minus the live (3,10) = 19, plus (5,1) = 20.
+  ASSERT_EQ(rel.AddPairsBulk(batch), 20u);
+  ASSERT_EQ(rel.CountLabelsOf(3), 21u);  // {0..19} plus the pre-existing 30
+  ASSERT_EQ(rel.CountObjectsOf(10), 2u);
+  rel.CheckInvariants();
+  // Reverse side answers through the mirror only.
+  std::vector<uint32_t> of10;
+  rel.ForEachObjectOfLabel(10, [&](uint32_t o) { of10.push_back(o); });
+  std::sort(of10.begin(), of10.end());
+  ASSERT_EQ(of10, (std::vector<uint32_t>{3, 4}));
+}
+
+TEST(FastRelationTest, SpaceBytesIsHonestAndGrows) {
+  FastRelation rel;
+  const uint64_t empty = rel.SpaceBytes();
+  ASSERT_GT(empty, 0u);
+  Rng rng(99);
+  std::vector<std::pair<uint32_t, uint32_t>> batch;
+  for (int i = 0; i < 20000; ++i) {
+    batch.push_back({static_cast<uint32_t>(rng.Below(512)),
+                     static_cast<uint32_t>(rng.Below(512))});
+  }
+  rel.AddPairsBulk(batch);
+  const uint64_t loaded = rel.SpaceBytes();
+  // Two directions of uint32 slots at <= 100% load plus directory overhead:
+  // at least 8 bytes/pair, and growth must be monotone with content.
+  ASSERT_GT(loaded, empty);
+  ASSERT_GE(loaded, rel.num_pairs() * 8);
+  rel.CheckInvariants();
+}
+
+TEST(FastRelationTest, BuildMatchesIncrementalTwin) {
+  Rng rng(31337);
+  std::vector<std::pair<uint32_t, uint32_t>> batch;
+  for (int i = 0; i < 5000; ++i) {
+    batch.push_back({static_cast<uint32_t>(rng.Below(300)),
+                     static_cast<uint32_t>(rng.Below(200))});
+  }
+  FastRelation built;
+  built.Build(batch);
+  FastRelation incremental;
+  for (auto [o, a] : batch) incremental.AddPair(o, a);
+  ASSERT_EQ(built.num_pairs(), incremental.num_pairs());
+  std::vector<std::pair<uint32_t, uint32_t>> a, b;
+  built.ExportLivePairs(&a);
+  incremental.ExportLivePairs(&b);
+  ASSERT_EQ(a, b);
+  built.CheckInvariants();
+  incremental.CheckInvariants();
+}
+
+}  // namespace
+}  // namespace dyndex

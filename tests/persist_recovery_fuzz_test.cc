@@ -178,8 +178,10 @@ void RunRelationSeed(uint64_t seed) {
   SCOPED_TRACE("seed=" + std::to_string(seed));
   Rng rng(seed);
   MemEnv env;
-  const RelationBackend backend =
-      seed % 2 == 0 ? RelationBackend::kTheorem2 : RelationBackend::kGraph;
+  const RelationBackend backend = seed % 3 == 0 ? RelationBackend::kTheorem2
+                                  : seed % 3 == 1
+                                      ? RelationBackend::kGraph
+                                      : RelationBackend::kFast;
   DurableOptions opt;
   opt.sync_every_batches = rng.Chance(0.3) ? 2 : 1;
 

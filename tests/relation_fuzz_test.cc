@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "gen/relation_gen.h"
 #include "serve/relation_index.h"
 #include "util/rng.h"
 
@@ -186,6 +187,108 @@ TEST(RelationFuzzTest, DeletionOnlyMixedChurnSeedSweep) {
   }
 }
 
+// The uncompressed speed tier: sorted-inline <-> hash-set promotion and
+// demotion boundaries, the sticky page directory and the mirrored reverse
+// index all sit under this churn (degrees over 48x40 ids cross the default
+// inline_threshold=12 constantly).
+TEST(RelationFuzzTest, FastMixedChurnSeedSweep) {
+  for (uint64_t seed = 400; seed <= 407; ++seed) {
+    FuzzRound(RelationBackend::kFast, seed, 1500);
+  }
+}
+
+// Same sweep with inline_threshold=1 (everything hashes immediately) and 64
+// (nothing ever promotes): both degenerate representations must match the
+// model on their own.
+TEST(RelationFuzzTest, FastThresholdExtremesSeedSweep) {
+  for (uint32_t threshold : {1u, 64u}) {
+    for (uint64_t seed = 420; seed <= 422; ++seed) {
+      Rng rng(seed);
+      RelationIndexOptions opt = TightOptions();
+      opt.fast_inline_threshold = threshold;
+      auto rel = MakeRelationIndex(RelationBackend::kFast, opt);
+      PairSet model;
+      for (uint64_t step = 0; step < 900; ++step) {
+        uint32_t o = static_cast<uint32_t>(rng.Below(kObjects));
+        uint32_t a = static_cast<uint32_t>(rng.Below(kLabels));
+        if (rng.Chance(0.55)) {
+          ASSERT_EQ(rel->AddPair(o, a), model.insert({o, a}).second)
+              << "threshold=" << threshold << " seed=" << seed;
+        } else {
+          ASSERT_EQ(rel->RemovePair(o, a), model.erase({o, a}) > 0)
+              << "threshold=" << threshold << " seed=" << seed;
+        }
+        if (step % 97 == 96) rel->CheckInvariants();
+      }
+      CheckFull(*rel, model, seed);
+    }
+  }
+}
+
+// Every backend replaying the same generated churn stream (the workload
+// source the frontier bench measures) against the set model — the generator
+// and the differential harness share one definition of the workload.
+TEST(RelationFuzzTest, ChurnStreamDifferentialSweepAllBackends) {
+  for (RelationBackend backend :
+       {RelationBackend::kTheorem2, RelationBackend::kBaseline,
+        RelationBackend::kGraph, RelationBackend::kDeletionOnly,
+        RelationBackend::kFast}) {
+    const uint64_t seed = 7100 + static_cast<uint64_t>(backend);
+    Rng rng(seed);
+    ChurnStreamOptions copt;
+    copt.num_ops = backend == RelationBackend::kDeletionOnly ? 400 : 1000;
+    copt.num_objects = kObjects;
+    copt.num_labels = kLabels;
+    copt.zipf_theta = 0.7;
+    copt.add_fraction = 0.45;
+    copt.remove_fraction = 0.3;
+    std::vector<ChurnEvent> stream = GenChurnStream(rng, copt);
+    auto rel = MakeRelationIndex(backend, TightOptions());
+    PairSet model;
+    for (size_t i = 0; i < stream.size(); ++i) {
+      const ChurnEvent& ev = stream[i];
+      switch (ev.op) {
+        case ChurnOp::kAdd:
+          ASSERT_EQ(rel->AddPair(ev.object, ev.label),
+                    model.insert({ev.object, ev.label}).second)
+              << rel->backend_name() << " i=" << i;
+          break;
+        case ChurnOp::kRemove:
+          ASSERT_EQ(rel->RemovePair(ev.object, ev.label),
+                    model.erase({ev.object, ev.label}) > 0)
+              << rel->backend_name() << " i=" << i;
+          break;
+        case ChurnOp::kRelated:
+          ASSERT_EQ(rel->Related(ev.object, ev.label),
+                    model.count({ev.object, ev.label}) > 0)
+              << rel->backend_name() << " i=" << i;
+          break;
+        case ChurnOp::kLabelsOf: {
+          std::vector<uint32_t> got = rel->LabelsOf(ev.object);
+          std::sort(got.begin(), got.end());
+          std::vector<uint32_t> expect;
+          for (auto [o, a] : model) {
+            if (o == ev.object) expect.push_back(a);
+          }
+          ASSERT_EQ(got, expect) << rel->backend_name() << " i=" << i;
+          break;
+        }
+        case ChurnOp::kObjectsOf: {
+          std::vector<uint32_t> got = rel->ObjectsOf(ev.label);
+          std::sort(got.begin(), got.end());
+          std::vector<uint32_t> expect;
+          for (auto [o, a] : model) {
+            if (a == ev.label) expect.push_back(o);
+          }
+          ASSERT_EQ(got, expect) << rel->backend_name() << " i=" << i;
+          break;
+        }
+      }
+    }
+    CheckFull(*rel, model, seed);
+  }
+}
+
 // The cold-start bulk path at sizes that land the batch 1..3 levels up the
 // schedule, checked pair-for-pair against a pairwise-built twin.
 TEST(RelationFuzzTest, BulkColdStartMatchesPairwiseTwin) {
@@ -214,6 +317,45 @@ TEST(RelationFuzzTest, BulkColdStartMatchesPairwiseTwin) {
       ASSERT_EQ(lb, lp) << "n=" << n << " o=" << o;
     }
     // And the bulk-loaded structure keeps mutating correctly.
+    ASSERT_TRUE(bulk->RemovePair(batch[0].first, batch[0].second));
+    ASSERT_FALSE(bulk->Related(batch[0].first, batch[0].second));
+    ASSERT_TRUE(bulk->AddPair(batch[0].first, batch[0].second));
+    bulk->CheckInvariants();
+  }
+}
+
+// Same twin check for the speed tier: sizes straddle the inline->hash
+// promotion per set (avg degree n/200 crosses 12 between 1000 and 20000),
+// so bulk-built and pairwise-built structures take different representation
+// paths to what must be the same pair set.
+TEST(RelationFuzzTest, FastBulkColdStartMatchesPairwiseTwin) {
+  for (uint64_t n : {10ull, 100ull, 1000ull, 5000ull, 20000ull}) {
+    Rng rng(n * 29 + 11);
+    RelationPairs batch;
+    for (uint64_t i = 0; i < n; ++i) {
+      batch.push_back({static_cast<uint32_t>(rng.Below(200)),
+                       static_cast<uint32_t>(rng.Below(150))});
+    }
+    auto bulk = MakeRelationIndex(RelationBackend::kFast, {});
+    auto pairwise = MakeRelationIndex(RelationBackend::kFast, {});
+    uint64_t bulk_added = bulk->AddPairsBulk(batch);
+    uint64_t pair_added = 0;
+    for (auto [o, a] : batch) pair_added += pairwise->AddPair(o, a);
+    ASSERT_EQ(bulk_added, pair_added) << "n=" << n;
+    ASSERT_EQ(bulk->num_pairs(), pairwise->num_pairs()) << "n=" << n;
+    bulk->CheckInvariants();
+    pairwise->CheckInvariants();
+    RelationPairs bulk_pairs, pairwise_pairs;
+    bulk->ExportLivePairs(&bulk_pairs);
+    pairwise->ExportLivePairs(&pairwise_pairs);
+    ASSERT_EQ(bulk_pairs, pairwise_pairs) << "n=" << n;
+    for (uint32_t a = 0; a < 150; ++a) {
+      std::vector<uint32_t> ob = bulk->ObjectsOf(a);
+      std::vector<uint32_t> op = pairwise->ObjectsOf(a);
+      std::sort(ob.begin(), ob.end());
+      std::sort(op.begin(), op.end());
+      ASSERT_EQ(ob, op) << "n=" << n << " a=" << a;
+    }
     ASSERT_TRUE(bulk->RemovePair(batch[0].first, batch[0].second));
     ASSERT_FALSE(bulk->Related(batch[0].first, batch[0].second));
     ASSERT_TRUE(bulk->AddPair(batch[0].first, batch[0].second));

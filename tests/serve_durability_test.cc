@@ -261,7 +261,8 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, RelationDurabilityTest,
                          ::testing::Values(RelationBackend::kTheorem2,
                                            RelationBackend::kBaseline,
                                            RelationBackend::kGraph,
-                                           RelationBackend::kDeletionOnly),
+                                           RelationBackend::kDeletionOnly,
+                                           RelationBackend::kFast),
                          [](const auto& info) {
                            return RelationBackendName(info.param);
                          });

@@ -280,6 +280,15 @@ TEST(ServeRelationConcurrent, ReadersOverGraphView) {
       MakeRelationIndex(RelationBackend::kGraph, SmallRelOptions()), 73, 120);
 }
 
+// The speed tier republishes adjacency-set reps and directory tables far
+// more often than the succinct backends publish anything, so this leans on
+// the single-pointer/retire discipline hardest (optimistic readers race the
+// pointer churn; TSan runs this under lock-assisted validation).
+TEST(ServeRelationConcurrent, ReadersOverFastTier) {
+  RunConcurrentRelationScenario(
+      MakeRelationIndex(RelationBackend::kFast, SmallRelOptions()), 74, 150);
+}
+
 // A second Theorem 2 run with a different seed: more remove pressure crossing
 // purge/rebuild boundaries under live readers.
 TEST(ServeRelationConcurrent, Theorem2SecondSeed) {

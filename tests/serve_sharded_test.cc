@@ -254,6 +254,12 @@ TEST(ServeSharded, RelationDifferentialChurnDeletionOnly) {
   RunShardedRelationChurn(3, RelationBackend::kDeletionOnly, 8201, 30);
 }
 
+TEST(ServeSharded, RelationDifferentialChurnFast) {
+  for (uint32_t shards : {1u, 3u}) {
+    RunShardedRelationChurn(shards, RelationBackend::kFast, 8300 + shards, 40);
+  }
+}
+
 TEST(ServeSharded, GraphViewRoutesThroughShards) {
   ShardedRelation graph(4, RelationBackend::kGraph, TightRelOptions());
   ASSERT_EQ(graph.AddEdgesBatch({{1, 2}, {1, 3}, {2, 1}, {7, 2}}), 4u);
