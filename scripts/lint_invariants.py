@@ -1,0 +1,735 @@
+#!/usr/bin/env python3
+"""dyndex invariant linter: machine-checks the repo-specific concurrency
+discipline that Clang Thread Safety Analysis cannot see.
+
+Clang TSA (src/util/thread_annotations.h) proves lock discipline: which
+mutex guards which member, which function requires which capability. What it
+cannot prove is the *seqlock + epoch-reclamation* discipline the serve layer
+is built on. Those invariants are lexical/structural, so this linter enforces
+them directly:
+
+  reader-container        Members of types marked `// lint:reader-shared`
+                          (reachable by optimistic seqlock readers with no
+                          lock held) must not be std::vector / std::map /
+                          std::unordered_map / std::deque / std::list: those
+                          containers relocate their buffers on growth, which
+                          unmaps memory a validating reader may still be
+                          walking. Use std::atomic<T*>, SeqHashMap / SeqBox,
+                          or retire_vector (buffer frees routed through the
+                          retire sink).
+  publish-retire          A function that publishes a snapshot pointer
+                          (`x.store(p)` where x is declared std::atomic<T*>)
+                          must also Retire(...) the displaced value in the
+                          same function, or carry a justified allow. A
+                          published-over pointer that is freed directly can
+                          be freed under a reader mid-traversal.
+  no-assert               `assert(` is compiled out in release builds, which
+                          is exactly where torn-read validation must still
+                          fire. Use DYNDEX_CHECK (util/check.h), which is
+                          always on and throws TornReadError-compatible
+                          failures on the optimistic read path.
+  no-blocking-under-lock  No sleep_for / sleep_until / usleep / .join( /
+                          RunAll( lexically inside a region holding a lock
+                          guard (std::*_lock/lock_guard, MutexLock,
+                          WriteLock, ReadLock, ExclusiveSection). Blocking
+                          while holding the EpochGuard mutex stalls every
+                          reader that fell back to the locked path and every
+                          writer. CondVar::Wait is exempt: it releases the
+                          mutex while blocked (that is its contract).
+  layer-dag               `#include "<layer>/..."` edges must respect the
+                          layer DAG declared via dyndex_add_layer() in
+                          src/*/CMakeLists.txt: a header may include only the
+                          transitive *public* (DEPS) closure of its layer; a
+                          .cc may additionally use PRIVATE_DEPS closures.
+
+Escape hatch: `// lint:allow(<rule>)` on the offending line or the line
+directly above suppresses that rule for that line. Every allow in src/ must
+carry a justification in the surrounding comment; allows are grep-able so
+the set of waived sites stays reviewable.
+
+Marker: `// lint:reader-shared` directly above a class/struct (or its
+template<> line) opts that type — including its nested structs — into the
+reader-container rule.
+
+Modes:
+  --mode=auto    (default) use libclang for the reader-container rule when
+                 the python bindings are importable, token mode otherwise.
+  --mode=ast     require libclang; error out (exit 2) if unavailable.
+  --mode=tokens  pure token mode; what CI runs, fully deterministic.
+
+The token mode is the *authoritative* semantics (the fixture corpus under
+tests/lint_fixtures/ pins it); the AST mode only sharpens member-type
+resolution for reader-container. The other rules are token-level in every
+mode, deliberately: `assert` is a macro (invisible to the AST after
+preprocessing), no-blocking-under-lock is defined lexically, layer-dag is a
+build-system property, and publish-retire's same-function pairing is handled
+conservatively (names declared both as atomic pointer and atomic non-pointer
+are dropped as ambiguous; stores of nullptr are exempt — withdrawing a
+pointer frees nothing by itself).
+
+Output: `file:line: [rule] message`, one per finding.
+Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+ALL_RULES = (
+    "reader-container",
+    "publish-retire",
+    "no-assert",
+    "no-blocking-under-lock",
+    "layer-dag",
+)
+
+CXX_EXTS = (".h", ".hh", ".hpp", ".cc", ".cpp", ".cxx")
+
+BAD_CONTAINERS = ("vector", "unordered_map", "map", "deque", "list")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Lexing: blank out comments and string/char literals so token scans cannot
+# match inside them, while collecting the comment text per line for the
+# lint:allow / lint:reader-shared directives.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Lexed:
+    code_lines: list[str]  # comments/strings blanked, newlines preserved
+    comment_lines: list[str]  # comment text per line ("" when none)
+    raw_lines: list[str] = field(default_factory=list)  # for #include paths
+
+
+def lex(text: str) -> Lexed:
+    code = []
+    comments = []
+    cur_code = []
+    cur_comment = []
+    state = "code"  # code | line_comment | block_comment | string | char
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            code.append("".join(cur_code))
+            comments.append("".join(cur_comment))
+            cur_code, cur_comment = [], []
+            if state == "line_comment":
+                state = "code"
+            i += 1
+            continue
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                cur_code.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                # Raw strings are not used in this codebase; a plain scanner
+                # with escape handling is sufficient (and fails loudly on
+                # mismatched quotes by blanking to end of line).
+                state = "string"
+                cur_code.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                cur_code.append(" ")
+                i += 1
+                continue
+            cur_code.append(c)
+            i += 1
+        elif state == "line_comment":
+            cur_comment.append(c)
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                cur_code.append("  ")
+                i += 2
+            else:
+                cur_comment.append(c)
+                cur_code.append(" ")
+                i += 1
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                cur_code.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                cur_code.append(" ")
+                i += 1
+            else:
+                cur_code.append(" ")
+                i += 1
+    if cur_code or cur_comment:
+        code.append("".join(cur_code))
+        comments.append("".join(cur_comment))
+    return Lexed(code, comments, text.splitlines())
+
+
+ALLOW_RE = re.compile(r"lint:allow\(\s*([a-z-]+)\s*\)")
+MARKER = "lint:reader-shared"
+
+
+def allows_for(lexed: Lexed) -> list[set]:
+    out = []
+    for comment in lexed.comment_lines:
+        out.append(set(ALLOW_RE.findall(comment)))
+    return out
+
+
+def is_allowed(allows: list[set], line0: int, rule: str) -> bool:
+    """Allowed if the directive sits on the line or the line directly above."""
+    if line0 < len(allows) and rule in allows[line0]:
+        return True
+    return line0 > 0 and rule in allows[line0 - 1]
+
+
+# ---------------------------------------------------------------------------
+# Block tree: classify every brace-delimited region so rules can ask "is this
+# line a class member?" / "what function encloses this store?".
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Block:
+    kind: str  # class | function | namespace | control | other
+    start: int  # 0-based line of the '{'
+    end: int = -1  # 0-based line of the '}' (inclusive)
+    marked: bool = False  # reader-shared (class blocks only)
+    parent: "Block | None" = None
+    children: list = field(default_factory=list)
+
+
+CLASS_RE = re.compile(r"\b(class|struct|union)\b")
+NAMESPACE_RE = re.compile(r"\bnamespace\b")
+ENUM_RE = re.compile(r"\benum\b")
+CONTROL_RE = re.compile(r"\b(if|for|while|switch|catch|do|else)\b")
+ACCESS_RE = re.compile(r"\b(public|private|protected)\s*:")
+
+
+def build_blocks(lexed: Lexed) -> list[Block]:
+    """Returns the flat list of all blocks (roots have parent None)."""
+    text = "\n".join(lexed.code_lines)
+    blocks: list[Block] = []
+    stack: list[Block] = []
+    head_start = 0  # char offset where the current statement head begins
+    line = 0
+    head_start_line = 0
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+        elif c in ";":
+            head_start = i + 1
+            head_start_line = line
+        elif c == "{":
+            head = text[head_start:i]
+            head = ACCESS_RE.sub("", head)
+            kind = classify_head(head)
+            marked = False
+            if kind == "class":
+                for l in range(head_start_line, line + 1):
+                    if l < len(lexed.comment_lines) and MARKER in lexed.comment_lines[l]:
+                        marked = True
+            blk = Block(kind=kind, start=line, marked=marked,
+                        parent=stack[-1] if stack else None)
+            if stack:
+                stack[-1].children.append(blk)
+            blocks.append(blk)
+            stack.append(blk)
+            head_start = i + 1
+            head_start_line = line
+        elif c == "}":
+            if stack:
+                stack.pop().end = line
+            head_start = i + 1
+            head_start_line = line
+        i += 1
+    for blk in stack:  # unbalanced braces: close at EOF, stay usable
+        blk.end = line
+    return blocks
+
+
+def classify_head(head: str) -> str:
+    if ENUM_RE.search(head):
+        return "other"
+    if CLASS_RE.search(head) and "=" not in head.split("<")[0]:
+        return "class"
+    if NAMESPACE_RE.search(head):
+        return "namespace"
+    if CONTROL_RE.search(head):
+        return "control"
+    if "(" in head or "]" in head:  # function/ctor (init list) or lambda
+        return "function"
+    return "other"
+
+
+def innermost_block(blocks: list[Block], line0: int) -> Block | None:
+    best = None
+    for b in blocks:
+        if b.start < line0 <= b.end:
+            if best is None or b.start > best.start:
+                best = b
+    return best
+
+
+def enclosing_function(blocks: list[Block], line0: int) -> Block | None:
+    b = innermost_block(blocks, line0)
+    while b is not None and b.kind != "function":
+        b = b.parent
+    return b
+
+
+# ---------------------------------------------------------------------------
+# Rule: reader-container
+# ---------------------------------------------------------------------------
+
+MEMBER_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:const\s+)?std::(" + "|".join(BAD_CONTAINERS) + r")\s*<"
+)
+
+
+def in_marked_class_scope(blocks: list[Block], line0: int) -> bool:
+    """True when every enclosing block up to (and including) a marked class
+    is class-kind — i.e. the line is a member of a marked type or of a struct
+    nested inside one, not a local inside a method body."""
+    b = innermost_block(blocks, line0)
+    while b is not None:
+        if b.kind != "class":
+            return False
+        if b.marked:
+            return True
+        b = b.parent
+    return False
+
+
+def _after_template_args(code: str, start: int) -> str:
+    """Text after the balanced <...> starting at `start` (index of '<')."""
+    depth = 0
+    for i in range(start, len(code)):
+        if code[i] == "<":
+            depth += 1
+        elif code[i] == ">":
+            depth -= 1
+            if depth == 0:
+                return code[i + 1:]
+    return ""
+
+
+def rule_reader_container(path, lexed, blocks, allows) -> list[Finding]:
+    out = []
+    for line0, code in enumerate(lexed.code_lines):
+        m = MEMBER_DECL_RE.match(code)
+        if not m:
+            continue
+        if code.lstrip().startswith("using "):
+            continue
+        # Parameter-list continuation, not a declaration of its own.
+        prev = next((lexed.code_lines[l].rstrip() for l in
+                     range(line0 - 1, -1, -1) if lexed.code_lines[l].strip()),
+                    "")
+        if prev.endswith((",", "(")):
+            continue
+        # Method returning a container, not a container member.
+        if "(" in _after_template_args(code, code.index("<", m.start())):
+            continue
+        if not in_marked_class_scope(blocks, line0):
+            continue
+        if is_allowed(allows, line0, "reader-container"):
+            continue
+        out.append(Finding(
+            path, line0 + 1, "reader-container",
+            f"std::{m.group(1)} member of a reader-shared type: growth "
+            "relocates the buffer under optimistic readers; use "
+            "std::atomic<T*>, SeqHashMap/SeqBox, or retire_vector"))
+    return out
+
+
+def rule_reader_container_ast(path, lexed, blocks, allows, index) -> list[Finding]:
+    """libclang variant: resolves member types through typedefs/aliases
+    instead of matching the spelled declaration. Falls back to the token
+    rule on any parse problem."""
+    try:
+        tu = index.parse(path, args=["-std=c++20", "-fsyntax-only"],
+                         options=0)
+        import clang.cindex as ci
+        out = []
+        marker_lines = {i for i, c in enumerate(lexed.comment_lines)
+                        if MARKER in c}
+
+        def type_is_bad(t) -> bool:
+            spelling = t.get_canonical().spelling
+            return any(re.search(rf"\bstd::{c}<", spelling)
+                       for c in BAD_CONTAINERS)
+
+        def class_is_marked(cursor) -> bool:
+            start0 = cursor.extent.start.line - 1
+            return any(l in marker_lines for l in range(max(0, start0 - 3), start0 + 1))
+
+        def walk(cursor, inside_marked):
+            for ch in cursor.get_children():
+                if ch.location.file and ch.location.file.name != path:
+                    continue
+                if ch.kind in (ci.CursorKind.CLASS_DECL, ci.CursorKind.STRUCT_DECL,
+                               ci.CursorKind.CLASS_TEMPLATE):
+                    walk(ch, inside_marked or class_is_marked(ch))
+                elif ch.kind == ci.CursorKind.FIELD_DECL and inside_marked:
+                    if type_is_bad(ch.type):
+                        line0 = ch.location.line - 1
+                        if not is_allowed(allows, line0, "reader-container"):
+                            out.append(Finding(
+                                path, ch.location.line, "reader-container",
+                                f"{ch.type.spelling} member of a reader-shared "
+                                "type: growth relocates the buffer under "
+                                "optimistic readers; use std::atomic<T*>, "
+                                "SeqHashMap/SeqBox, or retire_vector"))
+                else:
+                    walk(ch, inside_marked)
+
+        walk(tu.cursor, False)
+        return out
+    except Exception:
+        return rule_reader_container(path, lexed, blocks, allows)
+
+
+# ---------------------------------------------------------------------------
+# Rule: publish-retire
+# ---------------------------------------------------------------------------
+
+ATOMIC_DECL_RE = re.compile(r"std::atomic\s*<\s*([^<>;]+?)\s*>")
+STORE_RE = re.compile(r"\b([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*\.\s*store\s*\(")
+RETIRE_RE = re.compile(r"\bRetire\s*\(|\bParkSink|\.\s*Park\s*\(")
+
+
+def atomic_name_kinds(lexed: Lexed) -> dict:
+    """name -> set of {'ptr','nonptr'} over every std::atomic<...> declaration
+    in the file. Names appearing with both kinds are ambiguous and dropped by
+    the caller (e.g. `slots` in fast_relation.h: atomic<uint32_t> in one rep,
+    atomic<AdjSet*> in another)."""
+    kinds: dict = {}
+    for code in lexed.code_lines:
+        m = ATOMIC_DECL_RE.search(code)
+        if not m:
+            continue
+        inner = m.group(1).strip()
+        # Declared name: last identifier once trailing initializers go.
+        rest = code[m.end():]
+        rest = re.sub(r"\{[^{}]*\}\s*;?\s*$", ";", rest)
+        rest = re.sub(r"=[^;]*;", ";", rest)
+        names = re.findall(r"\b([A-Za-z_]\w*)\b", rest)
+        names = [x for x in names if x not in
+                 ("const", "mutable", "static", "constexpr", "kPageSize")]
+        if not names:
+            continue
+        kind = "ptr" if inner.endswith("*") else "nonptr"
+        kinds.setdefault(names[-1], set()).add(kind)
+    return kinds
+
+
+def rule_publish_retire(path, lexed, blocks, allows) -> list[Finding]:
+    kinds = atomic_name_kinds(lexed)
+    out = []
+    for line0, code in enumerate(lexed.code_lines):
+        for m in STORE_RE.finditer(code):
+            name = m.group(1)
+            k = kinds.get(name)
+            if k != {"ptr"}:
+                continue  # non-pointer, ambiguous, or declared elsewhere
+            arg = code[m.end():].lstrip()
+            if arg.startswith("nullptr"):
+                continue  # withdrawing a pointer frees nothing by itself
+            fn = enclosing_function(blocks, line0)
+            if fn is None:
+                continue
+            region = "\n".join(lexed.code_lines[fn.start:fn.end + 1])
+            if RETIRE_RE.search(region):
+                continue
+            if is_allowed(allows, line0, "publish-retire"):
+                continue
+            out.append(Finding(
+                path, line0 + 1, "publish-retire",
+                f"`{name}.store(...)` publishes a snapshot pointer but the "
+                "enclosing function never Retires the displaced value; an "
+                "optimistic reader may still be traversing it"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Rule: no-assert
+# ---------------------------------------------------------------------------
+
+ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
+
+
+def rule_no_assert(path, lexed, blocks, allows) -> list[Finding]:
+    out = []
+    for line0, code in enumerate(lexed.code_lines):
+        for _ in ASSERT_RE.finditer(code):
+            if is_allowed(allows, line0, "no-assert"):
+                continue
+            out.append(Finding(
+                path, line0 + 1, "no-assert",
+                "assert() is compiled out in release builds; use "
+                "DYNDEX_CHECK (util/check.h), which stays on where torn-read "
+                "validation must fire"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Rule: no-blocking-under-lock
+# ---------------------------------------------------------------------------
+
+GUARD_RE = re.compile(
+    r"\b(?:std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\s*<[^>]*>"
+    r"|MutexLock|WriteLock|ReadLock|ExclusiveSection)\s+\w+\s*[({]"
+)
+BLOCKING_RE = re.compile(
+    r"\bsleep_for\s*\(|\bsleep_until\s*\(|\busleep\s*\(|\.\s*join\s*\(|"
+    r"\bRunAll\s*\("
+)
+
+
+def rule_no_blocking_under_lock(path, lexed, blocks, allows) -> list[Finding]:
+    # A guard declared on line L holds its lock from L to the end of the
+    # innermost block containing L.
+    held: list = []  # (start0, end0)
+    for line0, code in enumerate(lexed.code_lines):
+        if GUARD_RE.search(code):
+            blk = innermost_block(blocks, line0)
+            end0 = blk.end if blk is not None else len(lexed.code_lines) - 1
+            held.append((line0, end0))
+    out = []
+    for line0, code in enumerate(lexed.code_lines):
+        m = BLOCKING_RE.search(code)
+        if not m:
+            continue
+        if not any(s <= line0 <= e for s, e in held):
+            continue
+        if is_allowed(allows, line0, "no-blocking-under-lock"):
+            continue
+        out.append(Finding(
+            path, line0 + 1, "no-blocking-under-lock",
+            f"blocking call `{m.group(0).strip('(').strip()}` lexically "
+            "inside a lock-holding region; sleeping or joining under a lock "
+            "stalls every reader on the locked fallback path"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Rule: layer-dag
+# ---------------------------------------------------------------------------
+
+LAYER_CALL_RE = re.compile(r"dyndex_add_layer\(\s*(\w+)(.*?)\)", re.S)
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"(\w+)/')
+
+
+def parse_layers(root: str) -> dict:
+    """root is a directory whose src/*/CMakeLists.txt declare layers.
+    Returns layer -> {'deps': [...], 'private': [...]}."""
+    layers: dict = {}
+    src = os.path.join(root, "src")
+    if not os.path.isdir(src):
+        return layers
+    for layer_dir in sorted(os.listdir(src)):
+        cml = os.path.join(src, layer_dir, "CMakeLists.txt")
+        if not os.path.isfile(cml):
+            continue
+        with open(cml, "r", encoding="utf-8", errors="replace") as f:
+            text = "\n".join(l.split("#", 1)[0] for l in f.read().splitlines())
+        for m in LAYER_CALL_RE.finditer(text):
+            name, body = m.group(1), m.group(2)
+            deps: dict = {"deps": [], "private": []}
+            tokens = body.split()
+            bucket = None
+            for tok in tokens:
+                if tok == "DEPS":
+                    bucket = "deps"
+                elif tok == "PRIVATE_DEPS":
+                    bucket = "private"
+                elif tok in ("SOURCES",):
+                    bucket = None
+                elif bucket and tok.startswith("dyndex::"):
+                    deps[bucket].append(tok.split("::", 1)[1])
+            layers[name] = deps
+    return layers
+
+
+def public_closure(layers: dict, layer: str, seen=None) -> set:
+    if seen is None:
+        seen = set()
+    if layer in seen or layer not in layers:
+        return seen
+    seen.add(layer)
+    for d in layers[layer]["deps"]:
+        public_closure(layers, d, seen)
+    return seen
+
+
+def find_layer_root(path: str, cache: dict):
+    """Walk up from `path` looking for <root>/src/<layer>/ layout with
+    dyndex_add_layer declarations. Returns (root, layers) or (None, None)."""
+    d = os.path.dirname(os.path.abspath(path))
+    chain = []
+    while True:
+        chain.append(d)
+        parent = os.path.dirname(d)
+        base = os.path.basename(d)
+        grand = os.path.dirname(parent)
+        if os.path.basename(parent) == "src":
+            root = grand
+            if root in cache:
+                return (root, cache[root]) if cache[root] else (None, None)
+            layers = parse_layers(root)
+            cache[root] = layers if base in layers else None
+            if cache[root]:
+                return root, layers
+        if parent == d:
+            return None, None
+        d = parent
+
+
+def rule_layer_dag(path, lexed, blocks, allows, root_cache) -> list[Finding]:
+    root, layers = find_layer_root(path, root_cache)
+    if root is None:
+        return []
+    rel = os.path.relpath(os.path.abspath(path), os.path.join(root, "src"))
+    layer = rel.split(os.sep, 1)[0]
+    if layer not in layers:
+        return []
+    allowed = public_closure(layers, layer)
+    is_header = os.path.splitext(path)[1] in (".h", ".hh", ".hpp")
+    if not is_header:
+        for d in layers[layer]["private"]:
+            allowed |= public_closure(layers, d)
+    out = []
+    # Include paths are string literals, which the lexer blanks: scan the
+    # raw lines (the regex anchors on `#include`, so comments cannot match).
+    for line0, raw in enumerate(lexed.raw_lines):
+        m = INCLUDE_RE.match(raw)
+        if not m:
+            continue
+        target = m.group(1)
+        if target not in layers or target in allowed:
+            continue
+        if is_allowed(allows, line0, "layer-dag"):
+            continue
+        how = "public (DEPS) closure" if is_header else "DEPS/PRIVATE_DEPS closure"
+        out.append(Finding(
+            path, line0 + 1, "layer-dag",
+            f'layer "{layer}" does not declare "{target}" in its {how}; '
+            "declare the dependency in src/"
+            f"{layer}/CMakeLists.txt or drop the include"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def collect_files(paths) -> list:
+    out = []
+    for p in paths:
+        if os.path.isdir(p):
+            for dirpath, dirnames, filenames in os.walk(p):
+                dirnames.sort()
+                for f in sorted(filenames):
+                    if os.path.splitext(f)[1] in CXX_EXTS:
+                        out.append(os.path.join(dirpath, f))
+        elif os.path.isfile(p):
+            out.append(p)
+        else:
+            print(f"lint_invariants: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        description="dyndex concurrency-invariant linter (see module docstring)")
+    ap.add_argument("paths", nargs="+", help="files or directories to lint")
+    ap.add_argument("--mode", choices=("auto", "ast", "tokens"), default="auto")
+    ap.add_argument("--rules", default=",".join(ALL_RULES),
+                    help="comma-separated subset of: " + " ".join(ALL_RULES))
+    args = ap.parse_args(argv)
+
+    rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    for r in rules:
+        if r not in ALL_RULES:
+            print(f"lint_invariants: unknown rule: {r}", file=sys.stderr)
+            return 2
+
+    ast_index = None
+    if args.mode in ("auto", "ast"):
+        try:
+            import clang.cindex as ci
+            ast_index = ci.Index.create()
+        except Exception as e:
+            if args.mode == "ast":
+                print(f"lint_invariants: --mode=ast but libclang is "
+                      f"unavailable ({e})", file=sys.stderr)
+                return 2
+            ast_index = None  # documented fallback: token mode
+
+    findings: list = []
+    root_cache: dict = {}
+    for path in collect_files(args.paths):
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"lint_invariants: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+        lexed = lex(text)
+        blocks = build_blocks(lexed)
+        allows = allows_for(lexed)
+        if "reader-container" in rules:
+            if ast_index is not None:
+                findings += rule_reader_container_ast(
+                    path, lexed, blocks, allows, ast_index)
+            else:
+                findings += rule_reader_container(path, lexed, blocks, allows)
+        if "publish-retire" in rules:
+            findings += rule_publish_retire(path, lexed, blocks, allows)
+        if "no-assert" in rules:
+            findings += rule_no_assert(path, lexed, blocks, allows)
+        if "no-blocking-under-lock" in rules:
+            findings += rule_no_blocking_under_lock(path, lexed, blocks, allows)
+        if "layer-dag" in rules:
+            findings += rule_layer_dag(path, lexed, blocks, allows, root_cache)
+
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"lint_invariants: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,7 @@
 namespace dyndex {
 
 /// Growable/shrinkable bit sequence with positional updates and rank/select.
+// lint:reader-shared
 class DynamicBitVector {
  public:
   DynamicBitVector() = default;
@@ -170,6 +171,7 @@ class DynamicBitVector {
   /// than on a dangling pointer. A vector of unique_ptr chunks is NOT safe
   /// here: growing it moves the elements, which nulls the old buffer's
   /// pointers in place under a reader mid-descent.
+  // lint:reader-shared
   template <typename T>
   class Pool {
    public:
@@ -180,6 +182,10 @@ class DynamicBitVector {
           free_(std::move(other.free_)),
           used_(other.used_),
           num_chunks_(other.num_chunks_) {
+      // Ownership transfer: the directory moves from `other` into this pool
+      // and the source empties; nothing is displaced, so there is nothing to
+      // Retire.
+      // lint:allow(publish-retire) ownership transfer, nothing displaced
       dir_.store(owner_.get(), std::memory_order_release);
       other.dir_.store(nullptr, std::memory_order_release);
       other.used_ = 0;
@@ -187,11 +193,14 @@ class DynamicBitVector {
     }
     Pool& operator=(Pool&& other) noexcept {
       if (this != &other) {
+        // Clear() parks this pool's old directory through the retire sink, so
+        // the ownership transfer below displaces nothing live.
         Clear();
         owner_ = std::move(other.owner_);
         free_ = std::move(other.free_);
         used_ = other.used_;
         num_chunks_ = other.num_chunks_;
+        // lint:allow(publish-retire) old dir already parked by Clear() above
         dir_.store(owner_.get(), std::memory_order_release);
         other.dir_.store(nullptr, std::memory_order_release);
         other.used_ = 0;
@@ -301,6 +310,9 @@ class DynamicBitVector {
 
     std::unique_ptr<Dir> owner_;
     std::atomic<Dir*> dir_{nullptr};
+    // Writer-side freelist: readers never touch it, they only descend through
+    // the atomically published dir_ above.
+    // lint:allow(reader-container) writer-side freelist, not a read path
     std::vector<uint32_t> free_;
     uint32_t used_ = 0;
     uint32_t num_chunks_ = 0;

@@ -76,6 +76,7 @@ inline uint64_t Mix(uint64_t x) {
 /// One compact adjacency set. Readers derive every bound from the Rep a
 /// single acquire load handed them; the writer mutates hash Reps in place
 /// (atomic slot stores) and replaces sorted Reps wholesale.
+// lint:reader-shared
 class AdjSet {
  public:
   AdjSet() = default;
@@ -150,6 +151,7 @@ class AdjSet {
   void CheckInvariants(uint32_t inline_threshold) const;
 
  private:
+  // lint:reader-shared
   struct Rep {
     Rep(uint32_t cap, bool hashed_mode) : hashed(hashed_mode), slots(cap) {
       if (hashed) {
@@ -189,6 +191,7 @@ class AdjSet {
 /// atomically republished on growth) indexes fixed 4096-entry pages of
 /// atomic set pointers; pages and sets are installed once and stay mapped
 /// for the structure's lifetime (sticky — an emptied set keeps its slot).
+// lint:reader-shared
 class PageDir {
  public:
   static constexpr uint32_t kPageBits = 12;
@@ -235,9 +238,11 @@ class PageDir {
   uint64_t SpaceBytes() const;
 
  private:
+  // lint:reader-shared
   struct Page {
     std::array<std::atomic<AdjSet*>, kPageSize> slots{};
   };
+  // lint:reader-shared
   struct Table {
     explicit Table(uint32_t n) : pages(n) {}
     // Immutable length; the atomic elements are page-install points.
@@ -248,7 +253,11 @@ class PageDir {
   std::atomic<Table*> table_{nullptr};  // readers' view; mirrors owner_
   // Append-only writer-side ownership (sticky pages/sets are never freed
   // before the directory itself dies, so no Retire is needed for them).
+  // Readers never walk these vectors — they reach pages/sets only through
+  // the atomically published table_ above.
+  // lint:allow(reader-container) writer-side ownership vector, not a read path
   std::vector<std::unique_ptr<Page>> pages_;
+  // lint:allow(reader-container) writer-side ownership vector, not a read path
   std::vector<std::unique_ptr<AdjSet>> sets_;
 };
 

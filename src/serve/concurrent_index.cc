@@ -52,10 +52,18 @@ std::vector<DocId> ConcurrentIndex::InsertBatch(
   // constructor load it in one pass instead of |batch| insertions.
   auto ids = core_.Write([&](DynamicIndex& idx) {
     auto result = idx.InsertBulk(std::move(docs));
-    if (log_ != nullptr) log_->LogApplied(payload);
+    if (log_ != nullptr) {
+      // Inside the exclusive section on the facade's single writer thread:
+      // this scope holds the log's writer role.
+      log_->writer_role().AssertHeld();
+      log_->LogApplied(payload);
+    }
     return result;
   });
-  if (log_ != nullptr) log_->MaybeSync();
+  if (log_ != nullptr) {
+    log_->writer_role().AssertHeld();
+    log_->MaybeSync();
+  }
   return ids;
 }
 
@@ -65,10 +73,16 @@ uint64_t ConcurrentIndex::EraseBatch(const std::vector<DocId>& ids) {
   uint64_t erased = core_.Write([&](DynamicIndex& idx) {
     uint64_t n = 0;
     for (DocId id : ids) n += idx.Erase(id);
-    if (log_ != nullptr) log_->LogApplied(payload);
+    if (log_ != nullptr) {
+      log_->writer_role().AssertHeld();
+      log_->LogApplied(payload);
+    }
     return n;
   });
-  if (log_ != nullptr) log_->MaybeSync();
+  if (log_ != nullptr) {
+    log_->writer_role().AssertHeld();
+    log_->MaybeSync();
+  }
   return erased;
 }
 
@@ -99,11 +113,13 @@ persist::Status ConcurrentIndex::Checkpoint() {
 
 persist::Status ConcurrentIndex::SyncWal() {
   DYNDEX_CHECK(log_ != nullptr);
+  log_->writer_role().AssertHeld();
   return log_->Sync();
 }
 
 persist::Status ConcurrentIndex::CloseDurable() {
   DYNDEX_CHECK(log_ != nullptr);
+  log_->writer_role().AssertHeld();
   persist::Status s = log_->Close();
   log_.reset();
   return s;

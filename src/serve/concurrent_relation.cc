@@ -56,10 +56,18 @@ uint64_t ConcurrentRelation::AddPairsBatch(const RelationPairs& pairs) {
   // their bulk build instead of |batch| pairwise insertions.
   uint64_t added = core_.Write([&](RelationIndex& rel) {
     uint64_t n = rel.AddPairsBulk(pairs);
-    if (log_ != nullptr) log_->LogApplied(payload);
+    if (log_ != nullptr) {
+      // Inside the exclusive section on the facade's single writer thread:
+      // this scope holds the log's writer role.
+      log_->writer_role().AssertHeld();
+      log_->LogApplied(payload);
+    }
     return n;
   });
-  if (log_ != nullptr) log_->MaybeSync();
+  if (log_ != nullptr) {
+    log_->writer_role().AssertHeld();
+    log_->MaybeSync();
+  }
   return added;
 }
 
@@ -72,10 +80,16 @@ uint64_t ConcurrentRelation::RemovePairsBatch(const RelationPairs& pairs) {
   uint64_t removed = core_.Write([&](RelationIndex& rel) {
     uint64_t n = 0;
     for (auto [o, a] : pairs) n += rel.RemovePair(o, a);
-    if (log_ != nullptr) log_->LogApplied(payload);
+    if (log_ != nullptr) {
+      log_->writer_role().AssertHeld();
+      log_->LogApplied(payload);
+    }
     return n;
   });
-  if (log_ != nullptr) log_->MaybeSync();
+  if (log_ != nullptr) {
+    log_->writer_role().AssertHeld();
+    log_->MaybeSync();
+  }
   return removed;
 }
 
@@ -95,11 +109,13 @@ persist::Status ConcurrentRelation::Checkpoint() {
 
 persist::Status ConcurrentRelation::SyncWal() {
   DYNDEX_CHECK(log_ != nullptr);
+  log_->writer_role().AssertHeld();
   return log_->Sync();
 }
 
 persist::Status ConcurrentRelation::CloseDurable() {
   DYNDEX_CHECK(log_ != nullptr);
+  log_->writer_role().AssertHeld();
   persist::Status s = log_->Close();
   log_.reset();
   return s;

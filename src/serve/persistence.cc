@@ -398,6 +398,9 @@ Status OpenCore(persist::Env* env, const std::string& dir,
   }
   st.dropped_wal_bytes = wal.dropped_bytes;
 
+  // Recovery IS the writer (the core is externally quiesced per the
+  // contract above), so this thread holds the log's single-writer role.
+  log->writer_role().AssertHeld();
   DYNDEX_RETURN_IF_ERROR(log->FinishOpen(last_seq, wal));
   *out = std::move(log);
   if (stats != nullptr) *stats = st;
@@ -449,6 +452,8 @@ persist::Status OpenDurableIndexCore(persist::Env* env, const std::string& dir,
 
 persist::Status CheckpointIndexCore(EpochGuard<DynamicIndex>& core,
                                     DurableLog& log) {
+  // Checkpoint runs on the facade's writer thread by contract.
+  log.writer_role().AssertHeld();
   if (!log.status().ok()) return log.status();
   std::vector<Document> docs;
   DocId next_id = 0;
@@ -509,6 +514,8 @@ persist::Status OpenDurableRelationCore(persist::Env* env,
 
 persist::Status CheckpointRelationCore(EpochGuard<RelationIndex>& core,
                                        DurableLog& log) {
+  // Checkpoint runs on the facade's writer thread by contract.
+  log.writer_role().AssertHeld();
   if (!log.status().ok()) return log.status();
   RelationPairs pairs;
   const char* backend = nullptr;

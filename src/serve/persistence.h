@@ -41,6 +41,8 @@
 #include "serve/epoch_guard.h"
 #include "serve/relation_index.h"
 #include "text/concat_text.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace dyndex {
 
@@ -130,6 +132,14 @@ persist::Status DecodePairs(std::string_view data, RelationPairs* out);
 /// group-commit countdown, and the sticky failure status. Writer-thread-only
 /// after open (same discipline as the facade mutations it rides along with).
 ///
+/// The single-writer contract is machine-checked as a *role capability*
+/// (util/sync.h ThreadRole): the mutable state is GUARDED_BY(writer_role_)
+/// and every mutating entry point REQUIRES it, so a call from a path that
+/// never established the role (via writer_role().AssertHeld(), a runtime
+/// no-op) is a compile error under -Wthread-safety. The facades assert the
+/// role inside their exclusive-writer sections — including inside Write()
+/// lambdas, which the analysis treats as separate functions.
+///
 /// Failure model is fail-stop for the log: once an append or sync fails, the
 /// status sticks, further appends are dropped, and every durability
 /// entry point (SyncWal / Checkpoint / Close) reports the original error —
@@ -147,28 +157,42 @@ class DurableLog {
   /// Phase 2, after the caller replayed the scanned frames: records the
   /// recovered sequence, truncates any torn tail the scan reported, and
   /// opens the writer for append (creating the log when absent).
-  persist::Status FinishOpen(uint64_t seq, const persist::WalScanResult& wal);
+  persist::Status FinishOpen(uint64_t seq, const persist::WalScanResult& wal)
+      DYNDEX_REQUIRES(writer_role_);
 
   /// Logs one applied batch (call inside the exclusive section, after the
   /// apply succeeded). Never throws; failures stick in status().
-  void LogApplied(std::string_view payload);
+  void LogApplied(std::string_view payload) DYNDEX_REQUIRES(writer_role_);
 
   /// Group commit: syncs when the unsynced batch count reaches the window.
-  persist::Status MaybeSync();
+  persist::Status MaybeSync() DYNDEX_REQUIRES(writer_role_);
   /// Unconditional sync of everything logged so far.
-  persist::Status Sync();
+  persist::Status Sync() DYNDEX_REQUIRES(writer_role_);
 
   /// Writes `sections` as the new snapshot (atomic temp + rename), then
   /// resets the WAL. The caller provides a meta section whose last_seq is
   /// seq() — state exported under the same exclusive-writer discipline that
   /// froze the log.
-  persist::Status Checkpoint(const std::vector<persist::SnapshotSection>& sections);
+  persist::Status Checkpoint(
+      const std::vector<persist::SnapshotSection>& sections)
+      DYNDEX_REQUIRES(writer_role_);
 
   /// Final sync + close. The log is unusable afterwards.
-  persist::Status Close();
+  persist::Status Close() DYNDEX_REQUIRES(writer_role_);
 
-  persist::Status status() const { return status_; }
-  uint64_t seq() const { return seq_; }
+  persist::Status status() const DYNDEX_REQUIRES(writer_role_) {
+    return status_;
+  }
+  uint64_t seq() const DYNDEX_REQUIRES(writer_role_) { return seq_; }
+
+  /// The single-writer role capability; call writer_role().AssertHeld() at
+  /// the top of any writer-discipline scope (including inside Write()
+  /// lambdas) before touching the log.
+  const ThreadRole& writer_role() const
+      DYNDEX_RETURN_CAPABILITY(writer_role_) {
+    return writer_role_;
+  }
+
   persist::Env* env() const { return env_; }
   const std::string& dir() const { return dir_; }
   std::string snapshot_path() const { return dir_ + "/" + kSnapshotFileName; }
@@ -181,10 +205,16 @@ class DurableLog {
   persist::Env* env_;
   std::string dir_;
   DurableOptions opt_;
-  std::unique_ptr<persist::WalWriter> wal_;
-  uint64_t seq_ = 0;            // last logged (or recovered) batch seq
-  uint64_t unsynced_ = 0;       // batches logged since the last sync
-  persist::Status status_ = persist::Status::Ok();
+  /// The single-writer state, guarded by the role capability (see the class
+  /// comment): mutated only from the facade's exclusive-writer discipline.
+  ThreadRole writer_role_;
+  std::unique_ptr<persist::WalWriter> wal_ DYNDEX_GUARDED_BY(writer_role_);
+  /// Last logged (or recovered) batch seq.
+  uint64_t seq_ DYNDEX_GUARDED_BY(writer_role_) = 0;
+  /// Batches logged since the last sync.
+  uint64_t unsynced_ DYNDEX_GUARDED_BY(writer_role_) = 0;
+  persist::Status status_ DYNDEX_GUARDED_BY(writer_role_) =
+      persist::Status::Ok();
 };
 
 // --- core-level open / replay / checkpoint --------------------------------

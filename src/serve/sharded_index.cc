@@ -193,6 +193,9 @@ std::vector<DocId> ShardedIndex::InsertBatch(
           shards_[s]->Write([&](DynamicIndex& idx) {
             auto result = idx.InsertBulk(std::move(sub[s]));
             if (log != nullptr) {
+              // Inside this shard's exclusive section: the pool worker is
+              // the shard log's writer for the batch.
+              log->writer_role().AssertHeld();
               log->LogApplied(payload);
               log->MaybeSync();
             }
@@ -228,6 +231,7 @@ uint64_t ShardedIndex::EraseBatch(const std::vector<DocId>& ids) {
         uint64_t n = 0;
         for (DocId local : sub[s]) n += idx.Erase(local);
         if (log != nullptr) {
+          log->writer_role().AssertHeld();
           log->LogApplied(payload);
           log->MaybeSync();
         }
@@ -352,7 +356,12 @@ persist::Status ShardedIndex::Checkpoint() {
 
 persist::Status ShardedIndex::SyncWal() {
   DYNDEX_CHECK(!logs_.empty());
-  for (auto& log : logs_) DYNDEX_RETURN_IF_ERROR(log->Sync());
+  // Durability entry points run quiesced (no concurrent batch writers), so
+  // this thread holds every shard log's writer role.
+  for (auto& log : logs_) {
+    log->writer_role().AssertHeld();
+    DYNDEX_RETURN_IF_ERROR(log->Sync());
+  }
   return persist::Status::Ok();
 }
 
@@ -360,6 +369,7 @@ persist::Status ShardedIndex::CloseDurable() {
   DYNDEX_CHECK(!logs_.empty());
   persist::Status first = persist::Status::Ok();
   for (auto& log : logs_) {
+    log->writer_role().AssertHeld();
     persist::Status s = log->Close();
     if (first.ok()) first = s;
   }

@@ -163,6 +163,9 @@ uint64_t ShardedRelation::AddPairsBatch(const RelationPairs& pairs) {
       added[s] = shards_[s]->Write([&](RelationIndex& rel) {
         uint64_t n = rel.AddPairsBulk(sub[s]);
         if (log != nullptr) {
+          // Inside this shard's exclusive section: the pool worker is the
+          // shard log's writer for the batch.
+          log->writer_role().AssertHeld();
           log->LogApplied(payload);
           log->MaybeSync();
         }
@@ -195,6 +198,7 @@ uint64_t ShardedRelation::RemovePairsBatch(const RelationPairs& pairs) {
         uint64_t n = 0;
         for (auto [o, a] : sub[s]) n += rel.RemovePair(o, a);
         if (log != nullptr) {
+          log->writer_role().AssertHeld();
           log->LogApplied(payload);
           log->MaybeSync();
         }
@@ -296,7 +300,12 @@ persist::Status ShardedRelation::Checkpoint() {
 
 persist::Status ShardedRelation::SyncWal() {
   DYNDEX_CHECK(!logs_.empty());
-  for (auto& log : logs_) DYNDEX_RETURN_IF_ERROR(log->Sync());
+  // Durability entry points run quiesced (no concurrent batch writers), so
+  // this thread holds every shard log's writer role.
+  for (auto& log : logs_) {
+    log->writer_role().AssertHeld();
+    DYNDEX_RETURN_IF_ERROR(log->Sync());
+  }
   return persist::Status::Ok();
 }
 
@@ -304,6 +313,7 @@ persist::Status ShardedRelation::CloseDurable() {
   DYNDEX_CHECK(!logs_.empty());
   persist::Status first = persist::Status::Ok();
   for (auto& log : logs_) {
+    log->writer_role().AssertHeld();
     persist::Status s = log->Close();
     if (first.ok()) first = s;
   }

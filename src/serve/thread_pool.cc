@@ -5,6 +5,9 @@
 #include <memory>
 #include <utility>
 
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
 namespace dyndex {
 
 namespace {
@@ -17,14 +20,14 @@ namespace {
 struct Join {
   explicit Join(uint32_t n) : remaining(n) {}
   std::atomic<uint32_t> remaining;
-  std::mutex mu;
-  std::condition_variable cv;
-  std::exception_ptr error;  // first failing slice; guarded by mu
+  Mutex mu;
+  CondVar cv;
+  std::exception_ptr error DYNDEX_GUARDED_BY(mu);  // first failing slice
 
   /// Records the in-flight exception; first one wins (the caller can only
   /// rethrow one, and the first is the one that happened earliest).
-  void Record() {
-    std::lock_guard<std::mutex> lock(mu);
+  void Record() DYNDEX_EXCLUDES(mu) {
+    MutexLock lock(mu);
     if (!error) error = std::current_exception();
   }
 };
@@ -40,10 +43,10 @@ ThreadPool::ThreadPool(uint32_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -51,8 +54,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -87,7 +90,7 @@ void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
   // WorkerLoop, which would std::terminate) and rethrown after the join.
   auto join = std::make_shared<Join>(static_cast<uint32_t>(tasks.size() - 1));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (size_t i = 1; i < tasks.size(); ++i) {
       queue_.push_back([&tasks, i, join] {
         try {
@@ -96,13 +99,13 @@ void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
           join->Record();
         }
         if (join->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          std::lock_guard<std::mutex> done_lock(join->mu);
-          join->cv.notify_one();
+          MutexLock done_lock(join->mu);
+          join->cv.NotifyOne();
         }
       });
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   try {
     tasks[0]();
   } catch (...) {
@@ -114,7 +117,7 @@ void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
   while (join->remaining.load(std::memory_order_acquire) != 0) {
     std::function<void()> task;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!queue_.empty()) {
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -123,15 +126,20 @@ void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
     if (!task) break;  // nothing left to steal: block on completion
     task();
   }
-  std::unique_lock<std::mutex> lock(join->mu);
-  join->cv.wait(lock, [&] {
-    return join->remaining.load(std::memory_order_acquire) == 0;
-  });
-  if (join->error) {
-    std::exception_ptr error = join->error;
-    lock.unlock();
-    std::rethrow_exception(error);
+  // The join proper. `remaining` is atomic (the wrappers decrement it after
+  // running, possibly without join->mu), but the wait/notify handshake runs
+  // under join->mu, so a final decrement cannot slip between the condition
+  // check and the Wait. The error is copied out before rethrowing so the
+  // lock is never held across the throw.
+  std::exception_ptr error;
+  {
+    MutexLock lock(join->mu);
+    while (join->remaining.load(std::memory_order_acquire) != 0) {
+      join->cv.Wait(join->mu);
+    }
+    error = join->error;
   }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace dyndex

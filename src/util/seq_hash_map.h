@@ -53,6 +53,7 @@ namespace dyndex {
 /// mid-iteration. SeqBox readers take ONE acquire load and iterate a
 /// snapshot that is never mutated afterwards; writers replace the snapshot
 /// wholesale (copy-on-write) and Retire the old one for in-flight readers.
+// lint:reader-shared
 template <typename V>
 class SeqBox {
  public:
@@ -65,6 +66,9 @@ class SeqBox {
   }
 
   SeqBox(SeqBox&& o) noexcept : owner_(std::move(o.owner_)) {
+    // Ownership transfer: the snapshot moves to this box and the source
+    // empties; nothing is displaced, so there is nothing to Retire.
+    // lint:allow(publish-retire) ownership transfer, nothing displaced
     ptr_.store(owner_.get(), std::memory_order_release);
     o.ptr_.store(nullptr, std::memory_order_release);
   }
@@ -83,6 +87,8 @@ class SeqBox {
   SeqBox(const SeqBox& o) {
     if (o.owner_ != nullptr) {
       owner_ = std::make_unique<V>(*o.owner_);
+      // Fresh object: publishing the first snapshot displaces nothing.
+      // lint:allow(publish-retire) fresh object, nothing displaced
       ptr_.store(owner_.get(), std::memory_order_release);
     }
   }
@@ -120,6 +126,7 @@ template <typename T>
 struct IsSeqBox<SeqBox<T>> : std::true_type {};
 }  // namespace seq_hash_internal
 
+// lint:reader-shared
 template <typename K, typename V>
 class SeqHashMap {
   static_assert(std::is_unsigned_v<K> && sizeof(K) <= sizeof(uint64_t),
@@ -141,6 +148,9 @@ class SeqHashMap {
 
   SeqHashMap(SeqHashMap&& o) noexcept
       : owner_(std::move(o.owner_)), size_(o.size_), used_(o.used_) {
+    // Ownership transfer: the table moves to this map and the source
+    // empties; nothing is displaced.
+    // lint:allow(publish-retire) ownership transfer, nothing displaced
     table_.store(owner_.get(), std::memory_order_release);
     o.table_.store(nullptr, std::memory_order_release);
     o.size_ = o.used_ = 0;
@@ -169,6 +179,9 @@ class SeqHashMap {
             std::memory_order_relaxed);
         owner_->slots[i].value = t->slots[i].value;
       }
+      // Fresh object: publishing the first table of a new copy displaces
+      // nothing.
+      // lint:allow(publish-retire) fresh object, nothing displaced
       table_.store(owner_.get(), std::memory_order_release);
     }
   }
@@ -290,6 +303,7 @@ class SeqHashMap {
   static constexpr uint64_t kTombstoneKey = ~0ull - 1;
   static constexpr uint64_t kMinCapacity = 8;
 
+  // lint:reader-shared
   struct Slot {
     std::atomic<uint64_t> key{kEmptyKey};
     V value{};
@@ -297,6 +311,7 @@ class SeqHashMap {
 
   // Immutable after construction: readers derive bounds and data from the
   // same allocation, so one pointer load yields a self-consistent view.
+  // lint:reader-shared
   struct Table {
     explicit Table(uint64_t cap) : mask(cap - 1), slots(cap) {}
     uint64_t mask;

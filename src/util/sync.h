@@ -1,0 +1,131 @@
+// Annotated synchronization primitives for Clang Thread Safety Analysis.
+//
+// libstdc++'s std::mutex / std::shared_mutex / std::condition_variable carry
+// no thread-safety attributes, so locking them directly is invisible to
+// -Wthread-safety. These thin wrappers forward to the std primitives (zero
+// overhead: every method is a one-line inline forward) while exposing the
+// capability surface the analysis needs. All serve-layer code locks through
+// these types; see util/thread_annotations.h for the macro vocabulary.
+#ifndef DYNDEX_UTIL_SYNC_H_
+#define DYNDEX_UTIL_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace dyndex {
+
+/// std::mutex with capability annotations.
+class DYNDEX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DYNDEX_ACQUIRE() { mu_.lock(); }
+  void unlock() DYNDEX_RELEASE() { mu_.unlock(); }
+  bool try_lock() DYNDEX_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex, for interop with std wait machinery (CondVar).
+  /// Callers must not lock/unlock through this directly — the analysis
+  /// cannot see it.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with capability annotations (exclusive + shared modes).
+class DYNDEX_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() DYNDEX_ACQUIRE() { mu_.lock(); }
+  void unlock() DYNDEX_RELEASE() { mu_.unlock(); }
+  bool try_lock() DYNDEX_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock_shared() DYNDEX_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() DYNDEX_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() DYNDEX_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// std::lock_guard<Mutex>-shaped scoped capability.
+class DYNDEX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DYNDEX_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() DYNDEX_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with dyndex::Mutex. Wait() requires the mutex
+/// (checkably), releases it while blocked, and reacquires before returning —
+/// exactly std::condition_variable::wait semantics, but visible to the
+/// analysis.
+///
+/// Deliberately no predicate overload: a predicate lambda is a separate
+/// function to the analysis, so its reads of GUARDED_BY state would need
+/// suppressions. Call sites loop explicitly instead —
+///   while (!condition) cv.Wait(mu);
+/// — which keeps every guarded read inside the annotated caller.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Spurious wakeups happen; callers re-check their condition in a loop.
+  void Wait(Mutex& mu) DYNDEX_REQUIRES(mu) {
+    // Adopt the already-held native mutex so std::condition_variable can
+    // atomically release/reacquire it, then release ownership back to the
+    // caller's scoped lock. The capability is held on entry and on exit, so
+    // REQUIRES is the honest annotation even though the wait drops the lock
+    // internally (guarded state must be re-read after Wait returns — the
+    // caller's condition loop does that by construction).
+    std::unique_lock<std::mutex> native(mu.native(), std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// A "role" capability: a contract that a family of methods is only called
+/// from one logical thread (e.g. DurableLog's single-writer discipline),
+/// enforced by annotation rather than by a runtime lock. Methods take
+/// DYNDEX_REQUIRES(role); call sites establish the capability with
+/// role.AssertHeld() — a no-op at runtime, a checked assertion to the
+/// analysis. The pattern follows the assert_capability idiom from the clang
+/// TSA documentation.
+class DYNDEX_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  /// Caller vouches that it is the role's thread (the serve facades call
+  /// this at the top of each writer-side function and inside each writer
+  /// lambda, which the analysis treats as separate functions).
+  void AssertHeld() const DYNDEX_ASSERT_CAPABILITY(this) {}
+};
+
+}  // namespace dyndex
+
+#endif  // DYNDEX_UTIL_SYNC_H_

@@ -1,0 +1,111 @@
+// Clang Thread Safety Analysis annotation macros (no-ops off clang).
+//
+// The serve layer's concurrency contracts — which fields a mutex guards,
+// which functions require it, which must never be called with it held — are
+// declared with these macros and machine-checked at compile time by clang's
+// -Wthread-safety analysis (enabled via the DYNDEX_THREAD_SAFETY CMake
+// option; the CI static-analysis job builds with it under -Werror). Under
+// GCC and other compilers every macro expands to nothing, so the annotations
+// cost nothing and change nothing off clang.
+//
+// Naming follows the "capability" vocabulary of the upstream documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html): a mutex is a
+// capability; holding it exclusively or shared is a precondition (REQUIRES /
+// REQUIRES_SHARED), an effect (ACQUIRE / RELEASE), or a prohibition
+// (EXCLUDES). The annotated wrapper types that make std primitives visible
+// to the analysis live in util/sync.h.
+//
+// What the analysis cannot express — seqlock capture/validate, the
+// single-pointer immutable-snapshot rule, publish-then-retire ordering — is
+// enforced by scripts/lint_invariants.py instead; see README "Static
+// analysis & concurrency invariants" for the catalogue and the division of
+// labor between the two checkers.
+#ifndef DYNDEX_UTIL_THREAD_ANNOTATIONS_H_
+#define DYNDEX_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(SWIG)
+#define DYNDEX_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define DYNDEX_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+/// Marks a type as a capability (a mutex-like object the analysis tracks).
+/// `x` is the capability kind shown in diagnostics, e.g. "mutex" or "role".
+#define DYNDEX_CAPABILITY(x) DYNDEX_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose constructor acquires a capability and whose
+/// destructor releases it (std::lock_guard-shaped).
+#define DYNDEX_SCOPED_CAPABILITY DYNDEX_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held (shared suffices
+/// for reads, exclusive is needed for writes).
+#define DYNDEX_GUARDED_BY(x) DYNDEX_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x` (the pointer itself may
+/// be read freely).
+#define DYNDEX_PT_GUARDED_BY(x) DYNDEX_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock detection).
+#define DYNDEX_ACQUIRED_BEFORE(...) \
+  DYNDEX_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define DYNDEX_ACQUIRED_AFTER(...) \
+  DYNDEX_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function precondition: the listed capabilities must be held exclusively
+/// (REQUIRES) or at least shared (REQUIRES_SHARED) on entry, and are NOT
+/// released by the function.
+#define DYNDEX_REQUIRES(...) \
+  DYNDEX_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define DYNDEX_REQUIRES_SHARED(...) \
+  DYNDEX_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function effect: acquires the listed capabilities (must not be held on
+/// entry; held on exit).
+#define DYNDEX_ACQUIRE(...) \
+  DYNDEX_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define DYNDEX_ACQUIRE_SHARED(...) \
+  DYNDEX_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function effect: releases the listed capabilities (held on entry, not on
+/// exit). The _GENERIC form releases whichever mode is held — use it on the
+/// destructors of scoped capabilities that may hold either mode.
+#define DYNDEX_RELEASE(...) \
+  DYNDEX_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define DYNDEX_RELEASE_SHARED(...) \
+  DYNDEX_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define DYNDEX_RELEASE_GENERIC(...) \
+  DYNDEX_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/// Function that acquires the capability only when it returns `b`.
+#define DYNDEX_TRY_ACQUIRE(b, ...) \
+  DYNDEX_THREAD_ANNOTATION_(try_acquire_capability(b, __VA_ARGS__))
+#define DYNDEX_TRY_ACQUIRE_SHARED(b, ...) \
+  DYNDEX_THREAD_ANNOTATION_(try_acquire_shared_capability(b, __VA_ARGS__))
+
+/// Function precondition: the listed capabilities must NOT be held (in any
+/// mode). This is how "pacing sleeps happen with no lock held" and "Write()
+/// must not be called under its own lock" are stated checkably.
+#define DYNDEX_EXCLUDES(...) \
+  DYNDEX_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the capability; the
+/// analysis treats it as held for the rest of the scope. Used for contracts
+/// enforced by convention rather than by a lock object (see
+/// util/sync.h ThreadRole).
+#define DYNDEX_ASSERT_CAPABILITY(x) \
+  DYNDEX_THREAD_ANNOTATION_(assert_capability(x))
+#define DYNDEX_ASSERT_SHARED_CAPABILITY(x) \
+  DYNDEX_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+/// Declares that a function returns a reference to the given capability
+/// (lets the analysis see through accessor indirection).
+#define DYNDEX_RETURN_CAPABILITY(x) \
+  DYNDEX_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis inside one function body. Every use
+/// in this repo must carry a comment justifying why the protocol is beyond
+/// the analysis (e.g. the seqlock read path, destructor-implies-quiescence).
+#define DYNDEX_NO_THREAD_SAFETY_ANALYSIS \
+  DYNDEX_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // DYNDEX_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,14 @@
+// BAD: sleeping while holding the mutex stalls every thread queued on it.
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+std::mutex mu;
+int count = 0;
+
+void SlowIncrement() {
+  std::lock_guard<std::mutex> lock(mu);
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(10));  // expect: [no-blocking-under-lock]
+  ++count;
+}

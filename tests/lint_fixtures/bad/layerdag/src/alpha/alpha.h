@@ -1,0 +1,7 @@
+// BAD: alpha declares only beta in DEPS, so a public header reaching into
+// gamma is a layering violation (and would not even compile in the real
+// build, where include visibility follows the link graph).
+#include "beta/beta.h"
+#include "gamma/gamma.h"  // expect: [layer-dag]
+
+inline int AlphaValue() { return 1; }

@@ -1,0 +1,8 @@
+// BAD: assert() vanishes under NDEBUG, which is exactly the release build
+// where torn-read validation still has to fire.
+#include <cassert>
+
+int Deref(const int* p) {
+  assert(p != nullptr);  // expect: [no-assert]
+  return *p;
+}

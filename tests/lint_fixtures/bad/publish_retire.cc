@@ -1,0 +1,20 @@
+// BAD: publishes a new snapshot pointer and deletes the displaced one
+// directly instead of routing it through Retire — an optimistic reader that
+// loaded the old pointer before the store may still be traversing it.
+#include <atomic>
+
+struct Node {
+  int value = 0;
+};
+
+class Holder {
+ public:
+  void Swap(Node* next) {
+    Node* old = current_.load(std::memory_order_relaxed);
+    current_.store(next, std::memory_order_release);  // expect: [publish-retire]
+    delete old;
+  }
+
+ private:
+  std::atomic<Node*> current_{nullptr};
+};

@@ -1,0 +1,9 @@
+// BAD: a reader-shared type holding a relocating std container. Growth of
+// `children` moves the buffer while an optimistic reader may be walking it.
+#include <vector>
+
+// lint:reader-shared
+struct TreeNode {
+  std::vector<TreeNode*> children;  // expect: [reader-container]
+  int value = 0;
+};

@@ -1,0 +1,24 @@
+// GOOD: the sleep happens after the guard's block closes, and a condition
+// variable wait under the lock is the normal pattern (Wait releases the
+// mutex while blocked — that is its contract), so neither may be flagged.
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+std::mutex mu;
+std::condition_variable cv;
+int count = 0;
+
+void IncrementThenSleep() {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ++count;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}
+
+void WaitForCount() {
+  std::unique_lock<std::mutex> lock(mu);
+  while (count == 0) cv.wait(lock);
+}

@@ -1,0 +1,43 @@
+// GOOD (via escape hatch): one real violation of each lexical rule, each
+// suppressed by `// lint:allow(<rule>)` on the offending line or the line
+// directly above. This file must lint clean — it proves the hatch.
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+// lint:reader-shared
+struct Suppressed {
+  // lint:allow(reader-container) fixture: proves the hatch, not a pattern
+  std::vector<int> values;
+};
+
+struct Node {
+  int value = 0;
+};
+
+std::mutex mu;
+
+class Holder {
+ public:
+  void Swap(Node* next) {
+    // lint:allow(publish-retire) fixture: proves the hatch, not a pattern
+    current_.store(next, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<Node*> current_{nullptr};
+};
+
+int Deref(const int* p) {
+  assert(p != nullptr);  // lint:allow(no-assert)
+  return *p;
+}
+
+void SlowIncrement() {
+  std::lock_guard<std::mutex> lock(mu);
+  // lint:allow(no-blocking-under-lock) fixture: proves the hatch
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}

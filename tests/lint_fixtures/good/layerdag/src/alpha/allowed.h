@@ -1,0 +1,5 @@
+// GOOD (via escape hatch): an undeclared include edge waived with an
+// explicit, grep-able allow.
+#include "gamma/gamma.h"  // lint:allow(layer-dag) fixture: proves the hatch
+
+inline int AllowedValue() { return 2; }

@@ -1,0 +1,7 @@
+// GOOD: a .cc additionally sees PRIVATE_DEPS closures (gamma), which its
+// headers may not leak.
+#include "alpha/alpha.h"
+
+#include "gamma/gamma.h"
+
+int AlphaImpl() { return AlphaValue(); }

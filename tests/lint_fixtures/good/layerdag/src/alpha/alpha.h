@@ -1,0 +1,7 @@
+// GOOD: a public header may include its declared DEPS and their transitive
+// public closure (beta publicly re-exports delta).
+#include "alpha/other.h"  // own layer is always visible
+#include "beta/beta.h"
+#include "delta/delta.h"
+
+inline int AlphaValue() { return 1; }

@@ -1,0 +1,12 @@
+// GOOD: DYNDEX_CHECK stays on in release builds; static_assert is a
+// compile-time construct and is not the banned macro.
+#define DYNDEX_CHECK(cond) \
+  do {                     \
+  } while (false)
+
+static_assert(sizeof(int) >= 4, "ILP32 or wider");
+
+int Deref(const int* p) {
+  DYNDEX_CHECK(p != nullptr);
+  return *p;
+}

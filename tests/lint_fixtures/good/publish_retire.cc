@@ -1,0 +1,27 @@
+// GOOD: every snapshot publish Retires the displaced value in the same
+// function, and nullptr stores (withdrawing a pointer) are exempt.
+#include <atomic>
+#include <memory>
+#include <utility>
+
+struct Node {
+  int value = 0;
+};
+
+template <typename T>
+void Retire(T&&) {}
+
+class Holder {
+ public:
+  void Swap(std::unique_ptr<Node> next) {
+    current_.store(next.get(), std::memory_order_release);
+    Retire(std::move(owner_));
+    owner_ = std::move(next);
+  }
+
+  void Drop() { current_.store(nullptr, std::memory_order_release); }
+
+ private:
+  std::unique_ptr<Node> owner_;
+  std::atomic<Node*> current_{nullptr};
+};

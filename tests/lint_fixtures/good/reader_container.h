@@ -1,0 +1,23 @@
+// GOOD: a reader-shared type built from seqlock-safe parts — atomic install
+// points and retire_vector storage — plus a std::vector in an UNMARKED
+// writer-side type, which the rule must not touch.
+#include <atomic>
+#include <vector>
+
+template <typename T>
+class retire_vector;  // stand-in; the rule keys on the name
+
+// lint:reader-shared
+struct SnapshotTable {
+  retire_vector<std::atomic<int*>>* slots = nullptr;
+  std::atomic<SnapshotTable*> next{nullptr};
+  int size = 0;
+
+  // Methods may *return* containers; only member storage is constrained.
+  std::vector<int> LiveSorted() const;
+};
+
+// Not marked reader-shared: writer-side bookkeeping may use std containers.
+struct WriterState {
+  std::vector<int> pending;
+};

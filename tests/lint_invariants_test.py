@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Pins the semantics of scripts/lint_invariants.py against the fixture
+corpus in tests/lint_fixtures/ (see its README.md):
+
+  * each bad fixture yields >= 1 finding of exactly its own rule;
+  * the good corpus (including the escape-hatch files, which contain real
+    violations suppressed with lint:allow) is completely clean;
+  * the repo's own src/ tree is clean — the linter gates CI on it, so a
+    regression here should fail close to the change that caused it;
+  * --rules subsetting and the unknown-rule/ bad-path error paths exit 2.
+
+Runs the linter in --mode=tokens (the authoritative semantics). When the
+libclang python bindings are importable, the bad/good expectations are
+repeated under --mode=ast as a consistency check; silently skipped
+otherwise, since the AST mode is an opportunistic sharpening only.
+
+Registered with ctest as lint_invariants_test (label tier1); runnable
+directly: python3 tests/lint_invariants_test.py
+"""
+
+import os
+import subprocess
+import sys
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINTER = os.path.join(REPO, "scripts", "lint_invariants.py")
+FIXTURES = os.path.join(REPO, "tests", "lint_fixtures")
+
+RULES = (
+    "reader-container",
+    "publish-retire",
+    "no-assert",
+    "no-blocking-under-lock",
+    "layer-dag",
+)
+
+BAD_BY_RULE = {
+    "reader-container": "bad/reader_container.h",
+    "publish-retire": "bad/publish_retire.cc",
+    "no-assert": "bad/no_assert.cc",
+    "no-blocking-under-lock": "bad/blocking_under_lock.cc",
+    "layer-dag": "bad/layerdag",
+}
+
+
+def run_linter(*args, mode="tokens"):
+    proc = subprocess.run(
+        [sys.executable, LINTER, f"--mode={mode}", *args],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def have_libclang():
+    try:
+        import clang.cindex  # noqa: F401
+        clang.cindex.Index.create()
+        return True
+    except Exception:
+        return False
+
+
+class LintInvariantsTest(unittest.TestCase):
+    def check_bad(self, rule, mode):
+        path = os.path.join(FIXTURES, BAD_BY_RULE[rule])
+        code, out, _ = run_linter(path, mode=mode)
+        self.assertEqual(code, 1, f"{rule}: expected findings, got none\n{out}")
+        lines = [l for l in out.splitlines() if l.strip()]
+        self.assertTrue(lines, f"{rule}: exit 1 but empty output")
+        for line in lines:
+            self.assertIn(f"[{rule}]", line,
+                          f"{rule}: unexpected cross-rule finding: {line}")
+
+    def check_good(self, mode):
+        code, out, err = run_linter(os.path.join(FIXTURES, "good"), mode=mode)
+        self.assertEqual(code, 0, f"good corpus not clean:\n{out}{err}")
+        self.assertEqual(out.strip(), "")
+
+    def test_bad_fixtures_token_mode(self):
+        for rule in RULES:
+            with self.subTest(rule=rule):
+                self.check_bad(rule, "tokens")
+
+    def test_good_fixtures_token_mode(self):
+        self.check_good("tokens")
+
+    def test_escape_hatch_alone(self):
+        # The escape-hatch files are real violations + allows; linting just
+        # them isolates the hatch from the rest of the good corpus.
+        code, out, err = run_linter(
+            os.path.join(FIXTURES, "good", "escape_hatch.cc"),
+            os.path.join(FIXTURES, "good", "layerdag", "src", "alpha",
+                         "allowed.h"))
+        self.assertEqual(code, 0, f"escape hatch failed:\n{out}{err}")
+
+    def test_repo_src_is_clean(self):
+        code, out, err = run_linter(os.path.join(REPO, "src"))
+        self.assertEqual(code, 0, f"src/ has findings:\n{out}{err}")
+
+    def test_rules_subset(self):
+        # With only no-assert enabled, the reader-container fixture is clean.
+        code, out, _ = run_linter(
+            "--rules=no-assert",
+            os.path.join(FIXTURES, BAD_BY_RULE["reader-container"]))
+        self.assertEqual(code, 0, out)
+
+    def test_unknown_rule_is_usage_error(self):
+        code, _, err = run_linter("--rules=no-such-rule", FIXTURES)
+        self.assertEqual(code, 2, err)
+
+    def test_missing_path_is_usage_error(self):
+        code, _, err = run_linter(os.path.join(FIXTURES, "does-not-exist"))
+        self.assertEqual(code, 2, err)
+
+    @unittest.skipUnless(have_libclang(), "libclang python bindings absent")
+    def test_ast_mode_matches_token_mode(self):
+        for rule in RULES:
+            with self.subTest(rule=rule):
+                self.check_bad(rule, "ast")
+        self.check_good("ast")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
